@@ -1,0 +1,136 @@
+// Command simulate runs a single datacenter simulation with explicit
+// parameters — the building block the experiments compose, exposed for
+// custom studies.
+//
+// Usage:
+//
+//	simulate [-alg cm|cm-oppha|cm-coloc|cm-balance|ovoc|ovoc-aware|secondnet]
+//	         [-workload bing|hpcloud|synthetic] [-servers 128|512|2048]
+//	         [-arrivals N] [-load F] [-bmax Mbps] [-rwcs F] [-oversub R]
+//	         [-seed N]
+//
+// Example:
+//
+//	simulate -alg ovoc -load 0.9 -bmax 1200 -servers 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudmirror/internal/pipe"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/place/cloudmirror"
+	"cloudmirror/internal/place/oktopus"
+	"cloudmirror/internal/place/secondnet"
+	"cloudmirror/internal/sim"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+	"cloudmirror/internal/voc"
+	"cloudmirror/internal/workload"
+)
+
+func main() {
+	alg := flag.String("alg", "cm", "placement algorithm: cm, cm-oppha, cm-coloc, cm-balance, ovoc, ovoc-aware, secondnet")
+	wl := flag.String("workload", "bing", "tenant pool: bing, hpcloud, synthetic")
+	servers := flag.Int("servers", 512, "datacenter size: 128, 512, or 2048 servers")
+	arrivals := flag.Int("arrivals", 2000, "number of tenant arrivals")
+	load := flag.Float64("load", 0.9, "target datacenter load in (0,1]")
+	bmax := flag.Float64("bmax", 800, "per-VM bandwidth normalization target (Mbps)")
+	rwcs := flag.Float64("rwcs", 0, "required worst-case survivability in [0,1)")
+	oversub := flag.Float64("oversub", 0, "override total oversubscription ratio (2048-server topology only)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var spec topology.Spec
+	switch {
+	case *oversub > 0:
+		spec = topology.OversubSpec(*oversub)
+	case *servers == 128:
+		spec = topology.SmallSpec()
+	case *servers == 512:
+		spec = topology.MediumSpec()
+	case *servers == 2048:
+		spec = topology.PaperSpec()
+	default:
+		fatal(fmt.Errorf("unsupported -servers %d", *servers))
+	}
+
+	var pool []*tag.Graph
+	switch *wl {
+	case "bing":
+		pool = workload.BingLike(*seed)
+	case "hpcloud":
+		pool = workload.HPCloudLike(*seed)
+	case "synthetic":
+		pool = workload.SyntheticMix(*seed)
+	default:
+		fatal(fmt.Errorf("unknown -workload %q", *wl))
+	}
+	workload.ScaleToBmax(pool, *bmax)
+
+	cfg := sim.Config{
+		Spec:      spec,
+		Pool:      pool,
+		Arrivals:  *arrivals,
+		Load:      *load,
+		MeanDwell: 1,
+		Seed:      *seed,
+		HA:        place.HASpec{RWCS: *rwcs},
+	}
+	switch *alg {
+	case "cm":
+		cfg.NewPlacer = func(t *topology.Tree) place.Placer { return cloudmirror.New(t) }
+	case "cm-oppha":
+		cfg.NewPlacer = func(t *topology.Tree) place.Placer {
+			return cloudmirror.New(t, cloudmirror.WithOpportunisticHA())
+		}
+	case "cm-coloc":
+		cfg.NewPlacer = func(t *topology.Tree) place.Placer {
+			return cloudmirror.New(t, cloudmirror.WithoutBalance())
+		}
+	case "cm-balance":
+		cfg.NewPlacer = func(t *topology.Tree) place.Placer {
+			return cloudmirror.New(t, cloudmirror.WithoutColocate())
+		}
+	case "ovoc":
+		cfg.NewPlacer = func(t *topology.Tree) place.Placer { return oktopus.New(t) }
+		cfg.ModelFor = func(g *tag.Graph) place.Model { return voc.FromTAG(g) }
+	case "ovoc-aware":
+		cfg.NewPlacer = func(t *topology.Tree) place.Placer {
+			return oktopus.New(t, oktopus.WithVOCAwareness())
+		}
+		cfg.ModelFor = func(g *tag.Graph) place.Model { return voc.FromTAG(g) }
+	case "secondnet":
+		cfg.NewPlacer = func(t *topology.Tree) place.Placer { return secondnet.New(t) }
+		cfg.ModelFor = func(g *tag.Graph) place.Model { return pipe.FromTAG(g) }
+	default:
+		fatal(fmt.Errorf("unknown -alg %q", *alg))
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("algorithm        %s\n", res.Placer)
+	fmt.Printf("datacenter       %d servers × %d slots, load %.0f%%, Bmax %.0f Mbps\n",
+		spec.Servers(), spec.SlotsPerServer, *load*100, *bmax)
+	fmt.Printf("arrivals         %d  (accepted %d, rejected %d)\n", res.Arrivals, res.Accepted, res.Rejected)
+	fmt.Printf("rejection        %.2f%% of bandwidth, %.2f%% of VMs, %.2f%% of tenants\n",
+		100*res.BWRejectionRate(), 100*res.VMRejectionRate(), 100*res.TenantRejectionRate())
+	fmt.Printf("WCS (server)     mean %.1f%%, min %.1f%%, max %.1f%%\n",
+		100*res.MeanWCS, 100*res.MinWCS, 100*res.MaxWCS)
+	for l, v := range res.LevelReserved {
+		if l < len(spec.Levels) {
+			fmt.Printf("reserved L%d      %10.1f Gbps (%s)\n", l, v/1000, spec.Levels[l].Name)
+		}
+	}
+	fmt.Printf("placement time   %s total\n", res.PlacementTime.Round(1e6))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simulate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command taginfer infers a Tenant Application Graph from VM-to-VM
+// traffic measurements (§3 "Producing TAG Models"): it clusters VMs with
+// similar communication patterns via Louvain community detection on a
+// traffic-similarity projection graph, then derives hose and trunk
+// guarantees from the peak aggregate rates over time.
+//
+// Usage:
+//
+//	taginfer -in matrices.csv [-name tenant] [-seed N]
+//
+// The input is a CSV of one or more N×N rate matrices (Mbps), separated
+// by blank lines; row i column j is the rate VM i sends to VM j. Output
+// is the inferred TAG in the JSON wire format plus the clustering.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudmirror/internal/infer"
+	"cloudmirror/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "CSV file with one or more N×N rate matrices separated by blank lines")
+	name := flag.String("name", "inferred", "tenant name for the output TAG")
+	seed := flag.Int64("seed", 1, "clustering seed")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "taginfer: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	series, err := readSeries(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	g, labels, err := infer.InferTAG(*name, series, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+	fmt.Fprintf(os.Stderr, "clustering (VM -> component):\n")
+	for vm, c := range labels {
+		fmt.Fprintf(os.Stderr, "  vm%-4d -> c%d\n", vm, c)
+	}
+}
+
+// readSeries parses blank-line-separated CSV matrices.
+func readSeries(path string) (*trace.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ParseCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taginfer:", err)
+	os.Exit(1)
+}

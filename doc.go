@@ -1,0 +1,14 @@
+// Package cloudmirror is a from-scratch Go reproduction of
+// "Application-Driven Bandwidth Guarantees in Datacenters" (Lee et al.,
+// ACM SIGCOMM 2014): the TAG network abstraction, the CloudMirror VM
+// placement algorithm with high-availability extensions, an
+// ElasticSwitch-style enforcement layer, the Oktopus/SecondNet baselines,
+// and the full evaluation harness that regenerates every table and
+// figure of the paper.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The root package holds
+// only the per-artifact benchmarks (bench_test.go); the implementation
+// lives under internal/ and the runnable entry points under cmd/ and
+// examples/.
+package cloudmirror

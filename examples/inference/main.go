@@ -1,0 +1,52 @@
+// Inference demonstrates the §3 TAG-inference pipeline: synthesize
+// VM-to-VM traffic from a known application (with load-balancer skew),
+// cluster the VMs by communication-pattern similarity (Louvain), score
+// the clustering against ground truth (adjusted mutual information), and
+// print the TAG extracted from the traffic peaks.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"cloudmirror/internal/infer"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/trace"
+)
+
+func main() {
+	// Ground truth: two independent applications sharing a tenant — a
+	// frontend/backend pair and a MapReduce-like hose component.
+	g := tag.New("ground-truth")
+	front := g.AddTier("front", 6)
+	back := g.AddTier("back", 9)
+	batch := g.AddTier("batch", 8)
+	g.AddEdge(front, back, 120, 80)
+	g.AddEdge(back, front, 40, 60)
+	g.AddSelfLoop(batch, 200)
+
+	// Measure 12 epochs of traffic with imperfect load balancing.
+	series, truth, err := trace.Synthesize(g, 12, 1.0, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized %d epochs of %d×%d traffic matrices\n",
+		series.Len(), series.N(), series.N())
+
+	// Cluster and score.
+	inferred, labels, err := infer.InferTAG("inferred", series, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Louvain found %d components; AMI vs ground truth = %.2f\n",
+		inferred.Tiers(), infer.AMI(truth, labels))
+	fmt.Printf("(the paper reports mean AMI 0.54 over the 80 bing applications)\n\n")
+
+	out, err := json.MarshalIndent(inferred, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inferred TAG:")
+	fmt.Println(string(out))
+}

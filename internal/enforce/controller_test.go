@@ -1,0 +1,133 @@
+package enforce
+
+import (
+	"math"
+	"testing"
+
+	"cloudmirror/internal/netem"
+)
+
+// fig13Setup builds the Fig. 13 network and pair list for k intra-tier
+// senders.
+func fig13Setup(k int) (*Deployment, *netem.Network, []Pair, [][]netem.LinkID) {
+	d := fig13(max(k, 1))
+	n := netem.New()
+	link := n.AddLink("to-Z", 1000)
+	pairs := []Pair{{Src: 0, Dst: 1, Demand: netem.Greedy}}
+	for s := 0; s < k; s++ {
+		pairs = append(pairs, Pair{Src: 2 + s, Dst: 1, Demand: netem.Greedy})
+	}
+	paths := make([][]netem.LinkID, len(pairs))
+	for i := range paths {
+		paths[i] = []netem.LinkID{link}
+	}
+	return d, n, pairs, paths
+}
+
+func TestControllerConvergesToSteadyState(t *testing.T) {
+	d, n, pairs, paths := fig13Setup(2)
+	c := NewController(n, NewTAGPartitioner(d), 0.5)
+
+	want, err := WorkConservingRates(n, pairs, paths, NewTAGPartitioner(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rates []float64
+	for period := 0; period < 30; period++ {
+		rates, err = c.Step(pairs, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range rates {
+		if math.Abs(rates[i]-want.Rates[i]) > 1 {
+			t.Errorf("pair %d converged to %g, want %g", i, rates[i], want.Rates[i])
+		}
+	}
+}
+
+// TestControllerGuaranteeDuringChurn: new intra-tier senders appear at
+// period 10; the X→Z trunk must hold its 450 Mbps guarantee in every
+// period, including the transient.
+func TestControllerGuaranteeDuringChurn(t *testing.T) {
+	// The deployment hosts the full C2 tier (Z + 5 potential senders);
+	// only one sender is active at first.
+	d, n, pairs5, paths5 := fig13Setup(5)
+	c := NewController(n, NewTAGPartitioner(d), 0.3)
+
+	pairs1, paths1 := pairs5[:2], paths5[:2] // X→Z plus one sender
+	for period := 0; period < 10; period++ {
+		rates, err := c.Step(pairs1, paths1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rates[0] < 450-1e-6 {
+			t.Fatalf("period %d: X→Z = %g below guarantee", period, rates[0])
+		}
+	}
+
+	// Burst: four more senders join.
+	for period := 10; period < 40; period++ {
+		rates, err := c.Step(pairs5, paths5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rates[0] < 450-1e-6 {
+			t.Errorf("period %d: X→Z = %g below guarantee during churn", period, rates[0])
+		}
+	}
+	// Limits for the new senders converged near their partitioned
+	// guarantee plus spare share: 450/5 + share of 100.
+	lim := c.Limit(2, 1)
+	if lim < 450.0/5-1 || lim > 450.0/5+40 {
+		t.Errorf("sender limit converged to %g, want ≈ %g+ε", lim, 450.0/5)
+	}
+}
+
+// TestControllerNewPairStartsAtGuarantee: the first period grants
+// exactly the guarantee before probing upward.
+func TestControllerNewPairStartsAtGuarantee(t *testing.T) {
+	d, n, pairs, paths := fig13Setup(1)
+	c := NewController(n, NewTAGPartitioner(d), 0.0001) // nearly frozen
+	if _, err := c.Step(pairs, paths); err != nil {
+		t.Fatal(err)
+	}
+	if lim := c.Limit(0, 1); math.Abs(lim-450) > 1 {
+		t.Errorf("X limit after first period = %g, want ≈450", lim)
+	}
+}
+
+// TestControllerForgetsDepartedPairs: pairs absent from a Step are
+// pruned.
+func TestControllerForgetsDepartedPairs(t *testing.T) {
+	d, n, pairs, paths := fig13Setup(2)
+	c := NewController(n, NewTAGPartitioner(d), 1)
+	if _, err := c.Step(pairs, paths); err != nil {
+		t.Fatal(err)
+	}
+	if c.Limit(3, 1) == 0 {
+		t.Fatal("active pair has no limit")
+	}
+	_, _, one, onePaths := fig13Setup(1)
+	_ = d
+	if _, err := c.Step(one, onePaths); err != nil {
+		t.Fatal(err)
+	}
+	if c.Limit(3, 1) != 0 {
+		t.Error("departed pair still limited")
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	_, n, pairs, _ := fig13Setup(1)
+	c := NewController(n, NewTAGPartitioner(fig13(1)), 1)
+	if _, err := c.Step(pairs, nil); err == nil {
+		t.Error("mismatched paths accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad alpha did not panic")
+		}
+	}()
+	NewController(n, NewTAGPartitioner(fig13(1)), 0)
+}

@@ -1,0 +1,247 @@
+// Package enforce implements runtime bandwidth-guarantee enforcement in
+// the style of ElasticSwitch (Popa et al., SIGCOMM 2013), plus the small
+// patch (§5.2 of the CloudMirror paper) that makes it enforce TAG models:
+// since a TAG is a composition of directional hoses (virtual trunks) and
+// per-tier hoses (self-loops), the only conceptual change is identifying
+// which hose a source-destination VM pair belongs to.
+//
+// Enforcement has two parts, mirroring ElasticSwitch:
+//
+//   - Guarantee partitioning (GP) divides per-VM hose guarantees into
+//     per-VM-pair guarantees based on the currently active communication
+//     pattern.
+//   - Rate allocation (RA) is work-conserving: flows first receive their
+//     pair guarantee, then compete for spare capacity in proportion to
+//     their guarantees (the TCP-like weighted sharing the paper assumes).
+package enforce
+
+import (
+	"fmt"
+
+	"cloudmirror/internal/netem"
+	"cloudmirror/internal/tag"
+)
+
+// Deployment maps concrete VM IDs (0..N-1) onto the tiers of a TAG, so
+// the enforcer can answer "which hose does the pair (s,d) belong to?".
+type Deployment struct {
+	g      *tag.Graph
+	tierOf []int
+	vmsOf  [][]int
+}
+
+// NewDeployment assigns VM IDs to tiers in tier order: tier 0 gets IDs
+// 0..N0-1, tier 1 the next N1, and so on. External tiers get no VMs.
+func NewDeployment(g *tag.Graph) *Deployment {
+	d := &Deployment{g: g, vmsOf: make([][]int, g.Tiers())}
+	id := 0
+	for t := 0; t < g.Tiers(); t++ {
+		if g.Tier(t).External {
+			continue
+		}
+		for i := 0; i < g.TierSize(t); i++ {
+			d.tierOf = append(d.tierOf, t)
+			d.vmsOf[t] = append(d.vmsOf[t], id)
+			id++
+		}
+	}
+	return d
+}
+
+// Graph returns the deployment's TAG.
+func (d *Deployment) Graph() *tag.Graph { return d.g }
+
+// VMs returns the number of deployed VMs.
+func (d *Deployment) VMs() int { return len(d.tierOf) }
+
+// TierOf returns the tier of a VM.
+func (d *Deployment) TierOf(vm int) int { return d.tierOf[vm] }
+
+// TierVMs returns the VM IDs of a tier. The slice must not be modified.
+func (d *Deployment) TierVMs(t int) []int { return d.vmsOf[t] }
+
+// PairGuarantee is the TAG patch: the per-VM guarantees governing the
+// ordered pair (src, dst). For VMs in different tiers it returns the
+// virtual-trunk guarantees <S_snd, R_rcv> summed over parallel edges; for
+// VMs of the same tier it returns the self-loop hose guarantee. ok is
+// false when the TAG grants the pair nothing.
+func (d *Deployment) PairGuarantee(src, dst int) (snd, rcv float64, ok bool) {
+	ts, td := d.tierOf[src], d.tierOf[dst]
+	for _, e := range d.g.Edges() {
+		if e.From == ts && e.To == td {
+			snd += e.S
+			rcv += e.R
+			ok = true
+		}
+	}
+	return snd, rcv, ok
+}
+
+// Pair is an active source→destination VM flow.
+type Pair struct {
+	Src, Dst int
+	// Demand is the offered load in Mbps (netem.Greedy for backlogged).
+	Demand float64
+}
+
+// Partitioner computes per-pair bandwidth guarantees from the active
+// communication pattern (the GP half of ElasticSwitch).
+type Partitioner interface {
+	// PairGuarantees returns one guarantee per pair, in order.
+	PairGuarantees(pairs []Pair) []float64
+}
+
+// TAGPartitioner partitions guarantees per TAG hose: a VM's sending
+// guarantee on a trunk is divided among its active destinations within
+// that trunk only, so traffic on one hose can never consume another
+// hose's guarantee — the property Fig. 4 shows the plain hose model
+// lacks.
+type TAGPartitioner struct {
+	dep *Deployment
+}
+
+// NewTAGPartitioner returns a GP for the deployment's TAG.
+func NewTAGPartitioner(dep *Deployment) *TAGPartitioner {
+	return &TAGPartitioner{dep: dep}
+}
+
+// hoseKey identifies one directional hose of the TAG: the (fromTier,
+// toTier) pair. Self-loops use from == to.
+type hoseKey struct{ from, to int }
+
+// PairGuarantees implements Partitioner. For pair (s,d) on hose h:
+//
+//	g(s,d) = min( S_h / activeDsts(s,h), R_h / activeSrcs(d,h) )
+//
+// the basic ElasticSwitch partitioning applied per hose.
+func (p *TAGPartitioner) PairGuarantees(pairs []Pair) []float64 {
+	dsts := make(map[hoseKey]map[int]int) // hose -> src -> #dsts
+	srcs := make(map[hoseKey]map[int]int) // hose -> dst -> #srcs
+	keys := make([]hoseKey, len(pairs))
+	for i, pr := range pairs {
+		k := hoseKey{p.dep.tierOf[pr.Src], p.dep.tierOf[pr.Dst]}
+		keys[i] = k
+		if dsts[k] == nil {
+			dsts[k] = make(map[int]int)
+			srcs[k] = make(map[int]int)
+		}
+		dsts[k][pr.Src]++
+		srcs[k][pr.Dst]++
+	}
+	out := make([]float64, len(pairs))
+	for i, pr := range pairs {
+		snd, rcv, ok := p.dep.PairGuarantee(pr.Src, pr.Dst)
+		if !ok {
+			continue
+		}
+		k := keys[i]
+		gs := snd / float64(dsts[k][pr.Src])
+		gr := rcv / float64(srcs[k][pr.Dst])
+		out[i] = min(gs, gr)
+	}
+	return out
+}
+
+// HosePartitioner is the baseline: guarantees derived from the
+// generalized hose model (each VM's single aggregated guarantee), so all
+// active sources of a destination share one receive guarantee regardless
+// of which application hose they belong to — the Fig. 4 failure mode.
+type HosePartitioner struct {
+	dep *Deployment
+	out []float64 // per-tier per-VM hose send guarantee
+	in  []float64
+}
+
+// NewHosePartitioner derives the per-VM hose guarantees from the TAG
+// (Fig. 2(b) conversion) and returns the baseline GP.
+func NewHosePartitioner(dep *Deployment) *HosePartitioner {
+	g := dep.Graph()
+	h := &HosePartitioner{
+		dep: dep,
+		out: make([]float64, g.Tiers()),
+		in:  make([]float64, g.Tiers()),
+	}
+	for t := 0; t < g.Tiers(); t++ {
+		h.out[t], h.in[t] = g.VMProfile(t)
+	}
+	return h
+}
+
+// PairGuarantees implements Partitioner with a single hose per VM:
+//
+//	g(s,d) = min( Bsnd(s) / activeDsts(s), Brcv(d) / activeSrcs(d) )
+func (p *HosePartitioner) PairGuarantees(pairs []Pair) []float64 {
+	dsts := make(map[int]int)
+	srcs := make(map[int]int)
+	for _, pr := range pairs {
+		dsts[pr.Src]++
+		srcs[pr.Dst]++
+	}
+	out := make([]float64, len(pairs))
+	for i, pr := range pairs {
+		gs := p.out[p.dep.tierOf[pr.Src]] / float64(dsts[pr.Src])
+		gr := p.in[p.dep.tierOf[pr.Dst]] / float64(srcs[pr.Dst])
+		out[i] = min(gs, gr)
+	}
+	return out
+}
+
+// Allocation is the result of a work-conserving rate allocation.
+type Allocation struct {
+	// Rates is the steady-state rate per pair, Mbps.
+	Rates []float64
+	// Guarantees is the per-pair guarantee GP produced.
+	Guarantees []float64
+}
+
+// WorkConservingRates computes the steady-state rates of the pairs on a
+// fluid network: each pair first receives min(demand, guarantee), then
+// the remaining demands compete for leftover capacity in a weighted
+// max-min (weight = pair guarantee, with a small floor so zero-guarantee
+// flows still scavenge), the ElasticSwitch RA steady state.
+//
+// paths[i] is the link path of pairs[i].
+func WorkConservingRates(n *netem.Network, pairs []Pair, paths [][]netem.LinkID, gp Partitioner) (*Allocation, error) {
+	if len(paths) != len(pairs) {
+		return nil, fmt.Errorf("enforce: %d paths for %d pairs", len(paths), len(pairs))
+	}
+	guarantees := gp.PairGuarantees(pairs)
+
+	// Phase 1: hand out guarantees (bounded by demand).
+	base := make([]float64, len(pairs))
+	residualCap := make([]float64, n.Links())
+	for l := 0; l < n.Links(); l++ {
+		residualCap[l] = n.Capacity(netem.LinkID(l))
+	}
+	for i, pr := range pairs {
+		base[i] = min(pr.Demand, guarantees[i])
+		for _, l := range paths[i] {
+			residualCap[l] -= base[i]
+			if residualCap[l] < 0 {
+				return nil, fmt.Errorf("enforce: guarantees overflow link %s — admission control violated", n.Name(l))
+			}
+		}
+	}
+
+	// Phase 2: weighted max-min over the residual capacity.
+	resNet := netem.New()
+	for l := 0; l < n.Links(); l++ {
+		resNet.AddLink(n.Name(netem.LinkID(l)), residualCap[l])
+	}
+	const weightFloor = 1.0 // Mbps-equivalent scavenger weight
+	resFlows := make([]netem.Flow, len(pairs))
+	for i, pr := range pairs {
+		resFlows[i] = netem.Flow{
+			Path:   paths[i],
+			Demand: pr.Demand - base[i],
+			Weight: guarantees[i] + weightFloor,
+		}
+	}
+	extra := resNet.MaxMin(resFlows)
+
+	rates := make([]float64, len(pairs))
+	for i := range rates {
+		rates[i] = base[i] + extra[i]
+	}
+	return &Allocation{Rates: rates, Guarantees: guarantees}, nil
+}

@@ -1,0 +1,108 @@
+package enforce
+
+// GatekeeperPartitioner models the Gatekeeper baseline of §2.2
+// (Rodrigues et al., WIOV 2011): each VM composes multiple hoses, one
+// per peer tier — closer to a TAG than the single-hose model — but with
+// no separate intra-tier hose. Intra-tier traffic therefore shares the
+// hose of one of the tier's inter-tier partners, which is the flaw the
+// paper calls out: "DB-DB traffic can hog the bandwidth intended for
+// logic-DB traffic", or the hoses must be inflated to cover it.
+//
+// Concretely, a pair within tier t is charged against t's hose toward
+// its first inter-tier partner (the spec gives intra traffic no home of
+// its own); tiers without any inter-tier edge fall back to their
+// self-loop guarantee, where Gatekeeper and TAG coincide.
+type GatekeeperPartitioner struct {
+	dep *Deployment
+	// partner[t] is the tier whose hose absorbs t's intra-tier pairs,
+	// or -1 when t has a dedicated (self-loop-only) hose.
+	partner []int
+}
+
+// NewGatekeeperPartitioner returns the Gatekeeper-style GP for the
+// deployment's TAG.
+func NewGatekeeperPartitioner(dep *Deployment) *GatekeeperPartitioner {
+	g := dep.Graph()
+	p := &GatekeeperPartitioner{dep: dep, partner: make([]int, g.Tiers())}
+	for t := range p.partner {
+		p.partner[t] = -1
+		for _, e := range g.Edges() {
+			if e.SelfLoop() {
+				continue
+			}
+			// Prefer the tier's incoming partner (receive hose being
+			// hogged is the §2.2 example), else its outgoing one.
+			if e.To == t {
+				p.partner[t] = e.From
+				break
+			}
+			if e.From == t && p.partner[t] == -1 {
+				p.partner[t] = e.To
+			}
+		}
+	}
+	return p
+}
+
+// PairGuarantees implements Partitioner. Inter-tier pairs partition the
+// matching trunk hose exactly as the TAG does; intra-tier pairs are
+// charged against the tier's partner hose, diluting the partner's
+// guarantee.
+func (p *GatekeeperPartitioner) PairGuarantees(pairs []Pair) []float64 {
+	// effective hose of a pair: the (srcTier→dstTier) trunk for
+	// inter-tier pairs; for intra-tier pairs, the (partner→tier) trunk.
+	hose := func(pr Pair) (hoseKey, bool) {
+		ts, td := p.dep.tierOf[pr.Src], p.dep.tierOf[pr.Dst]
+		if ts != td {
+			return hoseKey{ts, td}, true
+		}
+		if partner := p.partner[td]; partner >= 0 {
+			return hoseKey{partner, td}, true
+		}
+		return hoseKey{ts, td}, true // self-loop-only tier: own hose
+	}
+
+	dsts := make(map[hoseKey]map[int]int)
+	srcs := make(map[hoseKey]map[int]int)
+	keys := make([]hoseKey, len(pairs))
+	for i, pr := range pairs {
+		k, _ := hose(pr)
+		keys[i] = k
+		if dsts[k] == nil {
+			dsts[k] = make(map[int]int)
+			srcs[k] = make(map[int]int)
+		}
+		dsts[k][pr.Src]++
+		srcs[k][pr.Dst]++
+	}
+
+	g := p.dep.Graph()
+	out := make([]float64, len(pairs))
+	for i, pr := range pairs {
+		k := keys[i]
+		// The hose guarantees of the key tier pair.
+		var snd, rcv float64
+		found := false
+		for _, e := range g.Edges() {
+			if e.From == k.from && e.To == k.to {
+				snd += e.S
+				rcv += e.R
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		// A sender that is not a member of the hose's source tier (an
+		// intra-tier interloper) has no send-side cap of its own; it
+		// competes only on the receive side — that is precisely how it
+		// hogs the intended guarantee.
+		gs := snd / float64(dsts[k][pr.Src])
+		if p.dep.tierOf[pr.Src] != k.from {
+			gs = rcv / float64(dsts[k][pr.Src])
+		}
+		gr := rcv / float64(srcs[k][pr.Dst])
+		out[i] = min(gs, gr)
+	}
+	return out
+}

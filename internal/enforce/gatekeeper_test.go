@@ -1,0 +1,128 @@
+package enforce
+
+import (
+	"testing"
+
+	"cloudmirror/internal/netem"
+	"cloudmirror/internal/tag"
+)
+
+// gatekeeperScenario builds the §2.2 Gatekeeper critique: logic→db
+// guaranteed 100 per db VM, plus db-db consistency traffic with no
+// dedicated home under Gatekeeper.
+func gatekeeperScenario(dbVMs int) *Deployment {
+	g := tag.New("gk")
+	logic := g.AddTier("logic", 1)
+	db := g.AddTier("db", dbVMs)
+	g.AddEdge(logic, db, 100, 100)
+	g.AddSelfLoop(db, 100)
+	return NewDeployment(g)
+}
+
+// TestGatekeeperIntraHogsInterGuarantee: under Gatekeeper, db-db senders
+// share the logic→db receive hose, so the logic VM's guaranteed traffic
+// into a db VM collapses as intra-tier senders multiply. The TAG keeps
+// the two isolated.
+func TestGatekeeperIntraHogsInterGuarantee(t *testing.T) {
+	const k = 4 // intra-tier senders
+	d := gatekeeperScenario(k + 1)
+	// Pairs: logic(0) → db VM 1, plus k db VMs (2..) sending to db VM 1.
+	pairs := []Pair{{Src: 0, Dst: 1, Demand: netem.Greedy}}
+	for s := 0; s < k; s++ {
+		pairs = append(pairs, Pair{Src: 2 + s, Dst: 1, Demand: netem.Greedy})
+	}
+
+	gk := NewGatekeeperPartitioner(d).PairGuarantees(pairs)
+	tagGP := NewTAGPartitioner(d).PairGuarantees(pairs)
+
+	// TAG: logic keeps its full 100; intra senders split the self-loop.
+	if tagGP[0] != 100 {
+		t.Errorf("TAG logic→db = %g, want 100", tagGP[0])
+	}
+	// Gatekeeper: the receive hose (100) is split across all k+1
+	// senders — the guarantee is hogged.
+	want := 100.0 / float64(k+1)
+	if gk[0] != want {
+		t.Errorf("Gatekeeper logic→db = %g, want %g (hogged)", gk[0], want)
+	}
+	for i := 1; i <= k; i++ {
+		if gk[i] != want {
+			t.Errorf("Gatekeeper intra sender %d = %g, want %g", i, gk[i], want)
+		}
+	}
+}
+
+// TestGatekeeperSelfLoopOnlyTier: with no inter-tier partner, Gatekeeper
+// degenerates to the TAG's self-loop hose.
+func TestGatekeeperSelfLoopOnlyTier(t *testing.T) {
+	g := tag.New("solo")
+	a := g.AddTier("a", 4)
+	g.AddSelfLoop(a, 90)
+	d := NewDeployment(g)
+	pairs := []Pair{
+		{Src: 0, Dst: 1, Demand: netem.Greedy},
+		{Src: 2, Dst: 1, Demand: netem.Greedy},
+		{Src: 3, Dst: 1, Demand: netem.Greedy},
+	}
+	gk := NewGatekeeperPartitioner(d).PairGuarantees(pairs)
+	tagGP := NewTAGPartitioner(d).PairGuarantees(pairs)
+	for i := range pairs {
+		if gk[i] != tagGP[i] {
+			t.Errorf("pair %d: gatekeeper %g != tag %g", i, gk[i], tagGP[i])
+		}
+	}
+}
+
+// TestGatekeeperInterTierMatchesTAG: pure inter-tier traffic partitions
+// identically under Gatekeeper and TAG.
+func TestGatekeeperInterTierMatchesTAG(t *testing.T) {
+	g := tag.New("inter")
+	a := g.AddTier("a", 3)
+	b := g.AddTier("b", 2)
+	g.AddEdge(a, b, 60, 90)
+	d := NewDeployment(g)
+	pairs := []Pair{
+		{Src: 0, Dst: 3, Demand: netem.Greedy},
+		{Src: 1, Dst: 3, Demand: netem.Greedy},
+		{Src: 2, Dst: 4, Demand: netem.Greedy},
+	}
+	gk := NewGatekeeperPartitioner(d).PairGuarantees(pairs)
+	tagGP := NewTAGPartitioner(d).PairGuarantees(pairs)
+	for i := range pairs {
+		if gk[i] != tagGP[i] {
+			t.Errorf("pair %d: gatekeeper %g != tag %g", i, gk[i], tagGP[i])
+		}
+	}
+}
+
+// TestGatekeeperEndToEnd: on the bottleneck, the guarantee failure is
+// visible in achieved rates too.
+func TestGatekeeperEndToEnd(t *testing.T) {
+	const k = 4
+	d := gatekeeperScenario(k + 1)
+	n := netem.New()
+	l := n.AddLink("to-db1", 200)
+	pairs := []Pair{{Src: 0, Dst: 1, Demand: netem.Greedy}}
+	for s := 0; s < k; s++ {
+		pairs = append(pairs, Pair{Src: 2 + s, Dst: 1, Demand: netem.Greedy})
+	}
+	paths := make([][]netem.LinkID, len(pairs))
+	for i := range paths {
+		paths[i] = []netem.LinkID{l}
+	}
+
+	tagAlloc, err := WorkConservingRates(n, pairs, paths, NewTAGPartitioner(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gkAlloc, err := WorkConservingRates(n, pairs, paths, NewGatekeeperPartitioner(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagAlloc.Rates[0] < 100 {
+		t.Errorf("TAG logic rate = %g, want ≥ 100", tagAlloc.Rates[0])
+	}
+	if gkAlloc.Rates[0] >= 100 {
+		t.Errorf("Gatekeeper logic rate = %g, expected the guarantee to fail", gkAlloc.Rates[0])
+	}
+}

@@ -1,0 +1,101 @@
+package ha
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/place/cloudmirror"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+func TestSurvivingFraction(t *testing.T) {
+	tr := tree()
+	pl := place.Placement{}
+	pl.Add(tr.Servers()[0], 2, 0, 3)
+	pl.Add(tr.Servers()[1], 2, 0, 1)
+	pl.Add(tr.Servers()[1], 2, 1, 2)
+
+	s := SurvivingFraction(tr, pl, 2, tr.Servers()[0])
+	if s[0] != 0.25 || s[1] != 1 {
+		t.Errorf("fail server0: surviving = %v, want [0.25 1]", s)
+	}
+	// Failing the whole ToR kills everything beneath it.
+	s = SurvivingFraction(tr, pl, 2, tr.Parent(tr.Servers()[0]))
+	if s[0] != 0 || s[1] != 0 {
+		t.Errorf("fail tor: surviving = %v, want [0 0]", s)
+	}
+	// Empty tier undefined.
+	s = SurvivingFraction(tr, pl, 3, tr.Servers()[0])
+	if len(s) != 3 || s[2] != -1 {
+		t.Errorf("undefined tier = %v", s)
+	}
+}
+
+// TestVerifyWCSExhaustive: the WCS formula is exactly the worst single
+// failure — exhaustive injection can never find a violation, and the
+// worst observed survival equals the claimed WCS.
+func TestVerifyWCSExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := tree()
+		pl := place.Placement{}
+		for i := 0; i < 8; i++ {
+			s := tr.Servers()[r.Intn(len(tr.Servers()))]
+			if tr.SlotsFree(s) > 0 {
+				pl.Add(s, 2, r.Intn(2), 1)
+			}
+		}
+		if pl.VMs() == 0 {
+			return true
+		}
+		ok, _, _ := VerifyWCS(tr, pl, 2, 0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInjectFailuresOnGuaranteedPlacement: a CM+HA placement sustains
+// every injected failure at or above the required WCS.
+func TestInjectFailuresOnGuaranteedPlacement(t *testing.T) {
+	tr := topology.New(topology.Spec{
+		SlotsPerServer: 8,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: 8, Uplink: 100_000},
+			{Name: "tor", Fanout: 2, Uplink: 100_000},
+		},
+	})
+	g := tag.New("svc")
+	a := g.AddTier("a", 12)
+	b := g.AddTier("b", 8)
+	g.AddEdge(a, b, 50, 75)
+	g.AddSelfLoop(b, 40)
+
+	p := cloudmirror.New(tr)
+	res, err := p.Place(&place.Request{Graph: g, Model: g, HA: place.HASpec{RWCS: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+
+	if ok, d, tier := VerifyWCS(tr, res.Placement(), g.Tiers(), 0); !ok {
+		t.Fatalf("WCS formula violated at domain %d tier %d", d, tier)
+	}
+	rep := InjectFailures(tr, res.Placement(), g.Tiers(), 0, 200, 1)
+	if rep.Violations != 0 {
+		t.Errorf("%d violations in failure campaign", rep.Violations)
+	}
+	if rep.WorstSurviving < 0.5-1e-9 {
+		t.Errorf("worst surviving fraction %g below the 0.5 guarantee", rep.WorstSurviving)
+	}
+	if rep.MeanSurviving < rep.WorstSurviving {
+		t.Error("mean below worst")
+	}
+	if rep.Trials != 200 {
+		t.Error("trial count wrong")
+	}
+}

@@ -1,0 +1,66 @@
+// Package ha computes the worst-case survivability (WCS) availability
+// metric of §4.5: for each application tier, the smallest fraction of its
+// VMs that remain functional when any single fault domain (a subtree at
+// the anti-affinity level, servers by default) fails.
+package ha
+
+import (
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/topology"
+)
+
+// WCS returns the per-tier worst-case survivability of a placement with
+// fault domains at topology level laa. A tier placed entirely inside one
+// domain has WCS 0; a tier spread evenly over d domains has WCS ≈ 1−1/d.
+// Tiers with no placed VMs report -1 (undefined) so callers can skip
+// external components.
+func WCS(tree *topology.Tree, pl place.Placement, tiers, laa int) []float64 {
+	totals := pl.TierTotals(tiers)
+
+	// Aggregate per-domain counts.
+	domains := make(map[topology.NodeID][]int)
+	for server, counts := range pl {
+		d := tree.Ancestor(server, laa)
+		agg := domains[d]
+		if agg == nil {
+			agg = make([]int, tiers)
+			domains[d] = agg
+		}
+		for t, k := range counts {
+			agg[t] += k
+		}
+	}
+
+	wcs := make([]float64, tiers)
+	for t := range wcs {
+		if totals[t] == 0 {
+			wcs[t] = -1
+			continue
+		}
+		worst := 0
+		for _, agg := range domains {
+			if agg[t] > worst {
+				worst = agg[t]
+			}
+		}
+		wcs[t] = float64(totals[t]-worst) / float64(totals[t])
+	}
+	return wcs
+}
+
+// Mean returns the average of the defined (non-negative) entries of a
+// per-tier WCS slice, and whether any entry was defined.
+func Mean(wcs []float64) (float64, bool) {
+	var sum float64
+	n := 0
+	for _, w := range wcs {
+		if w >= 0 {
+			sum += w
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

@@ -1,0 +1,87 @@
+package ha
+
+import (
+	"math"
+	"testing"
+
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/topology"
+)
+
+func tree() *topology.Tree {
+	return topology.New(topology.Spec{
+		SlotsPerServer: 4,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: 4, Uplink: 100},
+			{Name: "tor", Fanout: 2, Uplink: 100},
+		},
+	})
+}
+
+func TestWCSSingleDomain(t *testing.T) {
+	tr := tree()
+	pl := place.Placement{}
+	pl.Add(tr.Servers()[0], 1, 0, 4) // whole tier on one server
+	w := WCS(tr, pl, 1, 0)
+	if w[0] != 0 {
+		t.Errorf("WCS = %g, want 0 for full colocation", w[0])
+	}
+}
+
+func TestWCSEvenSpread(t *testing.T) {
+	tr := tree()
+	pl := place.Placement{}
+	for i := 0; i < 4; i++ {
+		pl.Add(tr.Servers()[i], 1, 0, 1)
+	}
+	w := WCS(tr, pl, 1, 0)
+	if math.Abs(w[0]-0.75) > 1e-9 {
+		t.Errorf("WCS = %g, want 0.75 for 4-way spread", w[0])
+	}
+}
+
+func TestWCSWorstDomainBinds(t *testing.T) {
+	tr := tree()
+	pl := place.Placement{}
+	pl.Add(tr.Servers()[0], 1, 0, 3)
+	pl.Add(tr.Servers()[1], 1, 0, 1)
+	w := WCS(tr, pl, 1, 0)
+	if math.Abs(w[0]-0.25) > 1e-9 { // losing the 3-VM server leaves 1/4
+		t.Errorf("WCS = %g, want 0.25", w[0])
+	}
+}
+
+func TestWCSHigherLevelDomains(t *testing.T) {
+	tr := tree()
+	pl := place.Placement{}
+	// Spread over two servers under the SAME ToR: server-level WCS is
+	// 0.5 but ToR-level WCS is 0.
+	pl.Add(tr.Servers()[0], 1, 0, 2)
+	pl.Add(tr.Servers()[1], 1, 0, 2)
+	if w := WCS(tr, pl, 1, 0); math.Abs(w[0]-0.5) > 1e-9 {
+		t.Errorf("server-level WCS = %g, want 0.5", w[0])
+	}
+	if w := WCS(tr, pl, 1, 1); w[0] != 0 {
+		t.Errorf("tor-level WCS = %g, want 0", w[0])
+	}
+}
+
+func TestWCSPerTierAndUndefined(t *testing.T) {
+	tr := tree()
+	pl := place.Placement{}
+	pl.Add(tr.Servers()[0], 3, 0, 2)
+	pl.Add(tr.Servers()[1], 3, 0, 2)
+	pl.Add(tr.Servers()[2], 3, 1, 1)
+	// tier 2 has no VMs (external component).
+	w := WCS(tr, pl, 3, 0)
+	if math.Abs(w[0]-0.5) > 1e-9 || w[1] != 0 || w[2] != -1 {
+		t.Errorf("WCS = %v, want [0.5 0 -1]", w)
+	}
+	mean, ok := Mean(w)
+	if !ok || math.Abs(mean-0.25) > 1e-9 {
+		t.Errorf("Mean = (%g,%v), want (0.25,true)", mean, ok)
+	}
+	if _, ok := Mean([]float64{-1, -1}); ok {
+		t.Error("Mean of undefined entries reported ok")
+	}
+}

@@ -1,0 +1,126 @@
+// Package hose implements the generalized hose model (Duffield et al.,
+// SIGCOMM 1999) used as a baseline abstraction in the CloudMirror paper.
+//
+// In the hose model every VM is connected to one central virtual switch by
+// a dedicated link with a minimum bandwidth guarantee. The generalized
+// form gives each VM heterogeneous send and receive guarantees; the
+// Virtual Cluster (VC) of Oktopus is the homogeneous special case <N, B>.
+//
+// The hose model aggregates all of a VM's communication into a single
+// guarantee, which is exactly the inefficiency §2.2 of the paper
+// describes: deriving a hose from a TAG (one hose guarantee per tier,
+// summing the tier's trunk and intra guarantees) over-reserves on links
+// where only part of that communication actually crosses.
+package hose
+
+import (
+	"math"
+
+	"cloudmirror/internal/tag"
+)
+
+// Model is a generalized hose over tiers: every VM of tier t is attached
+// to the virtual switch with a send guarantee out[t] and a receive
+// guarantee in[t].
+type Model struct {
+	name  string
+	sizes []int
+	out   []float64
+	in    []float64
+	// unboundedOut/unboundedIn mark external tiers of unbounded size;
+	// they sit permanently outside every subtree and never limit the
+	// aggregate min.
+	unbounded []bool
+}
+
+// New constructs a hose model. sizes, out and in must have equal length.
+func New(name string, sizes []int, out, in []float64) *Model {
+	if len(sizes) != len(out) || len(sizes) != len(in) {
+		panic("hose: mismatched slice lengths")
+	}
+	return &Model{
+		name:      name,
+		sizes:     append([]int(nil), sizes...),
+		out:       append([]float64(nil), out...),
+		in:        append([]float64(nil), in...),
+		unbounded: make([]bool, len(sizes)),
+	}
+}
+
+// VirtualCluster returns the homogeneous Oktopus <n, b> virtual cluster:
+// n VMs, each with a symmetric hose guarantee of b Mbps.
+func VirtualCluster(name string, n int, b float64) *Model {
+	return New(name, []int{n}, []float64{b}, []float64{b})
+}
+
+// FromTAG derives the hose model a tenant would have to request to cover a
+// TAG's guarantees: each tier's per-VM hose is the sum of its incident
+// trunk and self-loop guarantees (Fig. 2(b) of the paper).
+func FromTAG(g *tag.Graph) *Model {
+	n := g.Tiers()
+	m := &Model{
+		name:      g.Name,
+		sizes:     make([]int, n),
+		out:       make([]float64, n),
+		in:        make([]float64, n),
+		unbounded: make([]bool, n),
+	}
+	for t := 0; t < n; t++ {
+		tier := g.Tier(t)
+		m.sizes[t] = tier.N
+		m.out[t], m.in[t] = g.VMProfile(t)
+		if tier.External {
+			m.sizes[t] = tier.N // external VMs are never inside a cut
+			m.unbounded[t] = tier.External && tier.N == 0
+		}
+	}
+	return m
+}
+
+// Name returns the tenant name.
+func (m *Model) Name() string { return m.name }
+
+// Tiers returns the number of tiers.
+func (m *Model) Tiers() int { return len(m.sizes) }
+
+// TierSize returns the number of VMs in tier t.
+func (m *Model) TierSize(t int) int { return m.sizes[t] }
+
+// Guarantee returns the per-VM (send, receive) hose guarantee of tier t.
+func (m *Model) Guarantee(t int) (out, in float64) { return m.out[t], m.in[t] }
+
+// Cut returns the bandwidth the hose model requires on the uplink of a
+// subtree containing inside[t] VMs of each tier:
+//
+//	out = min( Σ inside·sendGuarantee, Σ outside·receiveGuarantee )
+//	in  = min( Σ outside·sendGuarantee, Σ inside·receiveGuarantee )
+//
+// i.e. the classic hose cut with the virtual switch conceptually outside
+// the subtree.
+func (m *Model) Cut(inside []int) (out, in float64) {
+	var inSnd, inRcv, outSnd, outRcv float64
+	for t := range m.sizes {
+		inSnd += float64(inside[t]) * m.out[t]
+		inRcv += float64(inside[t]) * m.in[t]
+		if m.unbounded[t] {
+			// An unbounded external tier never limits the min.
+			outSnd = math.Inf(1)
+			outRcv = math.Inf(1)
+			continue
+		}
+		outN := float64(m.sizes[t] - inside[t])
+		outSnd += outN * m.out[t]
+		outRcv += outN * m.in[t]
+	}
+	out = finiteMin(inSnd, outRcv)
+	in = finiteMin(outSnd, inRcv)
+	return out, in
+}
+
+func finiteMin(a, b float64) float64 {
+	v := math.Min(a, b)
+	if math.IsInf(v, 1) {
+		return 0
+	}
+	return v
+}

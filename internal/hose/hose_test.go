@@ -1,0 +1,110 @@
+package hose
+
+import (
+	"math"
+	"testing"
+
+	"cloudmirror/internal/tag"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func threeTier(n int, b1, b2, b3 float64) *tag.Graph {
+	g := tag.New("three-tier")
+	web := g.AddTier("web", n)
+	logic := g.AddTier("logic", n)
+	db := g.AddTier("db", n)
+	g.AddBidirectional(web, logic, b1, b1)
+	g.AddBidirectional(logic, db, b2, b2)
+	g.AddSelfLoop(db, b3)
+	return g
+}
+
+// TestFromTAGFig2 checks the hose derivation of Fig. 2(b): web B1, logic
+// B1+B2, db B2+B3.
+func TestFromTAGFig2(t *testing.T) {
+	g := threeTier(10, 500, 100, 50)
+	m := FromTAG(g)
+	wants := [][2]float64{{500, 500}, {600, 600}, {150, 150}}
+	for i, w := range wants {
+		out, in := m.Guarantee(i)
+		if out != w[0] || in != w[1] {
+			t.Errorf("tier %d guarantee = (%g,%g), want (%g,%g)", i, out, in, w[0], w[1])
+		}
+	}
+	if m.Tiers() != 3 || m.TierSize(1) != 10 || m.Name() != "three-tier" {
+		t.Error("model shape wrong")
+	}
+}
+
+// TestFig2HoseWaste reproduces the §2.2 claim: deploying the db tier on
+// its own subtree, the hose model reserves (B2+B3)·N on L3 even though the
+// B3 traffic never crosses the link.
+func TestFig2HoseWaste(t *testing.T) {
+	const n, b1, b2, b3 = 10, 500, 100, 50
+	g := threeTier(n, b1, b2, b3)
+	m := FromTAG(g)
+
+	inside := []int{0, 0, n}
+	out, in := m.Cut(inside)
+	// Hose cut = min(N·(B2+B3), N·(B1+B1+B2+B3... )) — the db side is the
+	// smaller: N·(B2+B3) = 1500. (Footnote 4's assumption B2+B3 < 2·B1+B2
+	// holds here.)
+	if !almostEq(out, n*(b2+b3)) || !almostEq(in, n*(b2+b3)) {
+		t.Errorf("hose cut = (%g,%g), want %g", out, in, float64(n*(b2+b3)))
+	}
+	// The TAG needs only N·B2 = 1000 — the hose wastes N·B3.
+	tout, _ := g.Cut(inside)
+	if waste := out - tout; !almostEq(waste, n*b3) {
+		t.Errorf("hose waste over TAG = %g, want %g", waste, float64(n*b3))
+	}
+}
+
+func TestVirtualCluster(t *testing.T) {
+	m := VirtualCluster("vc", 8, 100)
+	for k := 0; k <= 8; k++ {
+		out, in := m.Cut([]int{k})
+		want := float64(min(k, 8-k)) * 100
+		if !almostEq(out, want) || !almostEq(in, want) {
+			t.Errorf("k=%d: cut=(%g,%g), want %g", k, out, in, want)
+		}
+	}
+}
+
+// TestFig4HoseAggregation reproduces the Fig. 4 accounting: the logic VM's
+// hose is B1+B2 = 600, which aggregates two different communications.
+func TestFig4HoseAggregation(t *testing.T) {
+	g := tag.New("fig4")
+	web := g.AddTier("web", 2)
+	logic := g.AddTier("logic", 1)
+	db := g.AddTier("db", 2)
+	g.AddEdge(web, logic, 250, 500) // tier aggregate 500 toward logic
+	g.AddEdge(db, logic, 50, 100)   // tier aggregate 100 toward logic
+	m := FromTAG(g)
+	_, in := m.Guarantee(1)
+	if in != 600 {
+		t.Errorf("logic hose receive = %g, want 600", in)
+	}
+}
+
+func TestCutUnboundedExternal(t *testing.T) {
+	g := tag.New("ext")
+	u := g.AddTier("u", 4)
+	inet := g.AddExternal("inet", 0)
+	g.AddEdge(u, inet, 25, 25)
+	m := FromTAG(g)
+	out, in := m.Cut([]int{2, 0})
+	// Outside receive capacity is unbounded: out = 2·25; nothing flows in.
+	if !almostEq(out, 50) || !almostEq(in, 0) {
+		t.Errorf("cut = (%g,%g), want (50,0)", out, in)
+	}
+}
+
+func TestNewPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with mismatched lengths did not panic")
+		}
+	}()
+	New("bad", []int{1, 2}, []float64{1}, []float64{1, 2})
+}

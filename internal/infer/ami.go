@@ -1,0 +1,99 @@
+package infer
+
+import "math"
+
+// This file implements adjusted mutual information (Vinh, Epps & Bailey,
+// JMLR 2010 — the paper's [37]): the chance-corrected agreement between
+// two clusterings, 0 for independent labelings and 1 for identical ones.
+
+// contingency builds the joint count table of two labelings.
+func contingency(a, b []int) (table map[[2]int]int, aCounts, bCounts map[int]int) {
+	table = make(map[[2]int]int)
+	aCounts = make(map[int]int)
+	bCounts = make(map[int]int)
+	for i := range a {
+		table[[2]int{a[i], b[i]}]++
+		aCounts[a[i]]++
+		bCounts[b[i]]++
+	}
+	return table, aCounts, bCounts
+}
+
+// MutualInfo returns the mutual information (nats) between two labelings
+// of the same items, along with their entropies.
+func MutualInfo(a, b []int) (mi, ha, hb float64) {
+	if len(a) != len(b) {
+		panic("infer: labelings have different lengths")
+	}
+	n := float64(len(a))
+	table, ac, bc := contingency(a, b)
+	for key, nij := range table {
+		pij := float64(nij) / n
+		pa := float64(ac[key[0]]) / n
+		pb := float64(bc[key[1]]) / n
+		mi += pij * math.Log(pij/(pa*pb))
+	}
+	for _, c := range ac {
+		p := float64(c) / n
+		ha -= p * math.Log(p)
+	}
+	for _, c := range bc {
+		p := float64(c) / n
+		hb -= p * math.Log(p)
+	}
+	return mi, ha, hb
+}
+
+// expectedMI returns E[MI] under the permutation (hypergeometric) model.
+func expectedMI(a, b []int) float64 {
+	n := len(a)
+	_, ac, bc := contingency(a, b)
+	nf := float64(n)
+	lgN := lgamma(n + 1)
+	var emi float64
+	for _, ai := range ac {
+		for _, bj := range bc {
+			lo := ai + bj - n
+			if lo < 1 {
+				lo = 1
+			}
+			hi := ai
+			if bj < hi {
+				hi = bj
+			}
+			for nij := lo; nij <= hi; nij++ {
+				term := float64(nij) / nf * math.Log(nf*float64(nij)/(float64(ai)*float64(bj)))
+				// Hypergeometric probability of nij via log-gammas.
+				logP := lgamma(ai+1) + lgamma(bj+1) + lgamma(n-ai+1) + lgamma(n-bj+1) -
+					lgN - lgamma(nij+1) - lgamma(ai-nij+1) - lgamma(bj-nij+1) - lgamma(n-ai-bj+nij+1)
+				emi += term * math.Exp(logP)
+			}
+		}
+	}
+	return emi
+}
+
+func lgamma(x int) float64 {
+	v, _ := math.Lgamma(float64(x))
+	return v
+}
+
+// AMI returns the adjusted mutual information between two labelings,
+// using the max-entropy normalization:
+//
+//	AMI = (MI − E[MI]) / (max(H(a), H(b)) − E[MI])
+//
+// 1 means identical clusterings, ≈0 means no better than chance.
+func AMI(a, b []int) float64 {
+	mi, ha, hb := MutualInfo(a, b)
+	h := math.Max(ha, hb)
+	if h == 0 {
+		return 1 // both labelings are single clusters: identical
+	}
+	emi := expectedMI(a, b)
+	den := h - emi
+	if math.Abs(den) < 1e-12 {
+		return 0
+	}
+	return (mi - emi) / den
+}

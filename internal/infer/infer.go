@@ -1,0 +1,155 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/trace"
+)
+
+// This file is the top of the inference pipeline: traffic matrix →
+// feature vectors → similarity projection graph → Louvain communities →
+// extracted TAG.
+
+// SimilarityGraph builds the §3 projection graph from a mean traffic
+// matrix: VM i's feature vector is its row and column (outgoing and
+// incoming rates); edge weights are the cosine similarity between
+// feature vectors, floored at zero. Cosine is the monotone companion of
+// the paper's angular distance with orthogonal vectors (no shared
+// communication) mapping to weight 0.
+func SimilarityGraph(mean *trace.Matrix) *Graph {
+	n := mean.N()
+	// Feature vectors: [row ; column], 2n dims.
+	feats := make([][]float64, n)
+	norms := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := make([]float64, 2*n)
+		copy(f, mean.Row(i))
+		for j := 0; j < n; j++ {
+			f[n+j] = mean.At(j, i)
+		}
+		feats[i] = f
+		var sq float64
+		for _, v := range f {
+			sq += v * v
+		}
+		norms[i] = math.Sqrt(sq)
+	}
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		if norms[i] == 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if norms[j] == 0 {
+				continue
+			}
+			var dot float64
+			fi, fj := feats[i], feats[j]
+			for k := range fi {
+				dot += fi[k] * fj[k]
+			}
+			if cos := dot / (norms[i] * norms[j]); cos > 1e-9 {
+				g.AddEdge(i, j, cos)
+			}
+		}
+	}
+	return g
+}
+
+// Cluster runs the full grouping pipeline on a traffic series: mean
+// matrix, similarity projection graph, Louvain. Returns a community
+// label per VM.
+func Cluster(s *trace.Series, seed int64) []int {
+	return Louvain(SimilarityGraph(s.Mean()), seed)
+}
+
+// ExtractTAG builds a TAG from a traffic time series and a VM
+// clustering. Guarantees use the peak-of-sums over time (statistical
+// multiplexing): for a cluster pair (u,v), the trunk aggregate is the
+// peak of the summed u→v traffic, divided into per-VM <Se, Re> by the
+// cluster sizes; intra-cluster traffic becomes a self-loop hose sized
+// the same way.
+func ExtractTAG(name string, s *trace.Series, labels []int) (*tag.Graph, error) {
+	if s.N() != len(labels) {
+		return nil, fmt.Errorf("infer: %d labels for %d VMs", len(labels), s.N())
+	}
+	k := 0
+	for _, l := range labels {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("infer: negative label")
+		}
+		sizes[l]++
+	}
+
+	// Peak over time of the cluster-pair traffic sums.
+	peak := make([][]float64, k)
+	for u := range peak {
+		peak[u] = make([]float64, k)
+	}
+	sum := make([][]float64, k)
+	for u := range sum {
+		sum[u] = make([]float64, k)
+	}
+	for t := 0; t < s.Len(); t++ {
+		m := s.At(t)
+		for u := range sum {
+			for v := range sum[u] {
+				sum[u][v] = 0
+			}
+		}
+		for i := 0; i < m.N(); i++ {
+			row := m.Row(i)
+			for j, rate := range row {
+				if rate > 0 {
+					sum[labels[i]][labels[j]] += rate
+				}
+			}
+		}
+		for u := 0; u < k; u++ {
+			for v := 0; v < k; v++ {
+				if sum[u][v] > peak[u][v] {
+					peak[u][v] = sum[u][v]
+				}
+			}
+		}
+	}
+
+	g := tag.New(name)
+	for u := 0; u < k; u++ {
+		g.AddTier(fmt.Sprintf("c%d", u), sizes[u])
+	}
+	for u := 0; u < k; u++ {
+		for v := 0; v < k; v++ {
+			p := peak[u][v]
+			if p <= 0 {
+				continue
+			}
+			if u == v {
+				// SR·N/2 = aggregate  =>  SR = 2·peak/N.
+				g.AddSelfLoop(u, 2*p/float64(sizes[u]))
+			} else {
+				g.AddEdge(u, v, p/float64(sizes[u]), p/float64(sizes[v]))
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// InferTAG runs the whole pipeline: cluster the series and extract a TAG
+// from the resulting communities.
+func InferTAG(name string, s *trace.Series, seed int64) (*tag.Graph, []int, error) {
+	labels := Cluster(s, seed)
+	g, err := ExtractTAG(name, s, labels)
+	return g, labels, err
+}

@@ -1,0 +1,207 @@
+// Package infer implements the TAG-inference pipeline sketched in §3 of
+// the CloudMirror paper, for tenants who do not know their application's
+// structure: build per-VM traffic feature vectors, compute pairwise
+// similarity, form a projection graph, find communities by modularity
+// maximization (Louvain), score the clustering against ground truth with
+// adjusted mutual information, and extract a TAG from the time series
+// with statistical-multiplexing-aware guarantees.
+package infer
+
+import "math/rand"
+
+// Graph is a weighted undirected graph for community detection. Nodes
+// are 0..N-1.
+type Graph struct {
+	n     int
+	nbrs  []map[int]float64
+	self  []float64 // self-loop weight per node (counted once)
+	total float64   // 2m: sum of degrees including 2×self-loops
+}
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, nbrs: make([]map[int]float64, n), self: make([]float64, n)}
+	for i := range g.nbrs {
+		g.nbrs[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// AddEdge adds undirected weight between u and v (accumulating); u == v
+// adds a self-loop.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if w <= 0 {
+		return
+	}
+	if u == v {
+		g.self[u] += w
+		g.total += 2 * w
+		return
+	}
+	g.nbrs[u][v] += w
+	g.nbrs[v][u] += w
+	g.total += 2 * w
+}
+
+// degree returns the weighted degree of node i (self-loops count twice,
+// per the modularity convention).
+func (g *Graph) degree(i int) float64 {
+	d := 2 * g.self[i]
+	for _, w := range g.nbrs[i] {
+		d += w
+	}
+	return d
+}
+
+// Louvain finds a community assignment maximizing modularity via the
+// two-phase Louvain method (Blondel et al. 2008, the paper's [35]):
+// local moving until no gain, then graph aggregation, repeated until
+// stable. The seed fixes the node visiting order, making runs
+// reproducible. Returns a dense community label per node.
+func Louvain(g *Graph, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	labels := make([]int, g.n)
+	for i := range labels {
+		labels[i] = i
+	}
+	cur := g
+	for {
+		comm, moved := localMoving(cur, rng)
+		comm = compactLabels(comm)
+		// Project onto original nodes.
+		for i := range labels {
+			labels[i] = comm[labels[i]]
+		}
+		if !moved {
+			return compactLabels(labels)
+		}
+		cur = aggregate(cur, comm)
+		if cur.n == len(comm) {
+			// No shrinkage: converged.
+			return compactLabels(labels)
+		}
+	}
+}
+
+// localMoving runs Louvain phase 1: repeatedly move nodes to the
+// neighboring community with the best modularity gain.
+func localMoving(g *Graph, rng *rand.Rand) (comm []int, movedAny bool) {
+	comm = make([]int, g.n)
+	deg := make([]float64, g.n)
+	tot := make([]float64, g.n) // total degree per community
+	for i := range comm {
+		comm[i] = i
+		deg[i] = g.degree(i)
+		tot[i] = deg[i]
+	}
+	if g.total == 0 {
+		return comm, false
+	}
+	order := rng.Perm(g.n)
+	for pass := 0; pass < 100; pass++ {
+		movedThisPass := false
+		for _, i := range order {
+			// Weight from i to each neighboring community.
+			wTo := make(map[int]float64)
+			for j, w := range g.nbrs[i] {
+				wTo[comm[j]] += w
+			}
+			old := comm[i]
+			tot[old] -= deg[i]
+
+			best, bestGain := old, wTo[old]-deg[i]*tot[old]/g.total
+			for c, w := range wTo {
+				if c == old {
+					continue
+				}
+				gain := w - deg[i]*tot[c]/g.total
+				if gain > bestGain+1e-12 {
+					best, bestGain = c, gain
+				}
+			}
+			comm[i] = best
+			tot[best] += deg[i]
+			if best != old {
+				movedThisPass = true
+				movedAny = true
+			}
+		}
+		if !movedThisPass {
+			break
+		}
+	}
+	return comm, movedAny
+}
+
+// aggregate builds the phase-2 graph: one node per community, edge
+// weights summed, intra-community weight becoming self-loops.
+func aggregate(g *Graph, comm []int) *Graph {
+	nc := 0
+	for _, c := range comm {
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	agg := NewGraph(nc)
+	for i := 0; i < g.n; i++ {
+		ci := comm[i]
+		agg.self[ci] += g.self[i]
+		agg.total += 2 * g.self[i]
+		for j, w := range g.nbrs[i] {
+			if i < j {
+				cj := comm[j]
+				if ci == cj {
+					agg.self[ci] += w
+					agg.total += 2 * w
+				} else {
+					agg.AddEdge(ci, cj, w)
+				}
+			}
+		}
+	}
+	return agg
+}
+
+// compactLabels renumbers labels to 0..k-1 preserving identity.
+func compactLabels(labels []int) []int {
+	seen := make(map[int]int)
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		id, ok := seen[l]
+		if !ok {
+			id = len(seen)
+			seen[l] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// Modularity returns the modularity Q of a community assignment on g —
+// the objective Louvain maximizes; exported for tests and diagnostics.
+func Modularity(g *Graph, comm []int) float64 {
+	if g.total == 0 {
+		return 0
+	}
+	intra := make(map[int]float64)
+	tot := make(map[int]float64)
+	for i := 0; i < g.n; i++ {
+		ci := comm[i]
+		intra[ci] += g.self[i]
+		tot[ci] += g.degree(i)
+		for j, w := range g.nbrs[i] {
+			if i < j && comm[j] == ci {
+				intra[ci] += w
+			}
+		}
+	}
+	var q float64
+	for c, in := range intra {
+		q += 2 * in / g.total
+		_ = c
+	}
+	for _, t := range tot {
+		q -= (t / g.total) * (t / g.total)
+	}
+	return q
+}

@@ -1,0 +1,192 @@
+// Package netem is a flow-level fluid network emulator: links with fixed
+// capacities, flows with routes, demands, rate caps and weights, and a
+// weighted max-min fair bandwidth allocator (progressive filling).
+//
+// TCP flows sharing a bottleneck converge, in steady state, to max-min
+// fair shares of the available capacity; rate limiters clamp individual
+// flows. That steady state is exactly what the enforcement experiments of
+// §5.2 measure, so the emulator computes it directly rather than
+// simulating packets.
+package netem
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinkID identifies a link in a Network.
+type LinkID int
+
+// Network is a set of capacitated links. The zero value is unusable; use
+// New.
+type Network struct {
+	caps  []float64
+	names []string
+}
+
+// New returns an empty network.
+func New() *Network { return &Network{} }
+
+// AddLink adds a link with the given capacity (Mbps) and returns its ID.
+func (n *Network) AddLink(name string, capacity float64) LinkID {
+	if capacity < 0 {
+		panic("netem: negative link capacity")
+	}
+	n.caps = append(n.caps, capacity)
+	n.names = append(n.names, name)
+	return LinkID(len(n.caps) - 1)
+}
+
+// Links returns the number of links.
+func (n *Network) Links() int { return len(n.caps) }
+
+// Capacity returns the capacity of link l.
+func (n *Network) Capacity(l LinkID) float64 { return n.caps[l] }
+
+// Name returns the label of link l.
+func (n *Network) Name(l LinkID) string { return n.names[l] }
+
+// Flow is one fluid flow.
+type Flow struct {
+	// Path is the sequence of links the flow traverses.
+	Path []LinkID
+	// Demand is the offered load in Mbps; use Greedy for an unbounded
+	// (backlogged TCP) source.
+	Demand float64
+	// Limit caps the flow's rate (a rate limiter); 0 means unlimited.
+	Limit float64
+	// Weight scales the flow's max-min share; 0 means 1 (plain TCP).
+	Weight float64
+}
+
+// Greedy marks a flow that always has traffic to send.
+var Greedy = math.Inf(1)
+
+func (f Flow) cap() float64 {
+	c := f.Demand
+	if f.Limit > 0 && f.Limit < c {
+		c = f.Limit
+	}
+	return c
+}
+
+func (f Flow) weight() float64 {
+	if f.Weight > 0 {
+		return f.Weight
+	}
+	return 1
+}
+
+// MaxMin computes the weighted max-min fair allocation of the flows on
+// the network via progressive filling: a global water level θ rises,
+// every unfrozen flow i transmits weight_i·θ, and flows freeze when they
+// hit their demand/limit cap or when a link they cross saturates.
+//
+// The allocation is feasible (no link over capacity beyond rounding),
+// Pareto-efficient (every flow is limited by its cap or a saturated
+// link), and max-min fair among flows with equal weights.
+func (n *Network) MaxMin(flows []Flow) []float64 {
+	for _, f := range flows {
+		for _, l := range f.Path {
+			if int(l) < 0 || int(l) >= len(n.caps) {
+				panic(fmt.Sprintf("netem: flow references unknown link %d", l))
+			}
+		}
+	}
+	rates := make([]float64, len(flows))
+	frozen := make([]bool, len(flows))
+	active := 0
+	for i, f := range flows {
+		if f.cap() <= 0 || len(f.Path) == 0 {
+			frozen[i] = true
+			rates[i] = math.Max(f.cap(), 0)
+			if len(f.Path) == 0 && math.IsInf(f.cap(), 1) {
+				rates[i] = 0 // no path, unbounded cap: undefined; send nothing
+			}
+			continue
+		}
+		active++
+	}
+
+	theta := 0.0
+	for active > 0 {
+		// Remaining capacity and unfrozen weight per link.
+		remaining := append([]float64(nil), n.caps...)
+		weightOn := make([]float64, len(n.caps))
+		for i, f := range flows {
+			for _, l := range f.Path {
+				if frozen[i] {
+					remaining[l] -= rates[i]
+				} else {
+					weightOn[l] += f.weight()
+				}
+			}
+		}
+
+		// Next event: a link saturates or a flow reaches its cap. With
+		// frozen load already subtracted from remaining, link l
+		// saturates at the absolute water level remaining/weightOn
+		// (every unfrozen flow transmits weight·θ in total, not
+		// incrementally).
+		next := math.Inf(1)
+		for l := range n.caps {
+			if weightOn[l] > 0 {
+				t := math.Max(remaining[l], 0) / weightOn[l]
+				if t < theta {
+					t = theta
+				}
+				if t < next {
+					next = t
+				}
+			}
+		}
+		for i, f := range flows {
+			if !frozen[i] {
+				if t := f.cap() / f.weight(); t < next {
+					next = t
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			break // defensive: nothing constrains the remaining flows
+		}
+
+		// Advance the water level and freeze whatever bound.
+		theta = next
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			rates[i] = f.weight() * theta
+		}
+		// Recompute saturation at the new level.
+		for l := range remaining {
+			remaining[l] = n.caps[l]
+		}
+		for i, f := range flows {
+			for _, l := range f.Path {
+				remaining[l] -= rates[i]
+			}
+		}
+		const eps = 1e-9
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			if rates[i] >= f.cap()-eps {
+				rates[i] = f.cap()
+				frozen[i] = true
+				active--
+				continue
+			}
+			for _, l := range f.Path {
+				if remaining[l] <= eps {
+					frozen[i] = true
+					active--
+					break
+				}
+			}
+		}
+	}
+	return rates
+}

@@ -1,0 +1,206 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSingleBottleneckEqualShare(t *testing.T) {
+	n := New()
+	l := n.AddLink("L", 900)
+	flows := []Flow{
+		{Path: []LinkID{l}, Demand: Greedy},
+		{Path: []LinkID{l}, Demand: Greedy},
+		{Path: []LinkID{l}, Demand: Greedy},
+	}
+	rates := n.MaxMin(flows)
+	for i, r := range rates {
+		if !almostEq(r, 300) {
+			t.Errorf("flow %d rate = %g, want 300", i, r)
+		}
+	}
+}
+
+func TestDemandBoundedFlowReleasesShare(t *testing.T) {
+	n := New()
+	l := n.AddLink("L", 900)
+	flows := []Flow{
+		{Path: []LinkID{l}, Demand: 100},
+		{Path: []LinkID{l}, Demand: Greedy},
+		{Path: []LinkID{l}, Demand: Greedy},
+	}
+	rates := n.MaxMin(flows)
+	if !almostEq(rates[0], 100) || !almostEq(rates[1], 400) || !almostEq(rates[2], 400) {
+		t.Errorf("rates = %v, want [100 400 400]", rates)
+	}
+}
+
+func TestLimitActsAsRateLimiter(t *testing.T) {
+	n := New()
+	l := n.AddLink("L", 900)
+	flows := []Flow{
+		{Path: []LinkID{l}, Demand: Greedy, Limit: 150},
+		{Path: []LinkID{l}, Demand: Greedy},
+	}
+	rates := n.MaxMin(flows)
+	if !almostEq(rates[0], 150) || !almostEq(rates[1], 750) {
+		t.Errorf("rates = %v, want [150 750]", rates)
+	}
+}
+
+func TestWeightedShares(t *testing.T) {
+	n := New()
+	l := n.AddLink("L", 900)
+	flows := []Flow{
+		{Path: []LinkID{l}, Demand: Greedy, Weight: 2},
+		{Path: []LinkID{l}, Demand: Greedy, Weight: 1},
+	}
+	rates := n.MaxMin(flows)
+	if !almostEq(rates[0], 600) || !almostEq(rates[1], 300) {
+		t.Errorf("rates = %v, want [600 300]", rates)
+	}
+}
+
+func TestMultiLinkBottleneck(t *testing.T) {
+	n := New()
+	a := n.AddLink("A", 300)
+	b := n.AddLink("B", 1000)
+	flows := []Flow{
+		{Path: []LinkID{a, b}, Demand: Greedy}, // bottlenecked at A
+		{Path: []LinkID{b}, Demand: Greedy},    // takes the rest of B
+	}
+	rates := n.MaxMin(flows)
+	if !almostEq(rates[0], 300) || !almostEq(rates[1], 700) {
+		t.Errorf("rates = %v, want [300 700]", rates)
+	}
+}
+
+// TestClassicMaxMinExample: the textbook three-flow example. Links A and
+// B both 10; flow1 on A, flow2 on B, flow3 on A+B. Fair allocation: 5 for
+// flow3 (bottleneck shared on both), 5 for flows 1-2... progressive
+// filling: all rise to 5, A and B saturate simultaneously.
+func TestClassicMaxMinExample(t *testing.T) {
+	n := New()
+	a := n.AddLink("A", 10)
+	b := n.AddLink("B", 10)
+	flows := []Flow{
+		{Path: []LinkID{a}, Demand: Greedy},
+		{Path: []LinkID{b}, Demand: Greedy},
+		{Path: []LinkID{a, b}, Demand: Greedy},
+	}
+	rates := n.MaxMin(flows)
+	if !almostEq(rates[0], 5) || !almostEq(rates[1], 5) || !almostEq(rates[2], 5) {
+		t.Errorf("rates = %v, want [5 5 5]", rates)
+	}
+}
+
+func TestZeroDemandAndEmptyPath(t *testing.T) {
+	n := New()
+	l := n.AddLink("L", 100)
+	flows := []Flow{
+		{Path: []LinkID{l}, Demand: 0},
+		{Path: nil, Demand: Greedy},
+		{Path: []LinkID{l}, Demand: Greedy},
+	}
+	rates := n.MaxMin(flows)
+	if rates[0] != 0 || rates[1] != 0 || !almostEq(rates[2], 100) {
+		t.Errorf("rates = %v, want [0 0 100]", rates)
+	}
+}
+
+// TestMaxMinProperties: feasibility and Pareto-efficiency on random
+// networks.
+func TestMaxMinProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := New()
+		nl := 1 + r.Intn(5)
+		for i := 0; i < nl; i++ {
+			n.AddLink("l", 10+float64(r.Intn(1000)))
+		}
+		nf := 1 + r.Intn(8)
+		flows := make([]Flow, nf)
+		for i := range flows {
+			hops := 1 + r.Intn(nl)
+			seen := map[LinkID]bool{}
+			for len(flows[i].Path) < hops {
+				l := LinkID(r.Intn(nl))
+				if !seen[l] {
+					seen[l] = true
+					flows[i].Path = append(flows[i].Path, l)
+				}
+			}
+			if r.Intn(2) == 0 {
+				flows[i].Demand = Greedy
+			} else {
+				flows[i].Demand = float64(r.Intn(500))
+			}
+			if r.Intn(3) == 0 {
+				flows[i].Limit = float64(1 + r.Intn(400))
+			}
+			if r.Intn(3) == 0 {
+				flows[i].Weight = 1 + float64(r.Intn(4))
+			}
+		}
+		rates := n.MaxMin(flows)
+
+		// Feasibility: no link over capacity.
+		load := make([]float64, n.Links())
+		for i, f := range flows {
+			if rates[i] < -1e-9 || rates[i] > f.cap()+1e-6 {
+				return false
+			}
+			for _, l := range f.Path {
+				load[l] += rates[i]
+			}
+		}
+		for l := range load {
+			if load[l] > n.caps[l]+1e-6 {
+				return false
+			}
+		}
+		// Pareto efficiency: every flow is at its cap or crosses a
+		// saturated link.
+		for i, f := range flows {
+			if rates[i] >= f.cap()-1e-6 {
+				continue
+			}
+			saturated := false
+			for _, l := range f.Path {
+				if load[l] >= n.caps[l]-1e-6 {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	n := New()
+	n.AddLink("L", 10)
+	for name, fn := range map[string]func(){
+		"negative capacity": func() { n.AddLink("bad", -1) },
+		"unknown link":      func() { n.MaxMin([]Flow{{Path: []LinkID{9}, Demand: 1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

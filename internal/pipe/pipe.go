@@ -1,0 +1,140 @@
+// Package pipe implements the VM-to-VM pipe abstraction (SecondNet,
+// Oktopus' virtual-pipe variant) used as a baseline in the CloudMirror
+// paper.
+//
+// A pipe model specifies a bandwidth guarantee for every communicating
+// pair of VMs. It captures traffic exactly but, as §2.2 argues, lacks
+// statistical multiplexing and is tedious at scale. Following §5.1, we
+// build "idealized" pipe models from TAGs by dividing each hose and trunk
+// guarantee uniformly across the corresponding VM pairs — an optimistic
+// conversion that favors the pipe baseline.
+package pipe
+
+import "cloudmirror/internal/tag"
+
+// Model is a pipe model over tiers. Because pipes are uniform within a
+// tier pair (the idealized conversion), the cut bandwidth depends only on
+// per-tier inside counts, like the other models.
+type Model struct {
+	name  string
+	sizes []int
+	// rate[u][v] is the per-ordered-VM-pair guarantee between a VM of
+	// tier u and a VM of tier v (u != v).
+	rate [][]float64
+	// selfRate[u] is the per-ordered-pair guarantee between two distinct
+	// VMs of tier u.
+	selfRate []float64
+	// extOut/extIn are per-VM guarantees to/from unbounded external
+	// components, which always cross every cut.
+	extOut []float64
+	extIn  []float64
+}
+
+// FromTAG builds the idealized pipe model of a TAG. For a trunk u→v with
+// aggregate guarantee B = min(S·Nu, R·Nv), each of the Nu·Nv ordered pairs
+// receives B/(Nu·Nv). For a self-loop with per-VM guarantee SR, each VM
+// spreads SR over its Nu−1 peers. Edges to an unbounded external tier
+// become per-VM guarantees that always cross the cut.
+func FromTAG(g *tag.Graph) *Model {
+	n := g.Tiers()
+	m := &Model{
+		name:     g.Name,
+		sizes:    make([]int, n),
+		rate:     make([][]float64, n),
+		selfRate: make([]float64, n),
+		extOut:   make([]float64, n),
+		extIn:    make([]float64, n),
+	}
+	for t := 0; t < n; t++ {
+		if !g.Tier(t).External {
+			m.sizes[t] = g.Tier(t).N
+		}
+		m.rate[t] = make([]float64, n)
+	}
+	for _, e := range g.Edges() {
+		from, to := g.Tier(e.From), g.Tier(e.To)
+		switch {
+		case e.SelfLoop():
+			if from.N > 1 {
+				m.selfRate[e.From] += e.S / float64(from.N-1)
+			}
+		case from.External && from.N == 0:
+			// Unbounded external sender: per-VM receive pipes.
+			m.extIn[e.To] += e.R
+		case to.External && to.N == 0:
+			m.extOut[e.From] += e.S
+		default:
+			agg := g.EdgeAggregate(e)
+			pairs := float64(from.N) * float64(to.N)
+			m.rate[e.From][e.To] += agg / pairs
+		}
+	}
+	return m
+}
+
+// Name returns the tenant name.
+func (m *Model) Name() string { return m.name }
+
+// Tiers returns the number of tiers.
+func (m *Model) Tiers() int { return len(m.sizes) }
+
+// TierSize returns the number of VMs in tier t (0 for external tiers).
+func (m *Model) TierSize(t int) int { return m.sizes[t] }
+
+// PairRate returns the per-ordered-pair guarantee between tiers u and v
+// (u != v), or the intra-tier pair rate when u == v.
+func (m *Model) PairRate(u, v int) float64 {
+	if u == v {
+		return m.selfRate[u]
+	}
+	return m.rate[u][v]
+}
+
+// Pipes returns the total number of non-zero directed VM-to-VM pipes the
+// model describes — the specification burden §2.2 calls out.
+func (m *Model) Pipes() int {
+	total := 0
+	for u := range m.sizes {
+		for v := range m.sizes {
+			switch {
+			case u == v && m.selfRate[u] > 0:
+				total += m.sizes[u] * (m.sizes[u] - 1)
+			case u != v && m.rate[u][v] > 0:
+				total += m.sizes[u] * m.sizes[v]
+			}
+		}
+		if m.extOut[u] > 0 {
+			total += m.sizes[u]
+		}
+		if m.extIn[u] > 0 {
+			total += m.sizes[u]
+		}
+	}
+	return total
+}
+
+// Cut returns the exact bandwidth the pipe model requires on a subtree
+// uplink: the sum of pipe rates whose endpoints straddle the cut. Pipes
+// have no statistical multiplexing, so this is a plain sum.
+func (m *Model) Cut(inside []int) (out, in float64) {
+	for u := range m.sizes {
+		nu := float64(inside[u])
+		outU := float64(m.sizes[u] - inside[u])
+		// Intra-tier pipes crossing the cut, both directions.
+		intra := m.selfRate[u] * nu * outU
+		out += intra
+		in += intra
+		out += m.extOut[u] * nu
+		in += m.extIn[u] * nu
+		for v := range m.sizes {
+			if u == v || m.rate[u][v] == 0 {
+				continue
+			}
+			// u→v pipes: senders inside × receivers outside leave the
+			// subtree; senders outside × receivers inside enter it.
+			out += m.rate[u][v] * nu * float64(m.sizes[v]-inside[v])
+			in += m.rate[u][v] * outU * float64(inside[v])
+		}
+	}
+	return out, in
+}

@@ -1,0 +1,106 @@
+package pipe
+
+import (
+	"math"
+	"testing"
+
+	"cloudmirror/internal/tag"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFromTAGTrunk(t *testing.T) {
+	g := tag.New("p")
+	u := g.AddTier("u", 4)
+	v := g.AddTier("v", 2)
+	g.AddEdge(u, v, 10, 30)
+	m := FromTAG(g)
+	// Aggregate = min(40, 60) = 40 over 8 ordered pairs -> 5 per pipe.
+	if got := m.PairRate(u, v); !almostEq(got, 5) {
+		t.Errorf("pair rate = %g, want 5", got)
+	}
+	if got := m.Pipes(); got != 8 {
+		t.Errorf("Pipes = %d, want 8", got)
+	}
+}
+
+func TestFromTAGSelfLoop(t *testing.T) {
+	g := tag.New("p")
+	u := g.AddTier("u", 5)
+	g.AddSelfLoop(u, 40)
+	m := FromTAG(g)
+	// Each VM spreads 40 across 4 peers -> 10 per ordered pair.
+	if got := m.PairRate(u, u); !almostEq(got, 10) {
+		t.Errorf("self pair rate = %g, want 10", got)
+	}
+	if got := m.Pipes(); got != 20 {
+		t.Errorf("Pipes = %d, want 20 (5·4 ordered pairs)", got)
+	}
+}
+
+func TestSingletonSelfLoopIgnored(t *testing.T) {
+	g := tag.New("p")
+	u := g.AddTier("u", 1)
+	g.AddSelfLoop(u, 40)
+	m := FromTAG(g)
+	if m.PairRate(u, u) != 0 || m.Pipes() != 0 {
+		t.Error("self-loop on a singleton tier should produce no pipes")
+	}
+}
+
+func TestCutExactSum(t *testing.T) {
+	g := tag.New("p")
+	u := g.AddTier("u", 4)
+	v := g.AddTier("v", 2)
+	g.AddEdge(u, v, 10, 30) // pipes of 5
+	g.AddSelfLoop(u, 9)     // self pipes of 3
+	m := FromTAG(g)
+
+	// Subtree with 2 u-VMs and 1 v-VM inside.
+	out, in := m.Cut([]int{2, 1})
+	// Trunk out: 2 senders inside × 1 receiver outside × 5 = 10.
+	// Self: 2 inside × 2 outside × 3 = 12 each direction.
+	// Trunk in: 2 senders outside × 1 receiver inside × 5 = 10.
+	if !almostEq(out, 22) || !almostEq(in, 22) {
+		t.Errorf("cut = (%g,%g), want (22,22)", out, in)
+	}
+}
+
+func TestCutExternal(t *testing.T) {
+	g := tag.New("p")
+	u := g.AddTier("u", 4)
+	inet := g.AddExternal("inet", 0)
+	g.AddEdge(u, inet, 25, 0)
+	g.AddEdge(inet, u, 0, 15)
+	m := FromTAG(g)
+	out, in := m.Cut([]int{3, 0})
+	if !almostEq(out, 75) || !almostEq(in, 45) {
+		t.Errorf("cut = (%g,%g), want (75,45)", out, in)
+	}
+	if got := m.Pipes(); got != 8 {
+		t.Errorf("Pipes = %d, want 8 (4 out + 4 in external pipes)", got)
+	}
+}
+
+// TestNoMultiplexing demonstrates the §2.2 point: the pipe model's cut is
+// an exact sum with no min() anywhere, so moving receivers inside the
+// subtree shrinks it linearly rather than by the hose min.
+func TestNoMultiplexing(t *testing.T) {
+	g := tag.New("p")
+	u := g.AddTier("u", 2)
+	v := g.AddTier("v", 10)
+	g.AddEdge(u, v, 50, 10) // aggregate 100, pipes of 5
+	m := FromTAG(g)
+	prev := math.Inf(1)
+	for k := 0; k <= 10; k++ {
+		out, _ := m.Cut([]int{2, k})
+		want := 5.0 * 2 * float64(10-k)
+		if !almostEq(out, want) {
+			t.Errorf("k=%d: out=%g, want %g", k, out, want)
+		}
+		if out > prev {
+			t.Errorf("k=%d: cut increased", k)
+		}
+		prev = out
+	}
+}

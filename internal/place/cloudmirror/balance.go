@@ -1,0 +1,308 @@
+package cloudmirror
+
+import (
+	"math"
+
+	"cloudmirror/internal/topology"
+)
+
+// This file implements the Balance subroutine of Algorithm 1: the
+// multi-dimensional subset-sum heuristic (§4.4) that packs VMs for which
+// bandwidth saving is infeasible so that slot and uplink utilization of a
+// child approach 100% together (Fig. 6(d)), plus the §4.5 opportunistic
+// anti-affinity variant that spreads VMs one at a time when bandwidth
+// saving is undesirable.
+
+// runBalance repeatedly asks mdSubsetSum for the best (VM set, child)
+// pair and allocates it until quota is exhausted or no child can accept
+// more.
+func (r *run) runBalance(st topology.NodeID, quota []int) []action {
+	var made []action
+	failed := make(map[topology.NodeID]bool)
+	for remainingVMs(quota) > 0 {
+		adds, child := r.mdSubsetSum(st, quota, failed)
+		if adds == nil {
+			return made
+		}
+		orig := append([]int(nil), adds...)
+		sub := r.alloc(child, adds)
+		progressed := false
+		for t := range adds {
+			if placed := orig[t] - adds[t]; placed > 0 {
+				quota[t] -= placed
+				progressed = true
+			}
+		}
+		made = append(made, sub...)
+		if !progressed {
+			failed[child] = true
+		}
+	}
+	return made
+}
+
+// mdSubsetSum selects the child of st and the multiset of VMs that bring
+// the child's slot, outgoing-bandwidth and incoming-bandwidth utilization
+// closest to 100% together — a three-dimensional greedy subset-sum using
+// the utilization ratio of each resource as the common metric, iterating
+// over tiers rather than individual VMs (§4.4).
+//
+// When the tenant runs under opportunistic anti-affinity and bandwidth
+// saving is undesirable at st, it instead returns a single VM for the
+// child with the most headroom, spreading the tenant across children
+// (§4.5, third modification).
+func (r *run) mdSubsetSum(st topology.NodeID, quota []int, failed map[topology.NodeID]bool) ([]int, topology.NodeID) {
+	if r.oppHA && !r.desirable(st) {
+		return r.spreadOne(st, quota, failed)
+	}
+
+	tree := r.p.tree
+	var (
+		bestScore float64         = -1
+		bestChild topology.NodeID = topology.NoNode
+		bestAdds  []int
+	)
+	for _, c := range tree.Children(st) {
+		if failed[c] {
+			continue
+		}
+		adds, score := r.packChild(c, quota)
+		if adds != nil && score > bestScore {
+			bestScore, bestChild, bestAdds = score, c, adds
+		}
+	}
+	return bestAdds, bestChild
+}
+
+// packChild greedily fills child c from quota, largest relative demand
+// first, and returns the fill plus its utilization score.
+func (r *run) packChild(c topology.NodeID, quota []int) ([]int, float64) {
+	tree := r.p.tree
+	free := tree.SlotsFree(c)
+	if free == 0 {
+		return nil, 0
+	}
+	availOut, availIn := childBudget(tree, c)
+	base := r.tx.Count(c)
+
+	// Greedy item order: decreasing maximum utilization ratio across the
+	// three resources, the common-metric extension of the 1-D greedy
+	// subset-sum approximation.
+	order := r.tiersByDemand(quota)
+	slotsLeft, outLeft, inLeft := free, availOut, availIn
+	adds := make([]int, len(quota))
+	resLeft := r.resourceHeadroom(c)
+	placedAny := false
+	for _, t := range order {
+		if slotsLeft == 0 {
+			break
+		}
+		k := min(quota[t], slotsLeft, r.haBound(c, t), r.headroomFit(resLeft, t))
+		if k <= 0 {
+			continue
+		}
+		if kb := r.bandwidthFit(c, base, adds, t, k, outLeft, inLeft); kb < k {
+			k = kb
+		}
+		if k <= 0 {
+			continue
+		}
+		adds[t] += k
+		slotsLeft -= k
+		// Approximate the bandwidth consumed with the per-VM profile;
+		// Sync validates the true cut afterwards.
+		outLeft -= float64(k) * r.perVMOut[t]
+		inLeft -= float64(k) * r.perVMIn[t]
+		if outLeft < 0 {
+			outLeft = 0
+		}
+		if inLeft < 0 {
+			inLeft = 0
+		}
+		r.consumeHeadroom(resLeft, t, k)
+		placedAny = true
+	}
+	if !placedAny {
+		return nil, 0
+	}
+
+	// Utilization score after the hypothetical fill: how close slot and
+	// bandwidth utilization get to 100% together.
+	su := 1 - float64(slotsLeft)/float64(tree.SlotsTotal(c))
+	ou, iu := 1.0, 1.0
+	if cap := tree.UplinkCap(c); cap > 0 {
+		ou = 1 - outLeft/cap
+		iu = 1 - inLeft/cap
+	}
+	return adds, su + ou + iu
+}
+
+// resourceHeadroom snapshots the child's free resource capacities (nil
+// when the topology declares none or the tenant is slot-only).
+func (r *run) resourceHeadroom(c topology.NodeID) []float64 {
+	if r.resources == nil {
+		return nil
+	}
+	tree := r.p.tree
+	head := make([]float64, len(tree.Resources()))
+	for rr := range head {
+		head[rr] = tree.ResourceFree(c, rr)
+	}
+	return head
+}
+
+// headroomFit bounds how many tier-t VMs fit in the remaining headroom.
+func (r *run) headroomFit(head []float64, t int) int {
+	if head == nil {
+		return int(math.MaxInt32)
+	}
+	k := int(math.MaxInt32)
+	for rr, h := range head {
+		d := r.resources[t][rr]
+		if d <= 0 {
+			continue
+		}
+		if fit := int(h / d); fit < k {
+			k = fit
+		}
+	}
+	return k
+}
+
+// consumeHeadroom deducts k tier-t VMs from the headroom snapshot.
+func (r *run) consumeHeadroom(head []float64, t, k int) {
+	if head == nil {
+		return
+	}
+	for rr := range head {
+		head[rr] -= float64(k) * r.resources[t][rr]
+		if head[rr] < 0 {
+			head[rr] = 0
+		}
+	}
+}
+
+// bandwidthFit returns the largest k ≤ maxK such that adding k VMs of
+// tier t to the child's current fill keeps the marginal cut within the
+// remaining bandwidth budget. The cut is not monotone in k (a hose peaks
+// at half the tier and drops to zero at full colocation), so it scans
+// downward from maximal colocation — finding zero-cut full packings
+// first. Sync still enforces the true cut after placement.
+func (r *run) bandwidthFit(c topology.NodeID, base, adds []int, t, maxK int, outLeft, inLeft float64) int {
+	if maxK <= 0 {
+		return 0
+	}
+	counts := make([]int, len(adds))
+	for i := range counts {
+		counts[i] = adds[i]
+		if base != nil {
+			counts[i] += base[i]
+		}
+	}
+	out0, in0 := r.model.Cut(counts)
+	baseT := counts[t]
+	for k := maxK; k > 0; k-- {
+		counts[t] = baseT + k
+		out, in := r.model.Cut(counts)
+		if out-out0 <= outLeft && in-in0 <= inLeft {
+			return k
+		}
+	}
+	return 0
+}
+
+// childBudget returns the available (out, in) bandwidth of c's uplink —
+// unbounded for the root, which has none.
+func childBudget(tree *topology.Tree, c topology.NodeID) (float64, float64) {
+	if c == tree.Root() {
+		return math.Inf(1), math.Inf(1)
+	}
+	return tree.UplinkAvail(c)
+}
+
+// spreadOne returns a single VM of the highest-demand remaining tier and
+// the child with the most headroom for it, encouraging distributed
+// allocations across all children while keeping slot and bandwidth use
+// balanced (§4.5).
+func (r *run) spreadOne(st topology.NodeID, quota []int, failed map[topology.NodeID]bool) ([]int, topology.NodeID) {
+	tree := r.p.tree
+	order := r.tiersByDemand(quota)
+	if len(order) == 0 {
+		return nil, topology.NoNode
+	}
+	t := order[0]
+
+	var (
+		best      topology.NodeID = topology.NoNode
+		bestScore float64         = -1
+	)
+	for _, c := range tree.Children(st) {
+		if failed[c] || tree.SlotsFree(c) == 0 || r.haBound(c, t) < 1 {
+			continue
+		}
+		// Headroom score: free slot fraction plus free bandwidth
+		// fraction; maximizing it spreads VMs and balances resources.
+		score := float64(tree.SlotsFree(c)) / float64(tree.SlotsTotal(c))
+		if cap := tree.UplinkCap(c); cap > 0 {
+			ao, ai := tree.UplinkAvail(c)
+			score += (ao + ai) / (2 * cap)
+		} else {
+			score += 1
+		}
+		if score > bestScore {
+			bestScore, best = score, c
+		}
+	}
+	if best == topology.NoNode {
+		return nil, topology.NoNode
+	}
+	adds := make([]int, len(quota))
+	adds[t] = 1
+	return adds, best
+}
+
+// desirable reports whether bandwidth saving is worth pursuing at st:
+// true when the available bandwidth per unallocated slot under st is
+// scarcer than the per-VM demand the datacenter is seeing (the tenant's
+// own demand or the arrival-history estimate, whichever is larger) —
+// §4.5 "Opportunistic Anti-Affinity".
+func (r *run) desirable(st topology.NodeID) bool {
+	perSlot := r.availPerSlot(st)
+	if perSlot <= 0 {
+		return true // no headroom at all: save whatever we can
+	}
+	demand := r.g.PerVMDemand()
+	if r.p.emaDemand > demand {
+		demand = r.p.emaDemand
+	}
+	return perSlot < demand
+}
+
+// lowestDesirableLevel returns the lowest subtree level at which
+// bandwidth saving is desirable, used by opportunistic anti-affinity to
+// skip pointless colocation at well-provisioned levels and place across
+// multiple servers instead.
+func (r *run) lowestDesirableLevel() int {
+	tree := r.p.tree
+	demand := r.g.PerVMDemand()
+	if r.p.emaDemand > demand {
+		demand = r.p.emaDemand
+	}
+	for lvl := 0; lvl <= tree.Height(); lvl++ {
+		measure := max(lvl-1, 0)
+		var bw float64
+		var slots int
+		for _, n := range tree.NodesAtLevel(measure) {
+			o, i := tree.UplinkAvail(n)
+			bw += (o + i) / 2
+			slots += tree.SlotsFree(n)
+		}
+		if slots == 0 {
+			continue
+		}
+		if bw/float64(slots) < demand {
+			return lvl
+		}
+	}
+	return tree.Height()
+}

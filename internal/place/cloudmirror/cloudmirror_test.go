@@ -1,0 +1,389 @@
+package cloudmirror
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cloudmirror/internal/ha"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// rack returns a one-rack topology: servers under a single ToR.
+func rack(servers, slots int, nic float64) *topology.Tree {
+	return topology.New(topology.Spec{
+		SlotsPerServer: slots,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: servers, Uplink: nic},
+		},
+	})
+}
+
+// twoTier returns servers → ToRs → root.
+func twoTier(serversPerTor, tors, slots int, nic, torUp float64) *topology.Tree {
+	return topology.New(topology.Spec{
+		SlotsPerServer: slots,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: serversPerTor, Uplink: nic},
+			{Name: "tor", Fanout: tors, Uplink: torUp},
+		},
+	})
+}
+
+// checkReservations recomputes every subtree cut of the final placement
+// and verifies the committed ledger matches: the structural invariant the
+// Txn machinery must maintain.
+func checkReservations(t *testing.T, tree *topology.Tree, model place.Model, res *place.Reservation) {
+	t.Helper()
+	counts := place.AggregateCounts(tree, model.Tiers(), res.Placement())
+	for n, c := range counts {
+		if n == tree.Root() {
+			continue
+		}
+		wantOut, wantIn := model.Cut(c)
+		out, in := res.ReservedOn(n)
+		if math.Abs(out-wantOut) > 1e-6 || math.Abs(in-wantIn) > 1e-6 {
+			t.Errorf("node %d (%s): reserved (%g,%g), want cut (%g,%g)",
+				n, tree.LevelName(tree.Level(n)), out, in, wantOut, wantIn)
+		}
+	}
+}
+
+func mustPlace(t *testing.T, p place.Placer, g *tag.Graph, ha place.HASpec) *place.Reservation {
+	t.Helper()
+	res, err := p.Place(&place.Request{Graph: g, Model: g, HA: ha})
+	if err != nil {
+		t.Fatalf("%s failed to place %s: %v", p.Name(), g, err)
+	}
+	return res
+}
+
+// TestHoseColocation: a hose tier that fits one server is fully
+// colocated, zeroing its uplink reservation.
+func TestHoseColocation(t *testing.T) {
+	tree := rack(4, 8, 1000)
+	g := tag.New("hose")
+	a := g.AddTier("a", 8)
+	g.AddSelfLoop(a, 100)
+
+	p := New(tree)
+	res := mustPlace(t, p, g, place.HASpec{})
+	if len(res.Placement()) != 1 {
+		t.Fatalf("placement spans %d servers, want 1 (full colocation)", len(res.Placement()))
+	}
+	if total := res.TotalReserved(); total != 0 {
+		t.Errorf("TotalReserved = %g, want 0 (intra-server traffic)", total)
+	}
+	checkReservations(t, tree, g, res)
+	res.Release()
+	if tree.SlotsFree(tree.Root()) != 32 {
+		t.Error("release incomplete")
+	}
+}
+
+// TestFig6Balance reproduces the Fig. 6 example: three hose components —
+// A(2)×4 Mbps, B(2)×4 Mbps, C(4)×6 Mbps — on a rack of four 2-slot
+// servers with 10 Mbps NICs. Blind colocation (Fig. 6(c)) would violate
+// C's guarantees; CloudMirror's Balance finds the Fig. 6(d) allocation
+// that pairs one C VM with one low-bandwidth VM per server.
+func TestFig6Balance(t *testing.T) {
+	tree := rack(4, 2, 10)
+	g := tag.New("fig6")
+	a := g.AddTier("A", 2)
+	b := g.AddTier("B", 2)
+	c := g.AddTier("C", 4)
+	g.AddSelfLoop(a, 4)
+	g.AddSelfLoop(b, 4)
+	g.AddSelfLoop(c, 6)
+
+	p := New(tree)
+	res := mustPlace(t, p, g, place.HASpec{})
+	checkReservations(t, tree, g, res)
+
+	for server, counts := range res.Placement() {
+		if counts[c] > 1 {
+			t.Errorf("server %d hosts %d C VMs; balanced placement hosts at most 1", server, counts[c])
+		}
+		out, in := res.ReservedOn(server)
+		if out > 10+1e-9 || in > 10+1e-9 {
+			t.Errorf("server %d reserves (%g,%g) > 10 Mbps NIC", server, out, in)
+		}
+	}
+	res.Release()
+
+	// The Colocate-only ablation cannot place this request: packing any
+	// two C VMs on one server needs 12 Mbps on a 10 Mbps NIC.
+	pc := New(tree, WithoutBalance())
+	if _, err := pc.Place(&place.Request{Graph: g, Model: g}); !errors.Is(err, place.ErrRejected) {
+		t.Errorf("coloc-only: got %v, want ErrRejected", err)
+	}
+	if tree.SlotsFree(tree.Root()) != 8 || tree.LevelReserved(0) != 0 {
+		t.Error("rejected placement leaked resources")
+	}
+}
+
+// TestStormPairing: the Fig. 3 deployment. CloudMirror pairs
+// heavily-communicating components under common subtrees so the
+// cross-branch links carry only S·B.
+func TestStormPairing(t *testing.T) {
+	const s, b = 5, 100.0
+	tree := twoTier(2, 2, 5, 100_000, 100_000)
+	g := tag.New("storm")
+	spout1 := g.AddTier("spout1", s)
+	bolt1 := g.AddTier("bolt1", s)
+	bolt2 := g.AddTier("bolt2", s)
+	bolt3 := g.AddTier("bolt3", s)
+	g.AddEdge(spout1, bolt1, b, b)
+	g.AddEdge(spout1, bolt2, b, b)
+	g.AddEdge(bolt2, bolt3, b, b)
+
+	p := New(tree)
+	res := mustPlace(t, p, g, place.HASpec{})
+	checkReservations(t, tree, g, res)
+
+	// Each ToR uplink must carry at most S·B in each direction — the
+	// paper's "bandwidth reservation on links L1 and L2 should be S·B".
+	torTotal := 0.0
+	for _, tor := range tree.NodesAtLevel(1) {
+		out, in := res.ReservedOn(tor)
+		if out > s*b+1e-9 || in > s*b+1e-9 {
+			t.Errorf("tor %d reserves (%g,%g), want ≤ %g per direction", tor, out, in, s*b)
+		}
+		torTotal += out + in
+	}
+	// Exactly one trunk crosses: S·B out of one ToR and into the other.
+	if math.Abs(torTotal-2*s*b) > 1e-6 {
+		t.Errorf("total ToR-level reservation = %g, want %g", torTotal, 2*s*b)
+	}
+	res.Release()
+}
+
+// TestGuaranteedWCS: the Eq. 7 cap forces a tier across fault domains so
+// the required worst-case survivability is met.
+func TestGuaranteedWCS(t *testing.T) {
+	tree := rack(4, 8, 100_000)
+	g := tag.New("svc")
+	a := g.AddTier("a", 8)
+	g.AddSelfLoop(a, 10)
+
+	// Without HA, full colocation gives WCS 0.
+	p := New(tree)
+	res := mustPlace(t, p, g, place.HASpec{})
+	w := ha.WCS(tree, res.Placement(), g.Tiers(), 0)
+	if w[0] != 0 {
+		t.Errorf("no-HA WCS = %g, want 0 (fully colocated)", w[0])
+	}
+	res.Release()
+
+	for _, rwcs := range []float64{0.25, 0.5, 0.75} {
+		res := mustPlace(t, p, g, place.HASpec{RWCS: rwcs})
+		w := ha.WCS(tree, res.Placement(), g.Tiers(), 0)
+		if w[0] < rwcs-1e-9 {
+			t.Errorf("RWCS=%g: achieved WCS %g", rwcs, w[0])
+		}
+		checkReservations(t, tree, g, res)
+		res.Release()
+	}
+}
+
+// TestGuaranteedWCSInfeasible: a tenant whose Eq. 7 caps cannot be met by
+// the topology is rejected cleanly.
+func TestGuaranteedWCSInfeasible(t *testing.T) {
+	tree := rack(2, 8, 100_000)
+	g := tag.New("svc")
+	g.AddTier("a", 8)
+	// RWCS 0.75 needs ceil(8/2)=4 domains of cap 2; only 2 servers exist.
+	p := New(tree)
+	_, err := p.Place(&place.Request{Graph: g, Model: g, HA: place.HASpec{RWCS: 0.75}})
+	if !errors.Is(err, place.ErrRejected) {
+		t.Fatalf("got %v, want ErrRejected", err)
+	}
+	if tree.SlotsFree(tree.Root()) != 16 {
+		t.Error("rejection leaked slots")
+	}
+}
+
+// TestOpportunisticHA: with plentiful bandwidth, opportunistic
+// anti-affinity spreads a tenant across servers (high WCS) even though
+// colocation would have been feasible.
+func TestOpportunisticHA(t *testing.T) {
+	tree := rack(8, 8, 100_000) // 100 Gbps NICs: saving undesirable
+	g := tag.New("svc")
+	a := g.AddTier("a", 8)
+	g.AddSelfLoop(a, 10)
+
+	p := New(tree, WithOpportunisticHA())
+	res := mustPlace(t, p, g, place.HASpec{})
+	w := ha.WCS(tree, res.Placement(), g.Tiers(), 0)
+	if w[0] < 0.5 {
+		t.Errorf("oppHA WCS = %g, want ≥ 0.5 (spread across servers)", w[0])
+	}
+	checkReservations(t, tree, g, res)
+	res.Release()
+
+	// When bandwidth is scarce, oppHA must still colocate to fit.
+	scarce := rack(8, 8, 25) // hose needs min(k,8-k)*10 ≤ 25 → ≤2 VMs split
+	ps := New(scarce, WithOpportunisticHA())
+	res = mustPlace(t, ps, g, place.HASpec{})
+	checkReservations(t, scarce, g, res)
+	res.Release()
+}
+
+// TestExternalDemand: guarantees toward an unbounded external component
+// are reserved on every link from the tenant to the root.
+func TestExternalDemand(t *testing.T) {
+	tree := twoTier(2, 2, 8, 1000, 1000)
+	g := tag.New("web")
+	w := g.AddTier("web", 4)
+	inet := g.AddExternal("inet", 0)
+	g.AddEdge(w, inet, 50, 50)  // 200 out
+	g.AddEdge(inet, w, 100, 25) // 100 in
+
+	p := New(tree)
+	res := mustPlace(t, p, g, place.HASpec{})
+	checkReservations(t, tree, g, res)
+
+	// Find the ToR hosting the tenant; its uplink carries the full
+	// external demand.
+	for _, tor := range tree.NodesAtLevel(1) {
+		out, in := res.ReservedOn(tor)
+		if out == 0 && in == 0 {
+			continue
+		}
+		if math.Abs(out-200) > 1e-9 || math.Abs(in-100) > 1e-9 {
+			t.Errorf("tor reserves (%g,%g), want (200,100)", out, in)
+		}
+	}
+	res.Release()
+}
+
+// TestRejectTooBig: slot exhaustion rejects with ErrRejected and leaves
+// the tree untouched.
+func TestRejectTooBig(t *testing.T) {
+	tree := rack(2, 4, 1000)
+	g := tag.New("big")
+	g.AddTier("a", 9)
+	p := New(tree)
+	if _, err := p.Place(&place.Request{Graph: g, Model: g}); !errors.Is(err, place.ErrRejected) {
+		t.Fatalf("got %v, want ErrRejected", err)
+	}
+	if tree.SlotsFree(tree.Root()) != 8 || tree.LevelReserved(0) != 0 {
+		t.Error("rejection leaked resources")
+	}
+}
+
+// TestRejectNoBandwidth: bandwidth exhaustion rejects cleanly.
+func TestRejectNoBandwidth(t *testing.T) {
+	tree := twoTier(2, 2, 2, 100, 50)
+	g := tag.New("heavy")
+	a := g.AddTier("a", 4)
+	b := g.AddTier("b", 4)
+	g.AddEdge(a, b, 400, 400) // no split placement can carry this
+
+	p := New(tree)
+	if _, err := p.Place(&place.Request{Graph: g, Model: g}); !errors.Is(err, place.ErrRejected) {
+		t.Fatalf("got %v, want ErrRejected", err)
+	}
+	for l := 0; l <= tree.Height(); l++ {
+		if tree.LevelReserved(l) != 0 {
+			t.Errorf("level %d has leaked reservations", l)
+		}
+	}
+	if tree.SlotsFree(tree.Root()) != 8 {
+		t.Error("rejection leaked slots")
+	}
+}
+
+// TestMissingGraph: CM requires a TAG.
+func TestMissingGraph(t *testing.T) {
+	p := New(rack(2, 2, 100))
+	if _, err := p.Place(&place.Request{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+// TestNames covers the ablation variants' names.
+func TestNames(t *testing.T) {
+	tree := rack(2, 2, 100)
+	cases := map[string]*Placer{
+		"CM":              New(tree),
+		"CM/coloc-only":   New(tree, WithoutBalance()),
+		"CM/balance-only": New(tree, WithoutColocate()),
+		"CM/first-fit":    New(tree, WithoutColocate(), WithoutBalance()),
+		"CM+oppHA":        New(tree, WithOpportunisticHA()),
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+// TestPlaceReleaseRoundTrip is the integration invariant: a random
+// workload placed and fully released leaves the tree pristine, and every
+// committed reservation matches the model cut of its placement.
+func TestPlaceReleaseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	tree := twoTier(4, 4, 8, 2000, 4000)
+	p := New(tree)
+
+	var live []*place.Reservation
+	accepted := 0
+	for i := 0; i < 120; i++ {
+		// Churn: release a random live tenant half the time, so the
+		// ledger sees interleaved departures.
+		if r.Intn(2) == 0 && len(live) > 0 {
+			k := r.Intn(len(live))
+			live[k].Release()
+			live = append(live[:k], live[k+1:]...)
+		}
+		g := randomTenant(r, i)
+		res, err := p.Place(&place.Request{ID: int64(i), Graph: g, Model: g})
+		if err != nil {
+			if !errors.Is(err, place.ErrRejected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			continue
+		}
+		accepted++
+		if !res.Placement().Complete(g) {
+			t.Fatalf("tenant %d placement incomplete", i)
+		}
+		checkReservations(t, tree, g, res)
+		live = append(live, res)
+	}
+	if accepted < 40 {
+		t.Fatalf("only %d/120 accepted; generator or placer misbehaving", accepted)
+	}
+	for _, res := range live {
+		res.Release()
+	}
+	if tree.SlotsFree(tree.Root()) != tree.SlotsTotal(tree.Root()) {
+		t.Error("slots leaked")
+	}
+	for l := 0; l <= tree.Height(); l++ {
+		if got := tree.LevelReserved(l); got > 1e-6 {
+			t.Errorf("level %d leaked %g Mbps of reservations", l, got)
+		}
+	}
+}
+
+func randomTenant(r *rand.Rand, id int) *tag.Graph {
+	g := tag.New("t" + string(rune('a'+id%26)))
+	tiers := 1 + r.Intn(3)
+	for i := 0; i < tiers; i++ {
+		g.AddTier(string(rune('a'+i)), 1+r.Intn(10))
+	}
+	for i := 0; i < tiers; i++ {
+		if r.Intn(2) == 0 {
+			g.AddSelfLoop(i, float64(10+r.Intn(200)))
+		}
+		if j := r.Intn(tiers); j != i {
+			g.AddEdge(i, j, float64(10+r.Intn(300)), float64(10+r.Intn(300)))
+		}
+	}
+	return g
+}

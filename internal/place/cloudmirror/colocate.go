@@ -1,0 +1,256 @@
+package cloudmirror
+
+import (
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// This file implements the Colocate subroutine of Algorithm 1: packing
+// tiers whose colocation provably reduces the bandwidth reserved on the
+// subtree's child uplinks, per the saving conditions of §4.2.
+
+// runColocate repeatedly asks findTiersToColoc for the (tier set, child)
+// pair with the largest verified bandwidth saving and allocates it,
+// until no positive saving remains (the Colocate loop of Algorithm 1).
+func (r *run) runColocate(st topology.NodeID, quota []int) []action {
+	var made []action
+	failed := make(map[topology.NodeID]bool)
+	for {
+		adds, child := r.findTiersToColoc(st, quota, failed)
+		if adds == nil {
+			return made
+		}
+		orig := append([]int(nil), adds...)
+		sub := r.alloc(child, adds)
+		progressed := false
+		for t := range adds {
+			if placed := orig[t] - adds[t]; placed > 0 {
+				quota[t] -= placed
+				progressed = true
+			}
+		}
+		made = append(made, sub...)
+		if !progressed {
+			// Bandwidth below child refused the allocation; do not
+			// offer this child again for colocation.
+			failed[child] = true
+		}
+	}
+}
+
+// findTiersToColoc evaluates every (edge, child) combination and returns
+// the per-tier VM counts to colocate under the best child, or nil when no
+// combination yields a positive, verified (Eq. 4) bandwidth saving.
+//
+// Following §4.4, tiers with low per-VM bandwidth demand relative to the
+// per-slot available bandwidth of st's children are excluded whenever
+// some high-bandwidth tier cannot itself achieve colocation savings
+// (size or HA constraints): those low-bandwidth VMs are kept back for
+// Balance to pair with the high-bandwidth VMs (Fig. 6(d)).
+func (r *run) findTiersToColoc(st topology.NodeID, quota []int, failed map[topology.NodeID]bool) ([]int, topology.NodeID) {
+	tree := r.p.tree
+	children := tree.Children(st)
+
+	excluded := r.lowBandwidthExclusions(st, quota)
+
+	var (
+		bestSaving float64
+		bestChild  topology.NodeID = topology.NoNode
+		bestAdds   []int
+	)
+	for _, c := range children {
+		if failed[c] || tree.SlotsFree(c) == 0 {
+			continue
+		}
+		free := tree.SlotsFree(c)
+		for _, e := range r.g.Edges() {
+			adds, saving := r.bestEdgePack(c, e, quota, free, excluded)
+			if saving > bestSaving {
+				bestSaving, bestChild, bestAdds = saving, c, adds
+			}
+		}
+	}
+	return bestAdds, bestChild
+}
+
+// bestEdgePack computes how many VMs of edge e's endpoint tiers to pack
+// into child c and the marginal bandwidth saving of doing so. For trunks
+// it tries both fill orders and keeps the better.
+func (r *run) bestEdgePack(c topology.NodeID, e tag.Edge, quota []int, free int, excluded []bool) ([]int, float64) {
+	t := e.From
+	if e.SelfLoop() {
+		if excluded[t] {
+			return nil, 0
+		}
+		add := min(quota[t], free, r.haBound(c, t), r.resourceCap(c, t))
+		if add <= 0 {
+			return nil, 0
+		}
+		cur := r.tx.CountOf(c, t)
+		// Cheap necessary condition (Eq. 2) before pricing the saving.
+		if !tag.HoseSavingFeasible(r.sizes[t], cur+add) {
+			return nil, 0
+		}
+		saving := r.g.SelfLoopSaving(e, cur+add) - r.g.SelfLoopSaving(e, cur)
+		if saving <= 0 {
+			return nil, 0
+		}
+		adds := make([]int, len(quota))
+		adds[t] = add
+		return adds, saving
+	}
+
+	t2 := e.To
+	curT, curT2 := r.tx.CountOf(c, t), r.tx.CountOf(c, t2)
+	maxT := boundedAdd(min(quota[t], r.resourceCap(c, t)), free, r.haBound(c, t), excluded[t])
+	maxT2 := boundedAdd(min(quota[t2], r.resourceCap(c, t2)), free, r.haBound(c, t2), excluded[t2])
+	if maxT+maxT2 == 0 {
+		return nil, 0
+	}
+	// Necessary condition (Eq. 6) on the achievable inside counts.
+	if !tag.TrunkSavingFeasible(r.sizes[t], r.sizes[t2], curT+maxT, curT2+maxT2) {
+		return nil, 0
+	}
+	base := r.g.EdgeSaving(e, curT, curT2)
+
+	try := func(firstT bool) ([]int, float64) {
+		aT, aT2 := maxT, maxT2
+		if firstT {
+			if aT2 > free-aT {
+				aT2 = free - aT
+			}
+		} else {
+			if aT > free-aT2 {
+				aT = free - aT2
+			}
+		}
+		if aT < 0 {
+			aT = 0
+		}
+		if aT2 < 0 {
+			aT2 = 0
+		}
+		if aT+aT2 == 0 {
+			return nil, 0
+		}
+		// Verify the actual saving (Eq. 4) before colocating.
+		saving := r.g.EdgeSaving(e, curT+aT, curT2+aT2) - base
+		if saving <= 0 {
+			return nil, 0
+		}
+		adds := make([]int, len(quota))
+		adds[t], adds[t2] = aT, aT2
+		return adds, saving
+	}
+
+	adds1, s1 := try(true)
+	adds2, s2 := try(false)
+	if s2 > s1 {
+		return adds2, s2
+	}
+	return adds1, s1
+}
+
+func boundedAdd(quota, free, haBound int, excluded bool) int {
+	if excluded {
+		return 0
+	}
+	return min(quota, free, haBound)
+}
+
+// lowBandwidthExclusions returns, per tier, whether the tier should be
+// held back from colocation so Balance can pair it with high-bandwidth
+// VMs. A tier is held back when (a) its per-VM demand is at or below the
+// average per-slot available bandwidth of st's children and (b) at least
+// one high-bandwidth tier with remaining VMs cannot achieve colocation
+// savings here (size/HA constraints), so it will need low-bandwidth
+// partners to balance utilization (Fig. 6).
+func (r *run) lowBandwidthExclusions(st topology.NodeID, quota []int) []bool {
+	excluded := make([]bool, len(quota))
+	perSlot := r.availPerSlot(st)
+	if perSlot <= 0 {
+		return excluded
+	}
+
+	low := make([]bool, len(quota))
+	anyStrandedHigh := false
+	for t, q := range quota {
+		if q == 0 {
+			continue
+		}
+		d := (r.perVMOut[t] + r.perVMIn[t]) / 2
+		if d <= perSlot {
+			low[t] = true
+		} else if !r.tierCanSave(st, t, quota) {
+			anyStrandedHigh = true
+		}
+	}
+	if !anyStrandedHigh {
+		return excluded
+	}
+	copy(excluded, low)
+	return excluded
+}
+
+// tierCanSave reports whether tier t could pass the §4.2 size/HA saving
+// conditions in some child of st, via any of its incident edges.
+func (r *run) tierCanSave(st topology.NodeID, t int, quota []int) bool {
+	tree := r.p.tree
+	maxInside := 0
+	for _, c := range tree.Children(st) {
+		in := r.tx.CountOf(c, t) + min(quota[t], tree.SlotsFree(c), r.haBound(c, t))
+		if in > maxInside {
+			maxInside = in
+		}
+	}
+	for _, e := range r.g.Edges() {
+		switch {
+		case e.SelfLoop() && e.From == t:
+			if tag.HoseSavingFeasible(r.sizes[t], maxInside) {
+				return true
+			}
+		case e.From == t || e.To == t:
+			other := e.From
+			if other == t {
+				other = e.To
+			}
+			maxOther := 0
+			for _, c := range tree.Children(st) {
+				in := r.tx.CountOf(c, other) + min(quota[other], tree.SlotsFree(c), r.haBound(c, other))
+				if in > maxOther {
+					maxOther = in
+				}
+			}
+			if e.From == t && tag.TrunkSavingFeasible(r.sizes[t], r.sizes[other], maxInside, maxOther) {
+				return true
+			}
+			if e.To == t && tag.TrunkSavingFeasible(r.sizes[other], r.sizes[t], maxOther, maxInside) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// availPerSlot returns the average available uplink bandwidth per free
+// slot under st's children (st's own uplink when st is a server).
+func (r *run) availPerSlot(st topology.NodeID) float64 {
+	tree := r.p.tree
+	var bw float64
+	var slots int
+	if tree.IsServer(st) {
+		o, i := tree.UplinkAvail(st)
+		bw = (o + i) / 2
+		slots = tree.SlotsFree(st)
+	} else {
+		for _, c := range tree.Children(st) {
+			o, i := tree.UplinkAvail(c)
+			bw += (o + i) / 2
+			slots += tree.SlotsFree(c)
+		}
+	}
+	if slots == 0 {
+		return 0
+	}
+	return bw / float64(slots)
+}

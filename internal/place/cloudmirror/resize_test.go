@@ -1,0 +1,200 @@
+package cloudmirror
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cloudmirror/internal/ha"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+)
+
+// scalable builds the auto-scaling fixture: web tier of n VMs trunked to
+// a fixed logic tier.
+func scalable(n int) *tag.Graph {
+	g := tag.New("scalable")
+	web := g.AddTier("web", n)
+	logic := g.AddTier("logic", 6)
+	g.AddBidirectional(web, logic, 50, 100)
+	g.AddSelfLoop(logic, 30)
+	return g
+}
+
+func TestResizeGrow(t *testing.T) {
+	tree := twoTier(4, 4, 8, 5000, 10_000)
+	p := New(tree)
+	oldG := scalable(6)
+	res := mustPlace(t, p, oldG, place.HASpec{})
+
+	newG := scalable(10)
+	res, err := p.Resize(res, oldG, newG, newG.TierIndex("web"), place.HASpec{})
+	if err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if !res.Placement().Complete(newG) {
+		t.Fatalf("placement incomplete after grow: %v", res.Placement().TierTotals(2))
+	}
+	checkReservations(t, tree, newG, res)
+	res.Release()
+	if tree.SlotsFree(tree.Root()) != tree.SlotsTotal(tree.Root()) {
+		t.Error("release after grow leaked slots")
+	}
+}
+
+func TestResizeShrink(t *testing.T) {
+	tree := twoTier(4, 4, 8, 5000, 10_000)
+	p := New(tree)
+	oldG := scalable(12)
+	res := mustPlace(t, p, oldG, place.HASpec{})
+	usedBefore := tree.SlotsTotal(tree.Root()) - tree.SlotsFree(tree.Root())
+
+	newG := scalable(4)
+	res, err := p.Resize(res, oldG, newG, newG.TierIndex("web"), place.HASpec{})
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if !res.Placement().Complete(newG) {
+		t.Fatalf("placement incomplete after shrink: %v", res.Placement().TierTotals(2))
+	}
+	usedAfter := tree.SlotsTotal(tree.Root()) - tree.SlotsFree(tree.Root())
+	if usedBefore-usedAfter != 8 {
+		t.Errorf("shrink freed %d slots, want 8", usedBefore-usedAfter)
+	}
+	checkReservations(t, tree, newG, res)
+	res.Release()
+}
+
+func TestResizeNoChange(t *testing.T) {
+	tree := twoTier(4, 4, 8, 5000, 10_000)
+	p := New(tree)
+	g := scalable(6)
+	res := mustPlace(t, p, g, place.HASpec{})
+	res, err := p.Resize(res, g, scalable(6), 0, place.HASpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReservations(t, tree, g, res)
+	res.Release()
+}
+
+func TestResizeGrowFailureRestores(t *testing.T) {
+	// A tiny datacenter: growth beyond capacity must fail and leave the
+	// original intact.
+	tree := rack(2, 8, 100_000)
+	p := New(tree)
+	oldG := scalable(6)
+	res := mustPlace(t, p, oldG, place.HASpec{})
+	freeBefore := tree.SlotsFree(tree.Root())
+	reservedBefore := tree.LevelReserved(0)
+
+	newG := scalable(20) // 20+6 > 16 slots
+	res, err := p.Resize(res, oldG, newG, 0, place.HASpec{})
+	if !errors.Is(err, place.ErrRejected) {
+		t.Fatalf("got %v, want ErrRejected", err)
+	}
+	if tree.SlotsFree(tree.Root()) != freeBefore {
+		t.Error("failed grow changed slot usage")
+	}
+	if tree.LevelReserved(0) != reservedBefore {
+		t.Error("failed grow changed reservations")
+	}
+	// The restored reservation is still the original tenant.
+	if !res.Placement().Complete(oldG) {
+		t.Error("restored reservation incomplete")
+	}
+	checkReservations(t, tree, oldG, res)
+	res.Release()
+	if tree.SlotsFree(tree.Root()) != 16 {
+		t.Error("release after failed grow leaked")
+	}
+}
+
+func TestResizeRejectsStructuralChanges(t *testing.T) {
+	tree := rack(4, 8, 100_000)
+	p := New(tree)
+	g := scalable(6)
+	res := mustPlace(t, p, g, place.HASpec{})
+
+	bad := scalable(6)
+	bad.Edges()[0].S = 999 // changed guarantee
+	if _, err := p.Resize(res, g, bad, 0, place.HASpec{}); err == nil {
+		t.Error("changed guarantees accepted")
+	}
+	other := tag.New("other")
+	other.AddTier("x", 6)
+	if _, err := p.Resize(res, g, other, 0, place.HASpec{}); err == nil {
+		t.Error("different structure accepted")
+	}
+	// Changing a non-target tier is rejected too.
+	bad2 := scalable(6)
+	bad2 = tag.New("scalable")
+	bad2.AddTier("web", 6)
+	bad2.AddTier("logic", 9) // logic changed but tier index says web
+	bad2.AddBidirectional(0, 1, 50, 100)
+	bad2.AddSelfLoop(1, 30)
+	if _, err := p.Resize(res, g, bad2, 0, place.HASpec{}); err == nil {
+		t.Error("non-target tier change accepted")
+	}
+	res.Release()
+}
+
+func TestResizeHonorsHA(t *testing.T) {
+	tree := rack(8, 8, 100_000)
+	p := New(tree)
+	spec := place.HASpec{RWCS: 0.5}
+	oldG := scalable(4)
+	res := mustPlace(t, p, oldG, spec)
+
+	newG := scalable(12)
+	res, err := p.Resize(res, oldG, newG, 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ha.WCS(tree, res.Placement(), newG.Tiers(), 0)
+	if w[0] < 0.5-1e-9 {
+		t.Errorf("WCS after HA grow = %g, want ≥ 0.5", w[0])
+	}
+	res.Release()
+}
+
+// TestResizeChurnProperty: a random sequence of grows and shrinks keeps
+// reservations consistent and releases cleanly.
+func TestResizeChurnProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tree := twoTier(4, 4, 8, 5000, 10_000)
+	p := New(tree)
+
+	size := 6
+	g := scalable(size)
+	res := mustPlace(t, p, g, place.HASpec{})
+	for i := 0; i < 40; i++ {
+		next := 1 + r.Intn(20)
+		newG := scalable(next)
+		var err error
+		res, err = p.Resize(res, g, newG, 0, place.HASpec{})
+		if err != nil {
+			// Rejected: the old graph still applies.
+			if !errors.Is(err, place.ErrRejected) {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			checkReservations(t, tree, g, res)
+			continue
+		}
+		g = newG
+		size = next
+		if !res.Placement().Complete(g) {
+			t.Fatalf("step %d: incomplete after resize to %d", i, size)
+		}
+		checkReservations(t, tree, g, res)
+	}
+	res.Release()
+	if tree.SlotsFree(tree.Root()) != tree.SlotsTotal(tree.Root()) {
+		t.Error("slots leaked after churn")
+	}
+	for l := 0; l <= tree.Height(); l++ {
+		if tree.LevelReserved(l) > 1e-6 {
+			t.Errorf("level %d leaked %g Mbps", l, tree.LevelReserved(l))
+		}
+	}
+}

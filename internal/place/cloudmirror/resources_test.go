@@ -1,0 +1,100 @@
+package cloudmirror
+
+import (
+	"errors"
+	"testing"
+
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// resourceRack builds a rack whose servers carry CPU and memory besides
+// slots.
+func resourceRack(servers, slots int, nic, cpu, mem float64) *topology.Tree {
+	return topology.New(topology.Spec{
+		SlotsPerServer: slots,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: servers, Uplink: nic},
+		},
+		Resources: []topology.ResourceSpec{
+			{Name: "cpu", PerServer: cpu},
+			{Name: "mem", PerServer: mem},
+		},
+	})
+}
+
+// TestResourceAwarePlacement: a CPU-hungry tier and a bandwidth-hungry
+// tier are interleaved across servers so both resources fit — the
+// heterogeneous Fig. 6 analogue.
+func TestResourceAwarePlacement(t *testing.T) {
+	// 4 servers × 4 slots, 16 CPU each (64 total). The heavy tier needs
+	// 8 CPU/VM (2 per server max), the light tier 1 CPU/VM. Packing two
+	// heavy VMs on a server exhausts its CPU and strands its remaining
+	// slots, so a feasible placement must interleave heavy and light
+	// VMs — the heterogeneous analogue of Fig. 6(d).
+	tree := resourceRack(4, 4, 10_000, 16, 256)
+	g := tag.New("mixed")
+	heavy := g.AddTier("cpu-heavy", 4)
+	light := g.AddTier("light", 8)
+	g.AddEdge(heavy, light, 10, 10)
+
+	req := &place.Request{
+		Graph: g, Model: g,
+		Resources: [][]float64{{8, 16}, {1, 4}},
+	}
+	res, err := New(tree).Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Placement().Complete(g) {
+		t.Fatal("placement incomplete")
+	}
+	// No server may exceed its CPU: at most 2 heavy VMs each, so the
+	// heavy tier spans at least 2 servers.
+	heavyServers := 0
+	for server, counts := range res.Placement() {
+		if counts[heavy] > 2 {
+			t.Errorf("server %d hosts %d heavy VMs (16 cpu limit allows 2)", server, counts[heavy])
+		}
+		if counts[heavy] > 0 {
+			heavyServers++
+		}
+	}
+	if heavyServers < 2 {
+		t.Errorf("heavy tier on %d servers, want ≥ 2", heavyServers)
+	}
+	res.Release()
+	if tree.ResourceFree(tree.Root(), 0) != 64 {
+		t.Errorf("cpu not fully released: %g", tree.ResourceFree(tree.Root(), 0))
+	}
+}
+
+// TestResourceRejection: a tenant whose aggregate CPU demand exceeds the
+// datacenter is rejected cleanly with everything restored.
+func TestResourceRejection(t *testing.T) {
+	tree := resourceRack(2, 8, 10_000, 16, 64)
+	g := tag.New("hog")
+	g.AddTier("a", 8) // 8 VMs × 8 cpu = 64 > 2×16
+	req := &place.Request{Graph: g, Model: g, Resources: [][]float64{{8, 1}}}
+	if _, err := New(tree).Place(req); !errors.Is(err, place.ErrRejected) {
+		t.Fatalf("got %v, want ErrRejected", err)
+	}
+	if tree.ResourceFree(tree.Root(), 0) != 32 || tree.SlotsFree(tree.Root()) != 16 {
+		t.Error("rejection leaked resources")
+	}
+}
+
+// TestSlotOnlyTenantsUnaffected: tenants without demand vectors place on
+// resource topologies exactly as before (resources untouched).
+func TestSlotOnlyTenantsUnaffected(t *testing.T) {
+	tree := resourceRack(2, 8, 10_000, 16, 64)
+	g := tag.New("plain")
+	a := g.AddTier("a", 6)
+	g.AddSelfLoop(a, 10)
+	res := mustPlace(t, New(tree), g, place.HASpec{})
+	if tree.ResourceFree(tree.Root(), 0) != 32 {
+		t.Error("slot-only tenant consumed resources")
+	}
+	res.Release()
+}

@@ -1,0 +1,165 @@
+package oktopus
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cloudmirror/internal/ha"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+	"cloudmirror/internal/voc"
+)
+
+func twoTier(serversPerTor, tors, slots int, nic, torUp float64) *topology.Tree {
+	return topology.New(topology.Spec{
+		SlotsPerServer: slots,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: serversPerTor, Uplink: nic},
+			{Name: "tor", Fanout: tors, Uplink: torUp},
+		},
+	})
+}
+
+func vocReq(g *tag.Graph, h place.HASpec) *place.Request {
+	return &place.Request{Graph: g, Model: voc.FromTAG(g), HA: h}
+}
+
+// TestClusterLocality: Oktopus packs each cluster into the lowest subtree
+// that fits it — a cluster with a hose reserves nothing once colocated.
+func TestClusterLocality(t *testing.T) {
+	tree := twoTier(4, 2, 8, 10_000, 20_000)
+	g := tag.New("mr")
+	a := g.AddTier("a", 8)
+	g.AddSelfLoop(a, 100)
+
+	p := New(tree)
+	res, err := p.Place(vocReq(g, place.HASpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placement()) != 1 {
+		t.Errorf("cluster spans %d servers, want 1", len(res.Placement()))
+	}
+	if res.TotalReserved() != 0 {
+		t.Errorf("TotalReserved = %g, want 0", res.TotalReserved())
+	}
+	res.Release()
+}
+
+// TestStormOverReservation reproduces the §2.2/Fig. 3 inefficiency:
+// placing the Storm TAG as a VOC reserves twice the actual cross-branch
+// requirement, because the VOC aggregates inter-cluster guarantees.
+func TestStormOverReservation(t *testing.T) {
+	const s, b = 5, 100.0
+	tree := twoTier(2, 2, 5, 100_000, 100_000)
+	g := tag.New("storm")
+	spout1 := g.AddTier("spout1", s)
+	bolt1 := g.AddTier("bolt1", s)
+	bolt2 := g.AddTier("bolt2", s)
+	bolt3 := g.AddTier("bolt3", s)
+	g.AddEdge(spout1, bolt1, b, b)
+	g.AddEdge(spout1, bolt2, b, b)
+	g.AddEdge(bolt2, bolt3, b, b)
+
+	p := New(tree)
+	res, err := p.Place(vocReq(g, place.HASpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the split across ToRs, the VOC model reserves at least
+	// 2·S·B summed over ToR uplinks: twice the TAG's S·B trunk. (Each
+	// component fills a server, so two components share each ToR.)
+	torTotal := 0.0
+	for _, tor := range tree.NodesAtLevel(1) {
+		out, in := res.ReservedOn(tor)
+		torTotal += out + in
+	}
+	if torTotal < 2*s*b-1e-6 {
+		t.Errorf("ToR-level VOC reservation = %g, want ≥ %g", torTotal, 2*s*b)
+	}
+	res.Release()
+}
+
+// TestWCSGuarantee: the Eq. 7 cap extension works for Oktopus too
+// (OVOC+HA in Fig. 11).
+func TestWCSGuarantee(t *testing.T) {
+	tree := twoTier(4, 2, 8, 100_000, 100_000)
+	g := tag.New("svc")
+	a := g.AddTier("a", 8)
+	g.AddSelfLoop(a, 10)
+
+	p := New(tree)
+	for _, rwcs := range []float64{0.25, 0.5, 0.75} {
+		res, err := p.Place(vocReq(g, place.HASpec{RWCS: rwcs}))
+		if err != nil {
+			t.Fatalf("RWCS=%g: %v", rwcs, err)
+		}
+		w := ha.WCS(tree, res.Placement(), g.Tiers(), 0)
+		if w[0] < rwcs-1e-9 {
+			t.Errorf("RWCS=%g: achieved %g", rwcs, w[0])
+		}
+		res.Release()
+	}
+}
+
+// TestRejectCleanly: rejection leaves the tree untouched.
+func TestRejectCleanly(t *testing.T) {
+	tree := twoTier(2, 2, 2, 100, 50)
+	g := tag.New("heavy")
+	a := g.AddTier("a", 4)
+	b := g.AddTier("b", 4)
+	g.AddEdge(a, b, 400, 400)
+
+	p := New(tree)
+	if _, err := p.Place(vocReq(g, place.HASpec{})); !errors.Is(err, place.ErrRejected) {
+		t.Fatalf("got %v, want ErrRejected", err)
+	}
+	if tree.SlotsFree(tree.Root()) != 8 {
+		t.Error("slots leaked")
+	}
+	for l := 0; l <= tree.Height(); l++ {
+		if tree.LevelReserved(l) != 0 {
+			t.Errorf("level %d leaked reservations", l)
+		}
+	}
+}
+
+// TestReservationsMatchModel: the committed ledger equals the VOC cut at
+// every node.
+func TestReservationsMatchModel(t *testing.T) {
+	tree := twoTier(4, 4, 4, 50_000, 100_000)
+	g := tag.New("app")
+	w := g.AddTier("web", 6)
+	l := g.AddTier("logic", 6)
+	d := g.AddTier("db", 6)
+	g.AddBidirectional(w, l, 100, 100)
+	g.AddBidirectional(l, d, 50, 50)
+	g.AddSelfLoop(d, 30)
+	m := voc.FromTAG(g)
+
+	p := New(tree)
+	res, err := p.Place(&place.Request{Graph: g, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := place.AggregateCounts(tree, m.Tiers(), res.Placement())
+	for n, c := range counts {
+		if n == tree.Root() {
+			continue
+		}
+		wantOut, wantIn := m.Cut(c)
+		out, in := res.ReservedOn(n)
+		if math.Abs(out-wantOut) > 1e-6 || math.Abs(in-wantIn) > 1e-6 {
+			t.Errorf("node %d: reserved (%g,%g), want (%g,%g)", n, out, in, wantOut, wantIn)
+		}
+	}
+	res.Release()
+}
+
+func TestName(t *testing.T) {
+	if New(twoTier(2, 2, 2, 1, 1)).Name() != "OVOC" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,179 @@
+// Package place defines the placement framework shared by every
+// algorithm in this repository: the bandwidth-model interface, tenant
+// requests with optional high-availability goals, placements, and a
+// transactional reservation ledger over a datacenter tree.
+//
+// The central abstraction is Model: given how many VMs of each tier sit
+// inside a subtree, a Model returns the bandwidth the tenant needs across
+// the subtree's uplink (Eq. 1 of the CloudMirror paper for TAGs,
+// footnote 7 for VOC, plain sums for pipes, the classic hose cut for
+// hoses). Placement algorithms and the reservation machinery only see
+// this interface, so "same placement, different abstraction" comparisons
+// (Table 1) fall out naturally.
+package place
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// Model is a tenant bandwidth abstraction: anything that can price a
+// subtree cut. tag.Graph, voc.Model, hose.Model and pipe.Model all
+// implement it.
+type Model interface {
+	// Tiers returns the number of tiers (VM groups) in the tenant.
+	Tiers() int
+	// TierSize returns the number of placeable VMs in tier t (0 for
+	// external components).
+	TierSize(t int) int
+	// Cut returns the bandwidth required on the uplink of a subtree that
+	// contains inside[t] VMs of each tier, for the outgoing
+	// (toward-root) and incoming directions.
+	Cut(inside []int) (out, in float64)
+}
+
+// Compile-time check that the TAG implements Model (the other models are
+// checked in their own packages' tests to avoid import cycles).
+var _ Model = (*tag.Graph)(nil)
+
+// HASpec expresses a tenant's high-availability requirement (§4.5).
+type HASpec struct {
+	// RWCS is the required worst-case survivability in [0,1): the
+	// fraction of each tier that must survive the failure of any single
+	// fault domain. Zero means no HA guarantee.
+	RWCS float64
+	// LAA is the anti-affinity level: the topology level of the fault
+	// domain (0 = server, the paper's default).
+	LAA int
+	// Opportunistic requests best-effort anti-affinity with no
+	// guarantee: the placer spreads VMs when bandwidth saving is
+	// infeasible or undesirable (§4.5 "Opportunistic Anti-Affinity").
+	Opportunistic bool
+}
+
+// Guaranteed reports whether the spec carries a hard WCS requirement.
+func (h HASpec) Guaranteed() bool { return h.RWCS > 0 }
+
+// MaxPerDomain returns the Eq. 7 cap: the maximum number of VMs of a tier
+// of the given size that may share one fault domain while guaranteeing
+// RWCS. Without a guarantee the cap is the tier size itself.
+func (h HASpec) MaxPerDomain(tierSize int) int {
+	if !h.Guaranteed() {
+		return tierSize
+	}
+	cap := int(float64(tierSize) * (1 - h.RWCS))
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// Request is one tenant's placement request.
+type Request struct {
+	// ID identifies the tenant within a simulation run.
+	ID int64
+	// Graph is the tenant's TAG. Structure-aware placers (CloudMirror)
+	// use it for colocation decisions; it may be nil for placers that
+	// only need Model.
+	Graph *tag.Graph
+	// Model prices subtree cuts for admission and reservation. Usually
+	// the Graph itself, but Table 1's CM+VOC accounting swaps in a VOC.
+	Model Model
+	// HA is the tenant's availability requirement; the zero value means
+	// none.
+	HA HASpec
+	// Resources optionally gives each tier's per-VM demand vector for
+	// the topology's declared resource dimensions (CPU, memory).
+	// Resources[t][r] is one tier-t VM's demand for resource r. Nil
+	// means slot-only placement.
+	Resources [][]float64
+}
+
+// VMs returns the total number of placeable VMs in the request.
+func (r *Request) VMs() int {
+	n := 0
+	for t := 0; t < r.Model.Tiers(); t++ {
+		n += r.Model.TierSize(t)
+	}
+	return n
+}
+
+// ErrRejected is wrapped by every placement failure that means "the
+// datacenter cannot host this tenant right now" (as opposed to a malformed
+// request).
+var ErrRejected = errors.New("request rejected")
+
+// Placer places tenant requests onto a datacenter tree. Implementations
+// must either return a live Reservation or leave the tree exactly as it
+// was.
+type Placer interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Place attempts to place the request, reserving slots and
+	// bandwidth. A nil error guarantees a non-nil Reservation.
+	Place(req *Request) (*Reservation, error)
+}
+
+// Placement records where a tenant's VMs landed: per-server, per-tier VM
+// counts. VMs within a tier are fungible (identical slots, §4.4), so
+// counts suffice.
+type Placement map[topology.NodeID][]int
+
+// Add records k VMs of tier t on the given server.
+func (p Placement) Add(server topology.NodeID, tiers int, t, k int) {
+	c := p[server]
+	if c == nil {
+		c = make([]int, tiers)
+		p[server] = c
+	}
+	c[t] += k
+}
+
+// VMs returns the total number of VMs placed.
+func (p Placement) VMs() int {
+	n := 0
+	for _, c := range p {
+		for _, k := range c {
+			n += k
+		}
+	}
+	return n
+}
+
+// TierTotals returns the per-tier totals of the placement.
+func (p Placement) TierTotals(tiers int) []int {
+	tot := make([]int, tiers)
+	for _, c := range p {
+		for t, k := range c {
+			tot[t] += k
+		}
+	}
+	return tot
+}
+
+// Clone returns a deep copy.
+func (p Placement) Clone() Placement {
+	c := make(Placement, len(p))
+	for n, v := range p {
+		c[n] = append([]int(nil), v...)
+	}
+	return c
+}
+
+// Complete reports whether the placement covers every VM of the model.
+func (p Placement) Complete(m Model) bool {
+	tot := p.TierTotals(m.Tiers())
+	for t := range tot {
+		if tot[t] != m.TierSize(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Placement) String() string {
+	return fmt.Sprintf("Placement{%d servers, %d VMs}", len(p), p.VMs())
+}

@@ -1,0 +1,292 @@
+package place
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+func testTree() *topology.Tree {
+	return topology.New(topology.Spec{
+		SlotsPerServer: 4,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: 4, Uplink: 1000},
+			{Name: "tor", Fanout: 2, Uplink: 1500},
+		},
+	})
+}
+
+func twoTier() *tag.Graph {
+	g := tag.New("t")
+	a := g.AddTier("a", 4)
+	b := g.AddTier("b", 4)
+	g.AddEdge(a, b, 100, 100)
+	g.AddSelfLoop(b, 50)
+	return g
+}
+
+func TestHASpecMaxPerDomain(t *testing.T) {
+	cases := []struct {
+		rwcs float64
+		n    int
+		want int
+	}{
+		{0, 10, 10},   // no guarantee
+		{0.5, 10, 5},  // Eq. 7: int(10*0.5)
+		{0.75, 10, 2}, // int(10*0.25)
+		{0.75, 4, 1},  // int(1) = 1
+		{0.9, 3, 1},   // max(1, int(0.3)) = 1
+		{0.25, 8, 6},  // int(8*0.75)
+	}
+	for _, c := range cases {
+		h := HASpec{RWCS: c.rwcs}
+		if got := h.MaxPerDomain(c.n); got != c.want {
+			t.Errorf("MaxPerDomain(rwcs=%g, n=%d) = %d, want %d", c.rwcs, c.n, got, c.want)
+		}
+	}
+	if (HASpec{}).Guaranteed() || !(HASpec{RWCS: 0.5}).Guaranteed() {
+		t.Error("Guaranteed wrong")
+	}
+}
+
+func TestTxnPlaceAndCounts(t *testing.T) {
+	tr := testTree()
+	g := twoTier()
+	tx := NewTxn(tr, g)
+
+	s0, s1 := tr.Servers()[0], tr.Servers()[4] // different tors
+	if err := tx.Place(s0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Place(s1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Placed() != 5 || tx.PlacedOf(0) != 3 || tx.PlacedOf(1) != 2 {
+		t.Error("placed totals wrong")
+	}
+	if tx.CountOf(tr.Parent(s0), 0) != 3 || tx.CountOf(tr.Parent(s1), 1) != 2 {
+		t.Error("ancestor counts wrong")
+	}
+	if tr.SlotsFree(s0) != 1 || tr.SlotsFree(tr.Root()) != 32-5 {
+		t.Error("slots not consumed")
+	}
+	// Overfilling a server fails cleanly.
+	if err := tx.Place(s0, 1, 2); !errors.Is(err, topology.ErrNoSlots) {
+		t.Errorf("expected ErrNoSlots, got %v", err)
+	}
+
+	tx.Unplace(s0, 0, 1)
+	if tx.Placed() != 4 || tx.CountOf(s0, 0) != 2 {
+		t.Error("unplace not reflected")
+	}
+	tx.ReleaseAll()
+	if tr.SlotsFree(tr.Root()) != 32 {
+		t.Error("ReleaseAll did not restore slots")
+	}
+}
+
+func TestTxnSyncReservesCuts(t *testing.T) {
+	tr := testTree()
+	g := twoTier()
+	tx := NewTxn(tr, g)
+
+	s0 := tr.Servers()[0]
+	if err := tx.Place(s0, 0, 4); err != nil { // all of tier a on one server
+		t.Fatal(err)
+	}
+	if err := tx.SyncPath(s0); err != nil {
+		t.Fatal(err)
+	}
+	// Cut with all of a inside: trunk out = min(4*100, 4*100) = 400.
+	out, in := tr.UplinkReserved(s0)
+	if out != 400 || in != 0 {
+		t.Errorf("server uplink reserved (%g,%g), want (400,0)", out, in)
+	}
+	out, in = tr.UplinkReserved(tr.Parent(s0))
+	if out != 400 || in != 0 {
+		t.Errorf("tor uplink reserved (%g,%g), want (400,0)", out, in)
+	}
+
+	// Now place all of b on another server under the same tor: the tor
+	// uplink requirement drops to zero after re-sync.
+	s1 := tr.Servers()[1]
+	if err := tx.Place(s1, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	out, in = tr.UplinkReserved(tr.Parent(s0))
+	if out != 0 || in != 0 {
+		t.Errorf("tor uplink after colocation (%g,%g), want (0,0)", out, in)
+	}
+	// b's server carries trunk-in 400 plus hose min(4,0)=0.
+	out, in = tr.UplinkReserved(s1)
+	if out != 0 || in != 400 {
+		t.Errorf("s1 uplink (%g,%g), want (0,400)", out, in)
+	}
+
+	res := tx.Commit()
+	if res.Placement().VMs() != 8 || !res.Placement().Complete(g) {
+		t.Error("committed placement incomplete")
+	}
+	total := res.TotalReserved()
+	if total != 800 { // 400 out on s0 + 400 in on s1
+		t.Errorf("TotalReserved = %g, want 800", total)
+	}
+	res.Release()
+	if tr.SlotsFree(tr.Root()) != 32 || tr.LevelReserved(0) != 0 || tr.LevelReserved(1) != 0 {
+		t.Error("Release did not restore the tree")
+	}
+	res.Release() // idempotent
+}
+
+func TestTxnSyncFailureReverts(t *testing.T) {
+	tr := testTree()
+	g := tag.New("big")
+	a := g.AddTier("a", 4)
+	b := g.AddTier("b", 4)
+	g.AddEdge(a, b, 600, 600) // cut 2400 exceeds the 1500 tor uplink
+
+	tx := NewTxn(tr, g)
+	s0 := tr.Servers()[0]
+	if err := tx.Place(s0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Server uplink 1000 < 2400 -> sync must fail and leave nothing.
+	if err := tx.SyncPath(s0); !errors.Is(err, ErrRejected) {
+		t.Fatalf("expected ErrRejected, got %v", err)
+	}
+	if out, in := tr.UplinkReserved(s0); out != 0 || in != 0 {
+		t.Errorf("failed sync left (%g,%g) reserved", out, in)
+	}
+	tx.ReleaseAll()
+	if tr.SlotsFree(tr.Root()) != 32 {
+		t.Error("rollback incomplete")
+	}
+}
+
+func TestUnplacePanicsOnExcess(t *testing.T) {
+	tr := testTree()
+	tx := NewTxn(tr, twoTier())
+	defer func() {
+		if recover() == nil {
+			t.Error("excess Unplace did not panic")
+		}
+	}()
+	tx.Unplace(tr.Servers()[0], 0, 1)
+}
+
+func TestAccount(t *testing.T) {
+	tr := testTree()
+	g := twoTier()
+	pl := Placement{}
+	pl.Add(tr.Servers()[0], 2, 0, 4)
+	pl.Add(tr.Servers()[4], 2, 1, 4)
+
+	res, err := Account(tr, g, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's server, its tor: trunk 400 out. b's server & tor: 400 in.
+	if out, _ := tr.UplinkReserved(tr.Servers()[0]); out != 400 {
+		t.Errorf("server0 out = %g, want 400", out)
+	}
+	if _, in := tr.UplinkReserved(tr.Parent(tr.Servers()[4])); in != 400 {
+		t.Errorf("tor1 in = %g, want 400", in)
+	}
+	// Slots were NOT consumed (pure accounting).
+	if tr.SlotsFree(tr.Root()) != 32 {
+		t.Error("Account consumed slots")
+	}
+	res.Release()
+	if tr.LevelReserved(0) != 0 || tr.LevelReserved(1) != 0 {
+		t.Error("Release left reservations")
+	}
+}
+
+func TestAccountFailureRollsBack(t *testing.T) {
+	tr := testTree()
+	g := tag.New("big")
+	a := g.AddTier("a", 4)
+	b := g.AddTier("b", 4)
+	g.AddEdge(a, b, 600, 600)
+	pl := Placement{}
+	pl.Add(tr.Servers()[0], 2, 0, 4)
+	pl.Add(tr.Servers()[4], 2, 1, 4)
+	if _, err := Account(tr, g, pl); err == nil {
+		t.Fatal("expected failure")
+	}
+	if tr.LevelReserved(0) != 0 && tr.LevelReserved(1) != 0 {
+		t.Error("failed Account left reservations")
+	}
+}
+
+// TestTxnRoundTripProperty: any random sequence of placements and syncs,
+// followed by ReleaseAll, leaves the tree pristine.
+func TestTxnRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := testTree()
+		g := twoTier()
+		tx := NewTxn(tr, g)
+		servers := tr.Servers()
+		for i := 0; i < 30; i++ {
+			s := servers[r.Intn(len(servers))]
+			tier := r.Intn(2)
+			switch r.Intn(3) {
+			case 0:
+				k := 1 + r.Intn(2)
+				if tx.PlacedOf(tier)+k <= g.TierSize(tier) {
+					_ = tx.Place(s, tier, k)
+				}
+			case 1:
+				if n := tx.CountOf(s, tier); n > 0 {
+					tx.Unplace(s, tier, 1)
+				}
+			case 2:
+				_ = tx.SyncAll()
+			}
+		}
+		tx.ReleaseAll()
+		if tr.SlotsFree(tr.Root()) != 32 {
+			return false
+		}
+		for l := 0; l <= tr.Height(); l++ {
+			if tr.LevelReserved(l) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlacementHelpers(t *testing.T) {
+	g := twoTier()
+	pl := Placement{}
+	pl.Add(3, 2, 0, 2)
+	pl.Add(3, 2, 1, 1)
+	pl.Add(5, 2, 0, 2)
+	if pl.VMs() != 5 {
+		t.Errorf("VMs = %d, want 5", pl.VMs())
+	}
+	tot := pl.TierTotals(2)
+	if tot[0] != 4 || tot[1] != 1 {
+		t.Errorf("TierTotals = %v", tot)
+	}
+	if pl.Complete(g) {
+		t.Error("incomplete placement reported complete")
+	}
+	c := pl.Clone()
+	c.Add(3, 2, 0, 1)
+	if pl[3][0] != 2 {
+		t.Error("Clone aliases storage")
+	}
+}

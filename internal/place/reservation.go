@@ -1,0 +1,164 @@
+package place
+
+import (
+	"sort"
+
+	"cloudmirror/internal/topology"
+)
+
+// Reservation is a committed tenant: its placement plus every slot and
+// bandwidth resource it holds. Release returns everything to the tree
+// (tenant departure).
+type Reservation struct {
+	tree      *topology.Tree
+	placement Placement
+	reserved  map[topology.NodeID][2]float64
+	resources [][]float64
+	released  bool
+	// ownsSlots is false for accounting-only reservations (Account),
+	// which never consumed VM slots and must not release them.
+	ownsSlots bool
+}
+
+// Placement returns where the tenant's VMs are. The map must not be
+// modified.
+func (r *Reservation) Placement() Placement { return r.placement }
+
+// ReservedOn returns the (out, in) bandwidth the tenant holds on node n's
+// uplink.
+func (r *Reservation) ReservedOn(n topology.NodeID) (out, in float64) {
+	v := r.reserved[n]
+	return v[0], v[1]
+}
+
+// TotalReserved returns the tenant's total reserved bandwidth summed over
+// all uplinks and both directions.
+func (r *Reservation) TotalReserved() float64 {
+	var sum float64
+	for _, v := range r.reserved {
+		sum += v[0] + v[1]
+	}
+	return sum
+}
+
+// Release frees every slot and bandwidth reservation the tenant holds.
+// Safe to call once; subsequent calls are no-ops.
+func (r *Reservation) Release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	for n, v := range r.reserved {
+		r.tree.Release(n, v[0], v[1])
+	}
+	if !r.ownsSlots {
+		return
+	}
+	for server, counts := range r.placement {
+		total := 0
+		for t, k := range counts {
+			total += k
+			if k > 0 && r.resources != nil {
+				r.tree.ReleaseResources(server, k, r.resources[t])
+			}
+		}
+		if total > 0 {
+			r.tree.ReleaseSlots(server, total)
+		}
+	}
+}
+
+// Reopen converts a committed reservation back into a live transaction
+// holding the same slots and bandwidth, so a placer can modify the
+// tenant incrementally (auto-scaling, §6). The reservation is consumed:
+// it must not be used (or released) afterwards; commit or release the
+// returned transaction instead. model is the bandwidth model to continue
+// under, typically the tenant's (possibly resized) TAG.
+func (r *Reservation) Reopen(model Model) *Txn {
+	if r.released {
+		panic("place: Reopen of a released reservation")
+	}
+	if !r.ownsSlots {
+		panic("place: Reopen of an accounting-only reservation")
+	}
+	r.released = true // ownership moves to the transaction
+	tx := &Txn{
+		tree:      r.tree,
+		model:     model,
+		counts:    make(map[topology.NodeID][]int),
+		reserved:  r.reserved,
+		resources: r.resources,
+	}
+	tiers := model.Tiers()
+	for server, c := range r.placement {
+		r.tree.PathToRoot(server, func(n topology.NodeID) {
+			agg := tx.counts[n]
+			if agg == nil {
+				agg = make([]int, tiers)
+				tx.counts[n] = agg
+			}
+			for t, k := range c {
+				agg[t] += k
+			}
+		})
+		for _, k := range c {
+			tx.placed += k
+		}
+	}
+	return tx
+}
+
+// Account reserves, on a tree used purely for bandwidth accounting, the
+// reservations the given model implies for an existing placement — no VM
+// slots are consumed. This is how Table 1 prices the CM+TAG placement
+// under the VOC model ("CM+VOC uses the placement obtained by CM+TAG but
+// reports the bandwidth allocation resulting from modeling the tenants
+// using VOC").
+func Account(tree *topology.Tree, model Model, pl Placement) (*Reservation, error) {
+	counts := AggregateCounts(tree, model.Tiers(), pl)
+	res := &Reservation{
+		tree:      tree,
+		placement: pl,
+		reserved:  make(map[topology.NodeID][2]float64, len(counts)),
+	}
+	// Deterministic order so failures are reproducible.
+	nodes := make([]topology.NodeID, 0, len(counts))
+	for n := range counts {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		if n == tree.Root() {
+			continue
+		}
+		out, in := model.Cut(counts[n])
+		if out == 0 && in == 0 {
+			continue
+		}
+		if err := tree.Reserve(n, out, in); err != nil {
+			res.Release()
+			return nil, err
+		}
+		res.reserved[n] = [2]float64{out, in}
+	}
+	return res, nil
+}
+
+// AggregateCounts expands a per-server placement into per-node inside
+// counts for every server and ancestor that holds at least one VM.
+func AggregateCounts(tree *topology.Tree, tiers int, pl Placement) map[topology.NodeID][]int {
+	counts := make(map[topology.NodeID][]int)
+	for server, c := range pl {
+		tree.PathToRoot(server, func(n topology.NodeID) {
+			agg := counts[n]
+			if agg == nil {
+				agg = make([]int, tiers)
+				counts[n] = agg
+			}
+			for t, k := range c {
+				agg[t] += k
+			}
+		})
+	}
+	return counts
+}

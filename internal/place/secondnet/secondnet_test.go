@@ -1,0 +1,115 @@
+package secondnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cloudmirror/internal/pipe"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+func twoTier(serversPerTor, tors, slots int, nic, torUp float64) *topology.Tree {
+	return topology.New(topology.Spec{
+		SlotsPerServer: slots,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: serversPerTor, Uplink: nic},
+			{Name: "tor", Fanout: tors, Uplink: torUp},
+		},
+	})
+}
+
+// TestPairsColocate: communicating VMs attract — the greedy min-cost
+// choice colocates pipe endpoints, zeroing reservations.
+func TestPairsColocate(t *testing.T) {
+	tree := twoTier(4, 2, 4, 1000, 2000)
+	g := tag.New("pair")
+	a := g.AddTier("a", 2)
+	b := g.AddTier("b", 2)
+	g.AddEdge(a, b, 100, 100)
+
+	p := New(tree)
+	res, err := p.Place(&place.Request{Graph: g, Model: pipe.FromTAG(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four VMs fit on one server, and pipes between colocated VMs
+	// cost nothing, so the greedy should reserve zero.
+	if res.TotalReserved() > 1e-9 {
+		t.Errorf("TotalReserved = %g, want 0", res.TotalReserved())
+	}
+	res.Release()
+}
+
+// TestExactPipeAccounting: reservations equal the pipe-model cut.
+func TestExactPipeAccounting(t *testing.T) {
+	tree := twoTier(4, 2, 2, 10_000, 20_000)
+	g := tag.New("span")
+	a := g.AddTier("a", 4)
+	b := g.AddTier("b", 4)
+	g.AddEdge(a, b, 60, 60)
+	g.AddSelfLoop(a, 30)
+	m := pipe.FromTAG(g)
+
+	p := New(tree)
+	res, err := p.Place(&place.Request{Graph: g, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := place.AggregateCounts(tree, m.Tiers(), res.Placement())
+	for n, c := range counts {
+		if n == tree.Root() {
+			continue
+		}
+		wantOut, wantIn := m.Cut(c)
+		out, in := res.ReservedOn(n)
+		if math.Abs(out-wantOut) > 1e-6 || math.Abs(in-wantIn) > 1e-6 {
+			t.Errorf("node %d: reserved (%g,%g), want (%g,%g)", n, out, in, wantOut, wantIn)
+		}
+	}
+	res.Release()
+	if tree.SlotsFree(tree.Root()) != 16 {
+		t.Error("release leaked slots")
+	}
+}
+
+// TestRejectCleanly: infeasible pipes reject without leaking.
+func TestRejectCleanly(t *testing.T) {
+	tree := twoTier(2, 2, 1, 50, 50)
+	g := tag.New("heavy")
+	a := g.AddTier("a", 2)
+	b := g.AddTier("b", 2)
+	g.AddEdge(a, b, 200, 200)
+
+	p := New(tree)
+	if _, err := p.Place(&place.Request{Graph: g, Model: pipe.FromTAG(g)}); !errors.Is(err, place.ErrRejected) {
+		t.Fatalf("got %v, want ErrRejected", err)
+	}
+	if tree.SlotsFree(tree.Root()) != 4 {
+		t.Error("slots leaked")
+	}
+	for l := 0; l <= tree.Height(); l++ {
+		if tree.LevelReserved(l) != 0 {
+			t.Errorf("level %d leaked reservations", l)
+		}
+	}
+}
+
+// TestTooBigRejects: slot exhaustion.
+func TestTooBigRejects(t *testing.T) {
+	tree := twoTier(2, 2, 1, 1000, 1000)
+	g := tag.New("big")
+	g.AddTier("a", 5)
+	p := New(tree)
+	if _, err := p.Place(&place.Request{Graph: g, Model: pipe.FromTAG(g)}); !errors.Is(err, place.ErrRejected) {
+		t.Fatalf("got %v, want ErrRejected", err)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(twoTier(2, 2, 2, 1, 1)).Name() != "SecondNet" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,277 @@
+package place
+
+import (
+	"fmt"
+
+	"cloudmirror/internal/topology"
+)
+
+// Txn is a transactional placement attempt for one tenant. It tracks the
+// tenant's per-subtree VM counts, consumes VM slots immediately (so
+// concurrent-in-algorithm decisions see true availability), and maintains
+// bandwidth reservations that can be recomputed idempotently as VMs are
+// placed or unplaced — the ReserveBW/Dealloc primitives of Algorithm 1.
+//
+// Either Commit is called, transferring ownership of all resources to the
+// returned Reservation, or ReleaseAll, restoring the tree exactly.
+type Txn struct {
+	tree  *topology.Tree
+	model Model
+
+	// counts maps every touched node (servers that host VMs and all
+	// their ancestors) to the tenant's per-tier VM counts inside that
+	// node's subtree.
+	counts map[topology.NodeID][]int
+	// reserved maps nodes to the (out, in) bandwidth currently reserved
+	// on their uplinks by this transaction.
+	reserved map[topology.NodeID][2]float64
+	// resources holds the per-tier per-VM demand vectors (nil for
+	// slot-only tenants).
+	resources [][]float64
+	placed    int
+}
+
+// NewTxn starts a placement transaction for the given model on the tree.
+func NewTxn(tree *topology.Tree, model Model) *Txn {
+	return &Txn{
+		tree:     tree,
+		model:    model,
+		counts:   make(map[topology.NodeID][]int),
+		reserved: make(map[topology.NodeID][2]float64),
+	}
+}
+
+// SetModel swaps the bandwidth model mid-transaction. Reservations are
+// reconciled against the new model on the next Sync. Auto-scaling uses
+// this: a tier-size change alters every cut, so the resized tenant's
+// graph replaces the original before re-synchronizing.
+func (tx *Txn) SetModel(m Model) {
+	if m.Tiers() != tx.model.Tiers() {
+		panic("place: SetModel with different tier count")
+	}
+	tx.model = m
+}
+
+// Tree returns the underlying topology.
+func (tx *Txn) Tree() *topology.Tree { return tx.tree }
+
+// Model returns the bandwidth model being placed.
+func (tx *Txn) Model() Model { return tx.model }
+
+// SetResources installs the per-tier per-VM demand vectors consumed by
+// subsequent Place calls. Must be set before any placement.
+func (tx *Txn) SetResources(res [][]float64) {
+	if tx.placed > 0 {
+		panic("place: SetResources after placements")
+	}
+	tx.resources = res
+}
+
+// tierDemand returns tier t's per-VM demand vector, nil when slot-only.
+func (tx *Txn) tierDemand(t int) []float64 {
+	if tx.resources == nil {
+		return nil
+	}
+	return tx.resources[t]
+}
+
+// Place puts k VMs of tier t on the given server, consuming slots and
+// declared resources. It does not touch bandwidth; call Sync afterwards.
+func (tx *Txn) Place(server topology.NodeID, t, k int) error {
+	if k == 0 {
+		return nil
+	}
+	if err := tx.tree.UseResources(server, k, tx.tierDemand(t)); err != nil {
+		return fmt.Errorf("%w: %v", topology.ErrNoSlots, err)
+	}
+	if err := tx.tree.UseSlots(server, k); err != nil {
+		tx.tree.ReleaseResources(server, k, tx.tierDemand(t))
+		return err
+	}
+	tx.tree.PathToRoot(server, func(n topology.NodeID) {
+		c := tx.counts[n]
+		if c == nil {
+			c = make([]int, tx.model.Tiers())
+			tx.counts[n] = c
+		}
+		c[t] += k
+	})
+	tx.placed += k
+	return nil
+}
+
+// Unplace removes k VMs of tier t from the given server, releasing their
+// slots. Bandwidth reservations are corrected by the next Sync.
+func (tx *Txn) Unplace(server topology.NodeID, t, k int) {
+	if k == 0 {
+		return
+	}
+	if tx.counts[server] == nil || tx.counts[server][t] < k {
+		panic(fmt.Sprintf("place: Unplace(%d, tier %d, %d) exceeds placed count", server, t, k))
+	}
+	tx.tree.ReleaseSlots(server, k)
+	tx.tree.ReleaseResources(server, k, tx.tierDemand(t))
+	tx.tree.PathToRoot(server, func(n topology.NodeID) {
+		c := tx.counts[n]
+		c[t] -= k
+	})
+	tx.placed -= k
+}
+
+// Count returns the tenant's per-tier counts inside node n's subtree
+// (nil if the subtree holds none). The slice must not be modified.
+func (tx *Txn) Count(n topology.NodeID) []int { return tx.counts[n] }
+
+// CountOf returns the tenant's count of tier t inside node n's subtree.
+func (tx *Txn) CountOf(n topology.NodeID, t int) int {
+	if c := tx.counts[n]; c != nil {
+		return c[t]
+	}
+	return 0
+}
+
+// Placed returns the total number of VMs placed so far.
+func (tx *Txn) Placed() int { return tx.placed }
+
+// PlacedOf returns the number of tier-t VMs placed so far.
+func (tx *Txn) PlacedOf(t int) int { return tx.CountOf(tx.tree.Root(), t) }
+
+// desired returns the reservation node n's uplink needs given current
+// counts: the model cut of its subtree. The root needs none (no uplink).
+func (tx *Txn) desired(n topology.NodeID) (out, in float64) {
+	if n == tx.tree.Root() {
+		return 0, 0
+	}
+	c := tx.counts[n]
+	if c == nil {
+		return 0, 0
+	}
+	return tx.model.Cut(c)
+}
+
+// Sync reconciles bandwidth reservations with current VM counts for every
+// touched node in the subtree rooted at n, including n's own uplink. It
+// is idempotent. On failure (some uplink lacks capacity) every change
+// made by this call is reverted and the error is returned; reservations
+// from earlier successful Syncs remain.
+func (tx *Txn) Sync(n topology.NodeID) error {
+	return tx.sync(func(m topology.NodeID) bool { return tx.tree.Contains(n, m) })
+}
+
+// SyncPath reconciles reservations on the nodes from n (inclusive) up to
+// the root: the final "reserve bandwidth for map up to root" step of
+// Algorithm 1.
+func (tx *Txn) SyncPath(n topology.NodeID) error {
+	onPath := make(map[topology.NodeID]bool)
+	tx.tree.PathToRoot(n, func(m topology.NodeID) { onPath[m] = true })
+	return tx.sync(func(m topology.NodeID) bool { return onPath[m] })
+}
+
+// SyncAll reconciles every touched node (subtree + path): used after bulk
+// placements when the caller does not track a frontier.
+func (tx *Txn) SyncAll() error {
+	return tx.sync(func(topology.NodeID) bool { return true })
+}
+
+// SyncBetween reconciles reservations on the nodes from n (inclusive) up
+// to and including top. Callers that placed a single VM use it to touch
+// only the path whose counts changed.
+func (tx *Txn) SyncBetween(n, top topology.NodeID) error {
+	onPath := make(map[topology.NodeID]bool)
+	for m := n; ; m = tx.tree.Parent(m) {
+		onPath[m] = true
+		if m == top || m == topology.NoNode {
+			break
+		}
+	}
+	return tx.sync(func(m topology.NodeID) bool { return onPath[m] })
+}
+
+type delta struct {
+	node    topology.NodeID
+	out, in float64
+}
+
+func (tx *Txn) sync(want func(topology.NodeID) bool) error {
+	// Visit the union of nodes with counts and nodes with reservations,
+	// so reservations left by since-unplaced VMs are released too.
+	visit := make(map[topology.NodeID]bool, len(tx.counts)+len(tx.reserved))
+	for n := range tx.counts {
+		if want(n) {
+			visit[n] = true
+		}
+	}
+	for n := range tx.reserved {
+		if want(n) {
+			visit[n] = true
+		}
+	}
+
+	applied := make([]delta, 0, len(visit))
+	for n := range visit {
+		wantOut, wantIn := tx.desired(n)
+		cur := tx.reserved[n]
+		dOut, dIn := wantOut-cur[0], wantIn-cur[1]
+		if dOut == 0 && dIn == 0 {
+			continue
+		}
+		if err := tx.tree.Reserve(n, dOut, dIn); err != nil {
+			// Revert the deltas applied so far in this call.
+			for _, d := range applied {
+				tx.tree.Release(d.node, d.out, d.in)
+				r := tx.reserved[d.node]
+				tx.reserved[d.node] = [2]float64{r[0] - d.out, r[1] - d.in}
+			}
+			return fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		applied = append(applied, delta{n, dOut, dIn})
+		tx.reserved[n] = [2]float64{wantOut, wantIn}
+	}
+	return nil
+}
+
+// ReleaseAll rolls the transaction back completely: all bandwidth
+// reservations are released and all placed VMs unplaced.
+func (tx *Txn) ReleaseAll() {
+	for n, r := range tx.reserved {
+		tx.tree.Release(n, r[0], r[1])
+	}
+	tx.reserved = make(map[topology.NodeID][2]float64)
+	for n, c := range tx.counts {
+		if tx.tree.IsServer(n) {
+			total := 0
+			for t, k := range c {
+				total += k
+				if k > 0 {
+					tx.tree.ReleaseResources(n, k, tx.tierDemand(t))
+				}
+			}
+			if total > 0 {
+				tx.tree.ReleaseSlots(n, total)
+			}
+		}
+	}
+	tx.counts = make(map[topology.NodeID][]int)
+	tx.placed = 0
+}
+
+// Commit finalizes the transaction, returning a Reservation that owns the
+// slots and bandwidth. The transaction must not be used afterwards.
+func (tx *Txn) Commit() *Reservation {
+	pl := make(Placement)
+	for n, c := range tx.counts {
+		if tx.tree.IsServer(n) {
+			pl[n] = append([]int(nil), c...)
+		}
+	}
+	res := &Reservation{
+		tree:      tx.tree,
+		placement: pl,
+		reserved:  tx.reserved,
+		resources: tx.resources,
+		ownsSlots: true,
+	}
+	tx.counts = nil
+	tx.reserved = nil
+	return res
+}

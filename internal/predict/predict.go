@@ -1,0 +1,198 @@
+// Package predict derives forward-looking bandwidth guarantees from
+// traffic history — the §6 direction the paper points at via Cicada
+// ("history-based prediction [45]") and time-varying reservations [18].
+//
+// Given a time series of per-edge aggregate rates, a Predictor estimates
+// the guarantee a tenant should request for the next window. Three
+// estimators are provided:
+//
+//   - Peak: the maximum observed rate (never under-provisions on
+//     history, the conservative default the rest of this repository
+//     uses when extracting TAGs).
+//   - Quantile: a high percentile of the observed rates, trading a small
+//     violation risk for tighter reservations.
+//   - EWMAPeak: an exponentially-weighted peak that ages out old bursts,
+//     tracking workloads whose demand drifts (Cicada's observation that
+//     most tenant demand is predictable from recent history).
+//
+// ForecastTAG applies an estimator to every hose and trunk of a traffic
+// trace, producing a TAG with predicted guarantees and reporting how
+// much reservation the prediction saves versus the all-time peak.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/trace"
+)
+
+// Estimator turns a rate history (one value per epoch, oldest first)
+// into a guarantee for the next epoch.
+type Estimator interface {
+	// Estimate returns the predicted bandwidth need. The slice is never
+	// empty and must not be modified.
+	Estimate(history []float64) float64
+	// Name identifies the estimator in reports.
+	Name() string
+}
+
+// Peak is the max-over-history estimator.
+type Peak struct{}
+
+// Name implements Estimator.
+func (Peak) Name() string { return "peak" }
+
+// Estimate implements Estimator.
+func (Peak) Estimate(history []float64) float64 {
+	m := 0.0
+	for _, v := range history {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) of the history.
+type Quantile struct {
+	Q float64
+}
+
+// Name implements Estimator.
+func (e Quantile) Name() string { return fmt.Sprintf("p%02.0f", e.Q*100) }
+
+// Estimate implements Estimator.
+func (e Quantile) Estimate(history []float64) float64 {
+	if e.Q <= 0 || e.Q > 1 {
+		panic("predict: quantile must be in (0,1]")
+	}
+	s := append([]float64(nil), history...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(e.Q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// EWMAPeak tracks max(rate, decayed previous estimate): bursts raise the
+// estimate immediately; quiet epochs let it decay by Alpha per epoch, so
+// stale bursts age out.
+type EWMAPeak struct {
+	// Alpha in (0,1] is the per-epoch decay of the running peak.
+	Alpha float64
+}
+
+// Name implements Estimator.
+func (e EWMAPeak) Name() string { return fmt.Sprintf("ewma%.2f", e.Alpha) }
+
+// Estimate implements Estimator.
+func (e EWMAPeak) Estimate(history []float64) float64 {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		panic("predict: alpha must be in (0,1]")
+	}
+	est := 0.0
+	for _, v := range history {
+		est *= 1 - e.Alpha
+		if v > est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Forecast is the result of ForecastTAG.
+type Forecast struct {
+	// Graph is the TAG with predicted guarantees.
+	Graph *tag.Graph
+	// PeakAggregate and PredictedAggregate total the tenant's guaranteed
+	// bandwidth under the all-time-peak policy and the estimator.
+	PeakAggregate      float64
+	PredictedAggregate float64
+}
+
+// Savings returns the fraction of reservation the prediction avoids
+// versus all-time peaks (0 when the estimator is Peak itself).
+func (f *Forecast) Savings() float64 {
+	if f.PeakAggregate == 0 {
+		return 0
+	}
+	return 1 - f.PredictedAggregate/f.PeakAggregate
+}
+
+// ForecastTAG builds a TAG for the next epoch from a traffic series and
+// a ground-truth clustering (labels as produced by infer.Cluster or
+// known deployment metadata), sizing each hose and trunk with the
+// estimator applied to its per-epoch aggregate history.
+func ForecastTAG(name string, s *trace.Series, labels []int, est Estimator) (*Forecast, error) {
+	if s.N() != len(labels) {
+		return nil, fmt.Errorf("predict: %d labels for %d VMs", len(labels), s.N())
+	}
+	k := 0
+	for _, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("predict: negative label")
+		}
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+
+	// Per-epoch aggregate history per cluster pair.
+	hist := make([][][]float64, k)
+	for u := range hist {
+		hist[u] = make([][]float64, k)
+		for v := range hist[u] {
+			hist[u][v] = make([]float64, s.Len())
+		}
+	}
+	for epoch := 0; epoch < s.Len(); epoch++ {
+		m := s.At(epoch)
+		for i := 0; i < m.N(); i++ {
+			row := m.Row(i)
+			for j, rate := range row {
+				if rate > 0 {
+					hist[labels[i]][labels[j]][epoch] += rate
+				}
+			}
+		}
+	}
+
+	peak := Peak{}
+	g := tag.New(name)
+	for u := 0; u < k; u++ {
+		g.AddTier(fmt.Sprintf("c%d", u), sizes[u])
+	}
+	f := &Forecast{Graph: g}
+	for u := 0; u < k; u++ {
+		for v := 0; v < k; v++ {
+			h := hist[u][v]
+			p := peak.Estimate(h)
+			if p <= 0 {
+				continue
+			}
+			pred := est.Estimate(h)
+			f.PeakAggregate += p
+			f.PredictedAggregate += pred
+			if pred <= 0 {
+				continue
+			}
+			if u == v {
+				g.AddSelfLoop(u, 2*pred/float64(sizes[u]))
+			} else {
+				g.AddEdge(u, v, pred/float64(sizes[u]), pred/float64(sizes[v]))
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,173 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/trace"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPeak(t *testing.T) {
+	if got := (Peak{}).Estimate([]float64{3, 9, 1}); got != 9 {
+		t.Errorf("Peak = %g, want 9", got)
+	}
+	if (Peak{}).Name() != "peak" {
+		t.Error("name wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{1.0, 100},
+		{0.9, 90},
+		{0.5, 50},
+		{0.05, 10},
+	}
+	for _, c := range cases {
+		if got := (Quantile{Q: c.q}).Estimate(h); !almostEq(got, c.want) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Order-independence.
+	rev := []float64{100, 10, 50, 30, 90, 70, 20, 60, 40, 80}
+	if got := (Quantile{Q: 0.9}).Estimate(rev); !almostEq(got, 90) {
+		t.Errorf("unsorted Quantile = %g, want 90", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad quantile did not panic")
+		}
+	}()
+	(Quantile{Q: 0}).Estimate([]float64{1})
+}
+
+func TestEWMAPeakDecaysOldBursts(t *testing.T) {
+	e := EWMAPeak{Alpha: 0.5}
+	// A burst of 100 ten epochs ago decays to ~0.1; recent steady 10
+	// dominates.
+	h := []float64{100, 10, 10, 10, 10, 10, 10, 10, 10, 10}
+	got := e.Estimate(h)
+	if got < 10 || got > 15 {
+		t.Errorf("EWMAPeak = %g, want ≈10 (burst aged out)", got)
+	}
+	// A recent burst dominates regardless of history.
+	h2 := []float64{10, 10, 10, 10, 100}
+	if got := e.Estimate(h2); got != 100 {
+		t.Errorf("recent burst = %g, want 100", got)
+	}
+	// Alpha=1 reduces to "last value or higher": full decay each epoch.
+	if got := (EWMAPeak{Alpha: 1}).Estimate(h); got != 10 {
+		t.Errorf("alpha=1 = %g, want 10", got)
+	}
+}
+
+// bursty builds a trace whose intra-tier traffic has one early spike and
+// then stays low.
+func bursty(t *testing.T) (*trace.Series, []int) {
+	t.Helper()
+	n := 6
+	mats := make([]*trace.Matrix, 10)
+	for epoch := range mats {
+		m := trace.NewMatrix(n)
+		rate := 10.0
+		if epoch == 0 {
+			rate = 100
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					m.Set(i, j, rate/float64(n-1))
+				}
+			}
+		}
+		mats[epoch] = m
+	}
+	s, err := trace.NewSeries(mats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, n)
+	return s, labels
+}
+
+func TestForecastTAGPeakVsQuantile(t *testing.T) {
+	s, labels := bursty(t)
+
+	peakF, err := ForecastTAG("peak", s, labels, Peak{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peakF.Savings() != 0 {
+		t.Errorf("peak savings = %g, want 0", peakF.Savings())
+	}
+	// Total intra rate peaks at 100·n/(n)... each epoch total = rate·n.
+	if got := peakF.Graph.AggregateBandwidth(); !almostEq(got, 600) {
+		t.Errorf("peak aggregate = %g, want 600 (100 rate × 6 senders)", got)
+	}
+
+	q, err := ForecastTAG("p90", s, labels, Quantile{Q: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Savings() <= 0.5 {
+		t.Errorf("p90 savings = %g, want > 0.5 (one spike in ten epochs)", q.Savings())
+	}
+	if q.Graph.AggregateBandwidth() >= peakF.Graph.AggregateBandwidth() {
+		t.Error("quantile forecast should reserve less than peak")
+	}
+}
+
+func TestForecastTAGStructure(t *testing.T) {
+	// Two-tier trunk trace via the synthesizer.
+	g := tag.New("gt")
+	a := g.AddTier("a", 4)
+	b := g.AddTier("b", 4)
+	g.AddEdge(a, b, 50, 50)
+	s, labels, err := trace.Synthesize(g, 5, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ForecastTAG("fc", s, labels, Peak{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Graph.Tiers() != 2 {
+		t.Fatalf("tiers = %d, want 2", f.Graph.Tiers())
+	}
+	// The a→b trunk aggregate is conserved by the synthesizer at
+	// min(4·50, 4·50) = 200 every epoch; the forecast must match.
+	found := false
+	for _, e := range f.Graph.Edges() {
+		if !e.SelfLoop() && f.Graph.EdgeAggregate(e) > 0 {
+			if !almostEq(f.Graph.EdgeAggregate(e), 200) {
+				t.Errorf("trunk aggregate = %g, want 200", f.Graph.EdgeAggregate(e))
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no trunk recovered")
+	}
+}
+
+func TestForecastTAGErrors(t *testing.T) {
+	s, labels := bursty(t)
+	if _, err := ForecastTAG("x", s, labels[:2], Peak{}); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	bad := append([]int(nil), labels...)
+	bad[0] = -2
+	if _, err := ForecastTAG("x", s, bad, Peak{}); err == nil {
+		t.Error("negative label accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Package ratelimit provides a token-bucket rate limiter and
+// rate-limited io.Writer / net.Conn wrappers: the edge enforcement
+// primitive an ElasticSwitch-style system installs per VM pair.
+//
+// Buckets are safe for concurrent use and their rate can be retuned live,
+// which is how the enforcement controller applies new guarantee
+// partitions each control period.
+package ratelimit
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: tokens accrue at Rate bytes/second up to
+// Burst bytes, and writers consume one token per byte.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // max accumulated tokens, bytes
+	tokens float64
+	last   time.Time
+	now    func() time.Time // test hook
+}
+
+// NewBucket returns a bucket that refills at rate bytes/second with the
+// given burst size. The bucket starts full. Burst values below 1 KiB are
+// raised to 1 KiB so single writes always make progress.
+func NewBucket(rate, burst float64) *Bucket {
+	if rate <= 0 {
+		panic("ratelimit: rate must be positive")
+	}
+	if burst < 1024 {
+		burst = 1024
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+}
+
+// Rate returns the current refill rate in bytes/second.
+func (b *Bucket) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// SetRate retunes the refill rate, crediting tokens accrued so far at the
+// old rate.
+func (b *Bucket) SetRate(rate float64) {
+	if rate <= 0 {
+		panic("ratelimit: rate must be positive")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(b.now())
+	b.rate = rate
+}
+
+// refill credits tokens for elapsed time. Caller holds mu.
+func (b *Bucket) refill(now time.Time) {
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// Reserve consumes n tokens and returns how long the caller must wait
+// before acting on them. The debt model (tokens may go negative) keeps
+// Reserve non-blocking and the long-run rate exact.
+func (b *Bucket) Reserve(n int) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.refill(now)
+	b.tokens -= float64(n)
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}
+
+// Wait consumes n tokens, sleeping until they are available.
+func (b *Bucket) Wait(n int) {
+	if d := b.Reserve(n); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Writer rate-limits writes to an underlying writer. Large writes are
+// split into chunks so the pacing stays smooth.
+type Writer struct {
+	w      io.Writer
+	bucket *Bucket
+	chunk  int
+}
+
+// NewWriter wraps w with the bucket's rate limit. chunk ≤ 0 selects a
+// 32 KiB pacing chunk.
+func NewWriter(w io.Writer, bucket *Bucket, chunk int) *Writer {
+	if chunk <= 0 {
+		chunk = 32 * 1024
+	}
+	return &Writer{w: w, bucket: bucket, chunk: chunk}
+}
+
+// Write implements io.Writer, pacing the bytes through the bucket.
+func (w *Writer) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		n := len(p) - written
+		if n > w.chunk {
+			n = w.chunk
+		}
+		w.bucket.Wait(n)
+		m, err := w.w.Write(p[written : written+n])
+		written += m
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Conn is a net.Conn whose writes are paced by a token bucket — the
+// per-pair rate limiter of the enforcement prototype. Reads pass through
+// untouched (ElasticSwitch enforces at the sender).
+type Conn struct {
+	net.Conn
+	w *Writer
+}
+
+// NewConn wraps c with a send-side rate limit.
+func NewConn(c net.Conn, bucket *Bucket) *Conn {
+	return &Conn{Conn: c, w: NewWriter(c, bucket, 0)}
+}
+
+// Write implements net.Conn with sender-side pacing.
+func (c *Conn) Write(p []byte) (int, error) { return c.w.Write(p) }

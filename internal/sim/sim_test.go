@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/place/cloudmirror"
+	"cloudmirror/internal/place/oktopus"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+	"cloudmirror/internal/voc"
+	"cloudmirror/internal/workload"
+)
+
+func smallPool(bmax float64) []*tag.Graph {
+	pool := workload.ClonePool(workload.HPCloudLike(11))
+	workload.ScaleToBmax(pool, bmax)
+	return pool
+}
+
+func cmFactory(t *topology.Tree) place.Placer { return cloudmirror.New(t) }
+
+func TestRunBasic(t *testing.T) {
+	cfg := Config{
+		Spec:      topology.SmallSpec(),
+		NewPlacer: cmFactory,
+		Pool:      smallPool(400),
+		Arrivals:  400,
+		Load:      0.5,
+		MeanDwell: 1,
+		Seed:      1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals != 400 || res.Accepted+res.Rejected != res.Arrivals {
+		t.Errorf("arrival accounting wrong: %+v", res)
+	}
+	if res.Placer != "CM" {
+		t.Errorf("placer name = %q", res.Placer)
+	}
+	for _, rate := range []float64{res.VMRejectionRate(), res.BWRejectionRate(), res.TenantRejectionRate()} {
+		if rate < 0 || rate > 1 {
+			t.Errorf("rate out of range: %g", rate)
+		}
+	}
+	// At 50% load on this pool, CloudMirror should accept the vast
+	// majority of requests.
+	if res.BWRejectionRate() > 0.25 {
+		t.Errorf("BW rejection rate = %g, unexpectedly high", res.BWRejectionRate())
+	}
+	if res.PlacementTime <= 0 {
+		t.Error("placement time not recorded")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := Config{
+		Spec:      topology.SmallSpec(),
+		NewPlacer: cmFactory,
+		Pool:      smallPool(600),
+		Arrivals:  200,
+		Load:      0.8,
+		MeanDwell: 1,
+		Seed:      99,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accepted != b.Accepted || a.RejectedBW != b.RejectedBW {
+		t.Errorf("identical seeds diverged: %d/%g vs %d/%g", a.Accepted, a.RejectedBW, b.Accepted, b.RejectedBW)
+	}
+}
+
+// TestArrivalsOnlyMirrors is the Table 1 measurement at test scale:
+// CM places TAGs on an unlimited-capacity tree; a mirror re-prices every
+// placement under the VOC model. The VOC must reserve at least as much
+// at every level (footnote 7), with the gap widening up the tree.
+func TestArrivalsOnlyMirrors(t *testing.T) {
+	spec := topology.SmallSpec()
+	for i := range spec.Levels {
+		spec.Levels[i].Uplink = 1e15
+	}
+	cfg := Config{
+		Spec:         spec,
+		NewPlacer:    cmFactory,
+		Pool:         smallPool(500),
+		Arrivals:     2000,
+		Load:         1,
+		MeanDwell:    1,
+		Seed:         5,
+		ArrivalsOnly: true,
+		Mirrors: []Mirror{
+			{Name: "VOC", ModelFor: func(g *tag.Graph) place.Model { return voc.FromTAG(g) }},
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected > 1 {
+		t.Errorf("arrivals-only run should stop at first rejection, saw %d", res.Rejected)
+	}
+	vocLv := res.MirrorReserved["VOC"]
+	if vocLv == nil {
+		t.Fatal("mirror results missing")
+	}
+	for l := 0; l < len(res.LevelReserved)-1; l++ {
+		if res.LevelReserved[l] > vocLv[l]+1e-6 {
+			t.Errorf("level %d: TAG reserved %g > VOC %g (violates footnote 7)",
+				l, res.LevelReserved[l], vocLv[l])
+		}
+	}
+	// The filled datacenter must have meaningful reservations.
+	if res.LevelReserved[0] == 0 {
+		t.Error("no server-level reservations recorded")
+	}
+}
+
+// TestCMBeatsOVOC: under constrained bandwidth, CloudMirror rejects no
+// more bandwidth than Oktopus+VOC on the same arrival sequence — the
+// headline Fig. 7/8 comparison at test scale.
+func TestCMBeatsOVOC(t *testing.T) {
+	// The bing-like pool has large multi-tier tenants that must split
+	// across racks, stressing the oversubscribed links.
+	pool := workload.ClonePool(workload.BingLike(2))
+	workload.ScaleToBmax(pool, 1200)
+	base := Config{
+		Spec:      topology.SmallSpec(),
+		Pool:      pool,
+		Arrivals:  1500,
+		Load:      0.9,
+		MeanDwell: 1,
+		Seed:      17,
+	}
+	cmCfg := base
+	cmCfg.NewPlacer = cmFactory
+	cm, err := Run(cmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovocCfg := base
+	ovocCfg.NewPlacer = func(tr *topology.Tree) place.Placer { return oktopus.New(tr) }
+	ovocCfg.ModelFor = func(g *tag.Graph) place.Model { return voc.FromTAG(g) }
+	ovoc, err := Run(ovocCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.BWRejectionRate() >= ovoc.BWRejectionRate()-0.02 {
+		t.Errorf("CM rejects %.3f of bandwidth vs OVOC %.3f; expected a clear CM advantage",
+			cm.BWRejectionRate(), ovoc.BWRejectionRate())
+	}
+	t.Logf("BW rejection: CM=%.3f OVOC=%.3f", cm.BWRejectionRate(), ovoc.BWRejectionRate())
+}
+
+// TestWCSReporting: a guaranteed-HA run achieves at least the required
+// WCS on every deployed component.
+func TestWCSReporting(t *testing.T) {
+	cfg := Config{
+		Spec:      topology.SmallSpec(),
+		NewPlacer: cmFactory,
+		Pool:      smallPool(300),
+		Arrivals:  150,
+		Load:      0.4,
+		MeanDwell: 1,
+		Seed:      3,
+		HA:        place.HASpec{RWCS: 0.5},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted == 0 {
+		t.Fatal("nothing accepted")
+	}
+	// Eq. 7 with singleton tiers yields WCS 0 for N=1 components; the
+	// guarantee applies to tiers with N ≥ 2, so check the min over
+	// multi-VM components via the mean being well above zero and the
+	// guarantee shape via MinWCS of 0 or ≥ 0.5.
+	if res.MinWCS > 0 && res.MinWCS < 0.5-1e-9 {
+		t.Errorf("MinWCS = %g violates the 0.5 guarantee", res.MinWCS)
+	}
+	if res.MeanWCS <= 0.3 {
+		t.Errorf("MeanWCS = %g, expected substantial availability", res.MeanWCS)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Spec: topology.SmallSpec(), NewPlacer: cmFactory, Arrivals: 1}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := Run(Config{Spec: topology.SmallSpec(), NewPlacer: cmFactory, Pool: smallPool(1)}); err == nil {
+		t.Error("zero arrivals accepted")
+	}
+}

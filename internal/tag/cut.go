@@ -1,0 +1,93 @@
+package tag
+
+import "math"
+
+// Cut returns the bandwidth that must be allocated on the uplink of a
+// subtree that contains inside[t] VMs of every tier t (Eq. 1 of the
+// paper). out is C(X,out), the bandwidth for traffic leaving the subtree;
+// in is C(X,in), the bandwidth for traffic entering it.
+//
+// For every trunk edge t→t' the outgoing requirement is
+//
+//	min(N_X(t)·S, N_X̄(t')·R)
+//
+// and the incoming requirement is min(N_X̄(t)·S, N_X(t')·R), where N_X is
+// the count inside the subtree and N_X̄ = N − N_X the count outside. A
+// self-loop on tier t contributes min(N_X(t), N_X̄(t))·SR in each
+// direction. External tiers are always entirely outside the subtree; an
+// unbounded external tier (N == 0) never limits the min.
+//
+// inside must have length g.Tiers(); counts for external tiers must be 0.
+func (g *Graph) Cut(inside []int) (out, in float64) {
+	for _, e := range g.edges {
+		o, i := g.edgeCut(e, inside)
+		out += o
+		in += i
+	}
+	return out, in
+}
+
+// edgeCut returns the contribution of a single edge to the subtree cut.
+func (g *Graph) edgeCut(e Edge, inside []int) (out, in float64) {
+	if e.SelfLoop() {
+		n := g.tiers[e.From].N
+		nx := inside[e.From]
+		h := float64(min(nx, n-nx)) * e.S
+		return h, h
+	}
+	from, to := g.tiers[e.From], g.tiers[e.To]
+	fromIn, toIn := inside[e.From], inside[e.To]
+
+	// Outgoing: senders inside, receivers outside.
+	sndCap := float64(fromIn) * e.S
+	rcvCap := outsideCap(to, toIn, e.R)
+	out = cappedMin(sndCap, rcvCap)
+
+	// Incoming: senders outside, receivers inside.
+	sndCap = outsideCap(from, fromIn, e.S)
+	rcvCap = float64(toIn) * e.R
+	in = cappedMin(sndCap, rcvCap)
+	return out, in
+}
+
+// outsideCap returns the aggregate guarantee of the part of tier t outside
+// the subtree. An unbounded external tier never limits the requirement
+// (+Inf), even when the spec leaves its per-VM value at zero — the
+// binding guarantee is the tenant side's.
+func outsideCap(t Tier, insideCount int, perVM float64) float64 {
+	if t.External && t.N == 0 {
+		return math.Inf(1)
+	}
+	return float64(t.N-insideCount) * perVM
+}
+
+// cappedMin is min(a, b) treating +Inf as "unbounded"; if both sides are
+// unbounded the requirement is unbounded too, which callers must have
+// excluded via Validate (an edge between two unbounded external tiers is
+// never placeable and contributes nothing meaningful).
+func cappedMin(a, b float64) float64 {
+	m := math.Min(a, b)
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// CutOut returns only the outgoing component of Cut.
+func (g *Graph) CutOut(inside []int) float64 {
+	out, _ := g.Cut(inside)
+	return out
+}
+
+// CutIn returns only the incoming component of Cut.
+func (g *Graph) CutIn(inside []int) float64 {
+	_, in := g.Cut(inside)
+	return in
+}
+
+// ExternalDemand returns the cut bandwidth of the whole tenant: the
+// guarantees toward external components that must be available on every
+// link from the tenant's lowest common subtree up to the topology root.
+func (g *Graph) ExternalDemand() (out, in float64) {
+	return g.Cut(g.Sizes())
+}

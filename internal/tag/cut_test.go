@@ -1,0 +1,254 @@
+package tag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestFigure2Cut reproduces the L3 analysis of §2.2: when the db tier is
+// deployed on its own subtree, the TAG requires only the inter-tier trunk
+// bandwidth N·B2 on L3; the intra-tier B3 does not cross the cut.
+func TestFigure2Cut(t *testing.T) {
+	const n, b1, b2, b3 = 10, 500, 100, 50
+	g := threeTier(n, b1, b2, b3)
+
+	inside := []int{0, 0, n} // db subtree
+	out, in := g.Cut(inside)
+	if !almostEq(out, n*b2) || !almostEq(in, n*b2) {
+		t.Errorf("db subtree cut = (%g,%g), want (%g,%g)", out, in, float64(n*b2), float64(n*b2))
+	}
+
+	// The generalized hose model would need N*(B2+B3): the TAG saves
+	// N*B3 on this link.
+	hosePerVM, _ := g.VMProfile(g.TierIndex("db"))
+	if hoseCut := float64(n) * hosePerVM; hoseCut-out != n*b3 {
+		t.Errorf("hose cut %g - TAG cut %g = %g, want %g", hoseCut, out, hoseCut-out, float64(n*b3))
+	}
+
+	// Logic subtree: carries web<->logic (N*B1) and logic<->db (N*B2).
+	out, in = g.Cut([]int{0, n, 0})
+	if !almostEq(out, n*(b1+b2)) || !almostEq(in, n*(b1+b2)) {
+		t.Errorf("logic subtree cut = (%g,%g), want %g", out, in, float64(n*(b1+b2)))
+	}
+}
+
+// TestFigure5Cut checks the two-tier example of Fig. 5: C1 --<B1,B2>--> C2
+// with a self-loop Bin2 on C2.
+func TestFigure5Cut(t *testing.T) {
+	g := New("fig5")
+	c1 := g.AddTier("C1", 6)
+	c2 := g.AddTier("C2", 4)
+	g.AddEdge(c1, c2, 100, 150)
+	g.AddSelfLoop(c2, 80)
+
+	// Subtree holding all of C1 and 1 VM of C2.
+	inside := []int{6, 1}
+	out, in := g.Cut(inside)
+	// Outgoing: C1 trunk senders inside min(6*100, 3*150)=450; self-loop
+	// min(1,3)*80=80. Total 530.
+	if !almostEq(out, 530) {
+		t.Errorf("out = %g, want 530", out)
+	}
+	// Incoming: trunk senders outside = 0 VMs of C1 -> 0; self-loop 80.
+	if !almostEq(in, 80) {
+		t.Errorf("in = %g, want 80", in)
+	}
+}
+
+// TestCutHoseSpecialCase: a TAG with one component and a self-loop is the
+// hose model: cut = min(inside, outside)·B per direction.
+func TestCutHoseSpecialCase(t *testing.T) {
+	g := New("hose")
+	a := g.AddTier("a", 9)
+	g.AddSelfLoop(a, 120)
+	for k := 0; k <= 9; k++ {
+		out, in := g.Cut([]int{k})
+		want := float64(min(k, 9-k)) * 120
+		if !almostEq(out, want) || !almostEq(in, want) {
+			t.Errorf("k=%d: cut=(%g,%g), want %g", k, out, in, want)
+		}
+	}
+}
+
+// TestCutPipeSpecialCase: a TAG with one VM per component and no
+// self-loops is the pipe model; each crossing edge contributes min(S,R).
+func TestCutPipeSpecialCase(t *testing.T) {
+	g := New("pipe")
+	a := g.AddTier("a", 1)
+	b := g.AddTier("b", 1)
+	c := g.AddTier("c", 1)
+	g.AddEdge(a, b, 30, 20) // pipe of 20
+	g.AddEdge(b, c, 15, 40) // pipe of 15
+	g.AddEdge(a, c, 10, 10) // pipe of 10
+
+	out, in := g.Cut([]int{1, 0, 0}) // only a inside
+	if !almostEq(out, 20+10) || !almostEq(in, 0) {
+		t.Errorf("cut a = (%g,%g), want (30,0)", out, in)
+	}
+	out, in = g.Cut([]int{1, 1, 0}) // a,b inside
+	if !almostEq(out, 15+10) || !almostEq(in, 0) {
+		t.Errorf("cut ab = (%g,%g), want (25,0)", out, in)
+	}
+	out, in = g.Cut([]int{0, 0, 1}) // only c inside
+	if !almostEq(in, 25) || !almostEq(out, 0) {
+		t.Errorf("cut c = (%g,%g), want (0,25)", out, in)
+	}
+}
+
+func TestCutExternalUnbounded(t *testing.T) {
+	g := New("ext")
+	u := g.AddTier("u", 4)
+	inet := g.AddExternal("inet", 0)
+	g.AddEdge(u, inet, 25, 25)
+	g.AddEdge(inet, u, 30, 30)
+
+	out, in := g.Cut([]int{2, 0})
+	if !almostEq(out, 2*25) || !almostEq(in, 2*30) {
+		t.Errorf("cut = (%g,%g), want (50,60)", out, in)
+	}
+
+	// ExternalDemand with every VM inside.
+	out, in = g.ExternalDemand()
+	if !almostEq(out, 100) || !almostEq(in, 120) {
+		t.Errorf("ExternalDemand = (%g,%g), want (100,120)", out, in)
+	}
+}
+
+// TestCutExternalZeroFarSide: a zero guarantee on an unbounded external
+// endpoint must not zero the tenant-side reservation — the external side
+// is simply unconstrained.
+func TestCutExternalZeroFarSide(t *testing.T) {
+	g := New("ext0")
+	u := g.AddTier("u", 8)
+	inet := g.AddExternal("inet", 0)
+	g.AddEdge(u, inet, 50, 0) // only the send side is specified
+	g.AddEdge(inet, u, 0, 25) // only the receive side is specified
+	out, in := g.Cut([]int{8, 0})
+	if !almostEq(out, 400) || !almostEq(in, 200) {
+		t.Errorf("cut = (%g,%g), want (400,200)", out, in)
+	}
+}
+
+func TestCutExternalBounded(t *testing.T) {
+	g := New("extb")
+	u := g.AddTier("u", 4)
+	store := g.AddExternal("storage", 2) // bounded external: 2 nodes
+	g.AddEdge(u, store, 100, 60)
+	out, _ := g.Cut([]int{4, 0})
+	// min(4*100, 2*60) = 120.
+	if !almostEq(out, 120) {
+		t.Errorf("bounded external cut out = %g, want 120", out)
+	}
+}
+
+func TestCutEmptyAndFull(t *testing.T) {
+	g := threeTier(7, 11, 13, 17)
+	out, in := g.Cut([]int{0, 0, 0})
+	if out != 0 || in != 0 {
+		t.Errorf("empty cut = (%g,%g), want zero", out, in)
+	}
+	out, in = g.Cut([]int{7, 7, 7})
+	if out != 0 || in != 0 {
+		t.Errorf("full cut = (%g,%g), want zero (no external tiers)", out, in)
+	}
+}
+
+// randomGraph builds a random TAG with no external tiers for property
+// tests.
+func randomGraph(r *rand.Rand) *Graph {
+	g := New("rand")
+	tiers := 1 + r.Intn(5)
+	for i := 0; i < tiers; i++ {
+		g.AddTier(string(rune('a'+i)), 1+r.Intn(12))
+	}
+	edges := r.Intn(8)
+	for i := 0; i < edges; i++ {
+		u, v := r.Intn(tiers), r.Intn(tiers)
+		if u == v {
+			g.AddSelfLoop(u, float64(r.Intn(500)))
+		} else {
+			g.AddEdge(u, v, float64(r.Intn(500)), float64(r.Intn(500)))
+		}
+	}
+	return g
+}
+
+func randomInside(r *rand.Rand, g *Graph) []int {
+	inside := make([]int, g.Tiers())
+	for i := range inside {
+		inside[i] = r.Intn(g.TierSize(i) + 1)
+	}
+	return inside
+}
+
+// TestCutSymmetryProperty: without external tiers, traffic leaving a
+// subtree is exactly the traffic entering its complement:
+// CutOut(X) == CutIn(X̄) and vice versa.
+func TestCutSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		inside := randomInside(r, g)
+		comp := make([]int, len(inside))
+		for i := range inside {
+			comp[i] = g.TierSize(i) - inside[i]
+		}
+		out, in := g.Cut(inside)
+		cout, cin := g.Cut(comp)
+		return almostEq(out, cin) && almostEq(in, cout)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCutNonNegativeBounded: cuts are non-negative and bounded by the sum
+// of the per-VM profiles of the VMs inside (a TAG never asks for more than
+// its generalized-hose equivalent).
+func TestCutNonNegativeBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		inside := randomInside(r, g)
+		out, in := g.Cut(inside)
+		if out < 0 || in < 0 {
+			return false
+		}
+		var hoseOut, hoseIn float64
+		for t := 0; t < g.Tiers(); t++ {
+			o, i := g.VMProfile(t)
+			hoseOut += float64(inside[t]) * o
+			hoseIn += float64(inside[t]) * i
+		}
+		return out <= hoseOut+1e-9 && in <= hoseIn+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCutColocationMonotone: moving one more VM of a tier into a subtree
+// that already holds every other VM of the graph can only shrink the cut.
+func TestCutColocationMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		full := g.Sizes()
+		tier := r.Intn(g.Tiers())
+		if g.TierSize(tier) < 2 {
+			return true
+		}
+		fewer := append([]int(nil), full...)
+		fewer[tier]--
+		fo, fi := g.Cut(fewer)
+		ao, ai := g.Cut(full)
+		return ao <= fo+1e-9 && ai <= fi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

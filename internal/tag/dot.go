@@ -1,0 +1,39 @@
+package tag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT form: one node per tier
+// (labelled with its size), one arrow per trunk (labelled <S,R>), and a
+// loop per intra-tier hose. External components render as dashed nodes.
+//
+//	dot -Tpng tenant.dot -o tenant.png
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, style=rounded];\n")
+	for i, t := range g.tiers {
+		attrs := fmt.Sprintf("label=\"%s\\n%d VMs\"", t.Name, t.N)
+		if t.External {
+			label := t.Name
+			if t.N > 0 {
+				label = fmt.Sprintf("%s\\n%d nodes", t.Name, t.N)
+			}
+			attrs = fmt.Sprintf("label=\"%s\", style=\"rounded,dashed\"", label)
+		}
+		fmt.Fprintf(&b, "  t%d [%s];\n", i, attrs)
+	}
+	for _, e := range g.edges {
+		if e.SelfLoop() {
+			fmt.Fprintf(&b, "  t%d -> t%d [label=\"%g\", dir=both];\n", e.From, e.To, e.S)
+		} else {
+			fmt.Fprintf(&b, "  t%d -> t%d [label=\"<%g,%g>\"];\n", e.From, e.To, e.S, e.R)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,87 @@
+package tag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonGraph is the wire form of a Graph. Edges reference tiers by name and
+// self-loops use the single "sr" guarantee, matching the paper's notation.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Tiers []jsonTier `json:"tiers"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonTier struct {
+	Name     string `json:"name"`
+	N        int    `json:"n,omitempty"`
+	External bool   `json:"external,omitempty"`
+}
+
+type jsonEdge struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	S    float64 `json:"s,omitempty"`
+	R    float64 `json:"r,omitempty"`
+	SR   float64 `json:"sr,omitempty"`
+}
+
+// MarshalJSON encodes the graph in the documented wire form.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name}
+	for _, t := range g.tiers {
+		jg.Tiers = append(jg.Tiers, jsonTier{Name: t.Name, N: t.N, External: t.External})
+	}
+	for _, e := range g.edges {
+		je := jsonEdge{From: g.tiers[e.From].Name, To: g.tiers[e.To].Name}
+		if e.SelfLoop() {
+			je.SR = e.S
+		} else {
+			je.S, je.R = e.S, e.R
+		}
+		jg.Edges = append(jg.Edges, je)
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes the documented wire form and validates the result.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	ng := Graph{Name: jg.Name}
+	idx := make(map[string]int, len(jg.Tiers))
+	for _, t := range jg.Tiers {
+		if _, dup := idx[t.Name]; dup {
+			return fmt.Errorf("tag: duplicate tier %q", t.Name)
+		}
+		idx[t.Name] = len(ng.tiers)
+		ng.tiers = append(ng.tiers, Tier{Name: t.Name, N: t.N, External: t.External})
+	}
+	for _, e := range jg.Edges {
+		u, ok := idx[e.From]
+		if !ok {
+			return fmt.Errorf("tag: edge references unknown tier %q", e.From)
+		}
+		v, ok := idx[e.To]
+		if !ok {
+			return fmt.Errorf("tag: edge references unknown tier %q", e.To)
+		}
+		if u == v {
+			sr := e.SR
+			if sr == 0 {
+				sr = e.S
+			}
+			ng.edges = append(ng.edges, Edge{From: u, To: v, S: sr, R: sr})
+		} else {
+			ng.edges = append(ng.edges, Edge{From: u, To: v, S: e.S, R: e.R})
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = ng
+	return nil
+}

@@ -1,0 +1,83 @@
+package tag
+
+// This file implements the colocation bandwidth-saving analysis of §4.2:
+// the conditions under which packing VMs of one or two tiers into the same
+// subtree reduces the bandwidth that must be reserved on the subtree
+// uplink (Eqs. 2–6 of the paper).
+
+// HoseSavingFeasible reports the necessary and sufficient condition for
+// intra-tier (hose) bandwidth saving (Eq. 2): strictly more than half the
+// tier's VMs must fit inside one subtree. total is the tier size N^t and
+// maxInside the largest number of its VMs that could be placed in the
+// subtree (limited by slots and any anti-affinity cap).
+func HoseSavingFeasible(total, maxInside int) bool {
+	return 2*maxInside > total
+}
+
+// TrunkSavingFeasible reports the necessary condition for inter-tier
+// (virtual trunk) bandwidth saving (Eq. 6): more than half the VMs of one
+// endpoint tier must fit inside the subtree. It is necessary but not
+// sufficient; callers verify the actual saving with EdgeSaving (Eq. 4)
+// before colocating.
+func TrunkSavingFeasible(nFrom, nTo, maxFromInside, maxToInside int) bool {
+	return 2*maxFromInside > nFrom || 2*maxToInside > nTo
+}
+
+// EdgeSaving returns the reduction in uplink bandwidth (out + in
+// directions) obtained by a subtree holding nFromX VMs of e.From and nToX
+// VMs of e.To, relative to the worst case in which the opposite tier is
+// entirely outside the subtree (the generalized form of Eq. 4).
+//
+// For the outgoing direction of a trunk t→t' the worst case is
+// B2 = min(N_X(t)·S, N(t')·R) and the actual requirement is
+// B1 = min(N_X(t)·S, (N(t')−N_X(t'))·R); the saving is B2−B1 ≥ 0. The
+// incoming direction is symmetric. A self-loop saves
+// (min(nX, N)−min(nX, N−nX))·SR per direction (positive only when
+// nX > N/2, which is Eq. 2).
+func (g *Graph) EdgeSaving(e Edge, nFromX, nToX int) float64 {
+	if e.SelfLoop() {
+		return g.SelfLoopSaving(e, nFromX)
+	}
+	from, to := g.tiers[e.From], g.tiers[e.To]
+
+	// Outgoing direction.
+	snd := float64(nFromX) * e.S
+	worstOut := cappedMin(snd, outsideCap(to, 0, e.R))
+	actualOut := cappedMin(snd, outsideCap(to, nToX, e.R))
+
+	// Incoming direction.
+	rcv := float64(nToX) * e.R
+	worstIn := cappedMin(outsideCap(from, 0, e.S), rcv)
+	actualIn := cappedMin(outsideCap(from, nFromX, e.S), rcv)
+
+	return (worstOut - actualOut) + (worstIn - actualIn)
+}
+
+// SelfLoopSaving returns the per-direction hose bandwidth saved by a
+// subtree holding nX of tier t's N VMs, relative to the spread-out worst
+// case: max(2·nX − N, 0)·SR (positive exactly under Eq. 2).
+func (g *Graph) SelfLoopSaving(e Edge, nX int) float64 {
+	if !e.SelfLoop() {
+		return 0
+	}
+	n := g.tiers[e.From].N
+	worst := float64(min(nX, n)) * e.S     // all other VMs outside
+	actual := float64(min(nX, n-nX)) * e.S // nX colocated inside
+	return 2 * (worst - actual)            // both directions
+}
+
+// ColocationSaving returns the total uplink bandwidth saved by a subtree
+// holding inside[t] VMs of each tier, versus placing the same VMs so that
+// no two communicating VMs share the subtree (every edge at its worst
+// case). It is the quantity FindTiersToColoc maximizes.
+func (g *Graph) ColocationSaving(inside []int) float64 {
+	var s float64
+	for _, e := range g.edges {
+		if e.SelfLoop() {
+			s += g.SelfLoopSaving(e, inside[e.From])
+		} else {
+			s += g.EdgeSaving(e, inside[e.From], inside[e.To])
+		}
+	}
+	return s
+}

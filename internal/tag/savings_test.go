@@ -1,0 +1,169 @@
+package tag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHoseSavingFeasible(t *testing.T) {
+	// Eq. 2: saving iff strictly more than half the tier fits.
+	cases := []struct {
+		total, inside int
+		want          bool
+	}{
+		{10, 5, false},
+		{10, 6, true},
+		{1, 1, true},
+		{3, 2, true},
+		{3, 1, false},
+		{4, 2, false},
+	}
+	for _, c := range cases {
+		if got := HoseSavingFeasible(c.total, c.inside); got != c.want {
+			t.Errorf("HoseSavingFeasible(%d,%d) = %v, want %v", c.total, c.inside, got, c.want)
+		}
+	}
+}
+
+func TestTrunkSavingFeasible(t *testing.T) {
+	// Eq. 6: more than half of either endpoint tier.
+	cases := []struct {
+		nf, nt, mf, mt int
+		want           bool
+	}{
+		{10, 10, 5, 5, false},
+		{10, 10, 6, 0, true},
+		{10, 10, 0, 6, true},
+		{4, 8, 3, 4, true},
+		{4, 8, 2, 4, false},
+	}
+	for _, c := range cases {
+		if got := TrunkSavingFeasible(c.nf, c.nt, c.mf, c.mt); got != c.want {
+			t.Errorf("TrunkSavingFeasible(%d,%d,%d,%d) = %v, want %v", c.nf, c.nt, c.mf, c.mt, got, c.want)
+		}
+	}
+}
+
+// TestSelfLoopSavingMatchesEq2 checks that the hose saving is positive
+// exactly when Eq. 2 holds and equals max(2nX-N,0)*SR per direction.
+func TestSelfLoopSavingMatchesEq2(t *testing.T) {
+	g := New("h")
+	a := g.AddTier("a", 10)
+	g.AddSelfLoop(a, 100)
+	e := g.Edges()[0]
+	for nx := 0; nx <= 10; nx++ {
+		got := g.SelfLoopSaving(e, nx)
+		want := 2 * float64(max(2*nx-10, 0)) * 100
+		if !almostEq(got, want) {
+			t.Errorf("nx=%d: saving=%g, want %g", nx, got, want)
+		}
+		if (got > 0) != HoseSavingFeasible(10, nx) {
+			t.Errorf("nx=%d: saving positivity disagrees with Eq. 2", nx)
+		}
+	}
+}
+
+// TestEdgeSavingEq4 checks the trunk saving against Eq. 4 in the balanced
+// case N^t·B_snd == N^t'·B_rcv the paper analyzes.
+func TestEdgeSavingEq4(t *testing.T) {
+	g := New("trunk")
+	u := g.AddTier("u", 8)  // snd 50 -> total 400
+	v := g.AddTier("v", 10) // rcv 40 -> total 400
+	g.AddEdge(u, v, 50, 40)
+	e := g.Edges()[0]
+
+	for nux := 0; nux <= 8; nux++ {
+		for nvx := 0; nvx <= 10; nvx++ {
+			got := g.EdgeSaving(e, nux, nvx)
+			// Outgoing direction (Eq. 4): max(NtX·Bsnd − (Nt'−Nt'X)·Brcv, 0).
+			outSave := float64(nux)*50 - float64(10-nvx)*40
+			if outSave < 0 {
+				outSave = 0
+			}
+			// Incoming direction is symmetric.
+			inSave := float64(nvx)*40 - float64(8-nux)*50
+			if inSave < 0 {
+				inSave = 0
+			}
+			if !almostEq(got, outSave+inSave) {
+				t.Errorf("nux=%d nvx=%d: saving=%g, want %g", nux, nvx, got, outSave+inSave)
+			}
+			// Eq. 6 is necessary: saving > 0 implies the condition.
+			if got > 0 && !TrunkSavingFeasible(8, 10, nux, nvx) {
+				t.Errorf("nux=%d nvx=%d: positive saving but Eq. 6 violated", nux, nvx)
+			}
+		}
+	}
+}
+
+// TestEdgeSavingZeroWorstCase: with the opposite tier entirely outside
+// there is nothing to save.
+func TestEdgeSavingZeroWorstCase(t *testing.T) {
+	g := New("w")
+	u := g.AddTier("u", 6)
+	v := g.AddTier("v", 6)
+	g.AddEdge(u, v, 10, 10)
+	e := g.Edges()[0]
+	for nux := 0; nux <= 6; nux++ {
+		if s := g.EdgeSaving(e, nux, 0); s != 0 {
+			t.Errorf("nux=%d nvx=0: saving=%g, want 0", nux, s)
+		}
+	}
+}
+
+// TestColocationSavingConsistent: the total saving equals the worst-case
+// cut minus the actual cut, where the worst case evaluates each edge with
+// the counterpart tier fully outside.
+func TestColocationSavingConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		inside := randomInside(r, g)
+
+		var worst float64
+		for _, e := range g.edges {
+			if e.SelfLoop() {
+				// Spread worst case: all nX count as crossing.
+				worst += 2 * float64(min(inside[e.From], g.TierSize(e.From))) * e.S
+			} else {
+				wOut := cappedMin(float64(inside[e.From])*e.S, outsideCap(g.tiers[e.To], 0, e.R))
+				wIn := cappedMin(outsideCap(g.tiers[e.From], 0, e.S), float64(inside[e.To])*e.R)
+				worst += wOut + wIn
+			}
+		}
+		out, in := g.Cut(inside)
+		return almostEq(g.ColocationSaving(inside), worst-(out+in))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSavingsNonNegativeMonotone: saving is non-negative and does not
+// decrease as more VMs of an endpoint are colocated.
+func TestSavingsNonNegativeMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		if len(g.edges) == 0 {
+			return true
+		}
+		e := g.edges[r.Intn(len(g.edges))]
+		nf := r.Intn(g.TierSize(e.From) + 1)
+		nt := r.Intn(g.TierSize(e.To) + 1)
+		s := g.EdgeSaving(e, nf, nt)
+		if s < 0 {
+			return false
+		}
+		if nt < g.TierSize(e.To) && !e.SelfLoop() {
+			if g.EdgeSaving(e, nf, nt+1) < s-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package tag implements the Tenant Application Graph (TAG) network
+// abstraction from "Application-Driven Bandwidth Guarantees in Datacenters"
+// (Lee et al., SIGCOMM 2014), §3.
+//
+// A TAG is a directed graph whose vertices are application components
+// (tiers) and whose edges carry per-VM bandwidth guarantees. A directed
+// edge u→v labeled <S,R> guarantees every VM in tier u bandwidth S for
+// sending to tier v, and every VM in tier v bandwidth R for receiving from
+// tier u (a "virtual trunk"). A self-loop edge u→u labeled SR is a
+// conventional hose between the VMs of tier u.
+//
+// The hose and pipe models are special cases of a TAG: a TAG with a single
+// component and a self-loop is the hose model, and a TAG with exactly one
+// VM per component and no self-loops is the pipe model.
+package tag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tier is one application component: a set of VMs performing the same
+// function (e.g., "web", "logic", "db").
+type Tier struct {
+	// Name identifies the tier within its graph. Must be unique.
+	Name string
+	// N is the number of VMs in the tier. Must be positive unless the
+	// tier is External.
+	N int
+	// External marks a special component that models nodes outside the
+	// tenant (the Internet, a storage service, another tenant). External
+	// tiers are never placed; traffic to and from them crosses every
+	// subtree cut. Size is optional for external tiers (N == 0 means
+	// "unbounded").
+	External bool
+}
+
+// Edge is a directed inter-tier bandwidth guarantee (a virtual trunk), or
+// an intra-tier hose when From == To.
+type Edge struct {
+	// From and To are tier indices within the graph.
+	From, To int
+	// S is the per-VM sending guarantee of tier From toward tier To, in
+	// Mbps. For a self-loop, S == R == SR, the single hose guarantee.
+	S float64
+	// R is the per-VM receiving guarantee of tier To from tier From, in
+	// Mbps.
+	R float64
+}
+
+// SelfLoop reports whether e is an intra-tier hose edge.
+func (e Edge) SelfLoop() bool { return e.From == e.To }
+
+// Graph is a Tenant Application Graph: the bandwidth requirements of one
+// tenant application.
+//
+// The zero value is an empty graph ready for use; add tiers with AddTier
+// and edges with AddEdge / AddSelfLoop.
+type Graph struct {
+	// Name identifies the tenant.
+	Name string
+
+	tiers []Tier
+	edges []Edge
+}
+
+// New returns an empty TAG with the given tenant name.
+func New(name string) *Graph { return &Graph{Name: name} }
+
+// AddTier appends a tier with n VMs and returns its index.
+func (g *Graph) AddTier(name string, n int) int {
+	g.tiers = append(g.tiers, Tier{Name: name, N: n})
+	return len(g.tiers) - 1
+}
+
+// AddExternal appends an external (special) component and returns its
+// index. n may be zero for an unbounded external component.
+func (g *Graph) AddExternal(name string, n int) int {
+	g.tiers = append(g.tiers, Tier{Name: name, N: n, External: true})
+	return len(g.tiers) - 1
+}
+
+// AddEdge adds a directed inter-tier guarantee from tier u to tier v:
+// every VM in u may send at s Mbps to v, and every VM in v may receive at
+// r Mbps from u. Adding an edge with u == v is equivalent to AddSelfLoop
+// with SR = s and requires s == r.
+func (g *Graph) AddEdge(u, v int, s, r float64) {
+	if u == v && s != r {
+		panic(fmt.Sprintf("tag: self-loop on tier %d requires S == R (got %g, %g)", u, s, r))
+	}
+	g.edges = append(g.edges, Edge{From: u, To: v, S: s, R: r})
+}
+
+// AddSelfLoop adds an intra-tier hose on tier u with per-VM guarantee sr
+// Mbps in each direction.
+func (g *Graph) AddSelfLoop(u int, sr float64) {
+	g.edges = append(g.edges, Edge{From: u, To: u, S: sr, R: sr})
+}
+
+// AddBidirectional adds a pair of opposite edges between u and v with the
+// same guarantees in each direction (the undirected-edge shorthand of §3).
+func (g *Graph) AddBidirectional(u, v int, s, r float64) {
+	g.AddEdge(u, v, s, r)
+	g.AddEdge(v, u, r, s)
+}
+
+// Tiers returns the number of tiers (including external components).
+func (g *Graph) Tiers() int { return len(g.tiers) }
+
+// Tier returns the i'th tier.
+func (g *Graph) Tier(i int) Tier { return g.tiers[i] }
+
+// TierSize returns the number of VMs in tier i.
+func (g *Graph) TierSize(i int) int { return g.tiers[i].N }
+
+// TierIndex returns the index of the tier with the given name, or -1.
+func (g *Graph) TierIndex(name string) int {
+	for i, t := range g.tiers {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Edges returns the graph's edges. The slice must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// VMs returns the total number of placeable VMs (external tiers excluded).
+func (g *Graph) VMs() int {
+	n := 0
+	for _, t := range g.tiers {
+		if !t.External {
+			n += t.N
+		}
+	}
+	return n
+}
+
+// Sizes returns a fresh slice with the VM count of every tier; external
+// tiers report zero placeable VMs.
+func (g *Graph) Sizes() []int {
+	s := make([]int, len(g.tiers))
+	for i, t := range g.tiers {
+		if !t.External {
+			s[i] = t.N
+		}
+	}
+	return s
+}
+
+// EdgeAggregate returns the total bandwidth the TAG guarantees for traffic
+// on edge e: B(u→v) = min(S·Nu, R·Nv) for a trunk, and SR·N/2 for a
+// self-loop (each unit of intra-tier traffic consumes one send and one
+// receive guarantee). Unbounded external endpoints contribute +Inf to the
+// min.
+func (g *Graph) EdgeAggregate(e Edge) float64 {
+	if e.SelfLoop() {
+		return e.S * float64(g.tiers[e.From].N) / 2
+	}
+	snd := g.capOrInf(e.From, e.S)
+	rcv := g.capOrInf(e.To, e.R)
+	return math.Min(snd, rcv)
+}
+
+func (g *Graph) capOrInf(t int, perVM float64) float64 {
+	tier := g.tiers[t]
+	if tier.External && tier.N == 0 {
+		return math.Inf(1)
+	}
+	return perVM * float64(tier.N)
+}
+
+// AggregateBandwidth returns the sum of EdgeAggregate over all edges: the
+// tenant's total guaranteed bandwidth demand. Used as the bandwidth weight
+// when reporting rejection rates.
+func (g *Graph) AggregateBandwidth() float64 {
+	var sum float64
+	for _, e := range g.edges {
+		a := g.EdgeAggregate(e)
+		if !math.IsInf(a, 1) {
+			sum += a
+		}
+	}
+	return sum
+}
+
+// PerVMDemand returns the mean per-VM bandwidth demand of the tenant:
+// the average over placeable VMs of (send + receive guarantees)/2. This is
+// the Bvm quantity the evaluation scales to Bmax.
+func (g *Graph) PerVMDemand() float64 {
+	n := g.VMs()
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for t := range g.tiers {
+		if g.tiers[t].External {
+			continue
+		}
+		out, in := g.VMProfile(t)
+		total += (out + in) / 2 * float64(g.tiers[t].N)
+	}
+	return total / float64(n)
+}
+
+// VMProfile returns the total per-VM send and receive guarantees of one VM
+// in tier t, summed over all incident edges (self-loops contribute to
+// both). This is the generalized-hose guarantee a VM of t would need.
+func (g *Graph) VMProfile(t int) (out, in float64) {
+	for _, e := range g.edges {
+		if e.From == t {
+			out += e.S
+		}
+		if e.To == t {
+			in += e.R
+		}
+	}
+	return out, in
+}
+
+// Validate checks structural invariants: at least one tier, positive
+// sizes for non-external tiers, edge endpoints in range, non-negative
+// guarantees, unique tier names.
+func (g *Graph) Validate() error {
+	if len(g.tiers) == 0 {
+		return errors.New("tag: graph has no tiers")
+	}
+	names := make(map[string]bool, len(g.tiers))
+	for i, t := range g.tiers {
+		if t.Name == "" {
+			return fmt.Errorf("tag: tier %d has empty name", i)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("tag: duplicate tier name %q", t.Name)
+		}
+		names[t.Name] = true
+		if !t.External && t.N <= 0 {
+			return fmt.Errorf("tag: tier %q has non-positive size %d", t.Name, t.N)
+		}
+		if t.N < 0 {
+			return fmt.Errorf("tag: tier %q has negative size %d", t.Name, t.N)
+		}
+	}
+	for i, e := range g.edges {
+		if e.From < 0 || e.From >= len(g.tiers) || e.To < 0 || e.To >= len(g.tiers) {
+			return fmt.Errorf("tag: edge %d endpoints (%d,%d) out of range", i, e.From, e.To)
+		}
+		if e.S < 0 || e.R < 0 {
+			return fmt.Errorf("tag: edge %d has negative guarantee", i)
+		}
+		if e.SelfLoop() && e.S != e.R {
+			return fmt.Errorf("tag: self-loop edge %d has S != R", i)
+		}
+		if e.SelfLoop() && g.tiers[e.From].External {
+			return fmt.Errorf("tag: self-loop on external tier %q", g.tiers[e.From].Name)
+		}
+	}
+	return nil
+}
+
+// Scale multiplies every bandwidth guarantee by f. Used to normalize a
+// relative-unit workload so its largest per-VM demand equals Bmax.
+func (g *Graph) Scale(f float64) {
+	for i := range g.edges {
+		g.edges[i].S *= f
+		g.edges[i].R *= f
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{Name: g.Name}
+	c.tiers = append([]Tier(nil), g.tiers...)
+	c.edges = append([]Edge(nil), g.edges...)
+	return c
+}
+
+// String returns a compact human-readable rendering, e.g.
+// "web[10] -<100,50>-> logic[20]".
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TAG %q:", g.Name)
+	for _, t := range g.tiers {
+		ext := ""
+		if t.External {
+			ext = "*"
+		}
+		fmt.Fprintf(&b, " %s%s[%d]", t.Name, ext, t.N)
+	}
+	for _, e := range g.edges {
+		if e.SelfLoop() {
+			fmt.Fprintf(&b, " {%s loop %g}", g.tiers[e.From].Name, e.S)
+		} else {
+			fmt.Fprintf(&b, " {%s-<%g,%g>->%s}", g.tiers[e.From].Name, e.S, e.R, g.tiers[e.To].Name)
+		}
+	}
+	return b.String()
+}

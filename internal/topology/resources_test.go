@@ -1,0 +1,106 @@
+package topology
+
+import "testing"
+
+func resourceTree() *Tree {
+	return New(Spec{
+		SlotsPerServer: 4,
+		Levels: []LevelSpec{
+			{Name: "server", Fanout: 2, Uplink: 100},
+			{Name: "tor", Fanout: 2, Uplink: 200},
+		},
+		Resources: []ResourceSpec{
+			{Name: "cpu", PerServer: 16},
+			{Name: "mem", PerServer: 64},
+		},
+	})
+}
+
+func TestResourceAggregates(t *testing.T) {
+	tr := resourceTree()
+	if len(tr.Resources()) != 2 {
+		t.Fatalf("resources = %d, want 2", len(tr.Resources()))
+	}
+	if got := tr.ResourceFree(tr.Root(), 0); got != 4*16 {
+		t.Errorf("root cpu = %g, want 64", got)
+	}
+	if got := tr.ResourceFree(tr.Servers()[0], 1); got != 64 {
+		t.Errorf("server mem = %g, want 64", got)
+	}
+}
+
+func TestUseReleaseResources(t *testing.T) {
+	tr := resourceTree()
+	s := tr.Servers()[0]
+	demand := []float64{4, 8} // cpu, mem per VM
+
+	if err := tr.UseResources(s, 3, demand); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.ResourceFree(s, 0); got != 16-12 {
+		t.Errorf("server cpu after use = %g, want 4", got)
+	}
+	if got := tr.ResourceFree(tr.Root(), 0); got != 64-12 {
+		t.Errorf("root cpu aggregate = %g, want 52", got)
+	}
+	// Exceeding capacity fails atomically.
+	if err := tr.UseResources(s, 2, demand); err == nil {
+		t.Error("over-use accepted")
+	}
+	if got := tr.ResourceFree(s, 0); got != 4 {
+		t.Error("failed use modified state")
+	}
+	tr.ReleaseResources(s, 3, demand)
+	if tr.ResourceFree(tr.Root(), 0) != 64 || tr.ResourceFree(tr.Root(), 1) != 256 {
+		t.Error("release incomplete")
+	}
+	// Mismatched vector length rejected.
+	if err := tr.UseResources(s, 1, []float64{1}); err == nil {
+		t.Error("short demand vector accepted")
+	}
+}
+
+func TestCanHostAndResourceCap(t *testing.T) {
+	tr := resourceTree()
+	s := tr.Servers()[0]
+	demand := []float64{8, 16}
+	if !tr.CanHost(s, 2, demand) {
+		t.Error("2×(8,16) should fit a (16,64) server")
+	}
+	if tr.CanHost(s, 3, demand) {
+		t.Error("3×8 cpu cannot fit 16")
+	}
+	if got := tr.ResourceCap(s, demand); got != 2 {
+		t.Errorf("ResourceCap = %d, want 2", got)
+	}
+	// ToR-level cap spans both servers.
+	if got := tr.ResourceCap(tr.Parent(s), demand); got != 4 {
+		t.Errorf("tor ResourceCap = %d, want 4", got)
+	}
+	// Slot-only topologies are unconstrained.
+	plain := New(Spec{SlotsPerServer: 2, Levels: []LevelSpec{{Fanout: 2, Uplink: 10}}})
+	if got := plain.ResourceCap(plain.Root(), demand); got < 1<<29 {
+		t.Errorf("slot-only cap = %d, want unbounded", got)
+	}
+	// Zero-demand dimension never constrains.
+	if got := tr.ResourceCap(s, []float64{0, 0}); got < 1<<29 {
+		t.Errorf("zero-demand cap = %d, want unbounded", got)
+	}
+	// CanHost with nil demand is slot-only.
+	if !tr.CanHost(s, 4, nil) || tr.CanHost(s, 5, nil) {
+		t.Error("nil-demand CanHost wrong")
+	}
+}
+
+func TestResourceSpecValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive resource capacity accepted")
+		}
+	}()
+	New(Spec{
+		SlotsPerServer: 1,
+		Levels:         []LevelSpec{{Fanout: 1, Uplink: 1}},
+		Resources:      []ResourceSpec{{Name: "cpu", PerServer: 0}},
+	})
+}

@@ -1,0 +1,81 @@
+package topology
+
+// Standard topologies used by the paper's evaluation (§5).
+
+// PaperSpec returns the simulated datacenter of §5: a 3-level tree with
+// 2048 servers of 25 VM slots each, 10 Gbps server uplinks, and
+// ToR/aggregation links oversubscribed in a 32:8:1 ratio (4× at the ToR
+// uplink, a further 8× at the aggregation uplink, 32× total).
+//
+// 32 servers per rack and 8 racks per aggregation pod give 64 ToRs and 8
+// aggregation switches under a single root. With the 32:8:1 per-server
+// bandwidth ratio (10 : 2.5 : 0.3125 Gbps per server at the three
+// levels), both the ToR and aggregation uplinks come to 80 Gbps.
+func PaperSpec() Spec {
+	return Spec{
+		SlotsPerServer: 25,
+		Levels: []LevelSpec{
+			{Name: "server", Fanout: 32, Uplink: 10_000},
+			{Name: "tor", Fanout: 8, Uplink: 80_000},
+			{Name: "agg", Fanout: 8, Uplink: 80_000},
+		},
+	}
+}
+
+// OversubSpec returns the PaperSpec topology rescaled to a total
+// oversubscription of ratio:1 between a server and the root, used by the
+// Fig. 9 stress test {16, 32, 64, 128}. The ToR level keeps its 4×
+// oversubscription; the aggregation uplink absorbs the rest.
+func OversubSpec(ratio float64) Spec {
+	s := PaperSpec()
+	if ratio <= 0 {
+		panic("topology: oversubscription ratio must be positive")
+	}
+	// Total servers per agg pod: 32*8 = 256, raw demand 2560 Gbps.
+	// Total = torOS(4) × aggOS  =>  aggOS = ratio/4.
+	// Agg uplink = (ToR uplink × 8) / aggOS.
+	aggOS := ratio / 4
+	s.Levels[2].Uplink = s.Levels[1].Uplink * 8 / aggOS
+	return s
+}
+
+// SmallSpec returns a reduced topology for tests and benchmarks: the same
+// shape and oversubscription as PaperSpec but with 128 servers
+// (8 servers × 4 ToRs × 4 aggs).
+func SmallSpec() Spec {
+	return Spec{
+		SlotsPerServer: 25,
+		Levels: []LevelSpec{
+			{Name: "server", Fanout: 8, Uplink: 10_000},
+			{Name: "tor", Fanout: 4, Uplink: 20_000},
+			{Name: "agg", Fanout: 4, Uplink: 10_000},
+		},
+	}
+}
+
+// MediumSpec returns a 512-server topology with the PaperSpec
+// oversubscription shape (4× at ToR, 8× at aggregation): large enough to
+// reproduce the paper's comparative results, small enough for reduced-
+// scale (Quick) experiment runs and benchmarks.
+func MediumSpec() Spec {
+	return Spec{
+		SlotsPerServer: 25,
+		Levels: []LevelSpec{
+			{Name: "server", Fanout: 16, Uplink: 10_000},
+			{Name: "tor", Fanout: 8, Uplink: 40_000},
+			{Name: "agg", Fanout: 4, Uplink: 40_000},
+		},
+	}
+}
+
+// UnlimitedSpec returns the PaperSpec shape with effectively unlimited
+// link capacities, used by the Table 1 experiment, which measures how
+// much bandwidth each model reserves when capacity never constrains
+// placement.
+func UnlimitedSpec() Spec {
+	s := PaperSpec()
+	for i := range s.Levels {
+		s.Levels[i].Uplink = 1e12
+	}
+	return s
+}

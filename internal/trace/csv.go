@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseCSV reads a traffic time series in the taginfer wire format: one
+// or more N×N rate matrices (Mbps) as comma-separated rows, consecutive
+// matrices separated by one or more blank lines. Row i, column j is the
+// rate VM i sends to VM j.
+func ParseCSV(r io.Reader) (*Series, error) {
+	var mats []*Matrix
+	var rows [][]float64
+	flush := func() error {
+		if len(rows) == 0 {
+			return nil
+		}
+		n := len(rows)
+		m := NewMatrix(n)
+		for i, row := range rows {
+			if len(row) != n {
+				return fmt.Errorf("trace: row %d has %d entries, want %d (square matrix)", i, len(row), n)
+			}
+			for j, v := range row {
+				if v < 0 {
+					return fmt.Errorf("trace: negative rate at (%d,%d)", i, j)
+				}
+				m.Set(i, j, v)
+			}
+		}
+		mats = append(mats, m)
+		rows = nil
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		fields := strings.Split(line, ",")
+		row := make([]float64, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad value %q: %w", f, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return NewSeries(mats...)
+}
+
+// WriteCSV writes the series in the ParseCSV format.
+func WriteCSV(w io.Writer, s *Series) error {
+	bw := bufio.NewWriter(w)
+	for epoch := 0; epoch < s.Len(); epoch++ {
+		if epoch > 0 {
+			if _, err := fmt.Fprintln(bw); err != nil {
+				return err
+			}
+		}
+		m := s.At(epoch)
+		for i := 0; i < m.N(); i++ {
+			row := m.Row(i)
+			for j, v := range row {
+				if j > 0 {
+					if _, err := bw.WriteString(","); err != nil {
+						return err
+					}
+				}
+				if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(bw); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

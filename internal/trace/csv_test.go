@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseCSV(t *testing.T) {
+	in := `0, 10, 5
+2,0,1
+7 , 3, 0
+
+0,1,0
+0,0,0
+4,0,0
+`
+	s, err := ParseCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.N() != 3 {
+		t.Fatalf("series = %d×%d matrices, want 2 of 3×3", s.Len(), s.N())
+	}
+	if s.At(0).At(0, 1) != 10 || s.At(0).At(2, 0) != 7 || s.At(1).At(2, 0) != 4 {
+		t.Error("values misparsed")
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"ragged":    "0,1\n2,0,9\n",
+		"nonsquare": "0,1,2\n3,0,4\n",
+		"negative":  "0,-1\n2,0\n",
+		"badvalue":  "0,x\n2,0\n",
+		"empty":     "\n\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 1, 12.5)
+	b := NewMatrix(2)
+	b.Set(1, 0, 3)
+	s, _ := NewSeries(a, b)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.At(0).At(0, 1) != 12.5 || back.At(1).At(1, 0) != 3 {
+		t.Error("round trip lost data")
+	}
+}

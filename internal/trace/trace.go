@@ -1,0 +1,160 @@
+// Package trace provides VM-to-VM traffic matrices and time series — the
+// raw measurement input to TAG inference (§3 "Producing TAG Models") —
+// plus a synthesizer that generates traces from a known TAG deployment
+// with load-balancer skew, so inference can be evaluated against ground
+// truth.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudmirror/internal/tag"
+)
+
+// Matrix is a dense N×N traffic-rate matrix: entry (i,j) is the rate from
+// VM i to VM j in Mbps.
+type Matrix struct {
+	n    int
+	data []float64
+}
+
+// NewMatrix returns a zero N×N matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{n: n, data: make([]float64, n*n)}
+}
+
+// N returns the matrix dimension.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the rate from VM i to VM j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Set stores the rate from VM i to VM j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.n+j] = v }
+
+// Add accumulates onto the rate from VM i to VM j.
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.n+j] += v }
+
+// Row returns a read-only view of row i (traffic sent by VM i).
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.n : (i+1)*m.n] }
+
+// Series is a time series of equally-sized traffic matrices.
+type Series struct {
+	mats []*Matrix
+}
+
+// NewSeries wraps matrices into a series; all must share a dimension.
+func NewSeries(mats ...*Matrix) (*Series, error) {
+	if len(mats) == 0 {
+		return nil, fmt.Errorf("trace: empty series")
+	}
+	n := mats[0].n
+	for i, m := range mats {
+		if m.n != n {
+			return nil, fmt.Errorf("trace: matrix %d has dimension %d, want %d", i, m.n, n)
+		}
+	}
+	return &Series{mats: mats}, nil
+}
+
+// Len returns the number of time steps.
+func (s *Series) Len() int { return len(s.mats) }
+
+// N returns the VM count.
+func (s *Series) N() int { return s.mats[0].n }
+
+// At returns the matrix of time step t.
+func (s *Series) At(t int) *Matrix { return s.mats[t] }
+
+// Mean returns the element-wise time average, the input to similarity
+// clustering.
+func (s *Series) Mean() *Matrix {
+	n := s.N()
+	mean := NewMatrix(n)
+	for _, m := range s.mats {
+		for i := range mean.data {
+			mean.data[i] += m.data[i]
+		}
+	}
+	inv := 1 / float64(len(s.mats))
+	for i := range mean.data {
+		mean.data[i] *= inv
+	}
+	return mean
+}
+
+// Synthesize generates a traffic time series from a TAG: each step
+// distributes every edge's aggregate bandwidth across the VM pairs it
+// covers with random (load-balancer-skewed) weights. skew ≥ 0 controls
+// the imbalance: 0 gives perfectly uniform balancing, 1 gives weights
+// uniform in [0.5, 1.5], larger values more spread. The returned labels
+// give each VM's ground-truth tier, using the same VM-ID layout as
+// enforce.NewDeployment (tier order).
+func Synthesize(g *tag.Graph, steps int, skew float64, seed int64) (*Series, []int, error) {
+	if steps <= 0 {
+		return nil, nil, fmt.Errorf("trace: steps must be positive")
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	var labels []int
+	vmsOf := make([][]int, g.Tiers())
+	for t := 0; t < g.Tiers(); t++ {
+		if g.Tier(t).External {
+			continue
+		}
+		for i := 0; i < g.TierSize(t); i++ {
+			vmsOf[t] = append(vmsOf[t], len(labels))
+			labels = append(labels, t)
+		}
+	}
+	n := len(labels)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("trace: TAG has no placeable VMs")
+	}
+
+	weight := func() float64 {
+		w := 1 + skew*(r.Float64()-0.5)
+		if w < 0.05 {
+			w = 0.05
+		}
+		return w
+	}
+
+	mats := make([]*Matrix, steps)
+	for step := range mats {
+		m := NewMatrix(n)
+		for _, e := range g.Edges() {
+			if g.Tier(e.From).External || g.Tier(e.To).External {
+				continue // external endpoints are not in the matrix
+			}
+			srcs, dsts := vmsOf[e.From], vmsOf[e.To]
+			total := g.EdgeAggregate(e)
+			if e.SelfLoop() && len(srcs) < 2 {
+				continue
+			}
+			// Random pair weights model imperfect load balancing.
+			type pr struct{ s, d int }
+			var pairs []pr
+			var wsum float64
+			var ws []float64
+			for _, s := range srcs {
+				for _, d := range dsts {
+					if s == d {
+						continue
+					}
+					w := weight()
+					pairs = append(pairs, pr{s, d})
+					ws = append(ws, w)
+					wsum += w
+				}
+			}
+			for k, p := range pairs {
+				m.Add(p.s, p.d, total*ws[k]/wsum)
+			}
+		}
+		mats[step] = m
+	}
+	series, err := NewSeries(mats...)
+	return series, labels, err
+}

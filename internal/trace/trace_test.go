@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"cloudmirror/internal/tag"
+)
+
+func threeTier() *tag.Graph {
+	g := tag.New("web")
+	web := g.AddTier("web", 3)
+	logic := g.AddTier("logic", 4)
+	db := g.AddTier("db", 3)
+	g.AddBidirectional(web, logic, 100, 75)
+	g.AddBidirectional(logic, db, 50, 200/3.0)
+	g.AddSelfLoop(db, 40)
+	return g
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 || m.At(1, 0) != 0 {
+		t.Error("matrix accessors wrong")
+	}
+	if len(m.Row(0)) != 3 || m.Row(0)[1] != 7 {
+		t.Error("Row wrong")
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	if _, err := NewSeries(); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := NewSeries(NewMatrix(2), NewMatrix(3)); err == nil {
+		t.Error("mismatched dimensions accepted")
+	}
+	s, err := NewSeries(NewMatrix(2), NewMatrix(2))
+	if err != nil || s.Len() != 2 || s.N() != 2 {
+		t.Errorf("series shape wrong: %v", err)
+	}
+}
+
+func TestSeriesMean(t *testing.T) {
+	a, b := NewMatrix(2), NewMatrix(2)
+	a.Set(0, 1, 10)
+	b.Set(0, 1, 30)
+	s, _ := NewSeries(a, b)
+	if got := s.Mean().At(0, 1); got != 20 {
+		t.Errorf("mean = %g, want 20", got)
+	}
+}
+
+func TestSynthesizeConservation(t *testing.T) {
+	g := threeTier()
+	s, labels, err := Synthesize(g, 5, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 10 || s.N() != 10 {
+		t.Fatalf("labels/N = %d/%d, want 10", len(labels), s.N())
+	}
+	// Ground-truth labels follow tier order.
+	want := []int{0, 0, 0, 1, 1, 1, 1, 2, 2, 2}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v", labels)
+		}
+	}
+	// Each step conserves every edge's aggregate: summed tier-pair
+	// traffic equals EdgeAggregate regardless of skew.
+	for step := 0; step < s.Len(); step++ {
+		m := s.At(step)
+		webToLogic := 0.0
+		intraDB := 0.0
+		for i := 0; i < 10; i++ {
+			for j := 0; j < 10; j++ {
+				switch {
+				case labels[i] == 0 && labels[j] == 1:
+					webToLogic += m.At(i, j)
+				case labels[i] == 2 && labels[j] == 2:
+					intraDB += m.At(i, j)
+				}
+			}
+		}
+		if math.Abs(webToLogic-300) > 1e-6 { // min(3·100, 4·75) = 300
+			t.Errorf("step %d: web→logic = %g, want 300", step, webToLogic)
+		}
+		if math.Abs(intraDB-60) > 1e-6 { // 40·3/2
+			t.Errorf("step %d: intra-db = %g, want 60", step, intraDB)
+		}
+	}
+}
+
+func TestSynthesizeSkew(t *testing.T) {
+	g := threeTier()
+	uniform, labels, err := Synthesize(g, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// skew 0: perfectly uniform pair rates within each edge.
+	m := uniform.At(0)
+	first := m.At(0, 3) // web0 → logic0
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 7; j++ {
+			if math.Abs(m.At(i, j)-first) > 1e-9 {
+				t.Fatalf("uniform synthesis uneven: (%d,%d)=%g vs %g", i, j, m.At(i, j), first)
+			}
+		}
+	}
+	_ = labels
+
+	skewed, _, err := Synthesize(g, 1, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := skewed.At(0)
+	varied := false
+	for j := 3; j < 7; j++ {
+		if math.Abs(ms.At(0, j)-ms.At(1, j)) > 1e-9 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("skewed synthesis produced uniform rates")
+	}
+}
+
+func TestSynthesizeDiagonalZero(t *testing.T) {
+	g := tag.New("h")
+	a := g.AddTier("a", 4)
+	g.AddSelfLoop(a, 100)
+	s, _, err := Synthesize(g, 3, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < s.Len(); step++ {
+		for i := 0; i < 4; i++ {
+			if s.At(step).At(i, i) != 0 {
+				t.Fatalf("self-traffic on diagonal at step %d", step)
+			}
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	g := threeTier()
+	if _, _, err := Synthesize(g, 0, 1, 1); err == nil {
+		t.Error("zero steps accepted")
+	}
+	ext := tag.New("ext")
+	ext.AddExternal("inet", 0)
+	if _, _, err := Synthesize(ext, 1, 1, 1); err == nil {
+		t.Error("TAG with no placeable VMs accepted")
+	}
+}
+
+func TestSynthesizeExternalExcluded(t *testing.T) {
+	g := tag.New("ext")
+	a := g.AddTier("a", 3)
+	inet := g.AddExternal("inet", 0)
+	g.AddEdge(a, inet, 50, 50)
+	g.AddSelfLoop(a, 10)
+	s, labels, err := Synthesize(g, 2, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 || s.N() != 3 {
+		t.Errorf("external tier leaked into the matrix: N=%d", s.N())
+	}
+}

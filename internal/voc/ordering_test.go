@@ -1,0 +1,96 @@
+package voc_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cloudmirror/internal/hose"
+	"cloudmirror/internal/pipe"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/voc"
+)
+
+// randomGraph builds a random TAG with no external tiers.
+func randomGraph(r *rand.Rand) *tag.Graph {
+	g := tag.New("rand")
+	tiers := 1 + r.Intn(5)
+	for i := 0; i < tiers; i++ {
+		g.AddTier(string(rune('a'+i)), 1+r.Intn(12))
+	}
+	for i, n := 0, r.Intn(8); i < n; i++ {
+		u, v := r.Intn(tiers), r.Intn(tiers)
+		if u == v {
+			g.AddSelfLoop(u, float64(1+r.Intn(500)))
+		} else {
+			g.AddEdge(u, v, float64(1+r.Intn(500)), float64(1+r.Intn(500)))
+		}
+	}
+	return g
+}
+
+// TestModelOrdering verifies the abstraction-efficiency chain the paper
+// relies on (§2.2 and footnote 7): for any TAG and any placement split,
+//
+//	pipe cut ≤ TAG cut ≤ VOC cut ≤ hose cut
+//
+// in both directions. The TAG ≤ VOC inequality is the footnote-7 theorem;
+// pipe ≤ TAG holds because the idealized pipes subdivide each guarantee;
+// VOC ≤ hose holds because the hose also aggregates intra-tier traffic
+// into the single per-VM guarantee.
+func TestModelOrdering(t *testing.T) {
+	const eps = 1e-6
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		inside := make([]int, g.Tiers())
+		for i := range inside {
+			inside[i] = r.Intn(g.TierSize(i) + 1)
+		}
+
+		pOut, pIn := pipe.FromTAG(g).Cut(inside)
+		tOut, tIn := g.Cut(inside)
+		vOut, vIn := voc.FromTAG(g).Cut(inside)
+		hOut, hIn := hose.FromTAG(g).Cut(inside)
+
+		ok := pOut <= tOut+eps && tOut <= vOut+eps && vOut <= hOut+eps &&
+			pIn <= tIn+eps && tIn <= vIn+eps && vIn <= hIn+eps
+		if !ok {
+			t.Logf("seed=%d graph=%s inside=%v", seed, g, inside)
+			t.Logf("pipe=(%g,%g) tag=(%g,%g) voc=(%g,%g) hose=(%g,%g)",
+				pOut, pIn, tOut, tIn, vOut, vIn, hOut, hIn)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderingWithExternal repeats the chain for graphs with an unbounded
+// external component (pipe excluded from the upper comparisons because its
+// external handling is exact by construction).
+func TestOrderingWithExternal(t *testing.T) {
+	const eps = 1e-6
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		ext := g.AddExternal("inet", 0)
+		for i := 0; i < g.Tiers()-1; i++ {
+			if r.Intn(2) == 0 {
+				g.AddEdge(i, ext, float64(r.Intn(100)), float64(r.Intn(100)))
+			}
+		}
+		inside := make([]int, g.Tiers())
+		for i := 0; i < g.Tiers()-1; i++ {
+			inside[i] = r.Intn(g.TierSize(i) + 1)
+		}
+		tOut, tIn := g.Cut(inside)
+		vOut, vIn := voc.FromTAG(g).Cut(inside)
+		hOut, hIn := hose.FromTAG(g).Cut(inside)
+		return tOut <= vOut+eps && vOut <= hOut+eps && tIn <= vIn+eps && vIn <= hIn+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

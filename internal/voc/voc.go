@@ -1,0 +1,131 @@
+// Package voc implements the generalized Virtual Oversubscribed Cluster
+// model (Ballani et al., "Towards Predictable Datacenter Networks",
+// SIGCOMM 2011), the main baseline abstraction in the CloudMirror paper.
+//
+// A VOC organizes VMs into clusters, each with an internal hose guarantee,
+// and connects clusters through per-cluster oversubscribed hoses. Like the
+// paper (§2.2), we use a generalized VOC that allows arbitrary per-cluster
+// sizes and guarantees. Following the evaluation setup (§5), each TAG
+// component maps to one VOC cluster.
+//
+// The crucial difference from the TAG is captured in footnote 7: the VOC
+// aggregates all of a cluster's inter-cluster requirements into a single
+// oversubscribed hose, so the bandwidth required across a subtree cut is
+//
+//	C(X,out) = min( Σ_{t∈X} N_X(t)·interSnd(t),
+//	                Σ_{t'}   N_X̄(t')·interRcv(t') ) + Bhose
+//
+// instead of the per-pair sum of mins the TAG uses. The paper proves (and
+// package tests verify) that the TAG requirement never exceeds the VOC
+// requirement for the same placement.
+package voc
+
+import (
+	"math"
+
+	"cloudmirror/internal/tag"
+)
+
+// Model is a generalized VOC derived from a TAG: one cluster per TAG
+// component, cluster hose from the component's self-loop, inter-cluster
+// hose aggregating the component's trunk guarantees.
+type Model struct {
+	name  string
+	sizes []int
+	// hose is the per-VM intra-cluster guarantee (the TAG self-loop SR).
+	hose []float64
+	// interSnd and interRcv are the per-VM aggregated inter-cluster
+	// guarantees: Σ S over outgoing trunks, Σ R over incoming trunks.
+	interSnd []float64
+	interRcv []float64
+	// unbounded marks external tiers with unspecified size.
+	unbounded []bool
+}
+
+// FromTAG builds the generalized VOC representation of a TAG, mapping
+// every component to a cluster (§5 "We consider each service as
+// corresponding to ... a cluster in the VOC model").
+func FromTAG(g *tag.Graph) *Model {
+	n := g.Tiers()
+	m := &Model{
+		name:      g.Name,
+		sizes:     make([]int, n),
+		hose:      make([]float64, n),
+		interSnd:  make([]float64, n),
+		interRcv:  make([]float64, n),
+		unbounded: make([]bool, n),
+	}
+	for t := 0; t < n; t++ {
+		tier := g.Tier(t)
+		m.sizes[t] = tier.N
+		m.unbounded[t] = tier.External && tier.N == 0
+	}
+	for _, e := range g.Edges() {
+		if e.SelfLoop() {
+			m.hose[e.From] += e.S
+		} else {
+			m.interSnd[e.From] += e.S
+			m.interRcv[e.To] += e.R
+		}
+	}
+	return m
+}
+
+// Name returns the tenant name.
+func (m *Model) Name() string { return m.name }
+
+// Tiers returns the number of clusters.
+func (m *Model) Tiers() int { return len(m.sizes) }
+
+// TierSize returns the number of VMs in cluster t.
+func (m *Model) TierSize(t int) int { return m.sizes[t] }
+
+// ClusterHose returns the per-VM intra-cluster hose guarantee of cluster t.
+func (m *Model) ClusterHose(t int) float64 { return m.hose[t] }
+
+// InterGuarantee returns the per-VM aggregated inter-cluster send and
+// receive guarantees of cluster t.
+func (m *Model) InterGuarantee(t int) (snd, rcv float64) {
+	return m.interSnd[t], m.interRcv[t]
+}
+
+// VMProfile returns the total per-VM (send, receive) guarantees of a VM in
+// cluster t, hose plus inter-cluster. Placement heuristics use this to
+// compare per-VM demand with per-slot available bandwidth.
+func (m *Model) VMProfile(t int) (out, in float64) {
+	return m.hose[t] + m.interSnd[t], m.hose[t] + m.interRcv[t]
+}
+
+// Cut returns the bandwidth the VOC model requires on the uplink of a
+// subtree containing inside[t] VMs of every cluster (footnote 7 of the
+// paper).
+func (m *Model) Cut(inside []int) (out, in float64) {
+	var hoseCut float64
+	var inSnd, inRcv, outSnd, outRcv float64
+	for t := range m.sizes {
+		nIn := inside[t]
+		if m.unbounded[t] {
+			// An unbounded external tier never limits the min.
+			outSnd = math.Inf(1)
+			outRcv = math.Inf(1)
+			continue
+		}
+		nOut := m.sizes[t] - nIn
+		hoseCut += float64(min(nIn, nOut)) * m.hose[t]
+		inSnd += float64(nIn) * m.interSnd[t]
+		inRcv += float64(nIn) * m.interRcv[t]
+		outSnd += float64(nOut) * m.interSnd[t]
+		outRcv += float64(nOut) * m.interRcv[t]
+	}
+	out = finiteMin(inSnd, outRcv) + hoseCut
+	in = finiteMin(outSnd, inRcv) + hoseCut
+	return out, in
+}
+
+func finiteMin(a, b float64) float64 {
+	v := math.Min(a, b)
+	if math.IsInf(v, 1) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,102 @@
+package voc
+
+import (
+	"math"
+	"testing"
+
+	"cloudmirror/internal/tag"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// storm builds the Fig. 3(a) Storm application: four components of s VMs,
+// edges Spout1→Bolt1, Spout1→Bolt2, Bolt2→Bolt3, each with per-VM
+// guarantee b in both send and receive.
+func storm(s int, b float64) *tag.Graph {
+	g := tag.New("storm")
+	spout1 := g.AddTier("spout1", s)
+	bolt1 := g.AddTier("bolt1", s)
+	bolt2 := g.AddTier("bolt2", s)
+	bolt3 := g.AddTier("bolt3", s)
+	g.AddEdge(spout1, bolt1, b, b)
+	g.AddEdge(spout1, bolt2, b, b)
+	g.AddEdge(bolt2, bolt3, b, b)
+	return g
+}
+
+// TestStormFig3 reproduces the §2.2 VOC analysis: with {Spout1, Bolt1} in
+// one branch and {Bolt2, Bolt3} in the other, the actual cross-branch
+// requirement is S·B (only Spout1→Bolt2 crosses), but the VOC model
+// reserves 2·S·B.
+func TestStormFig3(t *testing.T) {
+	const s, b = 10, 100.0
+	g := storm(s, b)
+	m := FromTAG(g)
+
+	inside := []int{s, s, 0, 0}
+	tagOut, tagIn := g.Cut(inside)
+	if !almostEq(tagOut, s*b) || !almostEq(tagIn, 0) {
+		t.Errorf("TAG cut = (%g,%g), want (%g,0)", tagOut, tagIn, s*b)
+	}
+	vocOut, vocIn := m.Cut(inside)
+	if !almostEq(vocOut, 2*s*b) {
+		t.Errorf("VOC cut out = %g, want %g (twice the actual requirement)", vocOut, 2*s*b)
+	}
+	if vocIn < tagIn {
+		t.Errorf("VOC in %g below TAG in %g", vocIn, tagIn)
+	}
+	if vocOut < 2*tagOut-1e-9 {
+		t.Errorf("expected VOC to reserve twice TAG: voc=%g tag=%g", vocOut, tagOut)
+	}
+}
+
+func TestFromTAGGuarantees(t *testing.T) {
+	g := storm(5, 10)
+	m := FromTAG(g)
+	// Spout1 sends to two components: interSnd = 2B; receives nothing.
+	if snd, rcv := m.InterGuarantee(0); snd != 20 || rcv != 0 {
+		t.Errorf("spout1 inter = (%g,%g), want (20,0)", snd, rcv)
+	}
+	// Bolt2 sends to bolt3 and receives from spout1.
+	if snd, rcv := m.InterGuarantee(2); snd != 10 || rcv != 10 {
+		t.Errorf("bolt2 inter = (%g,%g), want (10,10)", snd, rcv)
+	}
+	if m.ClusterHose(0) != 0 {
+		t.Errorf("spout1 hose = %g, want 0", m.ClusterHose(0))
+	}
+	if m.Name() != "storm" || m.Tiers() != 4 || m.TierSize(3) != 5 {
+		t.Error("model shape wrong")
+	}
+}
+
+func TestSelfLoopBecomesClusterHose(t *testing.T) {
+	g := tag.New("mr")
+	a := g.AddTier("a", 6)
+	g.AddSelfLoop(a, 40)
+	m := FromTAG(g)
+	if m.ClusterHose(0) != 40 {
+		t.Fatalf("cluster hose = %g, want 40", m.ClusterHose(0))
+	}
+	out, in := m.VMProfile(0)
+	if out != 40 || in != 40 {
+		t.Errorf("VMProfile = (%g,%g), want (40,40)", out, in)
+	}
+	// Pure hose cluster: cut equals the hose cut.
+	cout, cin := m.Cut([]int{2})
+	if !almostEq(cout, 2*40) || !almostEq(cin, 2*40) {
+		t.Errorf("cut = (%g,%g), want (80,80)", cout, cin)
+	}
+}
+
+func TestCutUnboundedExternal(t *testing.T) {
+	g := tag.New("ext")
+	u := g.AddTier("u", 4)
+	inet := g.AddExternal("inet", 0)
+	g.AddEdge(u, inet, 25, 25)
+	g.AddEdge(inet, u, 30, 30)
+	m := FromTAG(g)
+	out, in := m.Cut([]int{2, 0})
+	if !almostEq(out, 50) || !almostEq(in, 60) {
+		t.Errorf("cut = (%g,%g), want (50,60)", out, in)
+	}
+}

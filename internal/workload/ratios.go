@@ -1,0 +1,130 @@
+package workload
+
+import "cloudmirror/internal/topology"
+
+// This file reproduces the data behind Fig. 1: the bandwidth-to-CPU
+// ratios (Mbps per GHz of consumed CPU) of ten cloud workloads, and the
+// provisioned bandwidth-to-CPU ratios of four datacenter environments at
+// the server, ToR and aggregation levels.
+
+// WorkloadKind classifies a Fig. 1 workload.
+type WorkloadKind int
+
+const (
+	// Batch jobs (red in Fig. 1): CPU-bound analytics.
+	Batch WorkloadKind = iota
+	// Interactive applications (blue): web, OLTP, KV stores, streaming.
+	Interactive
+)
+
+func (k WorkloadKind) String() string {
+	if k == Batch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// RatioEntry is one bar of Fig. 1(a): a workload's bandwidth-to-CPU
+// demand range in Mbps/GHz, reconstructed from the public benchmark
+// reports the paper cites (Redis/Rackspace [19], VoltDB [20], Vyatta
+// [21], Ally packet inspection [22], HTTP streaming [23], Netflix
+// Cassandra on AWS [24], Hadoop and Hive from [18], and the Wikipedia
+// benchmark [17]).
+type RatioEntry struct {
+	Name   string
+	Kind   WorkloadKind
+	Lo, Hi float64 // Mbps per GHz of CPU consumed
+}
+
+// WorkloadRatios returns the ten Fig. 1(a) workloads, batch first.
+func WorkloadRatios() []RatioEntry {
+	return []RatioEntry{
+		{"hadoop-sort", Batch, 3, 30},
+		{"hadoop-wordcount", Batch, 1, 8},
+		{"hive-join", Batch, 2, 20},
+		{"hive-aggregate", Batch, 4, 25},
+		{"wikipedia-web", Interactive, 20, 120},
+		{"redis", Interactive, 80, 4000},
+		{"voltdb", Interactive, 60, 900},
+		{"vyatta-gateway", Interactive, 500, 9000},
+		{"http-streaming", Interactive, 150, 1500},
+		{"cassandra", Interactive, 50, 400},
+	}
+}
+
+// DatacenterRatio is one group of Fig. 1(b): the provisioned Mbps/GHz a
+// datacenter offers at each tree level.
+type DatacenterRatio struct {
+	Name             string
+	Server, ToR, Agg float64
+}
+
+// DatacenterRatios computes Fig. 1(b) for a set of datacenter topologies.
+// Following footnote 3: the server-level ratio divides NIC bandwidth by
+// the server's aggregate CPU cycles; ToR and aggregation ratios divide
+// each uplink by the total CPU cycles beneath it.
+func DatacenterRatios(serverGHz float64) []DatacenterRatio {
+	specs := []struct {
+		name string
+		spec topology.Spec
+	}{
+		{"paper-cloud-dc", topology.PaperSpec()},
+		{"facebook-dc", facebookSpec()},
+		{"oktopus-sim-dc", oktopusSimSpec()},
+		{"full-bisection", fullBisectionSpec()},
+	}
+	out := make([]DatacenterRatio, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, ratioOf(s.name, s.spec, serverGHz))
+	}
+	return out
+}
+
+func ratioOf(name string, spec topology.Spec, serverGHz float64) DatacenterRatio {
+	serversPerRack := float64(spec.Levels[0].Fanout)
+	racksPerPod := float64(spec.Levels[1].Fanout)
+	return DatacenterRatio{
+		Name:   name,
+		Server: spec.Levels[0].Uplink / serverGHz,
+		ToR:    spec.Levels[1].Uplink / (serversPerRack * serverGHz),
+		Agg:    spec.Levels[2].Uplink / (serversPerRack * racksPerPod * serverGHz),
+	}
+}
+
+// facebookSpec models the published Facebook cluster design [2,25]:
+// 10G servers with heavy (~40:1) oversubscription toward the core.
+func facebookSpec() topology.Spec {
+	return topology.Spec{
+		SlotsPerServer: 25,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: 44, Uplink: 10_000},
+			{Name: "tor", Fanout: 4, Uplink: 40_000},  // 11:1
+			{Name: "agg", Fanout: 16, Uplink: 40_000}, // ~4:1 further
+		},
+	}
+}
+
+// oktopusSimSpec mirrors the synthetic topology simulated in [4,18]:
+// 1G servers with 4:1 oversubscription at each switch level.
+func oktopusSimSpec() topology.Spec {
+	return topology.Spec{
+		SlotsPerServer: 4,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: 40, Uplink: 1_000},
+			{Name: "tor", Fanout: 10, Uplink: 10_000},
+			{Name: "agg", Fanout: 5, Uplink: 25_000},
+		},
+	}
+}
+
+// fullBisectionSpec is a non-oversubscribed reference fabric.
+func fullBisectionSpec() topology.Spec {
+	return topology.Spec{
+		SlotsPerServer: 25,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: 32, Uplink: 10_000},
+			{Name: "tor", Fanout: 8, Uplink: 320_000},
+			{Name: "agg", Fanout: 8, Uplink: 2_560_000},
+		},
+	}
+}

@@ -1,0 +1,411 @@
+// Package workload generates the tenant pools the CloudMirror evaluation
+// draws from (§5 "Simulation Setup").
+//
+// The paper uses two empirical datasets — component-to-component traffic
+// from a bing.com datacenter (Bodík et al. [11]) and HP Public Cloud
+// traces — plus a synthetic mix. Neither dataset is public, so this
+// package synthesizes pools that reproduce their *published* statistics:
+//
+//   - bing-like: 80 tenants, mean size ≈57 VMs, largest 732 VMs, services
+//     with linear/star/ring/mesh communication patterns, some with large
+//     MapReduce-like intra-service demands; per-component inter-component
+//     traffic fraction ≈91% on average while heavy self-loop components
+//     pull the aggregate inter-component share down toward ≈40%.
+//   - hpcloud-like: smaller tenants with more hose-like structure.
+//   - synthetic mix: three-tier web services and MapReduce jobs.
+//
+// Bandwidth values are relative units; use ScaleToBmax to normalize a
+// pool so the largest mean per-VM demand equals a target Bmax, exactly as
+// the evaluation does before each experiment.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cloudmirror/internal/tag"
+)
+
+// BingLike returns the 80-tenant pool mirroring the bing.com dataset
+// statistics. The pool is deterministic for a given seed.
+func BingLike(seed int64) []*tag.Graph {
+	r := rand.New(rand.NewSource(seed))
+	pool := make([]*tag.Graph, 0, 80)
+	for i := 0; i < 80; i++ {
+		size := bingSize(r, i)
+		pool = append(pool, buildTenant(r, fmt.Sprintf("bing-%02d", i), size))
+	}
+	return pool
+}
+
+// bingSize draws a tenant size with mean ≈57 and max 732. The last
+// tenant is pinned to 732 VMs ("the largest tenant has 732 VMs").
+func bingSize(r *rand.Rand, i int) int {
+	if i == 79 {
+		return 732
+	}
+	// Lognormal(μ=3.0, σ=1.3) clipped to [1, 500] gives mean ≈50 for
+	// the body; the pinned 732-VM tenant raises the pool mean to ≈57.
+	s := int(math.Exp(3.0 + 1.3*r.NormFloat64()))
+	if s < 1 {
+		s = 1
+	}
+	if s > 500 {
+		s = 500
+	}
+	return s
+}
+
+// pattern enumerates the §5 communication structures ("linear, star,
+// ring, mesh; some have large intra-service demands similar to
+// MapReduce").
+type pattern int
+
+const (
+	patLinear pattern = iota
+	patStar
+	patRing
+	patMesh
+	patMapReduce
+	patThreeTier
+	numPatterns
+)
+
+// buildTenant creates one tenant of the given total size with a randomly
+// chosen communication pattern.
+func buildTenant(r *rand.Rand, name string, size int) *tag.Graph {
+	g := tag.New(name)
+	tiers := tierSplit(r, size)
+	for i, n := range tiers {
+		g.AddTier(fmt.Sprintf("t%d", i), n)
+	}
+	pat := pattern(r.Intn(int(numPatterns)))
+	if len(tiers) == 1 {
+		pat = patMapReduce // single components are intra-heavy jobs
+	}
+	if size >= 150 {
+		// The bing dataset's aggregate traffic is dominated by a few
+		// large intra-heavy (MapReduce-similar) services, which is what
+		// pulls the total inter-component share down to ≈37-65% while
+		// the per-component mean stays ≈85-91%.
+		pat = patMapReduce
+	}
+	// Base relative per-VM rate for this tenant. The spread is kept
+	// moderate so the Bmax normalization (anchored at the largest mean
+	// per-VM demand in the pool) leaves most tenants within a small
+	// factor of Bmax, as in the bing dataset: with a wide spread the
+	// anchor tenant becomes an outlier and the paper's Bmax axis never
+	// stresses the fabric.
+	base := math.Exp(1.5 + 0.45*r.NormFloat64())
+
+	trunk := func(u, v int) {
+		// Per-VM guarantees sized so tier aggregates roughly match:
+		// senders emit base each; receivers sized by the tier ratio.
+		s := base * (0.5 + r.Float64())
+		ratio := float64(g.TierSize(u)) / float64(g.TierSize(v))
+		rcv := s * ratio * (0.75 + 0.5*r.Float64())
+		g.AddEdge(u, v, s, rcv)
+	}
+
+	switch pat {
+	case patLinear:
+		for i := 0; i+1 < len(tiers); i++ {
+			trunk(i, i+1)
+			trunk(i+1, i)
+		}
+	case patStar:
+		for i := 1; i < len(tiers); i++ {
+			trunk(0, i)
+			trunk(i, 0)
+		}
+	case patRing:
+		for i := 0; i < len(tiers); i++ {
+			trunk(i, (i+1)%len(tiers))
+		}
+	case patMesh:
+		for i := 0; i < len(tiers); i++ {
+			for j := 0; j < len(tiers); j++ {
+				if i != j && r.Float64() < 0.6 {
+					trunk(i, j)
+				}
+			}
+		}
+	case patMapReduce:
+		// Heavy all-to-all shuffle inside each stage plus a forward
+		// trunk; these components pull the aggregate inter-component
+		// share down, as the bing analysis observes.
+		for i := range tiers {
+			g.AddSelfLoop(i, base*(8+8*r.Float64()))
+		}
+		for i := 0; i+1 < len(tiers); i++ {
+			trunk(i, i+1)
+		}
+	case patThreeTier:
+		for i := 0; i+1 < len(tiers); i++ {
+			trunk(i, i+1)
+			trunk(i+1, i)
+		}
+		// Backend consistency traffic (Fig. 2's B3), kept small so the
+		// component's inter fraction stays high.
+		last := len(tiers) - 1
+		if g.TierSize(last) > 1 {
+			g.AddSelfLoop(last, base*0.3*r.Float64())
+		}
+	}
+	// Occasional small intra-tier chatter on non-MapReduce components
+	// (management/heartbeat style) — small enough to keep per-component
+	// inter fractions around 0.9.
+	if pat != patMapReduce {
+		for i := range tiers {
+			if g.TierSize(i) > 1 && r.Float64() < 0.25 {
+				g.AddSelfLoop(i, base*0.1*(0.5+r.Float64()))
+			}
+		}
+	}
+	return g
+}
+
+// tierSplit divides size VMs into tiers with bing-like shape: mean tier
+// size around 10, tier count growing sublinearly with tenant size.
+func tierSplit(r *rand.Rand, size int) []int {
+	if size == 1 {
+		return []int{1}
+	}
+	want := int(math.Round(math.Sqrt(float64(size)) * (0.8 + 0.8*r.Float64())))
+	if want < 2 {
+		want = 2
+	}
+	if want > size {
+		want = size
+	}
+	if want > 12 {
+		want = 12
+	}
+	// Random proportions with a minimum of one VM per tier.
+	weights := make([]float64, want)
+	var sum float64
+	for i := range weights {
+		weights[i] = 0.2 + r.Float64()
+		sum += weights[i]
+	}
+	tiers := make([]int, want)
+	left := size - want // one VM guaranteed each
+	assigned := 0
+	for i := range tiers {
+		extra := int(float64(left) * weights[i] / sum)
+		tiers[i] = 1 + extra
+		assigned += extra
+	}
+	for assigned < left {
+		tiers[r.Intn(want)]++
+		assigned++
+	}
+	return tiers
+}
+
+// HPCloudLike returns a pool mirroring the HP Public Cloud (Choreo)
+// measurements: 40 smaller tenants, mean ≈20 VMs, mostly hose- and
+// star-shaped applications.
+func HPCloudLike(seed int64) []*tag.Graph {
+	r := rand.New(rand.NewSource(seed))
+	pool := make([]*tag.Graph, 0, 40)
+	for i := 0; i < 40; i++ {
+		size := 1 + int(math.Exp(2.3+1.0*r.NormFloat64()))
+		if size > 150 {
+			size = 150
+		}
+		g := tag.New(fmt.Sprintf("hpc-%02d", i))
+		base := math.Exp(1.2 + 0.8*r.NormFloat64())
+		if size <= 4 || r.Float64() < 0.4 {
+			// Plain hose application.
+			a := g.AddTier("app", size)
+			if size > 1 {
+				g.AddSelfLoop(a, base*2)
+			} else {
+				ext := g.AddExternal("inet", 0)
+				g.AddEdge(a, ext, base, base)
+			}
+		} else {
+			// Star: a frontend plus backends.
+			front := maxInt(1, size/5)
+			hub := g.AddTier("front", front)
+			rest := g.AddTier("back", size-front)
+			g.AddEdge(hub, rest, base*2, base*2*float64(front)/float64(size-front))
+			g.AddEdge(rest, hub, base, base*float64(size-front)/float64(front))
+		}
+		pool = append(pool, g)
+	}
+	return pool
+}
+
+// SyntheticMix returns the paper's synthetic workload: an artificial mix
+// of three-tier web services and MapReduce-style batch jobs of varying
+// sizes.
+func SyntheticMix(seed int64) []*tag.Graph {
+	r := rand.New(rand.NewSource(seed))
+	pool := make([]*tag.Graph, 0, 60)
+	for i := 0; i < 60; i++ {
+		if i%2 == 0 {
+			pool = append(pool, webService(r, fmt.Sprintf("web-%02d", i)))
+		} else {
+			pool = append(pool, mapReduceJob(r, fmt.Sprintf("mr-%02d", i)))
+		}
+	}
+	return pool
+}
+
+func webService(r *rand.Rand, name string) *tag.Graph {
+	g := tag.New(name)
+	scale := 1 + r.Intn(10)
+	web := g.AddTier("web", 2*scale)
+	logic := g.AddTier("logic", 3*scale)
+	db := g.AddTier("db", scale)
+	b1 := 5 + 10*r.Float64()
+	b2 := b1 / (2 + 3*r.Float64())
+	g.AddBidirectional(web, logic, b1, b1*2/3)
+	g.AddBidirectional(logic, db, b2, b2*3)
+	if scale > 1 {
+		g.AddSelfLoop(db, b2)
+	}
+	return g
+}
+
+func mapReduceJob(r *rand.Rand, name string) *tag.Graph {
+	g := tag.New(name)
+	maps := 5 + r.Intn(40)
+	reds := maxInt(1, maps/(2+r.Intn(3)))
+	m := g.AddTier("map", maps)
+	rd := g.AddTier("reduce", reds)
+	shuffle := 10 + 30*r.Float64()
+	g.AddEdge(m, rd, shuffle, shuffle*float64(maps)/float64(reds))
+	g.AddSelfLoop(m, shuffle/4)
+	return g
+}
+
+// MaxPerVMDemand returns the largest mean per-VM demand (Bvm) across the
+// pool — the quantity Bmax scaling normalizes.
+func MaxPerVMDemand(pool []*tag.Graph) float64 {
+	var max float64
+	for _, g := range pool {
+		if d := g.PerVMDemand(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ScaleToBmax rescales every guarantee in the pool (in place) so the
+// tenant with the largest mean per-VM demand hits exactly bmax Mbps —
+// the §5.1 normalization "the average per-VM demand of the tenant with
+// the largest Bvm becomes the target per-VM bandwidth (Bmax)".
+func ScaleToBmax(pool []*tag.Graph, bmax float64) {
+	max := MaxPerVMDemand(pool)
+	if max == 0 {
+		return
+	}
+	f := bmax / max
+	for _, g := range pool {
+		g.Scale(f)
+	}
+}
+
+// ScaleSizes returns a copy of the pool with every tier size multiplied
+// by factor (minimum one VM). Reduced-scale experiments use it so tenant
+// sizes shrink proportionally with the simulated datacenter.
+func ScaleSizes(pool []*tag.Graph, factor float64) []*tag.Graph {
+	out := make([]*tag.Graph, len(pool))
+	for i, g := range pool {
+		ng := tag.New(g.Name)
+		for t := 0; t < g.Tiers(); t++ {
+			tier := g.Tier(t)
+			if tier.External {
+				ng.AddExternal(tier.Name, tier.N)
+				continue
+			}
+			n := int(math.Round(float64(tier.N) * factor))
+			if n < 1 {
+				n = 1
+			}
+			ng.AddTier(tier.Name, n)
+		}
+		for _, e := range g.Edges() {
+			if e.SelfLoop() {
+				ng.AddSelfLoop(e.From, e.S)
+			} else {
+				ng.AddEdge(e.From, e.To, e.S, e.R)
+			}
+		}
+		out[i] = ng
+	}
+	return out
+}
+
+// ClonePool deep-copies a pool so experiments can rescale independently.
+func ClonePool(pool []*tag.Graph) []*tag.Graph {
+	c := make([]*tag.Graph, len(pool))
+	for i, g := range pool {
+		c[i] = g.Clone()
+	}
+	return c
+}
+
+// MeanSize returns the mean tenant size (VMs) of a pool: the Ts of the
+// load formula load = Ts·λ·Td / totalSlots.
+func MeanSize(pool []*tag.Graph) float64 {
+	total := 0
+	for _, g := range pool {
+		total += g.VMs()
+	}
+	return float64(total) / float64(len(pool))
+}
+
+// InterComponentStats reports the bing-style traffic split of a pool:
+// the mean over components of their inter-component traffic fraction,
+// and the aggregate inter-component share of all traffic. The paper
+// reports ≈91% (≈85% excluding management) for the former and 65% (37%
+// excluding management) for the latter.
+func InterComponentStats(pool []*tag.Graph) (meanPerComponent, aggregate float64) {
+	var fracSum float64
+	components := 0
+	var interTotal, allTotal float64
+	for _, g := range pool {
+		perTier := make([]struct{ inter, intra float64 }, g.Tiers())
+		for _, e := range g.Edges() {
+			agg := g.EdgeAggregate(e)
+			if math.IsInf(agg, 1) {
+				continue
+			}
+			if e.SelfLoop() {
+				perTier[e.From].intra += agg
+			} else {
+				perTier[e.From].inter += agg
+				perTier[e.To].inter += agg
+				interTotal += agg
+			}
+			allTotal += agg
+		}
+		for t := range perTier {
+			tot := perTier[t].inter + perTier[t].intra
+			if tot == 0 {
+				continue
+			}
+			fracSum += perTier[t].inter / tot
+			components++
+		}
+	}
+	if components > 0 {
+		meanPerComponent = fracSum / float64(components)
+	}
+	if allTotal > 0 {
+		aggregate = interTotal / allTotal
+	}
+	return meanPerComponent, aggregate
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

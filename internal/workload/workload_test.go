@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBingLikeShape(t *testing.T) {
+	pool := BingLike(1)
+	if len(pool) != 80 {
+		t.Fatalf("pool size = %d, want 80", len(pool))
+	}
+	mean := MeanSize(pool)
+	if mean < 30 || mean > 90 {
+		t.Errorf("mean tenant size = %g, want ≈57 (30..90)", mean)
+	}
+	maxSize := 0
+	for _, g := range pool {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("tenant %s invalid: %v", g.Name, err)
+		}
+		if g.VMs() > maxSize {
+			maxSize = g.VMs()
+		}
+	}
+	if maxSize != 732 {
+		t.Errorf("largest tenant = %d VMs, want 732", maxSize)
+	}
+}
+
+// TestBingLikeTrafficSplit checks the calibration against the published
+// bing statistics: high per-component inter-component fraction, with the
+// aggregate share pulled down by intra-heavy (MapReduce-like) services.
+func TestBingLikeTrafficSplit(t *testing.T) {
+	perComp, aggregate := InterComponentStats(BingLike(1))
+	if perComp < 0.70 || perComp > 0.98 {
+		t.Errorf("mean per-component inter fraction = %g, want ≈0.85-0.91", perComp)
+	}
+	if aggregate < 0.2 || aggregate > 0.7 {
+		t.Errorf("aggregate inter fraction = %g, want ≈0.37-0.65", aggregate)
+	}
+	if aggregate >= perComp {
+		t.Errorf("aggregate (%g) should sit below per-component mean (%g)", aggregate, perComp)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := BingLike(42), BingLike(42)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("tenant %d differs across identical seeds", i)
+		}
+	}
+	c := BingLike(43)
+	same := true
+	for i := range a {
+		if a[i].String() != c[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical pools")
+	}
+}
+
+func TestScaleToBmax(t *testing.T) {
+	pool := BingLike(7)
+	ScaleToBmax(pool, 800)
+	if got := MaxPerVMDemand(pool); math.Abs(got-800) > 1e-6 {
+		t.Errorf("max per-VM demand after scaling = %g, want 800", got)
+	}
+	// Scaling twice is idempotent in effect.
+	ScaleToBmax(pool, 400)
+	if got := MaxPerVMDemand(pool); math.Abs(got-400) > 1e-6 {
+		t.Errorf("rescale to 400 = %g", got)
+	}
+}
+
+func TestClonePoolIndependent(t *testing.T) {
+	pool := BingLike(7)
+	clone := ClonePool(pool)
+	ScaleToBmax(clone, 10)
+	if MaxPerVMDemand(pool) == MaxPerVMDemand(clone) {
+		t.Error("ClonePool shares storage with original")
+	}
+}
+
+func TestHPCloudLike(t *testing.T) {
+	pool := HPCloudLike(3)
+	if len(pool) != 40 {
+		t.Fatalf("pool size = %d, want 40", len(pool))
+	}
+	for _, g := range pool {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("tenant %s invalid: %v", g.Name, err)
+		}
+	}
+	if mean := MeanSize(pool); mean < 5 || mean > 60 {
+		t.Errorf("mean size = %g, want small tenants", mean)
+	}
+}
+
+func TestSyntheticMix(t *testing.T) {
+	pool := SyntheticMix(3)
+	if len(pool) != 60 {
+		t.Fatalf("pool size = %d, want 60", len(pool))
+	}
+	webs, mrs := 0, 0
+	for _, g := range pool {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("tenant %s invalid: %v", g.Name, err)
+		}
+		if g.TierIndex("web") >= 0 {
+			webs++
+		}
+		if g.TierIndex("map") >= 0 {
+			mrs++
+		}
+	}
+	if webs != 30 || mrs != 30 {
+		t.Errorf("mix = %d web + %d mapreduce, want 30+30", webs, mrs)
+	}
+}
+
+func TestWorkloadRatiosFig1a(t *testing.T) {
+	entries := WorkloadRatios()
+	if len(entries) != 10 {
+		t.Fatalf("Fig 1(a) has %d workloads, want 10", len(entries))
+	}
+	// The paper's observation: interactive workloads reach similar or
+	// higher BW:CPU ratios than batch jobs.
+	var batchHi, interHi float64
+	for _, e := range entries {
+		if e.Lo <= 0 || e.Hi < e.Lo {
+			t.Errorf("%s: bad range [%g,%g]", e.Name, e.Lo, e.Hi)
+		}
+		switch e.Kind {
+		case Batch:
+			batchHi = math.Max(batchHi, e.Hi)
+		case Interactive:
+			interHi = math.Max(interHi, e.Hi)
+		}
+	}
+	if interHi <= batchHi {
+		t.Errorf("interactive max %g should exceed batch max %g", interHi, batchHi)
+	}
+}
+
+func TestDatacenterRatiosFig1b(t *testing.T) {
+	const serverGHz = 40 // 16 cores × 2.5 GHz
+	dcs := DatacenterRatios(serverGHz)
+	if len(dcs) != 4 {
+		t.Fatalf("Fig 1(b) has %d datacenters, want 4", len(dcs))
+	}
+	for _, dc := range dcs {
+		if dc.Name == "full-bisection" {
+			// Non-oversubscribed: flat ratio across levels.
+			if math.Abs(dc.Server-dc.ToR) > 1e-9 || math.Abs(dc.ToR-dc.Agg) > 1e-9 {
+				t.Errorf("%s: ratios (%g,%g,%g) should be flat", dc.Name, dc.Server, dc.ToR, dc.Agg)
+			}
+			continue
+		}
+		// Oversubscription: provisioned ratio shrinks up the tree —
+		// "well provisioned at the server level, but not at the ToR or
+		// aggregation level".
+		if !(dc.Server > dc.ToR && dc.ToR > dc.Agg) {
+			t.Errorf("%s: ratios (%g,%g,%g) not decreasing", dc.Name, dc.Server, dc.ToR, dc.Agg)
+		}
+	}
+}
+
+func TestScaleSizes(t *testing.T) {
+	pool := BingLike(7)
+	scaled := ScaleSizes(pool, 0.25)
+	if len(scaled) != len(pool) {
+		t.Fatalf("pool size changed: %d", len(scaled))
+	}
+	for i, g := range scaled {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("scaled tenant %d invalid: %v", i, err)
+		}
+		orig := pool[i]
+		if g.Tiers() != orig.Tiers() || len(g.Edges()) != len(orig.Edges()) {
+			t.Errorf("tenant %d structure changed", i)
+		}
+		for tr := 0; tr < g.Tiers(); tr++ {
+			want := int(0.25*float64(orig.TierSize(tr)) + 0.5)
+			if want < 1 {
+				want = 1
+			}
+			if g.Tier(tr).External {
+				continue
+			}
+			if g.TierSize(tr) != want {
+				t.Errorf("tenant %d tier %d: size %d, want %d", i, tr, g.TierSize(tr), want)
+			}
+		}
+		// Per-VM guarantees unchanged.
+		for e := range g.Edges() {
+			if g.Edges()[e].S != orig.Edges()[e].S {
+				t.Errorf("tenant %d edge %d guarantee changed", i, e)
+			}
+		}
+	}
+	// Original untouched.
+	if pool[79].VMs() != 732 {
+		t.Error("ScaleSizes mutated the source pool")
+	}
+}
+
+func TestTierSplitCoversSize(t *testing.T) {
+	pool := BingLike(5)
+	for _, g := range pool {
+		total := 0
+		for i := 0; i < g.Tiers(); i++ {
+			n := g.TierSize(i)
+			if n < 1 && !g.Tier(i).External {
+				t.Errorf("%s tier %d empty", g.Name, i)
+			}
+			total += n
+		}
+		if total != g.VMs() {
+			t.Errorf("%s: tier sizes sum %d != VMs %d", g.Name, total, g.VMs())
+		}
+	}
+}
