@@ -1,0 +1,39 @@
+# Mirrors .github/workflows/ci.yml exactly: every CI step is one of
+# these targets, so `make ci` reproduces the pipeline locally.
+
+GO ?= go
+
+.PHONY: all build lint test test-full determinism bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+# Short suite under the race detector: what CI runs on every push.
+# Includes the concurrent-admission stress tests and the quick
+# parallel-determinism checks.
+test:
+	$(GO) test -short -race ./...
+
+# The full suite, including the multi-simulation experiment shape tests
+# and the all-figure determinism sweep (minutes, scales with cores).
+test-full:
+	$(GO) test -race ./...
+
+# Same seed => bit-identical tables at every worker count, exercised at
+# several GOMAXPROCS values.
+determinism:
+	$(GO) test -short -race -count=1 -cpu=1,4,8 -run TestParallelDeterminism ./internal/experiments
+
+# One iteration of every per-artifact benchmark: regenerates the quick
+# experiment suite and the admission-throughput numbers.
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x .
+
+ci: lint build test determinism bench

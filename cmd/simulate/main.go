@@ -7,11 +7,17 @@
 //	simulate [-alg cm|cm-oppha|cm-coloc|cm-balance|ovoc|ovoc-aware|secondnet]
 //	         [-workload bing|hpcloud|synthetic] [-servers 128|512|2048]
 //	         [-arrivals N] [-load F] [-bmax Mbps] [-rwcs F] [-oversub R]
-//	         [-seed N]
+//	         [-seed N] [-parallel N]
 //
 // Example:
 //
 //	simulate -alg ovoc -load 0.9 -bmax 1200 -servers 512
+//
+// With -parallel N (N > 0) the command measures concurrent admission
+// throughput instead of running the event simulation: N workers hammer
+// one shared tree through the thread-safe admission path, issuing
+// -arrivals admission attempts in total, and the sustained
+// decisions-per-second rate is reported.
 package main
 
 import (
@@ -41,6 +47,7 @@ func main() {
 	rwcs := flag.Float64("rwcs", 0, "required worst-case survivability in [0,1)")
 	oversub := flag.Float64("oversub", 0, "override total oversubscription ratio (2048-server topology only)")
 	seed := flag.Int64("seed", 1, "random seed")
+	par := flag.Int("parallel", 0, "measure concurrent admission throughput with N workers instead of simulating")
 	flag.Parse()
 
 	var spec topology.Spec
@@ -107,6 +114,21 @@ func main() {
 		cfg.ModelFor = func(g *tag.Graph) place.Model { return pipe.FromTAG(g) }
 	default:
 		fatal(fmt.Errorf("unknown -alg %q", *alg))
+	}
+
+	if *par > 0 {
+		tr, err := sim.Throughput(cfg, *par)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("algorithm        %s\n", tr.Placer)
+		fmt.Printf("datacenter       %d servers × %d slots (one shared tree)\n",
+			spec.Servers(), spec.SlotsPerServer)
+		fmt.Printf("workers          %d concurrent admission clients\n", tr.Workers)
+		fmt.Printf("attempts         %d  (admitted %d, rejected %d)\n", tr.Attempts, tr.Admitted, tr.Rejected)
+		fmt.Printf("elapsed          %s\n", tr.Elapsed.Round(1e6))
+		fmt.Printf("throughput       %.0f admission decisions/s\n", tr.AttemptsPerSec)
+		return
 	}
 
 	res, err := sim.Run(cfg)

@@ -6,9 +6,17 @@
 // and the full evaluation harness that regenerates every table and
 // figure of the paper.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results. The root package holds
-// only the per-artifact benchmarks (bench_test.go); the implementation
-// lives under internal/ and the runnable entry points under cmd/ and
-// examples/.
+// The evaluation harness runs on a concurrent sweep engine
+// (internal/parallel + experiments.Options.Workers) whose output is
+// bit-identical to the serial order at any worker count, and the
+// placement framework exposes a thread-safe admission path
+// (place.Admitter, sim.Throughput) for concurrent Place/Release on one
+// shared datacenter tree.
+//
+// See README.md for a tour: module setup, the -parallel flags of
+// cmd/experiments and cmd/simulate, and how to run the CI checks
+// locally (make ci mirrors .github/workflows/ci.yml). The root package
+// holds only the per-artifact benchmarks (bench_test.go); the
+// implementation lives under internal/ and the runnable entry points
+// under cmd/ and examples/.
 package cloudmirror

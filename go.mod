@@ -1,0 +1,3 @@
+module cloudmirror
+
+go 1.24

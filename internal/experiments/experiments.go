@@ -20,6 +20,14 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness. The default 0 is a valid seed.
 	Seed int64
+	// Workers bounds how many sweep points of one experiment run
+	// concurrently. 0 (the default) means GOMAXPROCS; 1 forces the
+	// serial order. Output is bit-identical at any value: every sweep
+	// point builds its own topology tree, tenant pool and freshly
+	// constructed RNG (seeded from Seed, exactly as the serial order
+	// does), and rows are assembled in the fixed sweep order
+	// regardless of completion order.
+	Workers int
 }
 
 // Table is one regenerated artifact.

@@ -73,11 +73,8 @@ func table1For(o Options, name, poolName string, mkPool func(int64) []*tag.Graph
 	for i := range spec.Levels {
 		spec.Levels[i].Uplink = 1e15
 	}
-	pool := sc.scaledPool(o.Seed, 800)
-
 	base := sim.Config{
 		Spec:         spec,
-		Pool:         pool,
 		Arrivals:     sc.arrivals,
 		Load:         1,
 		MeanDwell:    1,
@@ -85,20 +82,29 @@ func table1For(o Options, name, poolName string, mkPool func(int64) []*tag.Graph
 		ArrivalsOnly: true,
 	}
 
-	cmCfg := base
-	cmCfg.NewPlacer = cmPlacer
-	cmCfg.Mirrors = []sim.Mirror{{Name: "VOC", ModelFor: vocModel}}
-	cm, err := sim.Run(cmCfg)
+	// Each point builds its own pool (identical content — the builder
+	// is a pure function of the seed), upholding the engine's contract
+	// that concurrent points share no mutable state.
+	rs, err := runPoints(o, []point{
+		func() (*sim.Result, error) {
+			cfg := base
+			cfg.Pool = sc.scaledPool(o.Seed, 800)
+			cfg.NewPlacer = cmPlacer
+			cfg.Mirrors = []sim.Mirror{{Name: "VOC", ModelFor: vocModel}}
+			return sim.Run(cfg)
+		},
+		func() (*sim.Result, error) {
+			cfg := base
+			cfg.Pool = sc.scaledPool(o.Seed, 800)
+			cfg.NewPlacer = ovocPlacer
+			cfg.ModelFor = vocModel
+			return sim.Run(cfg)
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	ovocCfg := base
-	ovocCfg.NewPlacer = ovocPlacer
-	ovocCfg.ModelFor = vocModel
-	ovoc, err := sim.Run(ovocCfg)
-	if err != nil {
-		return nil, err
-	}
+	cm, ovoc := rs[0], rs[1]
 
 	cmVOC := cm.MirrorReserved["VOC"]
 	ratio := func(v, base float64) string {
@@ -139,13 +145,19 @@ func Baselines(o Options) (*Table, error) {
 			return oktopus.New(t, oktopus.WithVOCAwareness())
 		}, vocModel},
 	}
-	var rows [][]string
-	for _, v := range variants {
-		res, err := rejectionRun(sc, o.Seed, 1200, 0.9, v.placer, v.model, place.HASpec{}, nil)
-		if err != nil {
-			return nil, err
+	points := make([]point, len(variants))
+	for i, v := range variants {
+		points[i] = func() (*sim.Result, error) {
+			return rejectionRun(sc, o.Seed, 1200, 0.9, v.placer, v.model, place.HASpec{}, nil)
 		}
-		rows = append(rows, []string{v.name, pct(res.BWRejectionRate()), pct(res.VMRejectionRate())})
+	}
+	rs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for i, v := range variants {
+		rows = append(rows, []string{v.name, pct(rs[i].BWRejectionRate()), pct(rs[i].VMRejectionRate())})
 	}
 	return &Table{
 		Name:   "baselines",
@@ -180,23 +192,32 @@ func rejectionRun(sc scale, seed int64, bmax, load float64, placer func(*topolog
 func Fig7(o Options) (*Table, error) {
 	sc := scaleOf(o)
 	bmaxes := []float64{400, 600, 800, 1000, 1200}
-	var rows [][]string
+	type cell struct{ load, bmax float64 }
+	var cells []cell
 	for _, load := range []float64{0.5, 0.9} {
 		for _, bmax := range bmaxes {
-			cm, err := rejectionRun(sc, o.Seed, bmax, load, cmPlacer, nil, place.HASpec{}, nil)
-			if err != nil {
-				return nil, err
-			}
-			ovoc, err := rejectionRun(sc, o.Seed, bmax, load, ovocPlacer, vocModel, place.HASpec{}, nil)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, []string{
-				pct(load), f1(bmax),
-				pct(cm.BWRejectionRate()), pct(ovoc.BWRejectionRate()),
-				pct(cm.VMRejectionRate()), pct(ovoc.VMRejectionRate()),
-			})
+			cells = append(cells, cell{load, bmax})
 		}
+	}
+	cms, ovocs, err := pairPoints(o, len(cells), func(i int) (point, point) {
+		c := cells[i]
+		return func() (*sim.Result, error) {
+				return rejectionRun(sc, o.Seed, c.bmax, c.load, cmPlacer, nil, place.HASpec{}, nil)
+			}, func() (*sim.Result, error) {
+				return rejectionRun(sc, o.Seed, c.bmax, c.load, ovocPlacer, vocModel, place.HASpec{}, nil)
+			}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for i, c := range cells {
+		cm, ovoc := cms[i], ovocs[i]
+		rows = append(rows, []string{
+			pct(c.load), f1(c.bmax),
+			pct(cm.BWRejectionRate()), pct(ovoc.BWRejectionRate()),
+			pct(cm.VMRejectionRate()), pct(ovoc.VMRejectionRate()),
+		})
 	}
 	return &Table{
 		Name:   "fig7",
@@ -210,16 +231,24 @@ func Fig7(o Options) (*Table, error) {
 // Fig8 regenerates Fig. 8: rejection rates vs load at Bmax = 800 Mbps.
 func Fig8(o Options) (*Table, error) {
 	sc := scaleOf(o)
-	var rows [][]string
+	var loads []float64
 	for load := 0.1; load <= 1.0001; load += 0.1 {
-		cm, err := rejectionRun(sc, o.Seed, 800, load, cmPlacer, nil, place.HASpec{}, nil)
-		if err != nil {
-			return nil, err
-		}
-		ovoc, err := rejectionRun(sc, o.Seed, 800, load, ovocPlacer, vocModel, place.HASpec{}, nil)
-		if err != nil {
-			return nil, err
-		}
+		loads = append(loads, load)
+	}
+	cms, ovocs, err := pairPoints(o, len(loads), func(i int) (point, point) {
+		load := loads[i]
+		return func() (*sim.Result, error) {
+				return rejectionRun(sc, o.Seed, 800, load, cmPlacer, nil, place.HASpec{}, nil)
+			}, func() (*sim.Result, error) {
+				return rejectionRun(sc, o.Seed, 800, load, ovocPlacer, vocModel, place.HASpec{}, nil)
+			}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for i, load := range loads {
+		cm, ovoc := cms[i], ovocs[i]
 		rows = append(rows, []string{
 			pct(load),
 			pct(cm.BWRejectionRate()), pct(ovoc.BWRejectionRate()),
@@ -239,25 +268,36 @@ func Fig8(o Options) (*Table, error) {
 // oversubscription for CM and OVOC.
 func Fig9(o Options) (*Table, error) {
 	sc := scaleOf(o)
-	var rows [][]string
-	for _, ratio := range []float64{16, 32, 64, 128} {
+	ratios := []float64{16, 32, 64, 128}
+	// Each point builds its own spec: OversubSpec/MediumSpec return
+	// fresh Levels slices, so concurrent points never share one.
+	specFor := func(ratio float64) topology.Spec {
 		spec := topology.OversubSpec(ratio)
 		if o.Quick {
 			// Scale the medium topology's agg uplink the same way.
 			spec = topology.MediumSpec()
 			spec.Levels[2].Uplink = spec.Levels[2].Uplink * 32 / ratio
 		}
-		cm, err := rejectionRun(sc, o.Seed, 800, 0.9, cmPlacer, nil, place.HASpec{}, &spec)
-		if err != nil {
-			return nil, err
-		}
-		ovoc, err := rejectionRun(sc, o.Seed, 800, 0.9, ovocPlacer, vocModel, place.HASpec{}, &spec)
-		if err != nil {
-			return nil, err
-		}
+		return spec
+	}
+	cms, ovocs, err := pairPoints(o, len(ratios), func(i int) (point, point) {
+		ratio := ratios[i]
+		return func() (*sim.Result, error) {
+				spec := specFor(ratio)
+				return rejectionRun(sc, o.Seed, 800, 0.9, cmPlacer, nil, place.HASpec{}, &spec)
+			}, func() (*sim.Result, error) {
+				spec := specFor(ratio)
+				return rejectionRun(sc, o.Seed, 800, 0.9, ovocPlacer, vocModel, place.HASpec{}, &spec)
+			}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for i, ratio := range ratios {
 		rows = append(rows, []string{
 			fmt.Sprintf("%gx", ratio),
-			pct(cm.BWRejectionRate()), pct(ovoc.BWRejectionRate()),
+			pct(cms[i].BWRejectionRate()), pct(ovocs[i].BWRejectionRate()),
 		})
 	}
 	return &Table{
@@ -283,13 +323,19 @@ func Fig10(o Options) (*Table, error) {
 		{"Balance", func(t *topology.Tree) place.Placer { return cloudmirror.New(t, cloudmirror.WithoutColocate()) }, nil},
 		{"OVOC", ovocPlacer, vocModel},
 	}
-	var rows [][]string
-	for _, v := range variants {
-		res, err := rejectionRun(sc, o.Seed, 800, 0.9, v.placer, v.model, place.HASpec{}, nil)
-		if err != nil {
-			return nil, err
+	points := make([]point, len(variants))
+	for i, v := range variants {
+		points[i] = func() (*sim.Result, error) {
+			return rejectionRun(sc, o.Seed, 800, 0.9, v.placer, v.model, place.HASpec{}, nil)
 		}
-		rows = append(rows, []string{v.name, pct(res.BWRejectionRate())})
+	}
+	rs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for i, v := range variants {
+		rows = append(rows, []string{v.name, pct(rs[i].BWRejectionRate())})
 	}
 	return &Table{
 		Name:   "fig10",
@@ -305,17 +351,21 @@ func Fig10(o Options) (*Table, error) {
 // server-level anti-affinity.
 func Fig11(o Options) (*Table, error) {
 	sc := scaleOf(o)
+	rwcss := []float64{0, 0.25, 0.5, 0.75}
+	cms, ovocs, err := pairPoints(o, len(rwcss), func(i int) (point, point) {
+		ha := place.HASpec{RWCS: rwcss[i]}
+		return func() (*sim.Result, error) {
+				return rejectionRun(sc, o.Seed, 800, 0.9, cmPlacer, nil, ha, nil)
+			}, func() (*sim.Result, error) {
+				return rejectionRun(sc, o.Seed, 800, 0.9, ovocPlacer, vocModel, ha, nil)
+			}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows [][]string
-	for _, rwcs := range []float64{0, 0.25, 0.5, 0.75} {
-		ha := place.HASpec{RWCS: rwcs}
-		cm, err := rejectionRun(sc, o.Seed, 800, 0.9, cmPlacer, nil, ha, nil)
-		if err != nil {
-			return nil, err
-		}
-		ovoc, err := rejectionRun(sc, o.Seed, 800, 0.9, ovocPlacer, vocModel, ha, nil)
-		if err != nil {
-			return nil, err
-		}
+	for i, rwcs := range rwcss {
+		cm, ovoc := cms[i], ovocs[i]
 		rows = append(rows, []string{
 			pct(rwcs),
 			pct(cm.MeanWCS), fmt.Sprintf("[%s..%s]", pct(cm.MinWCS), pct(cm.MaxWCS)),
@@ -340,20 +390,27 @@ func Fig12(o Options) (*Table, error) {
 	oppPlacer := func(t *topology.Tree) place.Placer {
 		return cloudmirror.New(t, cloudmirror.WithOpportunisticHA())
 	}
+	bmaxes := []float64{400, 600, 800, 1000, 1200}
+	points := make([]point, 0, 3*len(bmaxes))
+	for _, bmax := range bmaxes {
+		points = append(points,
+			func() (*sim.Result, error) {
+				return rejectionRun(sc, o.Seed, bmax, 0.9, cmPlacer, nil, place.HASpec{}, nil)
+			},
+			func() (*sim.Result, error) {
+				return rejectionRun(sc, o.Seed, bmax, 0.9, cmPlacer, nil, place.HASpec{RWCS: 0.5}, nil)
+			},
+			func() (*sim.Result, error) {
+				return rejectionRun(sc, o.Seed, bmax, 0.9, oppPlacer, nil, place.HASpec{}, nil)
+			})
+	}
+	rs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
 	var rows [][]string
-	for _, bmax := range []float64{400, 600, 800, 1000, 1200} {
-		cm, err := rejectionRun(sc, o.Seed, bmax, 0.9, cmPlacer, nil, place.HASpec{}, nil)
-		if err != nil {
-			return nil, err
-		}
-		cmha, err := rejectionRun(sc, o.Seed, bmax, 0.9, cmPlacer, nil, place.HASpec{RWCS: 0.5}, nil)
-		if err != nil {
-			return nil, err
-		}
-		opp, err := rejectionRun(sc, o.Seed, bmax, 0.9, oppPlacer, nil, place.HASpec{}, nil)
-		if err != nil {
-			return nil, err
-		}
+	for i, bmax := range bmaxes {
+		cm, cmha, opp := rs[3*i], rs[3*i+1], rs[3*i+2]
 		rows = append(rows, []string{
 			f1(bmax),
 			pct(cm.BWRejectionRate()), pct(cmha.BWRejectionRate()), pct(opp.BWRejectionRate()),

@@ -1,0 +1,105 @@
+// Package parallel provides the worker-pool primitive behind the
+// concurrent experiment engine: deterministic fan-out of independent
+// work items across a bounded number of goroutines.
+//
+// Items are dispatched in index order and results are collected by
+// index, so callers observe exactly the output the serial loop would
+// have produced — provided each item is self-contained: it shares no
+// mutable state with other items and computes a deterministic function
+// of its index (its own topology tree, tenant pool, and freshly
+// constructed RNG). That property is what lets the experiment sweeps
+// of the CloudMirror evaluation run at any worker count with
+// bit-identical tables.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values <= 0 mean
+// GOMAXPROCS (use every available core).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers
+// goroutines (after Workers normalization) and returns the n results in
+// input order.
+//
+// Error semantics are deterministic: because items are dispatched in
+// increasing index order and every item is independent, the error
+// returned is the one fn produces for the lowest failing index — the
+// same error the serial loop would return — regardless of worker count
+// or scheduling. After a failure no new items are started; items
+// already in flight run to completion.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	var (
+		next  atomic.Int64
+		bound atomic.Int64 // lowest failing index seen so far
+		mu    sync.Mutex
+		first error
+		wg    sync.WaitGroup
+	)
+	bound.Store(int64(n))
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				// Items above the lowest failing index cannot influence
+				// the outcome; items below it must still run so the
+				// lowest-index error wins deterministically.
+				if i >= n || int64(i) > bound.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if int64(i) < bound.Load() {
+						bound.Store(int64(i))
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines, with Map's error semantics.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestMapOrderAtAnyWorkerCount(t *testing.T) {
+	const n = 100
+	for _, w := range []int{1, 2, 3, 8, 64, 200} {
+		got, err := Map(w, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", w, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	var active, peak atomic.Int64
+	_, err := Map(workers, 200, func(i int) (struct{}, error) {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		active.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent items, worker bound is %d", p, workers)
+	}
+}
+
+// TestMapLowestIndexErrorWins: with several deterministic failures the
+// reported error is the one the serial loop would hit first, at any
+// worker count.
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	fails := map[int]bool{13: true, 47: true, 90: true}
+	for _, w := range []int{1, 2, 8, 100} {
+		_, err := Map(w, 100, func(i int) (int, error) {
+			if fails[i] {
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "item 13 failed" {
+			t.Errorf("workers=%d: err = %v, want item 13's error", w, err)
+		}
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || len(got) != 0 {
+		t.Errorf("Map over zero items: got %v, %v", got, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(8, 50, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 49*50/2 {
+		t.Errorf("sum = %d, want %d", sum.Load(), 49*50/2)
+	}
+	sentinel := errors.New("boom")
+	if err := ForEach(8, 50, func(i int) error {
+		if i == 20 {
+			return sentinel
+		}
+		return nil
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("ForEach error = %v, want %v", err, sentinel)
+	}
+}

@@ -1,0 +1,111 @@
+package place
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Admitter is the concurrent admission path: it makes one shared
+// datacenter tree safe for simultaneous Place and Release calls from
+// many goroutines.
+//
+// Placement decisions on a single tree must serialize — an admission
+// test is only sound against a ledger that cannot change between the
+// test and the reservation — so the Admitter guards the whole
+// place-or-rollback critical section with one mutex. The underlying
+// Placer already guarantees per-request rollback (a failed Place leaves
+// the tree untouched via Txn.ReleaseAll), which the lock extends to
+// concurrent callers: every caller observes the ledger either before or
+// after a request, never mid-mutation. Departures go through
+// Admitted.Release, which takes the same lock.
+//
+// The zero value is not usable; construct with NewAdmitter.
+type Admitter struct {
+	mu     sync.Mutex
+	placer Placer
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+	failed   atomic.Int64
+	released atomic.Int64
+}
+
+// AdmitStats are an Admitter's monotonic counters.
+type AdmitStats struct {
+	// Admitted and Rejected partition the well-formed admission
+	// decisions: Rejected counts only capacity rejections
+	// (ErrRejected), the signal the experiments measure.
+	Admitted, Rejected int64
+	// Failed counts Place errors that are NOT capacity rejections —
+	// internal placer failures that callers should surface, never
+	// fold into a rejection rate.
+	Failed int64
+	// Released counts departures.
+	Released int64
+}
+
+// NewAdmitter wraps a placer (and the tree it was built on) for
+// concurrent admission.
+func NewAdmitter(p Placer) *Admitter {
+	return &Admitter{placer: p}
+}
+
+// Name identifies the underlying algorithm.
+func (a *Admitter) Name() string { return a.placer.Name() }
+
+// Place attempts to admit the request on the shared tree. It is safe to
+// call from any goroutine. On success the returned Admitted owns the
+// tenant's resources until its Release; on failure the tree is exactly
+// as if the request had never arrived.
+func (a *Admitter) Place(req *Request) (*Admitted, error) {
+	a.mu.Lock()
+	res, err := a.placer.Place(req)
+	a.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, ErrRejected) {
+			a.rejected.Add(1)
+		} else {
+			a.failed.Add(1)
+		}
+		return nil, err
+	}
+	a.admitted.Add(1)
+	return &Admitted{a: a, res: res}, nil
+}
+
+// Stats reports the admission counters so far.
+func (a *Admitter) Stats() AdmitStats {
+	return AdmitStats{
+		Admitted: a.admitted.Load(),
+		Rejected: a.rejected.Load(),
+		Failed:   a.failed.Load(),
+		Released: a.released.Load(),
+	}
+}
+
+// Admitted is a committed tenant placed through an Admitter. Release is
+// safe to call from any goroutine, and at most once has an effect.
+type Admitted struct {
+	a        *Admitter
+	res      *Reservation
+	released atomic.Bool
+}
+
+// Reservation exposes the underlying reservation for inspection
+// (placement, per-uplink holdings). The tenant's own data is fixed
+// after admission, so reading it does not require the admission lock;
+// methods that consult the shared tree do.
+func (ad *Admitted) Reservation() *Reservation { return ad.res }
+
+// Release returns the tenant's slots and bandwidth to the shared tree.
+// Subsequent calls are no-ops.
+func (ad *Admitted) Release() {
+	if !ad.released.CompareAndSwap(false, true) {
+		return
+	}
+	ad.a.mu.Lock()
+	ad.res.Release()
+	ad.a.mu.Unlock()
+	ad.a.released.Add(1)
+}

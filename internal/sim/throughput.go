@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudmirror/internal/parallel"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/topology"
+)
+
+// ThroughputResult reports a concurrent-admission measurement: many
+// workers hammering one shared tree through a place.Admitter.
+type ThroughputResult struct {
+	Placer  string
+	Workers int
+	// Attempts is the total number of admission attempts issued.
+	Attempts int
+	// Admitted and Rejected partition the attempts.
+	Admitted, Rejected int
+	// Elapsed is the wall time of the measurement phase.
+	Elapsed time.Duration
+	// AttemptsPerSec is the sustained admission-decision rate.
+	AttemptsPerSec float64
+}
+
+// holdWindow is how many live tenants each worker keeps before churning
+// the oldest, so the tree sits at a realistic steady-state occupancy.
+const holdWindow = 8
+
+// Throughput measures sustained admission throughput on a single shared
+// tree: `workers` concurrent clients each issue a share of cfg.Arrivals
+// admission attempts (tenants sampled from cfg.Pool with a per-worker
+// RNG derived deterministically from cfg.Seed), holding up to a small
+// window of live tenants and releasing the oldest as they go.
+//
+// Unlike Run, this is a performance measurement, not a results
+// artifact: the admission order — and therefore which tenants are
+// accepted — depends on scheduling when workers > 1. Counters are
+// exact, placements are always consistent (the Admitter serializes
+// ledger mutations), and the tree is fully drained before returning.
+func Throughput(cfg Config, workers int) (*ThroughputResult, error) {
+	if len(cfg.Pool) == 0 {
+		return nil, errors.New("sim: empty tenant pool")
+	}
+	if cfg.Arrivals <= 0 {
+		return nil, errors.New("sim: Arrivals must be positive")
+	}
+	workers = parallel.Workers(workers)
+	if workers > cfg.Arrivals {
+		workers = cfg.Arrivals
+	}
+	tree := topology.New(cfg.Spec)
+	adm := place.NewAdmitter(cfg.NewPlacer(tree))
+
+	var (
+		wg       sync.WaitGroup
+		firstErr atomic.Pointer[error]
+		stop     atomic.Bool
+	)
+	fail := func(err error) {
+		e := err
+		firstErr.CompareAndSwap(nil, &e)
+		stop.Store(true)
+	}
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		ops := cfg.Arrivals / workers
+		if w < cfg.Arrivals%workers {
+			ops++
+		}
+		if ops == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, ops int) {
+			defer wg.Done()
+			// SplitMix-style odd multiplier keeps per-worker streams
+			// disjoint for any seed.
+			r := rand.New(rand.NewSource(cfg.Seed ^ (int64(w)+1)*-0x61C8864680B583EB))
+			var live []*place.Admitted
+			defer func() {
+				for _, ad := range live {
+					ad.Release()
+				}
+			}()
+			for i := 0; i < ops && !stop.Load(); i++ {
+				g := cfg.Pool[r.Intn(len(cfg.Pool))]
+				var model place.Model = g
+				if cfg.ModelFor != nil {
+					model = cfg.ModelFor(g)
+				}
+				req := &place.Request{ID: int64(w)<<32 | int64(i), Graph: g, Model: model, HA: cfg.HA}
+				ad, err := adm.Place(req)
+				if err != nil {
+					if !errors.Is(err, place.ErrRejected) {
+						fail(fmt.Errorf("sim: concurrent placement error: %w", err))
+						return
+					}
+					// Full: churn the oldest tenant to make room.
+					if len(live) > 0 {
+						live[0].Release()
+						live = live[1:]
+					}
+					continue
+				}
+				live = append(live, ad)
+				if len(live) > holdWindow {
+					live[0].Release()
+					live = live[1:]
+				}
+			}
+		}(w, ops)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if ep := firstErr.Load(); ep != nil {
+		return nil, *ep
+	}
+	stats := adm.Stats()
+	res := &ThroughputResult{
+		Placer:   adm.Name(),
+		Workers:  workers,
+		Attempts: int(stats.Admitted + stats.Rejected),
+		Admitted: int(stats.Admitted),
+		Rejected: int(stats.Rejected),
+		Elapsed:  elapsed,
+	}
+	if elapsed > 0 {
+		res.AttemptsPerSec = float64(res.Attempts) / elapsed.Seconds()
+	}
+	return res, nil
+}

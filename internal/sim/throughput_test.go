@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/place/cloudmirror"
+	"cloudmirror/internal/topology"
+	"cloudmirror/internal/workload"
+)
+
+func throughputConfig(arrivals int) Config {
+	pool := workload.BingLike(1)
+	workload.ScaleToBmax(pool, 800)
+	return Config{
+		Spec:      topology.SmallSpec(),
+		NewPlacer: func(t *topology.Tree) place.Placer { return cloudmirror.New(t) },
+		Pool:      pool,
+		Arrivals:  arrivals,
+		Seed:      1,
+	}
+}
+
+// TestThroughputConcurrent drives the concurrent admission path on one
+// shared tree with several workers; under -race this doubles as a
+// data-race test of the full placer stack behind the Admitter.
+func TestThroughputConcurrent(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		res, err := Throughput(throughputConfig(200), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Workers != workers {
+			t.Errorf("workers = %d, want %d", res.Workers, workers)
+		}
+		if res.Attempts != 200 {
+			t.Errorf("workers=%d: attempts = %d, want 200", workers, res.Attempts)
+		}
+		if res.Admitted+res.Rejected != res.Attempts {
+			t.Errorf("workers=%d: admitted %d + rejected %d != attempts %d",
+				workers, res.Admitted, res.Rejected, res.Attempts)
+		}
+		if res.Admitted == 0 {
+			t.Errorf("workers=%d: nothing admitted", workers)
+		}
+		if res.AttemptsPerSec <= 0 {
+			t.Errorf("workers=%d: non-positive throughput %g", workers, res.AttemptsPerSec)
+		}
+	}
+}
+
+func TestThroughputValidation(t *testing.T) {
+	cfg := throughputConfig(100)
+	cfg.Pool = nil
+	if _, err := Throughput(cfg, 2); err == nil {
+		t.Error("empty pool accepted")
+	}
+	cfg = throughputConfig(0)
+	if _, err := Throughput(cfg, 2); err == nil {
+		t.Error("zero arrivals accepted")
+	}
+}
