@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-full determinism bench ci
+.PHONY: all build lint docs-check test test-full determinism bench ci
 
 all: build
 
@@ -14,6 +14,12 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+
+# Godoc coverage: every exported identifier (and every package) in
+# internal/... needs a doc comment.
+docs-check:
+	$(GO) vet ./internal/...
+	./scripts/docs-check.sh
 
 # Short suite under the race detector: what CI runs on every push.
 # Includes the concurrent-admission stress tests and the quick
@@ -27,13 +33,15 @@ test-full:
 	$(GO) test -race ./...
 
 # Same seed => bit-identical tables at every worker count, exercised at
-# several GOMAXPROCS values.
+# several GOMAXPROCS values. Covers the experiment sweeps (including
+# the churn sweep) and the sharded churn simulator itself.
 determinism:
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run TestParallelDeterminism ./internal/experiments
+	$(GO) test -short -race -count=1 -cpu=1,4,8 -run TestChurnDeterminism ./internal/sim
 
 # One iteration of every per-artifact benchmark: regenerates the quick
 # experiment suite and the admission-throughput numbers.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
 
-ci: lint build test determinism bench
+ci: lint docs-check build test determinism bench

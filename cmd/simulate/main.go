@@ -7,16 +7,25 @@
 //	simulate [-alg cm|cm-oppha|cm-coloc|cm-balance|ovoc|ovoc-aware|secondnet]
 //	         [-workload bing|hpcloud|synthetic] [-servers 128|512|2048]
 //	         [-arrivals N] [-load F] [-bmax Mbps] [-rwcs F] [-oversub R]
-//	         [-seed N] [-parallel N]
+//	         [-seed N] [-parallel N] [-churn] [-shards N] [-policy rr|least|p2c]
 //
 // Example:
 //
 //	simulate -alg ovoc -load 0.9 -bmax 1200 -servers 512
 //
-// With -parallel N (N > 0) the command measures concurrent admission
-// throughput instead of running the event simulation: N workers hammer
-// one shared tree through the thread-safe admission path, issuing
-// -arrivals admission attempts in total, and the sustained
+// With -churn the command runs the dynamic-churn simulation instead:
+// Poisson tenant arrivals with exponential lifetimes are dispatched
+// across -shards independent datacenter trees by the -policy load
+// balancer (with failover), and the per-shard sustained admission
+// rate, steady-state utilization, and rejection ratio are reported.
+// Churn output is a deterministic function of the flags — byte-
+// identical across repeated runs and across -parallel values, which
+// only bound the goroutines building and draining shards.
+//
+// With -parallel N (N > 0, without -churn) the command measures
+// concurrent admission throughput: N workers hammer the shard fleet
+// (default one shared tree) through the thread-safe admission path,
+// issuing -arrivals admission attempts in total, and the sustained
 // decisions-per-second rate is reported.
 package main
 
@@ -48,6 +57,9 @@ func main() {
 	oversub := flag.Float64("oversub", 0, "override total oversubscription ratio (2048-server topology only)")
 	seed := flag.Int64("seed", 1, "random seed")
 	par := flag.Int("parallel", 0, "measure concurrent admission throughput with N workers instead of simulating")
+	churn := flag.Bool("churn", false, "run the dynamic-churn simulation (arrivals and departures over a sharded fleet)")
+	shards := flag.Int("shards", 1, "number of independent datacenter trees behind the dispatcher")
+	policy := flag.String("policy", "rr", "dispatch policy: rr, least, p2c")
 	flag.Parse()
 
 	var spec topology.Spec
@@ -116,16 +128,53 @@ func main() {
 		fatal(fmt.Errorf("unknown -alg %q", *alg))
 	}
 
+	if *churn {
+		cr, err := sim.Churn(sim.ChurnConfig{
+			Spec:      cfg.Spec,
+			NewPlacer: cfg.NewPlacer,
+			ModelFor:  cfg.ModelFor,
+			Pool:      cfg.Pool,
+			Shards:    *shards,
+			Policy:    *policy,
+			Arrivals:  cfg.Arrivals,
+			Load:      cfg.Load,
+			MeanDwell: cfg.MeanDwell,
+			HA:        cfg.HA,
+			Seed:      cfg.Seed,
+			Workers:   *par,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("algorithm        %s\n", cr.Placer)
+		fmt.Printf("fleet            %d shards × %d servers × %d slots, policy %s\n",
+			cr.Shards, spec.Servers(), spec.SlotsPerServer, cr.Policy)
+		fmt.Printf("arrivals         %d  (admitted %d, rejected %d, departed %d)\n",
+			cr.Arrivals, cr.Admitted, cr.Rejected, cr.Departures)
+		fmt.Printf("failovers        %d retried placement attempts\n", cr.Failovers)
+		fmt.Printf("admission rate   %.1f tenants per unit time (simulated duration %.2f)\n",
+			cr.AdmissionRate, cr.Duration)
+		fmt.Printf("rejection ratio  %.2f%% of tenants\n", 100*cr.RejectionRatio)
+		fmt.Printf("utilization      %.1f%% of fleet slots (time-averaged)\n", 100*cr.Utilization)
+		fmt.Printf("shard  admitted  rejected  live  reservedGbps  util%%\n")
+		for i, s := range cr.PerShard {
+			fmt.Printf("%5d  %8d  %8d  %4d  %12.1f  %5.1f\n",
+				i, s.Admitted, s.Rejected, s.LiveTenants, s.ReservedGbps, 100*s.Utilization)
+		}
+		return
+	}
+
 	if *par > 0 {
-		tr, err := sim.Throughput(cfg, *par)
+		tr, err := sim.ShardedThroughput(cfg, *shards, *policy, *par)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("algorithm        %s\n", tr.Placer)
-		fmt.Printf("datacenter       %d servers × %d slots (one shared tree)\n",
-			spec.Servers(), spec.SlotsPerServer)
+		fmt.Printf("fleet            %d shards × %d servers × %d slots, policy %s\n",
+			tr.Shards, spec.Servers(), spec.SlotsPerServer, tr.Policy)
 		fmt.Printf("workers          %d concurrent admission clients\n", tr.Workers)
-		fmt.Printf("attempts         %d  (admitted %d, rejected %d)\n", tr.Attempts, tr.Admitted, tr.Rejected)
+		fmt.Printf("attempts         %d  (admitted %d, rejected %d, failovers %d)\n",
+			tr.Attempts, tr.Admitted, tr.Rejected, tr.Failovers)
 		fmt.Printf("elapsed          %s\n", tr.Elapsed.Round(1e6))
 		fmt.Printf("throughput       %.0f admission decisions/s\n", tr.AttemptsPerSec)
 		return

@@ -11,11 +11,18 @@
 // bit-identical to the serial order at any worker count, and the
 // placement framework exposes a thread-safe admission path
 // (place.Admitter, sim.Throughput) for concurrent Place/Release on one
-// shared datacenter tree.
+// shared datacenter tree. Beyond one tree, internal/cluster shards
+// admission across a fleet of independent trees behind a dispatcher
+// with pluggable policies (round-robin, least-loaded,
+// power-of-two-choices) and failover, and sim.Churn drives it with a
+// deterministic dynamic-churn workload (Poisson arrivals, exponential
+// tenant lifetimes).
 //
-// See README.md for a tour: module setup, the -parallel flags of
-// cmd/experiments and cmd/simulate, and how to run the CI checks
-// locally (make ci mirrors .github/workflows/ci.yml). The root package
+// See README.md for a tour: module setup, the -parallel, -shards,
+// -policy and -churn flags of cmd/experiments and cmd/simulate, and
+// how to run the CI checks locally (make ci mirrors
+// .github/workflows/ci.yml), and docs/ARCHITECTURE.md for the package
+// map, layer contracts, and concurrency invariants. The root package
 // holds only the per-artifact benchmarks (bench_test.go); the
 // implementation lives under internal/ and the runnable entry points
 // under cmd/ and examples/.

@@ -1,0 +1,201 @@
+// Package cluster scales admission beyond one datacenter tree: it
+// manages a fleet of independent shards — each its own topology tree
+// behind a thread-safe place.Admitter — and routes tenant requests
+// across them through a Dispatcher with a pluggable placement policy
+// (round-robin, least-loaded, power-of-two-choices) and per-shard
+// failover.
+//
+// A single tree serializes every admission decision behind one mutex
+// (see place.Admitter), so one tree is a scalability ceiling. Shards
+// share nothing — no tree state, no locks — so admissions on different
+// shards proceed fully in parallel; the only cross-shard state is the
+// dispatcher's lock-free load snapshot, which policies read to route
+// requests toward spare capacity.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+
+	"cloudmirror/internal/parallel"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/topology"
+)
+
+// atomicFloat64 is a lock-free float64 accumulator (CAS on the bit
+// pattern), used for the per-shard reserved-bandwidth gauge.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) add(d float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Load is a point-in-time snapshot of one shard's occupancy, the input
+// to dispatch policies. All fields are maintained with atomics outside
+// the shard's admission lock, so reading a Load never blocks an
+// in-flight placement; under concurrent admission the snapshot is
+// approximate (each field is individually, not jointly, consistent),
+// which is exactly the information a real load balancer would have.
+type Load struct {
+	// ReservedMbps is the bandwidth the shard's live tenants hold,
+	// summed over all uplinks and both directions.
+	ReservedMbps float64
+	// SlotsUsed is the number of occupied VM slots.
+	SlotsUsed int
+	// Tenants is the number of live tenants.
+	Tenants int
+}
+
+// Shard is one independent datacenter tree with its own admission path.
+// Place and Release on different shards never contend; within a shard
+// the embedded place.Admitter serializes ledger mutations.
+type Shard struct {
+	id         int
+	adm        *place.Admitter
+	slotsTotal int
+
+	reserved atomicFloat64
+	slots    atomic.Int64
+	tenants  atomic.Int64
+}
+
+// ID is the shard's index within its cluster.
+func (s *Shard) ID() int { return s.id }
+
+// SlotsTotal is the shard's VM slot capacity (fixed at construction).
+func (s *Shard) SlotsTotal() int { return s.slotsTotal }
+
+// Name identifies the shard's placement algorithm.
+func (s *Shard) Name() string { return s.adm.Name() }
+
+// Load returns the shard's occupancy snapshot.
+func (s *Shard) Load() Load {
+	return Load{
+		ReservedMbps: s.reserved.load(),
+		SlotsUsed:    int(s.slots.Load()),
+		Tenants:      int(s.tenants.Load()),
+	}
+}
+
+// Stats returns the shard's monotonic admission counters.
+func (s *Shard) Stats() place.AdmitStats { return s.adm.Stats() }
+
+// Place attempts to admit the request on this shard. It is safe to call
+// from any goroutine; on success the returned Tenant owns the tenant's
+// resources until its Release.
+func (s *Shard) Place(req *place.Request) (*Tenant, error) {
+	ad, err := s.adm.Place(req)
+	if err != nil {
+		return nil, err
+	}
+	res := ad.Reservation()
+	ten := &Tenant{
+		shard:        s,
+		ad:           ad,
+		reservedMbps: res.TotalReserved(),
+		vms:          res.Placement().VMs(),
+	}
+	s.reserved.add(ten.reservedMbps)
+	s.slots.Add(int64(ten.vms))
+	s.tenants.Add(1)
+	return ten, nil
+}
+
+// Tenant is a committed tenant admitted through a Shard (directly or
+// via a Dispatcher). Release is safe to call from any goroutine, and at
+// most once has an effect.
+type Tenant struct {
+	shard *Shard
+	ad    *place.Admitted
+	// reservedMbps and vms are cached at admission so Release subtracts
+	// exactly what Place added to the shard gauges (and skips a second
+	// TotalReserved walk).
+	reservedMbps float64
+	vms          int
+	released     atomic.Bool
+}
+
+// Shard returns the shard hosting the tenant.
+func (t *Tenant) Shard() *Shard { return t.shard }
+
+// Reservation exposes the underlying reservation for inspection.
+func (t *Tenant) Reservation() *place.Reservation { return t.ad.Reservation() }
+
+// Release returns the tenant's slots and bandwidth to its shard.
+// Subsequent calls are no-ops.
+func (t *Tenant) Release() {
+	if !t.released.CompareAndSwap(false, true) {
+		return
+	}
+	t.ad.Release()
+	t.shard.reserved.add(-t.reservedMbps)
+	t.shard.slots.Add(int64(-t.vms))
+	t.shard.tenants.Add(-1)
+}
+
+// Cluster is a fixed fleet of shards built from one topology spec and
+// one placement algorithm. Shards are independent: each owns its tree
+// and placer, so the cluster as a whole admits concurrently on as many
+// shards as there are callers.
+type Cluster struct {
+	shards []*Shard
+}
+
+// New builds a cluster of n identical shards, each its own tree from
+// spec with its own placer from newPlacer. Construction fans out across
+// at most workers goroutines (0 means all cores); shard i's tree and
+// placer are a function of i alone, so the result is identical at any
+// worker count.
+func New(spec topology.Spec, n int, newPlacer func(*topology.Tree) place.Placer, workers int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, errors.New("cluster: shard count must be positive")
+	}
+	if newPlacer == nil {
+		return nil, errors.New("cluster: nil placer constructor")
+	}
+	shards, err := parallel.Map(workers, n, func(i int) (*Shard, error) {
+		tree := topology.New(spec)
+		return &Shard{
+			id:         i,
+			adm:        place.NewAdmitter(newPlacer(tree)),
+			slotsTotal: tree.SlotsTotal(tree.Root()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{shards: shards}, nil
+}
+
+// Size returns the number of shards.
+func (c *Cluster) Size() int { return len(c.shards) }
+
+// Shard returns shard i.
+func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
+
+// Loads returns a snapshot of every shard's occupancy, indexed by shard
+// ID — the input handed to dispatch policies.
+func (c *Cluster) Loads() []Load {
+	loads := make([]Load, len(c.shards))
+	for i, s := range c.shards {
+		loads[i] = s.Load()
+	}
+	return loads
+}
+
+// Stats returns every shard's admission counters, indexed by shard ID.
+func (c *Cluster) Stats() []place.AdmitStats {
+	stats := make([]place.AdmitStats, len(c.shards))
+	for i, s := range c.shards {
+		stats[i] = s.Stats()
+	}
+	return stats
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"cloudmirror/internal/place"
+)
+
+// Dispatcher routes tenant requests across a cluster's shards: the
+// policy picks the first shard to try, and when a shard rejects for
+// capacity (place.ErrRejected) the dispatcher fails over to the
+// remaining shards in wrap-around ID order until one admits or every
+// shard has rejected. Non-capacity placement errors surface
+// immediately — an internal placer failure on one shard must never be
+// masked by retrying it elsewhere.
+//
+// Place is safe to call from any goroutine: shards admit independently
+// under their own locks, and the dispatcher itself keeps only atomic
+// counters, so concurrent requests routed to different shards proceed
+// fully in parallel.
+type Dispatcher struct {
+	c      *Cluster
+	policy Policy
+
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	failovers atomic.Int64
+}
+
+// DispatchStats are a Dispatcher's monotonic counters.
+type DispatchStats struct {
+	// Admitted and Rejected partition the completed requests: Rejected
+	// counts requests every shard rejected for capacity.
+	Admitted, Rejected int64
+	// Failovers counts extra placement attempts after a shard rejected
+	// a request that another shard later saw (admitted or not); it
+	// measures how often the policy's first pick was wrong.
+	Failovers int64
+}
+
+// NewDispatcher routes requests over c using the given policy.
+func NewDispatcher(c *Cluster, policy Policy) *Dispatcher {
+	return &Dispatcher{c: c, policy: policy}
+}
+
+// Cluster returns the shard fleet the dispatcher routes over.
+func (d *Dispatcher) Cluster() *Cluster { return d.c }
+
+// Policy returns the dispatch policy in use.
+func (d *Dispatcher) Policy() Policy { return d.policy }
+
+// Place admits the request on the policy's pick, failing over through
+// every remaining shard (wrap-around ID order) on capacity rejections.
+// If all shards reject, the last rejection is returned (it wraps
+// place.ErrRejected); any other placement error aborts the request
+// immediately.
+func (d *Dispatcher) Place(req *place.Request) (*Tenant, error) {
+	n := d.c.Size()
+	var first int
+	if lf, ok := d.policy.(loadFree); ok {
+		first = lf.PickN(n) // no snapshot for load-indifferent policies
+	} else {
+		first = d.policy.Pick(d.c.Loads())
+	}
+	var lastErr error
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			d.failovers.Add(1)
+		}
+		ten, err := d.c.Shard((first + k) % n).Place(req)
+		if err == nil {
+			d.admitted.Add(1)
+			return ten, nil
+		}
+		if !errors.Is(err, place.ErrRejected) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	d.rejected.Add(1)
+	return nil, lastErr
+}
+
+// Stats reports the dispatcher's counters so far.
+func (d *Dispatcher) Stats() DispatchStats {
+	return DispatchStats{
+		Admitted:  d.admitted.Load(),
+		Rejected:  d.rejected.Load(),
+		Failovers: d.failovers.Load(),
+	}
+}

@@ -73,6 +73,7 @@ var registry = map[string]Func{
 	"table1hpc": Table1HPCloud,
 	"table1syn": Table1Synthetic,
 	"baselines": Baselines,
+	"churn":     ChurnSweep,
 	"fig4":      Fig4,
 	"fig7":      Fig7,
 	"fig8":      Fig8,

@@ -174,6 +174,7 @@ func (p Placement) Complete(m Model) bool {
 	return true
 }
 
+// String summarizes the placement for debugging output.
 func (p Placement) String() string {
 	return fmt.Sprintf("Placement{%d servers, %d VMs}", len(p), p.VMs())
 }

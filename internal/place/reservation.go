@@ -32,11 +32,18 @@ func (r *Reservation) ReservedOn(n topology.NodeID) (out, in float64) {
 }
 
 // TotalReserved returns the tenant's total reserved bandwidth summed over
-// all uplinks and both directions.
+// all uplinks and both directions. The sum runs in node-ID order, so it
+// is bit-identical across calls and runs (float addition is not
+// associative, and map iteration order is randomized).
 func (r *Reservation) TotalReserved() float64 {
+	nodes := make([]topology.NodeID, 0, len(r.reserved))
+	for n := range r.reserved {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	var sum float64
-	for _, v := range r.reserved {
-		sum += v[0] + v[1]
+	for _, n := range nodes {
+		sum += r.reserved[n][0] + r.reserved[n][1]
 	}
 	return sum
 }

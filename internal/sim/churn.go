@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"cloudmirror/internal/cluster"
+	"cloudmirror/internal/parallel"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// ChurnConfig describes one dynamic-churn simulation: a Poisson tenant
+// arrival process with exponential lifetimes, dispatched across a
+// sharded cluster. Equal configs (including Seed) give byte-identical
+// results at any Workers value.
+type ChurnConfig struct {
+	// Spec is the per-shard datacenter topology.
+	Spec topology.Spec
+	// NewPlacer constructs the algorithm under test on each shard's tree.
+	NewPlacer func(*topology.Tree) place.Placer
+	// ModelFor selects the bandwidth abstraction used for admission and
+	// reservation (TAG, VOC, pipe). Nil means the TAG itself.
+	ModelFor func(*tag.Graph) place.Model
+	// Pool is the tenant template pool; arrivals sample it uniformly.
+	Pool []*tag.Graph
+	// Shards is the number of independent datacenter trees (at least 1).
+	Shards int
+	// Policy names the dispatch policy: "rr", "least", or "p2c"
+	// (see cluster.NewPolicy). Empty means "rr".
+	Policy string
+	// Arrivals is the number of tenant arrival events to simulate.
+	Arrivals int
+	// Load is the target fleet-wide slot load in (0,1]; the arrival
+	// rate is derived from it exactly as in Run, scaled by the summed
+	// slot capacity of all shards.
+	Load float64
+	// MeanDwell is the mean tenant lifetime Td (simulated time units);
+	// zero or negative means 1.
+	MeanDwell float64
+	// HA is applied to every arriving tenant (zero value: none).
+	HA place.HASpec
+	// Seed drives all randomness: arrival spacing, pool sampling,
+	// lifetimes, and the p2c policy's sampling.
+	Seed int64
+	// Workers bounds the goroutines used for shard construction and the
+	// final drain. It never changes results: the event loop itself is
+	// serial, because every dispatch decision reads the shard loads the
+	// previous decisions produced.
+	Workers int
+}
+
+// ChurnShardStats is one shard's slice of a churn simulation.
+type ChurnShardStats struct {
+	// Admitted and Rejected are the shard's admission counters;
+	// failover attempts count as rejections on each shard that refused.
+	Admitted, Rejected int
+	// LiveTenants is the shard's tenant count when the last arrival was
+	// processed (before the final drain).
+	LiveTenants int
+	// ReservedGbps is the bandwidth those tenants held, summed over all
+	// uplinks and both directions.
+	ReservedGbps float64
+	// Utilization is the time-averaged fraction of the shard's VM slots
+	// occupied over the simulated duration — the steady-state occupancy
+	// the dispatch policy achieved on this shard.
+	Utilization float64
+}
+
+// ChurnResult aggregates a churn simulation's outcome. All fields are
+// deterministic functions of the ChurnConfig: durations are simulated
+// time, not wall clock.
+type ChurnResult struct {
+	// Placer and Policy identify the placement algorithm and dispatch
+	// policy under test.
+	Placer, Policy string
+	// Shards is the fleet size.
+	Shards int
+
+	// Arrivals counts tenant arrival events; Admitted and Rejected
+	// partition them (Rejected means every shard refused).
+	Arrivals, Admitted, Rejected int
+	// Departures counts tenants that left before the end of the run.
+	Departures int
+	// Failovers counts placement attempts beyond each request's first
+	// shard — how often the policy's first pick was wrong.
+	Failovers int64
+
+	// Duration is the simulated time spanned by the arrival process.
+	Duration float64
+	// AdmissionRate is the sustained admission rate: Admitted/Duration,
+	// in tenants per simulated time unit.
+	AdmissionRate float64
+	// RejectionRatio is Rejected/Arrivals.
+	RejectionRatio float64
+	// Utilization is the fleet-wide time-averaged slot occupancy.
+	Utilization float64
+
+	// PerShard holds each shard's slice, indexed by shard ID.
+	PerShard []ChurnShardStats
+}
+
+// policySeed derives the dispatch-policy seed from a config seed. One
+// shared derivation keeps Churn and ShardedThroughput comparable (p2c
+// draws the same pick sequence for the same config seed), while
+// decoupling the policy RNG from the workload RNG so adding policy
+// randomness never perturbs the arrival sequence.
+func policySeed(seed int64) int64 { return seed ^ 0x5DEECE66D }
+
+// churnDeparture is a scheduled tenant exit from a churn run. seq
+// breaks simulated-time ties deterministically (insertion order).
+type churnDeparture struct {
+	at  float64
+	seq int
+	ten *cluster.Tenant
+}
+
+type churnQueue []churnDeparture
+
+func (q churnQueue) Len() int { return len(q) }
+func (q churnQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q churnQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *churnQueue) Push(x any)   { *q = append(*q, x.(churnDeparture)) }
+func (q *churnQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Churn runs a dynamic-churn simulation: cfg.Arrivals Poisson tenant
+// arrivals with exponential lifetimes, each dispatched across
+// cfg.Shards independent trees by the named policy, with failover
+// through the remaining shards when the first pick rejects.
+//
+// The event loop is serial and fully deterministic: equal configs give
+// byte-identical results at any cfg.Workers value, which only bounds
+// the goroutines building shards up front and draining live tenants at
+// the end. Unlike Throughput this is a results artifact, not a
+// performance measurement — nothing in the output depends on wall
+// clock or scheduling.
+func Churn(cfg ChurnConfig) (*ChurnResult, error) {
+	if len(cfg.Pool) == 0 {
+		return nil, errors.New("sim: empty tenant pool")
+	}
+	if cfg.Arrivals <= 0 {
+		return nil, errors.New("sim: Arrivals must be positive")
+	}
+	if cfg.Shards <= 0 {
+		return nil, errors.New("sim: Shards must be positive")
+	}
+	policyName := cfg.Policy
+	if policyName == "" {
+		policyName = "rr"
+	}
+	policy, err := cluster.NewPolicy(policyName, policySeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cfg.Spec, cfg.Shards, cfg.NewPlacer, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	disp := cluster.NewDispatcher(cl, policy)
+
+	// Arrival rate from the load formula, over the whole fleet's slots.
+	meanDwell := cfg.MeanDwell
+	if meanDwell <= 0 {
+		meanDwell = 1
+	}
+	var meanSize float64
+	for _, g := range cfg.Pool {
+		meanSize += float64(g.VMs())
+	}
+	meanSize /= float64(len(cfg.Pool))
+	var totalSlots float64
+	for i := 0; i < cl.Size(); i++ {
+		totalSlots += float64(cl.Shard(i).SlotsTotal())
+	}
+	load := cfg.Load
+	if load <= 0 {
+		load = 1
+	}
+	lambda := load * totalSlots / (meanSize * meanDwell)
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	res := &ChurnResult{
+		Placer:   cl.Shard(0).Name(),
+		Policy:   policy.Name(),
+		Shards:   cl.Size(),
+		PerShard: make([]ChurnShardStats, cl.Size()),
+	}
+
+	var (
+		clock      float64
+		departures churnQueue
+		seq        int
+		// slotSeconds[s] integrates shard s's occupied slots over
+		// simulated time, for the steady-state utilization report.
+		slotSeconds = make([]float64, cl.Size())
+	)
+	heap.Init(&departures)
+	advance := func(to float64) {
+		dt := to - clock
+		for i := 0; i < cl.Size(); i++ {
+			slotSeconds[i] += float64(cl.Shard(i).Load().SlotsUsed) * dt
+		}
+		clock = to
+	}
+
+	for i := 0; i < cfg.Arrivals; i++ {
+		next := clock + r.ExpFloat64()/lambda
+		for len(departures) > 0 && departures[0].at <= next {
+			d := heap.Pop(&departures).(churnDeparture)
+			advance(d.at)
+			d.ten.Release()
+			res.Departures++
+		}
+		advance(next)
+
+		g := cfg.Pool[r.Intn(len(cfg.Pool))]
+		var model place.Model = g
+		if cfg.ModelFor != nil {
+			model = cfg.ModelFor(g)
+		}
+		req := &place.Request{ID: int64(i), Graph: g, Model: model, HA: cfg.HA}
+		res.Arrivals++
+		ten, err := disp.Place(req)
+		if err != nil {
+			if !errors.Is(err, place.ErrRejected) {
+				return nil, fmt.Errorf("sim: churn placement error: %w", err)
+			}
+			res.Rejected++
+			continue
+		}
+		res.Admitted++
+		seq++
+		heap.Push(&departures, churnDeparture{clock + r.ExpFloat64()*meanDwell, seq, ten})
+	}
+
+	res.Duration = clock
+	res.Failovers = disp.Stats().Failovers
+	for i, st := range cl.Stats() {
+		ld := cl.Shard(i).Load()
+		res.PerShard[i] = ChurnShardStats{
+			Admitted:     int(st.Admitted),
+			Rejected:     int(st.Rejected),
+			LiveTenants:  ld.Tenants,
+			ReservedGbps: ld.ReservedMbps / 1000,
+		}
+		if clock > 0 {
+			res.PerShard[i].Utilization = slotSeconds[i] / (float64(cl.Shard(i).SlotsTotal()) * clock)
+		}
+	}
+	if clock > 0 {
+		res.AdmissionRate = float64(res.Admitted) / clock
+		var ss float64
+		for _, v := range slotSeconds {
+			ss += v
+		}
+		res.Utilization = ss / (totalSlots * clock)
+	}
+	if res.Arrivals > 0 {
+		res.RejectionRatio = float64(res.Rejected) / float64(res.Arrivals)
+	}
+
+	// Drain the fleet: shards are independent, so releasing each
+	// shard's survivors is embarrassingly parallel and cannot affect
+	// the already-assembled result.
+	remaining := make([][]*cluster.Tenant, cl.Size())
+	for len(departures) > 0 {
+		d := heap.Pop(&departures).(churnDeparture)
+		id := d.ten.Shard().ID()
+		remaining[id] = append(remaining[id], d.ten)
+	}
+	if err := parallel.ForEach(cfg.Workers, len(remaining), func(i int) error {
+		for _, ten := range remaining[i] {
+			ten.Release()
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -8,20 +8,29 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cloudmirror/internal/cluster"
 	"cloudmirror/internal/parallel"
 	"cloudmirror/internal/place"
-	"cloudmirror/internal/topology"
 )
 
 // ThroughputResult reports a concurrent-admission measurement: many
-// workers hammering one shared tree through a place.Admitter.
+// workers hammering a shard fleet through a cluster.Dispatcher.
 type ThroughputResult struct {
-	Placer  string
+	// Placer and Policy identify the placement algorithm and dispatch
+	// policy under test.
+	Placer, Policy string
+	// Shards is the fleet size; 1 is the single-shared-tree case.
+	Shards int
+	// Workers is the number of concurrent admission clients.
 	Workers int
 	// Attempts is the total number of admission attempts issued.
 	Attempts int
-	// Admitted and Rejected partition the attempts.
+	// Admitted and Rejected partition the attempts; Rejected means
+	// every shard refused the request.
 	Admitted, Rejected int
+	// Failovers counts placement attempts beyond each request's first
+	// shard.
+	Failovers int64
 	// Elapsed is the wall time of the measurement phase.
 	Elapsed time.Duration
 	// AttemptsPerSec is the sustained admission-decision rate.
@@ -29,33 +38,54 @@ type ThroughputResult struct {
 }
 
 // holdWindow is how many live tenants each worker keeps before churning
-// the oldest, so the tree sits at a realistic steady-state occupancy.
+// the oldest, so the trees sit at a realistic steady-state occupancy.
 const holdWindow = 8
 
 // Throughput measures sustained admission throughput on a single shared
-// tree: `workers` concurrent clients each issue a share of cfg.Arrivals
-// admission attempts (tenants sampled from cfg.Pool with a per-worker
-// RNG derived deterministically from cfg.Seed), holding up to a small
-// window of live tenants and releasing the oldest as they go.
-//
-// Unlike Run, this is a performance measurement, not a results
-// artifact: the admission order — and therefore which tenants are
-// accepted — depends on scheduling when workers > 1. Counters are
-// exact, placements are always consistent (the Admitter serializes
-// ledger mutations), and the tree is fully drained before returning.
+// tree — the Shards=1 special case of ShardedThroughput, kept as the
+// entry point for single-tree studies so both paths share one worker
+// loop and cannot drift.
 func Throughput(cfg Config, workers int) (*ThroughputResult, error) {
+	return ShardedThroughput(cfg, 1, "", workers)
+}
+
+// ShardedThroughput measures sustained admission throughput on a fleet
+// of shards trees: `workers` concurrent clients each issue a share of
+// cfg.Arrivals admission attempts (tenants sampled from cfg.Pool with a
+// per-worker RNG derived deterministically from cfg.Seed) through one
+// shared cluster.Dispatcher running the named policy ("" means "rr"),
+// holding up to a small window of live tenants and releasing the oldest
+// as they go.
+//
+// Unlike Run and Churn, this is a performance measurement, not a
+// results artifact: the admission order — and therefore which tenants
+// are accepted, and on which shard — depends on scheduling when
+// workers > 1. Counters are exact, placements are always consistent
+// (each shard's Admitter serializes its ledger mutations), and the
+// fleet is fully drained before returning.
+func ShardedThroughput(cfg Config, shards int, policy string, workers int) (*ThroughputResult, error) {
 	if len(cfg.Pool) == 0 {
 		return nil, errors.New("sim: empty tenant pool")
 	}
 	if cfg.Arrivals <= 0 {
 		return nil, errors.New("sim: Arrivals must be positive")
 	}
+	if policy == "" {
+		policy = "rr"
+	}
+	pol, err := cluster.NewPolicy(policy, policySeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
 	workers = parallel.Workers(workers)
 	if workers > cfg.Arrivals {
 		workers = cfg.Arrivals
 	}
-	tree := topology.New(cfg.Spec)
-	adm := place.NewAdmitter(cfg.NewPlacer(tree))
+	cl, err := cluster.New(cfg.Spec, shards, cfg.NewPlacer, workers)
+	if err != nil {
+		return nil, err
+	}
+	disp := cluster.NewDispatcher(cl, pol)
 
 	var (
 		wg       sync.WaitGroup
@@ -83,10 +113,10 @@ func Throughput(cfg Config, workers int) (*ThroughputResult, error) {
 			// SplitMix-style odd multiplier keeps per-worker streams
 			// disjoint for any seed.
 			r := rand.New(rand.NewSource(cfg.Seed ^ (int64(w)+1)*-0x61C8864680B583EB))
-			var live []*place.Admitted
+			var live []*cluster.Tenant
 			defer func() {
-				for _, ad := range live {
-					ad.Release()
+				for _, ten := range live {
+					ten.Release()
 				}
 			}()
 			for i := 0; i < ops && !stop.Load(); i++ {
@@ -96,7 +126,7 @@ func Throughput(cfg Config, workers int) (*ThroughputResult, error) {
 					model = cfg.ModelFor(g)
 				}
 				req := &place.Request{ID: int64(w)<<32 | int64(i), Graph: g, Model: model, HA: cfg.HA}
-				ad, err := adm.Place(req)
+				ten, err := disp.Place(req)
 				if err != nil {
 					if !errors.Is(err, place.ErrRejected) {
 						fail(fmt.Errorf("sim: concurrent placement error: %w", err))
@@ -109,7 +139,7 @@ func Throughput(cfg Config, workers int) (*ThroughputResult, error) {
 					}
 					continue
 				}
-				live = append(live, ad)
+				live = append(live, ten)
 				if len(live) > holdWindow {
 					live[0].Release()
 					live = live[1:]
@@ -123,14 +153,17 @@ func Throughput(cfg Config, workers int) (*ThroughputResult, error) {
 	if ep := firstErr.Load(); ep != nil {
 		return nil, *ep
 	}
-	stats := adm.Stats()
+	stats := disp.Stats()
 	res := &ThroughputResult{
-		Placer:   adm.Name(),
-		Workers:  workers,
-		Attempts: int(stats.Admitted + stats.Rejected),
-		Admitted: int(stats.Admitted),
-		Rejected: int(stats.Rejected),
-		Elapsed:  elapsed,
+		Placer:    cl.Shard(0).Name(),
+		Policy:    pol.Name(),
+		Shards:    cl.Size(),
+		Workers:   workers,
+		Attempts:  int(stats.Admitted + stats.Rejected),
+		Admitted:  int(stats.Admitted),
+		Rejected:  int(stats.Rejected),
+		Failovers: stats.Failovers,
+		Elapsed:   elapsed,
 	}
 	if elapsed > 0 {
 		res.AttemptsPerSec = float64(res.Attempts) / elapsed.Seconds()

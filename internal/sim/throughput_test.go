@@ -49,6 +49,52 @@ func TestThroughputConcurrent(t *testing.T) {
 	}
 }
 
+// TestShardedThroughput drives the dispatcher-based admission path over
+// several shards and policies; under -race this doubles as a data-race
+// test of the cluster layer.
+func TestShardedThroughput(t *testing.T) {
+	for _, policy := range []string{"rr", "least", "p2c"} {
+		res, err := ShardedThroughput(throughputConfig(200), 4, policy, 4)
+		if err != nil {
+			t.Fatalf("policy=%s: %v", policy, err)
+		}
+		if res.Shards != 4 {
+			t.Errorf("policy=%s: shards = %d, want 4", policy, res.Shards)
+		}
+		if res.Policy != policy {
+			t.Errorf("policy = %q, want %q", res.Policy, policy)
+		}
+		if res.Attempts != 200 {
+			t.Errorf("policy=%s: attempts = %d, want 200", policy, res.Attempts)
+		}
+		if res.Admitted+res.Rejected != res.Attempts {
+			t.Errorf("policy=%s: admitted %d + rejected %d != attempts %d",
+				policy, res.Admitted, res.Rejected, res.Attempts)
+		}
+		if res.Admitted == 0 {
+			t.Errorf("policy=%s: nothing admitted", policy)
+		}
+	}
+}
+
+// TestThroughputIsShardsOne: the single-tree entry point is the
+// shards=1 special case of the shared plumbing.
+func TestThroughputIsShardsOne(t *testing.T) {
+	res, err := Throughput(throughputConfig(100), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1 {
+		t.Errorf("shards = %d, want 1", res.Shards)
+	}
+	if res.Policy != "rr" {
+		t.Errorf("policy = %q, want rr", res.Policy)
+	}
+	if res.Failovers != 0 {
+		t.Errorf("failovers = %d, want 0 on a single shard", res.Failovers)
+	}
+}
+
 func TestThroughputValidation(t *testing.T) {
 	cfg := throughputConfig(100)
 	cfg.Pool = nil

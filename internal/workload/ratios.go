@@ -17,6 +17,7 @@ const (
 	Interactive
 )
 
+// String returns the Fig. 1 legend label for the kind.
 func (k WorkloadKind) String() string {
 	if k == Batch {
 		return "batch"

@@ -1,0 +1,63 @@
+#!/bin/sh
+# docs-check enforces the godoc contract on internal/...: every
+# exported top-level identifier and every exported method on an
+# exported type needs a doc comment, and every package needs a
+# package-level doc comment. Purely textual (awk over the source), so
+# it stays fast and dependency-free; go vet runs alongside it in the
+# Makefile target for the semantic checks.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+files=$(find internal -name '*.go' ! -name '*_test.go' | sort)
+
+# Exported identifiers: a top-level `func|type|var|const Exported`, or
+# a method `func (recv ExportedType) ExportedName`, must be directly
+# preceded by a comment line.
+if ! awk '
+FNR == 1 { prev = "" }
+{
+    flag = 0
+    if ($0 ~ /^(func|type|var|const) [A-Z]/) {
+        flag = 1
+    } else if ($0 ~ /^func \([^)]*\) [A-Z]/) {
+        recv = $0
+        sub(/^func \(/, "", recv)
+        sub(/\).*/, "", recv)
+        n = split(recv, parts, /[ \t]+/)
+        typ = parts[n]
+        gsub(/[*\[\]]/, "", typ)
+        if (typ ~ /^[A-Z]/) flag = 1   # methods on unexported types are internal
+    }
+    if (flag && prev !~ /^\/\// && prev !~ /\*\/[ \t]*$/) {
+        print FILENAME ":" FNR ": exported identifier missing doc comment: " $0
+        bad = 1
+    }
+    prev = $0
+}
+END { exit bad }
+' $files; then
+    fail=1
+fi
+
+# Package doc comments: at least one file per package must carry a
+# comment block directly above its package clause.
+for dir in $(find internal -type d | sort); do
+    ok=""
+    found_go=""
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case $f in *_test.go) continue ;; esac
+        found_go=1
+        if awk 'prev ~ /^\/\// && /^package / { found = 1 } { prev = $0 } END { exit !found }' "$f"; then
+            ok=1
+            break
+        fi
+    done
+    if [ -n "$found_go" ] && [ -z "$ok" ]; then
+        echo "$dir: missing package-level doc comment"
+        fail=1
+    fi
+done
+
+exit $fail
