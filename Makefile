@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build lint docs-check test test-full determinism bench ci
+.PHONY: all build lint docs-check test test-full determinism bench bench-json ci
 
 all: build
 
 build:
 	$(GO) build ./...
+	$(GO) build ./examples/...
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -34,14 +35,22 @@ test-full:
 
 # Same seed => bit-identical tables at every worker count, exercised at
 # several GOMAXPROCS values. Covers the experiment sweeps (including
-# the churn sweep) and the sharded churn simulator itself.
+# the churn and admission sweeps), the sharded churn simulator itself
+# (locked and optimistic admission paths), and the optimistic-vs-locked
+# output-identity check.
 determinism:
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run TestParallelDeterminism ./internal/experiments
-	$(GO) test -short -race -count=1 -cpu=1,4,8 -run TestChurnDeterminism ./internal/sim
+	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestChurnDeterminism|TestChurnOptimisticMatchesLocked' ./internal/sim
 
 # One iteration of every per-artifact benchmark: regenerates the quick
 # experiment suite and the admission-throughput numbers.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
 
-ci: lint docs-check build test determinism bench
+# Machine-readable admission throughput (locked vs optimistic at 1/4/8
+# goroutines); CI uploads the JSON as an artifact so the perf
+# trajectory is tracked per commit.
+bench-json:
+	$(GO) run ./cmd/admbench -out BENCH_admission.json
+
+ci: lint docs-check build test determinism bench bench-json

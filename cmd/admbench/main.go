@@ -1,0 +1,156 @@
+// Command admbench measures sustained admission throughput — locked
+// versus optimistic two-phase admission on one shared tree — at several
+// client concurrency levels, and writes the results as JSON so CI can
+// track the performance trajectory across commits.
+//
+// Usage:
+//
+//	admbench [-out BENCH_admission.json] [-arrivals N] [-servers 128|512|2048]
+//	         [-goroutines 1,4,8] [-seed N]
+//
+// For each goroutine count G the tool runs the same workload twice on a
+// single shard: once through the locked place.Admitter and once through
+// the optimistic place.OptimisticAdmitter with G planners. The
+// admissions-per-second ratio between the two is the intra-shard
+// speedup the optimistic pipeline buys.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/place/cloudmirror"
+	"cloudmirror/internal/sim"
+	"cloudmirror/internal/topology"
+	"cloudmirror/internal/workload"
+)
+
+// result is one (mode, goroutines) measurement cell of the report.
+type result struct {
+	Mode             string  `json:"mode"`
+	Goroutines       int     `json:"goroutines"`
+	Planners         int     `json:"planners"`
+	Attempts         int     `json:"attempts"`
+	Admitted         int     `json:"admitted"`
+	Rejected         int     `json:"rejected"`
+	ElapsedSeconds   float64 `json:"elapsed_seconds"`
+	AttemptsPerSec   float64 `json:"attempts_per_sec"`
+	AdmissionsPerSec float64 `json:"admissions_per_sec"`
+}
+
+// report is the BENCH_admission.json schema.
+type report struct {
+	Benchmark string   `json:"benchmark"`
+	Unit      string   `json:"unit"`
+	Servers   int      `json:"servers"`
+	Arrivals  int      `json:"arrivals"`
+	Seed      int64    `json:"seed"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_admission.json", "output file (\"-\" for stdout)")
+	arrivals := flag.Int("arrivals", 4000, "admission attempts per measurement cell")
+	servers := flag.Int("servers", 128, "datacenter size: 128, 512, or 2048 servers")
+	gor := flag.String("goroutines", "1,4,8", "comma-separated concurrency levels")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var spec topology.Spec
+	switch *servers {
+	case 128:
+		spec = topology.SmallSpec()
+	case 512:
+		spec = topology.MediumSpec()
+	case 2048:
+		spec = topology.PaperSpec()
+	default:
+		fatal(fmt.Errorf("unsupported -servers %d: valid values are 128, 512, 2048", *servers))
+	}
+	var levels []int
+	for _, f := range strings.Split(*gor, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("invalid -goroutines entry %q: need positive integers", f))
+		}
+		levels = append(levels, n)
+	}
+
+	pool := workload.BingLike(*seed)
+	workload.ScaleToBmax(pool, 800)
+	cfg := sim.Config{
+		Spec:      spec,
+		NewPlacer: func(t *topology.Tree) place.Placer { return cloudmirror.New(t) },
+		Pool:      pool,
+		Arrivals:  *arrivals,
+		Seed:      *seed,
+	}
+
+	rep := report{
+		Benchmark: "admission-throughput",
+		Unit:      "admissions/sec",
+		Servers:   *servers,
+		Arrivals:  *arrivals,
+		Seed:      *seed,
+	}
+	for _, g := range levels {
+		locked, err := sim.ShardedThroughput(cfg, 1, "", g)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Results = append(rep.Results, cell("locked", g, 0, locked))
+		opt, err := sim.OptimisticThroughput(cfg, 1, "", g, g)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Results = append(rep.Results, cell("optimistic", g, g, opt))
+		lps := rep.Results[len(rep.Results)-2].AdmissionsPerSec
+		ops := rep.Results[len(rep.Results)-1].AdmissionsPerSec
+		fmt.Fprintf(os.Stderr, "admbench: goroutines=%d locked %.0f adm/s, optimistic %.0f adm/s (×%.2f)\n",
+			g, lps, ops, ops/lps)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// cell flattens one throughput result into a report entry. The
+// headline admissions/sec counts only admitted tenants; attempts/sec
+// (admissions + rejections decided per second) rides along so a
+// rejection-heavy run is distinguishable from a slow one.
+func cell(mode string, goroutines, planners int, r *sim.ThroughputResult) result {
+	c := result{
+		Mode:           mode,
+		Goroutines:     goroutines,
+		Planners:       planners,
+		Attempts:       r.Attempts,
+		Admitted:       r.Admitted,
+		Rejected:       r.Rejected,
+		ElapsedSeconds: r.Elapsed.Seconds(),
+		AttemptsPerSec: r.AttemptsPerSec,
+	}
+	if s := r.Elapsed.Seconds(); s > 0 {
+		c.AdmissionsPerSec = float64(r.Admitted) / s
+	}
+	return c
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "admbench:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@
 //	         [-workload bing|hpcloud|synthetic] [-servers 128|512|2048]
 //	         [-arrivals N] [-load F] [-bmax Mbps] [-rwcs F] [-oversub R]
 //	         [-seed N] [-parallel N] [-churn] [-shards N] [-policy rr|least|p2c]
+//	         [-planners N]
 //
 // Example:
 //
@@ -27,6 +28,14 @@
 // (default one shared tree) through the thread-safe admission path,
 // issuing -arrivals admission attempts in total, and the sustained
 // decisions-per-second rate is reported.
+//
+// With -planners N (N > 0, combined with -churn or -parallel) each
+// shard runs the optimistic two-phase admission pipeline instead of
+// the locked one: requests plan speculatively on N private replica
+// trees and only a short validate-and-commit section serializes on
+// the authoritative ledger. -planners 1 reproduces the locked path's
+// decisions exactly; higher values trade strict arrival-order
+// decision making for intra-shard concurrency.
 package main
 
 import (
@@ -60,7 +69,28 @@ func main() {
 	churn := flag.Bool("churn", false, "run the dynamic-churn simulation (arrivals and departures over a sharded fleet)")
 	shards := flag.Int("shards", 1, "number of independent datacenter trees behind the dispatcher")
 	policy := flag.String("policy", "rr", "dispatch policy: rr, least, p2c")
+	planners := flag.Int("planners", 0, "per-shard optimistic planner count (0 = locked admission; requires -churn or -parallel)")
 	flag.Parse()
+
+	// Validate the fleet flags up front: a typo'd policy or a negative
+	// count should fail with the valid values, not misbehave later.
+	switch *policy {
+	case "rr", "least", "p2c":
+	default:
+		fatal(fmt.Errorf("invalid -policy %q: valid values are rr, least, p2c", *policy))
+	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("invalid -shards %d: need an integer >= 1", *shards))
+	}
+	if *planners < 0 {
+		fatal(fmt.Errorf("invalid -planners %d: need 0 (locked admission) or an integer >= 1 (optimistic)", *planners))
+	}
+	if *planners > 0 && !*churn && *par <= 0 {
+		fatal(fmt.Errorf("-planners %d needs -churn or -parallel: the single-run mode always places serially", *planners))
+	}
+	if *par < 0 {
+		fatal(fmt.Errorf("invalid -parallel %d: need an integer >= 0", *par))
+	}
 
 	var spec topology.Spec
 	switch {
@@ -73,7 +103,7 @@ func main() {
 	case *servers == 2048:
 		spec = topology.PaperSpec()
 	default:
-		fatal(fmt.Errorf("unsupported -servers %d", *servers))
+		fatal(fmt.Errorf("unsupported -servers %d: valid values are 128, 512, 2048", *servers))
 	}
 
 	var pool []*tag.Graph
@@ -85,7 +115,7 @@ func main() {
 	case "synthetic":
 		pool = workload.SyntheticMix(*seed)
 	default:
-		fatal(fmt.Errorf("unknown -workload %q", *wl))
+		fatal(fmt.Errorf("unknown -workload %q: valid values are bing, hpcloud, synthetic", *wl))
 	}
 	workload.ScaleToBmax(pool, *bmax)
 
@@ -125,7 +155,7 @@ func main() {
 		cfg.NewPlacer = func(t *topology.Tree) place.Placer { return secondnet.New(t) }
 		cfg.ModelFor = func(g *tag.Graph) place.Model { return pipe.FromTAG(g) }
 	default:
-		fatal(fmt.Errorf("unknown -alg %q", *alg))
+		fatal(fmt.Errorf("unknown -alg %q: valid values are cm, cm-oppha, cm-coloc, cm-balance, ovoc, ovoc-aware, secondnet", *alg))
 	}
 
 	if *churn {
@@ -135,6 +165,7 @@ func main() {
 			ModelFor:  cfg.ModelFor,
 			Pool:      cfg.Pool,
 			Shards:    *shards,
+			Planners:  *planners,
 			Policy:    *policy,
 			Arrivals:  cfg.Arrivals,
 			Load:      cfg.Load,
@@ -147,8 +178,8 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("algorithm        %s\n", cr.Placer)
-		fmt.Printf("fleet            %d shards × %d servers × %d slots, policy %s\n",
-			cr.Shards, spec.Servers(), spec.SlotsPerServer, cr.Policy)
+		fmt.Printf("fleet            %d shards × %d servers × %d slots, policy %s, admission %s\n",
+			cr.Shards, spec.Servers(), spec.SlotsPerServer, cr.Policy, admissionMode(*planners))
 		fmt.Printf("arrivals         %d  (admitted %d, rejected %d, departed %d)\n",
 			cr.Arrivals, cr.Admitted, cr.Rejected, cr.Departures)
 		fmt.Printf("failovers        %d retried placement attempts\n", cr.Failovers)
@@ -165,13 +196,19 @@ func main() {
 	}
 
 	if *par > 0 {
-		tr, err := sim.ShardedThroughput(cfg, *shards, *policy, *par)
+		var tr *sim.ThroughputResult
+		var err error
+		if *planners > 0 {
+			tr, err = sim.OptimisticThroughput(cfg, *shards, *policy, *planners, *par)
+		} else {
+			tr, err = sim.ShardedThroughput(cfg, *shards, *policy, *par)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("algorithm        %s\n", tr.Placer)
-		fmt.Printf("fleet            %d shards × %d servers × %d slots, policy %s\n",
-			tr.Shards, spec.Servers(), spec.SlotsPerServer, tr.Policy)
+		fmt.Printf("fleet            %d shards × %d servers × %d slots, policy %s, admission %s\n",
+			tr.Shards, spec.Servers(), spec.SlotsPerServer, tr.Policy, admissionMode(*planners))
 		fmt.Printf("workers          %d concurrent admission clients\n", tr.Workers)
 		fmt.Printf("attempts         %d  (admitted %d, rejected %d, failovers %d)\n",
 			tr.Attempts, tr.Admitted, tr.Rejected, tr.Failovers)
@@ -199,6 +236,14 @@ func main() {
 		}
 	}
 	fmt.Printf("placement time   %s total\n", res.PlacementTime.Round(1e6))
+}
+
+// admissionMode names the per-shard admission path the flags selected.
+func admissionMode(planners int) string {
+	if planners > 0 {
+		return fmt.Sprintf("optimistic (%d planners)", planners)
+	}
+	return "locked"
 }
 
 func fatal(err error) {

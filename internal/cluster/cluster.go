@@ -1,6 +1,7 @@
 // Package cluster scales admission beyond one datacenter tree: it
 // manages a fleet of independent shards — each its own topology tree
-// behind a thread-safe place.Admitter — and routes tenant requests
+// behind a thread-safe admission path (the locked place.Admitter or
+// the optimistic place.OptimisticAdmitter) — and routes tenant requests
 // across them through a Dispatcher with a pluggable placement policy
 // (round-robin, least-loaded, power-of-two-choices) and per-shard
 // failover.
@@ -56,10 +57,12 @@ type Load struct {
 
 // Shard is one independent datacenter tree with its own admission path.
 // Place and Release on different shards never contend; within a shard
-// the embedded place.Admitter serializes ledger mutations.
+// the embedded place.Admission path serializes ledger mutations —
+// entirely (locked place.Admitter) or only through a short
+// validate-and-commit section (place.OptimisticAdmitter).
 type Shard struct {
 	id         int
-	adm        *place.Admitter
+	adm        place.Admission
 	slotsTotal int
 
 	reserved atomicFloat64
@@ -92,7 +95,7 @@ func (s *Shard) Stats() place.AdmitStats { return s.adm.Stats() }
 // from any goroutine; on success the returned Tenant owns the tenant's
 // resources until its Release.
 func (s *Shard) Place(req *place.Request) (*Tenant, error) {
-	ad, err := s.adm.Place(req)
+	ad, err := s.adm.Admit(req)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +117,7 @@ func (s *Shard) Place(req *place.Request) (*Tenant, error) {
 // most once has an effect.
 type Tenant struct {
 	shard *Shard
-	ad    *place.Admitted
+	ad    place.Grant
 	// reservedMbps and vms are cached at admission so Release subtracts
 	// exactly what Place added to the shard gauges (and skips a second
 	// TotalReserved walk).
@@ -150,22 +153,43 @@ type Cluster struct {
 }
 
 // New builds a cluster of n identical shards, each its own tree from
-// spec with its own placer from newPlacer. Construction fans out across
-// at most workers goroutines (0 means all cores); shard i's tree and
-// placer are a function of i alone, so the result is identical at any
-// worker count.
+// spec with its own placer from newPlacer behind the locked admission
+// path. Construction fans out across at most workers goroutines (0
+// means all cores); shard i's tree and placer are a function of i
+// alone, so the result is identical at any worker count.
 func New(spec topology.Spec, n int, newPlacer func(*topology.Tree) place.Placer, workers int) (*Cluster, error) {
-	if n <= 0 {
-		return nil, errors.New("cluster: shard count must be positive")
-	}
 	if newPlacer == nil {
 		return nil, errors.New("cluster: nil placer constructor")
+	}
+	return build(spec, n, workers, func(tree *topology.Tree) place.Admission {
+		return place.NewAdmitter(tree, newPlacer(tree))
+	})
+}
+
+// NewOptimistic builds a cluster of n identical shards whose admission
+// runs the optimistic two-phase pipeline: each shard's tree becomes an
+// authoritative ledger with `planners` concurrent planner replicas, so
+// admission scales with cores inside a shard as well as across shards.
+func NewOptimistic(spec topology.Spec, n int, newPlacer func(*topology.Tree) place.Placer, planners, workers int) (*Cluster, error) {
+	if newPlacer == nil {
+		return nil, errors.New("cluster: nil placer constructor")
+	}
+	return build(spec, n, workers, func(tree *topology.Tree) place.Admission {
+		return place.NewOptimisticAdmitter(tree, newPlacer, planners)
+	})
+}
+
+// build is the shared constructor: one tree per shard, wrapped by
+// whichever admission path mk builds on it.
+func build(spec topology.Spec, n, workers int, mk func(*topology.Tree) place.Admission) (*Cluster, error) {
+	if n <= 0 {
+		return nil, errors.New("cluster: shard count must be positive")
 	}
 	shards, err := parallel.Map(workers, n, func(i int) (*Shard, error) {
 		tree := topology.New(spec)
 		return &Shard{
 			id:         i,
-			adm:        place.NewAdmitter(newPlacer(tree)),
+			adm:        mk(tree),
 			slotsTotal: tree.SlotsTotal(tree.Root()),
 		}, nil
 	})

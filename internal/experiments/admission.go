@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"cloudmirror/internal/parallel"
+	"cloudmirror/internal/sim"
+	"cloudmirror/internal/topology"
+	"cloudmirror/internal/workload"
+)
+
+// This file is the admission-path sweep: locked versus optimistic
+// two-phase admission across planner counts and target loads, over the
+// deterministic churn simulator. It is the results-artifact counterpart
+// of the wall-clock admission benchmarks (make bench-json): identical
+// decisions at planners=1 demonstrate the refactor's correctness, and
+// the decision drift (if any) at higher planner counts quantifies what
+// the optimistic path trades for intra-shard concurrency.
+
+// AdmissionSweep sweeps the admission path (locked, or optimistic with
+// 1/2/4 planners) and target load over the dynamic-churn simulator on
+// a fixed two-shard fleet. Every cell is a deterministic function of
+// Options.Seed, so the table is bit-identical at any Options.Workers
+// value; the optimistic planners=1 rows must equal the locked rows
+// cell-for-cell except the admission label.
+func AdmissionSweep(o Options) (*Table, error) {
+	spec := topology.MediumSpec()
+	arrivals := 4000
+	planners := []int{0, 1, 2, 4}
+	loads := []float64{0.7, 0.9}
+	if o.Quick {
+		spec = topology.SmallSpec()
+		arrivals = 600
+		planners = []int{0, 1, 2}
+		loads = []float64{0.9}
+	}
+
+	type cell struct {
+		planners int
+		load     float64
+	}
+	var cells []cell
+	for _, p := range planners {
+		for _, ld := range loads {
+			cells = append(cells, cell{p, ld})
+		}
+	}
+
+	results, err := parallel.Map(o.Workers, len(cells), func(i int) (*sim.ChurnResult, error) {
+		c := cells[i]
+		pool := workload.BingLike(o.Seed)
+		workload.ScaleToBmax(pool, 800)
+		return sim.Churn(sim.ChurnConfig{
+			Spec:      spec,
+			NewPlacer: cmPlacer,
+			Pool:      pool,
+			Shards:    2,
+			Planners:  c.planners,
+			Policy:    "least",
+			Arrivals:  arrivals,
+			Load:      c.load,
+			MeanDwell: 1,
+			Seed:      o.Seed,
+			Workers:   1,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Name:   "admission",
+		Title:  "Locked vs optimistic two-phase admission (planners × load)",
+		Header: []string{"admission", "planners", "load", "admitted", "rejected", "failovers", "rej%", "util%", "adm/time"},
+		Notes: fmt.Sprintf("%d arrivals per cell, CM placer, bing-like pool, 2 shards, least policy; planners=0 is the locked path",
+			arrivals),
+	}
+	for i, r := range results {
+		c := cells[i]
+		mode := "locked"
+		if c.planners > 0 {
+			mode = "optimistic"
+		}
+		t.Rows = append(t.Rows, []string{
+			mode,
+			strconv.Itoa(c.planners),
+			f1(c.load),
+			strconv.Itoa(r.Admitted),
+			strconv.Itoa(r.Rejected),
+			strconv.FormatInt(r.Failovers, 10),
+			pct(r.RejectionRatio),
+			pct(r.Utilization),
+			f1(r.AdmissionRate),
+		})
+	}
+	return t, nil
+}

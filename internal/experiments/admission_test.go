@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestAdmissionSweepEquivalenceRows: in the admission sweep, the
+// optimistic planners=1 rows must match the locked rows cell-for-cell
+// (beyond the admission/planners labels) — the table-level statement of
+// the refactor's output-identity guarantee.
+func TestAdmissionSweepEquivalenceRows(t *testing.T) {
+	tb, err := AdmissionSweep(Options{Quick: true, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string][]string)
+	for _, row := range tb.Rows {
+		byKey[row[1]+"/"+row[2]] = row
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "1" {
+			continue
+		}
+		locked, ok := byKey["0/"+row[2]]
+		if !ok {
+			t.Fatalf("no locked row for load %s", row[2])
+		}
+		for col := 3; col < len(row); col++ {
+			if row[col] != locked[col] {
+				t.Errorf("load %s col %q: optimistic(1) %q != locked %q",
+					row[2], tb.Header[col], row[col], locked[col])
+			}
+		}
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty admission table")
+	}
+}

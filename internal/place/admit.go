@@ -4,26 +4,62 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"cloudmirror/internal/topology"
 )
 
-// Admitter is the concurrent admission path: it makes one shared
+// Admission is the concurrent admission interface shared by the locked
+// Admitter and the optimistic OptimisticAdmitter, so callers (cluster
+// shards, the simulators) can swap admission strategies without caring
+// which one they drive. Implementations are safe for concurrent use.
+type Admission interface {
+	// Name identifies the underlying placement algorithm.
+	Name() string
+	// Admit attempts to admit the request. On success the returned
+	// Grant owns the tenant's resources until its Release; on failure
+	// the shared ledger is exactly as if the request had never arrived.
+	Admit(*Request) (Grant, error)
+	// Stats reports the admission counters so far.
+	Stats() AdmitStats
+}
+
+// Grant is a committed tenant admitted through an Admission path.
+// Release is safe to call from any goroutine, and at most once has an
+// effect.
+type Grant interface {
+	// Reservation exposes the tenant's placement and per-uplink
+	// holdings for inspection; the data is fixed at admission.
+	Reservation() *Reservation
+	// Release returns the tenant's slots and bandwidth to the shared
+	// ledger. Subsequent calls are no-ops.
+	Release()
+}
+
+// Admitter is the locked admission path: it makes one shared
 // datacenter tree safe for simultaneous Place and Release calls from
 // many goroutines.
 //
 // Placement decisions on a single tree must serialize — an admission
 // test is only sound against a ledger that cannot change between the
 // test and the reservation — so the Admitter guards the whole
-// place-or-rollback critical section with one mutex. The underlying
-// Placer already guarantees per-request rollback (a failed Place leaves
-// the tree untouched via Txn.ReleaseAll), which the lock extends to
-// concurrent callers: every caller observes the ledger either before or
-// after a request, never mid-mutation. Departures go through
-// Admitted.Release, which takes the same lock.
+// place-and-commit critical section with one mutex. Commits go through
+// the topology delta layer: the placer runs speculatively inside the
+// lock, the ledger is rolled back to a byte-exact snapshot, and the
+// recorded net Delta is applied in one step. The shared ledger
+// therefore only ever advances by delta application — placements that
+// fail (or succeed) leave no float residue from the placer's
+// intermediate reserve/rollback arithmetic — which makes the locked
+// path bit-compatible with the optimistic path: OptimisticAdmitter
+// with one planner produces a byte-identical ledger. Departures go
+// through Admitted.Release, which commits the negated delta under the
+// same lock.
 //
 // The zero value is not usable; construct with NewAdmitter.
 type Admitter struct {
 	mu     sync.Mutex
+	tree   *topology.Tree
 	placer Placer
+	ck     *topology.Snapshot
 
 	admitted atomic.Int64
 	rejected atomic.Int64
@@ -45,11 +81,18 @@ type AdmitStats struct {
 	Released int64
 }
 
-// NewAdmitter wraps a placer (and the tree it was built on) for
-// concurrent admission.
-func NewAdmitter(p Placer) *Admitter {
-	return &Admitter{placer: p}
+// NewAdmitter wraps the tree and the placer built on it for concurrent
+// admission. The tree must be the one the placer mutates; it must not
+// be mutated behind the admitter's back afterwards.
+func NewAdmitter(tree *topology.Tree, p Placer) *Admitter {
+	return &Admitter{tree: tree, placer: p, ck: tree.NewSnapshot()}
 }
+
+// Compile-time check that both admission paths satisfy the interface.
+var (
+	_ Admission = (*Admitter)(nil)
+	_ Admission = (*OptimisticAdmitter)(nil)
+)
 
 // Name identifies the underlying algorithm.
 func (a *Admitter) Name() string { return a.placer.Name() }
@@ -59,10 +102,20 @@ func (a *Admitter) Name() string { return a.placer.Name() }
 // tenant's resources until its Release; on failure the tree is exactly
 // as if the request had never arrived.
 func (a *Admitter) Place(req *Request) (*Admitted, error) {
+	// The snapshot save/restore copies the whole mutable ledger
+	// (O(nodes), two memcpys of a few hundred KB at paper scale) rather
+	// than tracking the placer's touched set; the copies cost a few
+	// microseconds against a placement search that costs hundreds, and
+	// byte-exactness is what keeps this path bit-compatible with the
+	// optimistic one.
 	a.mu.Lock()
+	a.tree.Save(a.ck)
 	res, err := a.placer.Place(req)
-	a.mu.Unlock()
 	if err != nil {
+		// The placer already rolled back arithmetically; the snapshot
+		// restore additionally wipes any float residue of the attempt.
+		a.tree.RestoreSnapshot(a.ck)
+		a.mu.Unlock()
 		if errors.Is(err, ErrRejected) {
 			a.rejected.Add(1)
 		} else {
@@ -70,8 +123,22 @@ func (a *Admitter) Place(req *Request) (*Admitted, error) {
 		}
 		return nil, err
 	}
+	d := res.Delta()
+	a.tree.RestoreSnapshot(a.ck)
+	a.tree.Apply(d)
+	a.mu.Unlock()
 	a.admitted.Add(1)
-	return &Admitted{a: a, res: res}, nil
+	res.released = true // inspection-only: departures commit the delta
+	return &Admitted{a: a, res: res, delta: d}, nil
+}
+
+// Admit implements Admission by delegating to Place.
+func (a *Admitter) Admit(req *Request) (Grant, error) {
+	ad, err := a.Place(req)
+	if err != nil {
+		return nil, err
+	}
+	return ad, nil
 }
 
 // Stats reports the admission counters so far.
@@ -89,6 +156,7 @@ func (a *Admitter) Stats() AdmitStats {
 type Admitted struct {
 	a        *Admitter
 	res      *Reservation
+	delta    topology.Delta
 	released atomic.Bool
 }
 
@@ -105,7 +173,7 @@ func (ad *Admitted) Release() {
 		return
 	}
 	ad.a.mu.Lock()
-	ad.res.Release()
+	ad.a.tree.Apply(ad.delta.Negate())
 	ad.a.mu.Unlock()
 	ad.a.released.Add(1)
 }

@@ -83,7 +83,7 @@ func pristine(t *testing.T, tr *topology.Tree) {
 // be exactly pristine.
 func TestAdmitterConcurrentStress(t *testing.T) {
 	tr := testTree() // 8 servers × 4 slots
-	adm := NewAdmitter(&firstFit{tree: tr})
+	adm := NewAdmitter(tr, &firstFit{tree: tr})
 
 	const goroutines = 8
 	const iters = 60
@@ -144,7 +144,7 @@ func TestAdmitterConcurrentStress(t *testing.T) {
 // successful admissions.
 func TestAdmitterRejectionRollback(t *testing.T) {
 	tr := testTree()
-	adm := NewAdmitter(&firstFit{tree: tr})
+	adm := NewAdmitter(tr, &firstFit{tree: tr})
 
 	tooBig := tag.New("big")
 	tooBig.AddTier("a", tr.SlotsTotal(tr.Root())+1)
@@ -173,7 +173,7 @@ func TestAdmitterRejectionRollback(t *testing.T) {
 // frees the tenant exactly once.
 func TestAdmittedReleaseIdempotent(t *testing.T) {
 	tr := testTree()
-	adm := NewAdmitter(&firstFit{tree: tr})
+	adm := NewAdmitter(tr, &firstFit{tree: tr})
 	g := stressTenant(1)
 	ad, err := adm.Place(&Request{Graph: g, Model: g})
 	if err != nil {

@@ -1,0 +1,250 @@
+package place
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"cloudmirror/internal/topology"
+)
+
+// maxPlanAttempts bounds optimistic retries: a request whose plan keeps
+// conflicting (or whose rejection keeps racing concurrent commits)
+// falls back to a locked plan after this many speculative rounds, so
+// admission decisions never diverge from the serial path's
+// accept/reject semantics on retry exhaustion.
+const maxPlanAttempts = 3
+
+// OptimisticAdmitter is the two-phase optimistic admission path. Phase
+// one runs the unmodified placement algorithm speculatively: each
+// request grabs a Planner from a fixed pool and plans against that
+// planner's private replica tree, without touching the authoritative
+// ledger. Phase two is a short validate-and-commit critical section:
+// if no commit landed since the plan was computed, the speculative run
+// itself was the validation and the delta is applied directly;
+// otherwise the delta is re-validated against current headroom and
+// applied, or the request replans on a caught-up replica. After
+// maxPlanAttempts conflicts the request plans while holding the commit
+// lock — the locked fallback, whose decision is exactly what the
+// serial Admitter would produce against the same ledger.
+//
+// With a single planner and serial callers the pipeline degenerates to
+// the serial path: every plan sees a replica byte-identical to the
+// authoritative tree, no conflicts occur, and the admission decisions
+// (and final ledger, up to per-commit rounding) match Admitter's.
+//
+// Departures (Grant.Release) commit the negated delta through the same
+// critical section, so replicas learn of them like any other ledger
+// change. The authoritative tree is only ever mutated by delta
+// application — never by a placer — which is what keeps replicas
+// byte-identical to it forever.
+type OptimisticAdmitter struct {
+	auth *topology.Tree
+	log  *topology.DeltaLog
+
+	// mu guards the authoritative tree, log appends, and seqs.
+	mu   sync.Mutex
+	pool chan *plannerSlot
+	name string
+
+	// seqs[i] mirrors planner i's replica sequence for log trimming;
+	// written only by the goroutine holding planner i.
+	seqs []atomic.Uint64
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+	failed   atomic.Int64
+	released atomic.Int64
+
+	conflicts atomic.Int64
+	fallbacks atomic.Int64
+}
+
+// plannerSlot pairs a planner with its trim-tracking index.
+type plannerSlot struct {
+	id int
+	pl *Planner
+}
+
+// OptimisticStats extends AdmitStats with the optimistic pipeline's
+// contention counters.
+type OptimisticStats struct {
+	// AdmitStats are the shared admission counters.
+	AdmitStats
+	// Conflicts counts plans that failed validate-and-commit because a
+	// concurrent commit invalidated them.
+	Conflicts int64
+	// Fallbacks counts requests that exhausted their optimistic
+	// attempts and were decided by a locked plan.
+	Fallbacks int64
+}
+
+// NewOptimisticAdmitter wraps the authoritative tree for optimistic
+// two-phase admission with `planners` concurrent planner slots (values
+// below 1 are raised to 1). newPlacer constructs the placement
+// algorithm; one instance is built per planner, each bound to its own
+// replica of the tree. The authoritative tree must not be mutated
+// behind the admitter's back afterwards.
+func NewOptimisticAdmitter(auth *topology.Tree, newPlacer func(*topology.Tree) Placer, planners int) *OptimisticAdmitter {
+	if planners < 1 {
+		planners = 1
+	}
+	a := &OptimisticAdmitter{
+		auth: auth,
+		log:  topology.NewDeltaLog(),
+		pool: make(chan *plannerSlot, planners),
+		seqs: make([]atomic.Uint64, planners),
+	}
+	for i := 0; i < planners; i++ {
+		pl := NewPlanner(topology.NewReplica(auth, a.log), newPlacer)
+		if i == 0 {
+			a.name = pl.Name()
+		}
+		a.pool <- &plannerSlot{id: i, pl: pl}
+	}
+	return a
+}
+
+// Name identifies the underlying algorithm.
+func (a *OptimisticAdmitter) Name() string { return a.name }
+
+// Planners returns the size of the planner pool.
+func (a *OptimisticAdmitter) Planners() int { return len(a.seqs) }
+
+// Admit implements Admission: plan speculatively, then validate and
+// commit the delta. It is safe to call from any goroutine; up to
+// Planners() requests plan concurrently while commits serialize on a
+// short critical section.
+func (a *OptimisticAdmitter) Admit(req *Request) (Grant, error) {
+	slot := <-a.pool
+	defer func() { a.pool <- slot }()
+
+	for attempt := 1; attempt <= maxPlanAttempts; attempt++ {
+		plan, err := slot.pl.Plan(req)
+		a.seqs[slot.id].Store(slot.pl.Seq())
+		if err != nil {
+			if !errors.Is(err, ErrRejected) {
+				a.failed.Add(1)
+				return nil, err
+			}
+			// A capacity rejection is authoritative only if the ledger
+			// has not moved since the plan started: a concurrent
+			// departure may have opened room the replica did not see.
+			a.mu.Lock()
+			moved := a.log.Seq() != slot.pl.Seq()
+			a.mu.Unlock()
+			if !moved {
+				a.rejected.Add(1)
+				return nil, err
+			}
+			a.conflicts.Add(1)
+			continue
+		}
+
+		a.mu.Lock()
+		if plan.Seq() == a.log.Seq() {
+			// Nothing committed since the plan: the speculative run is
+			// the validation.
+			return a.commit(slot, plan), nil
+		}
+		if err := a.auth.Validate(plan.Delta()); err == nil {
+			return a.commit(slot, plan), nil
+		}
+		a.mu.Unlock()
+		a.conflicts.Add(1)
+	}
+
+	// Retry budget exhausted: plan under the commit lock, where no
+	// conflict is possible and the decision equals the serial path's.
+	a.fallbacks.Add(1)
+	a.mu.Lock()
+	plan, err := slot.pl.Plan(req)
+	a.seqs[slot.id].Store(slot.pl.Seq())
+	if err != nil {
+		a.mu.Unlock()
+		if errors.Is(err, ErrRejected) {
+			a.rejected.Add(1)
+		} else {
+			a.failed.Add(1)
+		}
+		return nil, err
+	}
+	return a.commit(slot, plan), nil
+}
+
+// commit applies the plan's delta to the authoritative ledger, appends
+// it to the log, and releases the commit lock (which the caller must
+// hold). The planner's replica already carries the plan's own delta
+// context, so only its sequence mirror needs refreshing.
+func (a *OptimisticAdmitter) commit(slot *plannerSlot, plan *Plan) Grant {
+	a.auth.Apply(plan.Delta())
+	a.log.Append(plan.Delta())
+	a.mu.Unlock()
+	a.admitted.Add(1)
+	a.trim()
+	return &optimisticGrant{a: a, res: plan.reservation(a.auth), delta: plan.Delta()}
+}
+
+// trim drops log entries every replica has already replayed, bounding
+// the log to the spread between the most and least recently used
+// planners.
+func (a *OptimisticAdmitter) trim() {
+	min := a.seqs[0].Load()
+	for i := 1; i < len(a.seqs); i++ {
+		if s := a.seqs[i].Load(); s < min {
+			min = s
+		}
+	}
+	a.log.TrimTo(min)
+}
+
+// Stats reports the shared admission counters.
+func (a *OptimisticAdmitter) Stats() AdmitStats {
+	return AdmitStats{
+		Admitted: a.admitted.Load(),
+		Rejected: a.rejected.Load(),
+		Failed:   a.failed.Load(),
+		Released: a.released.Load(),
+	}
+}
+
+// OptStats reports the admission counters plus the optimistic
+// pipeline's contention counters.
+func (a *OptimisticAdmitter) OptStats() OptimisticStats {
+	return OptimisticStats{
+		AdmitStats: a.Stats(),
+		Conflicts:  a.conflicts.Load(),
+		Fallbacks:  a.fallbacks.Load(),
+	}
+}
+
+// optimisticGrant is a tenant committed through the optimistic path.
+// Its resources live on the authoritative tree and are returned by
+// committing the negated delta, so replicas observe the departure like
+// any other ledger change.
+type optimisticGrant struct {
+	a        *OptimisticAdmitter
+	res      *Reservation
+	delta    topology.Delta
+	released atomic.Bool
+}
+
+// Reservation exposes the committed placement and per-uplink holdings.
+func (g *optimisticGrant) Reservation() *Reservation { return g.res }
+
+// Release returns the tenant's slots and bandwidth to the ledger.
+// Subsequent calls are no-ops.
+func (g *optimisticGrant) Release() {
+	if !g.released.CompareAndSwap(false, true) {
+		return
+	}
+	neg := g.delta.Negate()
+	g.a.mu.Lock()
+	g.a.auth.Apply(neg)
+	g.a.log.Append(neg)
+	g.a.mu.Unlock()
+	g.a.released.Add(1)
+	// Trim here too: a departure-only stretch must not grow the log
+	// until the next admission happens to commit.
+	g.a.trim()
+}

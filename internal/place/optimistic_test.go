@@ -1,0 +1,411 @@
+package place
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cloudmirror/internal/topology"
+)
+
+// ledgerBits flattens every mutable accumulator reachable through the
+// exported API into float bit patterns, for byte-exact ledger
+// comparison across trees.
+func ledgerBits(tr *topology.Tree) []uint64 {
+	var bits []uint64
+	for n := topology.NodeID(0); int(n) < tr.NumNodes(); n++ {
+		bits = append(bits, uint64(tr.SlotsFree(n)))
+		out, in := tr.UplinkReserved(n)
+		bits = append(bits, math.Float64bits(out), math.Float64bits(in))
+		for r := range tr.Resources() {
+			bits = append(bits, math.Float64bits(tr.ResourceFree(n, r)))
+		}
+	}
+	return bits
+}
+
+// newFF adapts firstFit to the constructor shape the planners take.
+func newFF(tr *topology.Tree) Placer { return &firstFit{tree: tr} }
+
+// driveSeeded runs a deterministic admit/release sequence against any
+// Admission path and returns the decision trace ("A"/"R" per arrival).
+func driveSeeded(t *testing.T, adm Admission, seed int64, ops int) string {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	trace := make([]byte, 0, ops)
+	var live []Grant
+	for i := 0; i < ops; i++ {
+		g := stressTenant(r.Intn(50))
+		grant, err := adm.Admit(&Request{ID: int64(i), Graph: g, Model: g})
+		if err != nil {
+			if !errors.Is(err, ErrRejected) {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			trace = append(trace, 'R')
+		} else {
+			trace = append(trace, 'A')
+			live = append(live, grant)
+		}
+		// Deterministic churn keeps the tree at partial occupancy so
+		// both admits and rejects occur.
+		if len(live) > 0 && (len(live) > 6 || r.Intn(3) == 0) {
+			j := r.Intn(len(live))
+			live[j].Release()
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+	for _, g := range live {
+		g.Release()
+	}
+	return string(trace)
+}
+
+// TestOptimisticSerialEquivalence: with one planner and serial callers
+// the optimistic path must produce the identical admit/reject sequence
+// as the locked Admitter, and both ledgers must drain to the same
+// byte-exact pristine state.
+func TestOptimisticSerialEquivalence(t *testing.T) {
+	lockedTree := testTree()
+	locked := NewAdmitter(lockedTree, &firstFit{tree: lockedTree})
+	optTree := testTree()
+	opt := NewOptimisticAdmitter(optTree, newFF, 1)
+
+	const ops = 400
+	lt := driveSeeded(t, locked, 42, ops)
+	ot := driveSeeded(t, opt, 42, ops)
+	if lt != ot {
+		t.Fatalf("decision traces diverge:\nlocked     %s\noptimistic %s", lt, ot)
+	}
+	ls, os := locked.Stats(), opt.Stats()
+	if ls != os {
+		t.Errorf("stats diverge: locked %+v, optimistic %+v", ls, os)
+	}
+	if os.Admitted == 0 || os.Rejected == 0 {
+		t.Fatalf("degenerate workload: %+v", os)
+	}
+	if !reflect.DeepEqual(ledgerBits(lockedTree), ledgerBits(optTree)) {
+		t.Error("drained ledgers differ between locked and optimistic paths")
+	}
+	if st := opt.OptStats(); st.Conflicts != 0 || st.Fallbacks != 0 {
+		t.Errorf("serial run saw contention: %+v", st)
+	}
+}
+
+// TestOptimisticMidRunLedgerEquivalence: the serial equivalence holds
+// not just after a drain but at an arbitrary mid-run point, comparing
+// the authoritative ledger against the locked tree while tenants are
+// still live.
+func TestOptimisticMidRunLedgerEquivalence(t *testing.T) {
+	lockedTree := testTree()
+	locked := NewAdmitter(lockedTree, &firstFit{tree: lockedTree})
+	optTree := testTree()
+	opt := NewOptimisticAdmitter(optTree, newFF, 1)
+
+	r := rand.New(rand.NewSource(7))
+	var llive []Grant
+	var olive []Grant
+	for i := 0; i < 150; i++ {
+		g := stressTenant(r.Intn(50))
+		req := &Request{ID: int64(i), Graph: g, Model: g}
+		lg, lerr := locked.Admit(req)
+		og, oerr := opt.Admit(req)
+		if (lerr == nil) != (oerr == nil) {
+			t.Fatalf("op %d: locked err %v, optimistic err %v", i, lerr, oerr)
+		}
+		if lerr == nil {
+			llive = append(llive, lg)
+			olive = append(olive, og)
+		}
+		if len(llive) > 5 {
+			llive[0].Release()
+			olive[0].Release()
+			llive, olive = llive[1:], olive[1:]
+		}
+	}
+	if !reflect.DeepEqual(ledgerBits(lockedTree), ledgerBits(optTree)) {
+		t.Error("mid-run ledgers differ between locked and optimistic paths")
+	}
+}
+
+// TestOptimisticConcurrentStress hammers the optimistic path with
+// concurrent admits and releases across multiple planners — the
+// race-detector test of the two-phase pipeline. Afterwards the
+// authoritative ledger must be pristine and the counters must balance.
+func TestOptimisticConcurrentStress(t *testing.T) {
+	tr := testTree()
+	adm := NewOptimisticAdmitter(tr, newFF, 4)
+
+	const goroutines = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			var live []Grant
+			for i := 0; i < iters; i++ {
+				g := stressTenant(w*iters + i)
+				grant, err := adm.Admit(&Request{ID: int64(w*iters + i), Graph: g, Model: g})
+				if err != nil {
+					if !errors.Is(err, ErrRejected) {
+						t.Errorf("worker %d: unexpected error: %v", w, err)
+						return
+					}
+					for _, g := range live {
+						g.Release()
+					}
+					live = live[:0]
+					continue
+				}
+				live = append(live, grant)
+				if len(live) > 4 || r.Intn(2) == 0 {
+					j := r.Intn(len(live))
+					live[j].Release()
+					live = append(live[:j], live[j+1:]...)
+				}
+			}
+			for _, g := range live {
+				g.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	pristine(t, tr)
+	st := adm.OptStats()
+	if st.Failed != 0 {
+		t.Errorf("%d non-rejection failures", st.Failed)
+	}
+	if st.Admitted != st.Released {
+		t.Errorf("admitted %d but released %d", st.Admitted, st.Released)
+	}
+	if st.Admitted+st.Rejected != goroutines*iters {
+		t.Errorf("admitted %d + rejected %d != %d attempts", st.Admitted, st.Rejected, goroutines*iters)
+	}
+	if st.Admitted == 0 {
+		t.Error("stress admitted nothing")
+	}
+}
+
+// TestOptimisticReplicaNoDrift: after a concurrent run with live
+// tenants still holding resources, every planner's replica catches up
+// to a byte-identical copy of the authoritative ledger.
+func TestOptimisticReplicaNoDrift(t *testing.T) {
+	tr := testTree()
+	adm := NewOptimisticAdmitter(tr, newFF, 3)
+
+	var (
+		mu   sync.Mutex
+		live []Grant
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				g := stressTenant(w*40 + i)
+				grant, err := adm.Admit(&Request{ID: int64(w*40 + i), Graph: g, Model: g})
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				live = append(live, grant)
+				if len(live) > 10 {
+					old := live[0]
+					live = live[1:]
+					mu.Unlock()
+					old.Release()
+					continue
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(live) == 0 {
+		t.Fatal("no live tenants survived the run")
+	}
+	want := ledgerBits(tr)
+	for i := 0; i < adm.Planners(); i++ {
+		slot := <-adm.pool
+		slot.pl.rep.CatchUp()
+		if !reflect.DeepEqual(ledgerBits(slot.pl.rep.Tree()), want) {
+			t.Errorf("planner %d replica drifted from the authoritative ledger", slot.id)
+		}
+		adm.pool <- slot
+	}
+	for _, g := range live {
+		g.Release()
+	}
+	pristine(t, tr)
+}
+
+// TestPlanDeltaRoundTrip: deltas recorded from real placements apply
+// and revert byte-identically on an independent clone — the
+// place-level counterpart of the synthetic topology property test.
+func TestPlanDeltaRoundTrip(t *testing.T) {
+	tr := testTree()
+	adm := NewOptimisticAdmitter(tr, newFF, 1)
+	clone := tr.Clone()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 80; i++ {
+		g := stressTenant(r.Intn(50))
+		grant, err := adm.Admit(&Request{ID: int64(i), Graph: g, Model: g})
+		if err != nil {
+			continue
+		}
+		d := grant.Reservation().Delta()
+		if d.Empty() {
+			t.Fatalf("op %d: committed grant exports empty delta", i)
+		}
+		before := ledgerBits(clone)
+		if err := clone.Validate(d); err != nil {
+			t.Fatalf("op %d: recorded delta fails validation on in-sync clone: %v", i, err)
+		}
+		u := clone.Apply(d)
+		clone.Revert(u)
+		if !reflect.DeepEqual(ledgerBits(clone), before) {
+			t.Fatalf("op %d: Apply+Revert of a recorded delta is not byte-exact", i)
+		}
+		// Track the authoritative ledger so validation stays in sync.
+		clone.Apply(d)
+		if r.Intn(2) == 0 {
+			clone.Apply(d.Negate())
+			grant.Release()
+		}
+	}
+}
+
+// TestGrantDoubleReleaseRace: concurrent double-Release of many grants
+// frees each tenant exactly once on both admission paths — counters
+// match and the ledger drains to pristine.
+func TestGrantDoubleReleaseRace(t *testing.T) {
+	paths := map[string]func(*topology.Tree) Admission{
+		"locked": func(tr *topology.Tree) Admission {
+			return NewAdmitter(tr, &firstFit{tree: tr})
+		},
+		"optimistic": func(tr *topology.Tree) Admission {
+			return NewOptimisticAdmitter(tr, newFF, 2)
+		},
+	}
+	for name, mk := range paths {
+		t.Run(name, func(t *testing.T) {
+			tr := testTree()
+			adm := mk(tr)
+			var grants []Grant
+			for i := 0; len(grants) < 6; i++ {
+				g := stressTenant(i)
+				grant, err := adm.Admit(&Request{ID: int64(i), Graph: g, Model: g})
+				if err != nil {
+					t.Fatalf("admit %d: %v", i, err)
+				}
+				grants = append(grants, grant)
+			}
+			var wg sync.WaitGroup
+			for _, g := range grants {
+				for k := 0; k < 4; k++ {
+					wg.Add(1)
+					go func(g Grant) {
+						defer wg.Done()
+						g.Release()
+					}(g)
+				}
+			}
+			wg.Wait()
+			pristine(t, tr)
+			st := adm.Stats()
+			if st.Released != int64(len(grants)) {
+				t.Errorf("released counter = %d, want %d (double releases must not count)",
+					st.Released, len(grants))
+			}
+			if st.Admitted != int64(len(grants)) {
+				t.Errorf("admitted counter = %d, want %d", st.Admitted, len(grants))
+			}
+		})
+	}
+}
+
+// TestOptimisticGrantReservationDetached: the reservation a grant
+// exposes is inspection-only — a direct Release on it must not touch
+// the authoritative ledger (departures go through the grant).
+func TestOptimisticGrantReservationDetached(t *testing.T) {
+	tr := testTree()
+	adm := NewOptimisticAdmitter(tr, newFF, 1)
+	g := twoTier() // spans servers, so bandwidth is actually reserved
+	grant, err := adm.Admit(&Request{ID: 1, Graph: g, Model: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := grant.Reservation()
+	if res.Placement().VMs() == 0 {
+		t.Error("grant reservation has no placement")
+	}
+	if res.TotalReserved() <= 0 {
+		t.Error("grant reservation has no bandwidth")
+	}
+	before := ledgerBits(tr)
+	res.Release() // must be a no-op
+	if !reflect.DeepEqual(ledgerBits(tr), before) {
+		t.Error("direct Release on an optimistic reservation mutated the ledger")
+	}
+	grant.Release()
+	pristine(t, tr)
+}
+
+// TestOptimisticValidateCommitConflict: a plan computed against a stale
+// replica must still commit when headroom allows, and must be retried
+// (not wrongly admitted) when a conflicting commit consumed the
+// capacity it assumed. Exercised deterministically by committing
+// through a second handle between plan and commit.
+func TestOptimisticValidateCommitConflict(t *testing.T) {
+	tr := testTree()
+	adm := NewOptimisticAdmitter(tr, newFF, 2)
+
+	// Fill the tree almost completely through the optimistic path.
+	full := stressTenant(0)
+	total := tr.SlotsTotal(tr.Root())
+	var grants []Grant
+	for used := 0; used+full.VMs() <= total-2; used += full.VMs() {
+		g, err := adm.Admit(&Request{ID: int64(used), Graph: full, Model: full})
+		if err != nil {
+			t.Fatalf("fill: %v", err)
+		}
+		grants = append(grants, g)
+	}
+	// Two goroutines race for the last two slots with 2-VM tenants: at
+	// most one can win regardless of interleaving.
+	small := stressTenant(0) // one VM per tier
+	if small.VMs() != 2 {
+		t.Fatalf("stressTenant(0) has %d VMs, want 2", small.VMs())
+	}
+	var wg sync.WaitGroup
+	wins := make(chan Grant, 2)
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if g, err := adm.Admit(&Request{ID: int64(1000 + k), Graph: small, Model: small}); err == nil {
+				wins <- g
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(wins)
+	var won []Grant
+	for g := range wins {
+		won = append(won, g)
+	}
+	if len(won) != 1 {
+		t.Fatalf("%d of 2 racing 2-VM tenants admitted into 2 free slots", len(won))
+	}
+	for _, g := range append(grants, won...) {
+		g.Release()
+	}
+	pristine(t, tr)
+}

@@ -1,0 +1,94 @@
+package place
+
+import (
+	"cloudmirror/internal/topology"
+)
+
+// Planner executes speculative placements: it owns a private replica of
+// the authoritative tree and a placer built on that replica, runs the
+// unmodified placement algorithm against the replica's current state,
+// and captures the would-be reservation as a topology.Delta instead of
+// holding the shared tree's lock. The replica is rolled back
+// byte-exactly after every plan, so its durable state only ever
+// advances by replaying committed deltas.
+//
+// A Planner is not safe for concurrent use; the OptimisticAdmitter
+// hands each one to a single goroutine at a time through its pool.
+type Planner struct {
+	rep    *topology.Replica
+	placer Placer
+}
+
+// NewPlanner builds a planner over the replica; newPlacer constructs
+// the placement algorithm bound to the replica's tree. The placer's
+// internal state (e.g. CloudMirror's demand estimator) lives as long as
+// the planner and evolves with every plan, exactly as a serial placer's
+// would.
+func NewPlanner(rep *topology.Replica, newPlacer func(*topology.Tree) Placer) *Planner {
+	return &Planner{rep: rep, placer: newPlacer(rep.Tree())}
+}
+
+// Name identifies the underlying algorithm.
+func (p *Planner) Name() string { return p.placer.Name() }
+
+// Seq returns the log sequence the planner's replica reflects.
+func (p *Planner) Seq() uint64 { return p.rep.Seq() }
+
+// Plan is one speculative placement: catch the replica up with the
+// committed log, run the placer against it, export the reservation as
+// a delta, and roll the replica back. On success the returned Plan
+// carries everything the commit path needs; on failure the error is
+// exactly what the serial path would have returned against the same
+// ledger state (ErrRejected for capacity).
+func (p *Planner) Plan(req *Request) (*Plan, error) {
+	p.rep.CatchUp()
+	p.rep.Checkpoint()
+	defer p.rep.Restore()
+	res, err := p.placer.Place(req)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		seq:       p.rep.Seq(),
+		delta:     res.Delta(),
+		placement: res.placement,
+		reserved:  res.reserved,
+		resources: res.resources,
+	}, nil
+}
+
+// Plan is a successful speculative placement: the ledger delta to
+// validate-and-commit, plus the reservation data (placement, per-uplink
+// holdings) the committed tenant exposes for inspection. The underlying
+// replica has already been rolled back; the plan owns its data.
+type Plan struct {
+	// seq is the log sequence the plan was computed against. If the
+	// authoritative log is still at seq at commit time, the speculative
+	// run itself was the validation.
+	seq       uint64
+	delta     topology.Delta
+	placement Placement
+	reserved  map[topology.NodeID][2]float64
+	resources [][]float64
+}
+
+// Delta returns the ledger footprint the plan wants to commit.
+func (pl *Plan) Delta() topology.Delta { return pl.delta }
+
+// Seq returns the log sequence the plan was computed against.
+func (pl *Plan) Seq() uint64 { return pl.seq }
+
+// reservation materializes the plan as a committed, inspection-only
+// Reservation on the given (authoritative) tree. It is marked released
+// so a stray direct Release cannot double-free resources the optimistic
+// path manages through deltas.
+func (pl *Plan) reservation(tree *topology.Tree) *Reservation {
+	return &Reservation{
+		tree:      tree,
+		placement: pl.placement,
+		reserved:  pl.reserved,
+		resources: pl.resources,
+		ownsSlots: true,
+		released:  true,
+	}
+}

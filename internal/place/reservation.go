@@ -48,6 +48,45 @@ func (r *Reservation) TotalReserved() float64 {
 	return sum
 }
 
+// Delta exports the reservation's net resource footprint as a
+// topology.Delta in canonical (node-ID sorted) form: per-server slot
+// and declared-resource consumption plus per-uplink bandwidth. The
+// delta is what the optimistic admission path validates and applies on
+// the authoritative ledger; accounting-only reservations (Account)
+// export bandwidth entries only, since they never consumed slots.
+func (r *Reservation) Delta() topology.Delta {
+	var d topology.Delta
+	if r.ownsSlots {
+		for server, counts := range r.placement {
+			total := 0
+			for _, k := range counts {
+				total += k
+			}
+			if total == 0 {
+				continue
+			}
+			d.Slots = append(d.Slots, topology.SlotDelta{Server: server, N: total})
+			if r.resources == nil || len(r.tree.Resources()) == 0 {
+				continue
+			}
+			demand := make([]float64, len(r.resources[0]))
+			for t, k := range counts {
+				for dim, v := range r.resources[t] {
+					demand[dim] += float64(k) * v
+				}
+			}
+			d.Resources = append(d.Resources, topology.ResourceDelta{Server: server, Demand: demand})
+		}
+	}
+	for n, v := range r.reserved {
+		if v[0] == 0 && v[1] == 0 {
+			continue
+		}
+		d.Links = append(d.Links, topology.LinkDelta{Node: n, Out: v[0], In: v[1]})
+	}
+	return d.Normalize()
+}
+
 // Release frees every slot and bandwidth reservation the tenant holds.
 // Safe to call once; subsequent calls are no-ops.
 func (r *Reservation) Release() {

@@ -29,6 +29,13 @@ type ChurnConfig struct {
 	Pool []*tag.Graph
 	// Shards is the number of independent datacenter trees (at least 1).
 	Shards int
+	// Planners selects the per-shard admission path: 0 uses the locked
+	// place.Admitter; >= 1 uses the optimistic two-phase
+	// place.OptimisticAdmitter with that many planner replicas per
+	// shard. The event loop is serial either way, so results remain a
+	// deterministic function of the config — and with Planners == 1
+	// they are byte-identical to the locked path's.
+	Planners int
 	// Policy names the dispatch policy: "rr", "least", or "p2c"
 	// (see cluster.NewPolicy). Empty means "rr".
 	Policy string
@@ -166,7 +173,12 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl, err := cluster.New(cfg.Spec, cfg.Shards, cfg.NewPlacer, cfg.Workers)
+	var cl *cluster.Cluster
+	if cfg.Planners > 0 {
+		cl, err = cluster.NewOptimistic(cfg.Spec, cfg.Shards, cfg.NewPlacer, cfg.Planners, cfg.Workers)
+	} else {
+		cl, err = cluster.New(cfg.Spec, cfg.Shards, cfg.NewPlacer, cfg.Workers)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -5,9 +5,14 @@ import (
 	"reflect"
 	"testing"
 
+	"cloudmirror/internal/pipe"
 	"cloudmirror/internal/place"
 	"cloudmirror/internal/place/cloudmirror"
+	"cloudmirror/internal/place/oktopus"
+	"cloudmirror/internal/place/secondnet"
+	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
+	"cloudmirror/internal/voc"
 	"cloudmirror/internal/workload"
 )
 
@@ -41,29 +46,134 @@ func renderChurn(r *ChurnResult) string {
 
 // TestChurnDeterminism: equal configs give identical results at any
 // Workers value — the event loop is serial, Workers only parallelizes
-// shard construction and the final drain. Run with -cpu=1,4,8 so the
+// shard construction and the final drain. The optimistic admission
+// path (planners > 0) must be just as deterministic: serial dispatch
+// rotates the planner pool in a fixed order, so plans, commits, and
+// placer state all replay identically. Run with -cpu=1,4,8 so the
 // Workers:0 (GOMAXPROCS) case exercises different pool sizes.
 func TestChurnDeterminism(t *testing.T) {
 	for _, policy := range []string{"rr", "least", "p2c"} {
-		t.Run(policy, func(t *testing.T) {
-			var ref *ChurnResult
-			for _, workers := range []int{1, 4, 8, 0} {
-				cfg := churnConfig(400, 4, policy)
-				cfg.Workers = workers
-				res, err := Churn(cfg)
-				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
+		for _, planners := range []int{0, 2} {
+			t.Run(fmt.Sprintf("%s/planners=%d", policy, planners), func(t *testing.T) {
+				var ref *ChurnResult
+				for _, workers := range []int{1, 4, 8, 0} {
+					cfg := churnConfig(400, 4, policy)
+					cfg.Planners = planners
+					cfg.Workers = workers
+					res, err := Churn(cfg)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					if ref == nil {
+						ref = res
+						continue
+					}
+					if !reflect.DeepEqual(res, ref) {
+						t.Errorf("workers=%d result differs:\n--- want ---\n%s--- got ---\n%s",
+							workers, renderChurn(ref), renderChurn(res))
+					}
 				}
-				if ref == nil {
-					ref = res
-					continue
-				}
-				if !reflect.DeepEqual(res, ref) {
-					t.Errorf("workers=%d result differs:\n--- want ---\n%s--- got ---\n%s",
-						workers, renderChurn(ref), renderChurn(res))
-				}
+			})
+		}
+	}
+}
+
+// TestChurnOptimisticMatchesLocked is the correctness proof of the
+// concurrency refactor, by output identity: on the seeded churn
+// workload, optimistic admission with one planner must produce
+// byte-identical results to the locked Admitter — the same
+// admit/reject sequence, the same placements (ReservedGbps), and the
+// same final utilization. With one planner every plan runs against a
+// replica that is byte-identical to the authoritative ledger, and both
+// paths advance the ledger exclusively through delta application.
+func TestChurnOptimisticMatchesLocked(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		locked := churnConfig(800, shards, "least")
+		want, err := Churn(locked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := churnConfig(800, shards, "least")
+		opt.Planners = 1
+		got, err := Churn(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: optimistic(planners=1) diverges from locked:\n--- locked ---\n%s--- optimistic ---\n%s",
+				shards, renderChurn(want), renderChurn(got))
+		}
+		if want.Admitted == 0 || want.Rejected == 0 {
+			t.Fatalf("shards=%d: degenerate workload (admitted %d, rejected %d)",
+				shards, want.Admitted, want.Rejected)
+		}
+	}
+}
+
+// TestChurnOptimisticMatchesLockedAllPlacers drives every placement
+// algorithm (CloudMirror, Oktopus/OVOC, SecondNet) through the
+// optimistic pipeline: the unmodified placers plan on replicas, their
+// reservations round-trip through the delta layer, and planners=1
+// must reproduce the locked path byte-for-byte for each.
+func TestChurnOptimisticMatchesLockedAllPlacers(t *testing.T) {
+	placers := map[string]struct {
+		newPlacer func(*topology.Tree) place.Placer
+		modelFor  func(*tag.Graph) place.Model
+	}{
+		"cm":        {newPlacer: func(tr *topology.Tree) place.Placer { return cloudmirror.New(tr) }},
+		"ovoc":      {newPlacer: func(tr *topology.Tree) place.Placer { return oktopus.New(tr) }, modelFor: func(g *tag.Graph) place.Model { return voc.FromTAG(g) }},
+		"secondnet": {newPlacer: func(tr *topology.Tree) place.Placer { return secondnet.New(tr) }, modelFor: func(g *tag.Graph) place.Model { return pipe.FromTAG(g) }},
+	}
+	for name, p := range placers {
+		t.Run(name, func(t *testing.T) {
+			mk := func(planners int) ChurnConfig {
+				cfg := churnConfig(400, 2, "rr")
+				cfg.NewPlacer = p.newPlacer
+				cfg.ModelFor = p.modelFor
+				cfg.Planners = planners
+				return cfg
+			}
+			want, err := Churn(mk(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Churn(mk(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("optimistic(planners=1) diverges from locked:\n--- locked ---\n%s--- optimistic ---\n%s",
+					renderChurn(want), renderChurn(got))
+			}
+			if want.Admitted == 0 {
+				t.Fatal("degenerate workload admitted nothing")
 			}
 		})
+	}
+}
+
+// TestChurnOptimisticMultiPlanner: more planners keep the run
+// deterministic and conservation-correct, though decisions may
+// legitimately differ from the locked path (plans race only in
+// configuration, not in execution, under the serial event loop).
+func TestChurnOptimisticMultiPlanner(t *testing.T) {
+	cfg := churnConfig(600, 2, "rr")
+	cfg.Planners = 4
+	a, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := churnConfig(600, 2, "rr")
+	cfg2.Planners = 4
+	b, err := Churn(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("planners=4 churn is not reproducible")
+	}
+	if a.Admitted+a.Rejected != a.Arrivals {
+		t.Errorf("admitted %d + rejected %d != arrivals %d", a.Admitted, a.Rejected, a.Arrivals)
 	}
 }
 

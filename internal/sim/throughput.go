@@ -21,6 +21,9 @@ type ThroughputResult struct {
 	Placer, Policy string
 	// Shards is the fleet size; 1 is the single-shared-tree case.
 	Shards int
+	// Planners is the per-shard optimistic planner count; 0 means the
+	// locked admission path.
+	Planners int
 	// Workers is the number of concurrent admission clients.
 	Workers int
 	// Attempts is the total number of admission attempts issued.
@@ -64,6 +67,26 @@ func Throughput(cfg Config, workers int) (*ThroughputResult, error) {
 // (each shard's Admitter serializes its ledger mutations), and the
 // fleet is fully drained before returning.
 func ShardedThroughput(cfg Config, shards int, policy string, workers int) (*ThroughputResult, error) {
+	return shardedThroughput(cfg, shards, policy, 0, workers)
+}
+
+// OptimisticThroughput is the optimistic-admission variant of
+// ShardedThroughput: each shard runs the two-phase optimistic pipeline
+// with `planners` planner replicas, so concurrent clients plan
+// placements in parallel inside a shard and only the short
+// validate-and-commit sections serialize. planners values below 1 are
+// raised to 1.
+func OptimisticThroughput(cfg Config, shards int, policy string, planners, workers int) (*ThroughputResult, error) {
+	if planners < 1 {
+		planners = 1
+	}
+	return shardedThroughput(cfg, shards, policy, planners, workers)
+}
+
+// shardedThroughput is the shared measurement loop behind both
+// throughput entry points; planners == 0 selects the locked admission
+// path.
+func shardedThroughput(cfg Config, shards int, policy string, planners, workers int) (*ThroughputResult, error) {
 	if len(cfg.Pool) == 0 {
 		return nil, errors.New("sim: empty tenant pool")
 	}
@@ -81,7 +104,12 @@ func ShardedThroughput(cfg Config, shards int, policy string, workers int) (*Thr
 	if workers > cfg.Arrivals {
 		workers = cfg.Arrivals
 	}
-	cl, err := cluster.New(cfg.Spec, shards, cfg.NewPlacer, workers)
+	var cl *cluster.Cluster
+	if planners > 0 {
+		cl, err = cluster.NewOptimistic(cfg.Spec, shards, cfg.NewPlacer, planners, workers)
+	} else {
+		cl, err = cluster.New(cfg.Spec, shards, cfg.NewPlacer, workers)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +186,7 @@ func ShardedThroughput(cfg Config, shards int, policy string, workers int) (*Thr
 		Placer:    cl.Shard(0).Name(),
 		Policy:    pol.Name(),
 		Shards:    cl.Size(),
+		Planners:  planners,
 		Workers:   workers,
 		Attempts:  int(stats.Admitted + stats.Rejected),
 		Admitted:  int(stats.Admitted),

@@ -1,0 +1,144 @@
+package topology
+
+// Replica maintenance: cheap copies of an authoritative tree that stay
+// current by replaying committed deltas instead of re-running
+// placement. A Replica is the substrate the optimistic admission path
+// plans on — placers mutate the replica's tree speculatively between a
+// Checkpoint and a Restore, and only committed deltas (replayed from
+// the shared DeltaLog) advance its durable state. Because restores are
+// byte-exact copies and the durable state advances through the same
+// Apply arithmetic as the authoritative tree, a replica can never
+// drift from the ledger it mirrors.
+
+// Snapshot is a byte-exact copy of a tree's mutable ledger state (free
+// slots, uplink reservations, free resources), used to roll back
+// speculative placements without float residue. Buffers are allocated
+// once and reused across Save/Restore cycles.
+type Snapshot struct {
+	out, in []float64
+	slots   []int32
+	res     [][]float64
+}
+
+// NewSnapshot allocates a snapshot sized for the tree.
+func (t *Tree) NewSnapshot() *Snapshot {
+	s := &Snapshot{
+		out:   make([]float64, len(t.upResOut)),
+		in:    make([]float64, len(t.upResIn)),
+		slots: make([]int32, len(t.slotsFree)),
+	}
+	if t.res != nil {
+		s.res = make([][]float64, len(t.res.free))
+		for i := range s.res {
+			s.res[i] = make([]float64, len(t.res.free[i]))
+		}
+	}
+	return s
+}
+
+// Save copies the tree's mutable ledger state into the snapshot.
+func (t *Tree) Save(s *Snapshot) {
+	copy(s.out, t.upResOut)
+	copy(s.in, t.upResIn)
+	copy(s.slots, t.slotsFree)
+	for i := range s.res {
+		copy(s.res[i], t.res.free[i])
+	}
+}
+
+// RestoreSnapshot copies the snapshot back, restoring the exact bits
+// the matching Save captured.
+func (t *Tree) RestoreSnapshot(s *Snapshot) {
+	copy(t.upResOut, s.out)
+	copy(t.upResIn, s.in)
+	copy(t.slotsFree, s.slots)
+	for i := range s.res {
+		copy(t.res.free[i], s.res[i])
+	}
+}
+
+// Clone returns a tree with the same spec and the current ledger state.
+// The immutable shape — parents, children, levels, capacities, totals,
+// node orderings — is shared with the receiver; the mutable ledger
+// state (free slots, uplink reservations, free resources) is copied, so
+// the clone evolves independently in O(nodes) memory.
+func (t *Tree) Clone() *Tree {
+	c := *t
+	c.upResOut = append([]float64(nil), t.upResOut...)
+	c.upResIn = append([]float64(nil), t.upResIn...)
+	c.slotsFree = append([]int32(nil), t.slotsFree...)
+	if t.res != nil {
+		rs := &resourceState{specs: t.res.specs, free: make([][]float64, len(t.res.free))}
+		for r, f := range t.res.free {
+			rs.free[r] = append([]float64(nil), f...)
+		}
+		c.res = rs
+	}
+	return &c
+}
+
+// Replica is a private copy of an authoritative tree that replays
+// committed deltas from a shared DeltaLog. Between plans its tree is a
+// pure function of the log prefix it has consumed — byte-identical to
+// every other tree that applied the same prefix. A Replica is not safe
+// for concurrent use; the optimistic admitter hands each one to a
+// single planner at a time.
+type Replica struct {
+	tree *Tree
+	log  *DeltaLog
+	seq  uint64
+
+	// ck is the checkpoint buffer, allocated once per replica and
+	// reused for every speculation.
+	ck    *Snapshot
+	saved bool
+}
+
+// NewReplica clones the authoritative tree and attaches it to the log.
+// The caller must guarantee the tree's current state is exactly the
+// result of the log's current prefix (e.g. construct replicas under the
+// same lock that guards commits).
+func NewReplica(auth *Tree, log *DeltaLog) *Replica {
+	t := auth.Clone()
+	return &Replica{tree: t, log: log, seq: log.Seq(), ck: t.NewSnapshot()}
+}
+
+// Tree returns the replica's private tree. Placers bind to it once;
+// the pointer is stable for the replica's lifetime.
+func (r *Replica) Tree() *Tree { return r.tree }
+
+// Seq returns the log sequence the replica's durable state reflects.
+func (r *Replica) Seq() uint64 { return r.seq }
+
+// CatchUp replays every committed delta the replica has not yet applied
+// and returns the sequence reached. It must not be called between
+// Checkpoint and Restore.
+func (r *Replica) CatchUp() uint64 {
+	if r.saved {
+		panic("topology: CatchUp during speculation")
+	}
+	r.seq = r.log.Replay(r.seq, func(d Delta) { r.tree.Apply(d) })
+	return r.seq
+}
+
+// Checkpoint saves the tree's mutable state so a speculative placement
+// can mutate it freely and Restore can roll everything back
+// byte-exactly.
+func (r *Replica) Checkpoint() {
+	if r.saved {
+		panic("topology: nested Checkpoint")
+	}
+	r.tree.Save(r.ck)
+	r.saved = true
+}
+
+// Restore rolls the tree back to the last Checkpoint, discarding every
+// speculative mutation since. The restore is a byte-exact copy, so no
+// float residue from the speculation survives.
+func (r *Replica) Restore() {
+	if !r.saved {
+		panic("topology: Restore without Checkpoint")
+	}
+	r.tree.RestoreSnapshot(r.ck)
+	r.saved = false
+}
