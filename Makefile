@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint docs-check test test-full determinism bench bench-json ci
+.PHONY: all build lint docs-check api-check test test-full determinism bench bench-json ci
 
 all: build
 
@@ -17,10 +17,15 @@ lint:
 	$(GO) vet ./...
 
 # Godoc coverage: every exported identifier (and every package) in
-# internal/... needs a doc comment.
+# internal/... and the public guarantee package needs a doc comment.
 docs-check:
-	$(GO) vet ./internal/...
+	$(GO) vet ./internal/... ./guarantee/...
 	./scripts/docs-check.sh
+
+# Public-API boundary: cmd/ and examples/ obtain admission only through
+# the guarantee package (no internal admitter/cluster/placer usage).
+api-check:
+	./scripts/api-check.sh
 
 # Short suite under the race detector: what CI runs on every push.
 # Includes the concurrent-admission stress tests and the quick
@@ -40,7 +45,7 @@ test-full:
 # output-identity check.
 determinism:
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run TestParallelDeterminism ./internal/experiments
-	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestChurnDeterminism|TestChurnOptimisticMatchesLocked' ./internal/sim
+	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestChurnDeterminism|TestChurnResizeDeterminism|TestChurnOptimisticMatchesLocked|TestChurnResizeOptimisticMatchesLocked' ./internal/sim
 
 # One iteration of every per-artifact benchmark: regenerates the quick
 # experiment suite and the admission-throughput numbers.
@@ -53,4 +58,4 @@ bench:
 bench-json:
 	$(GO) run ./cmd/admbench -out BENCH_admission.json
 
-ci: lint docs-check build test determinism bench bench-json
+ci: lint docs-check api-check build test determinism bench bench-json

@@ -9,10 +9,10 @@
 //	         [-goroutines 1,4,8] [-seed N]
 //
 // For each goroutine count G the tool runs the same workload twice on a
-// single shard: once through the locked place.Admitter and once through
-// the optimistic place.OptimisticAdmitter with G planners. The
-// admissions-per-second ratio between the two is the intra-shard
-// speedup the optimistic pipeline buys.
+// single shard: once through the locked admission path and once through
+// the optimistic two-phase pipeline with G planners (both behind the
+// public guarantee.Service). The admissions-per-second ratio between
+// the two is the intra-shard speedup the optimistic pipeline buys.
 package main
 
 import (
@@ -23,8 +23,7 @@ import (
 	"strconv"
 	"strings"
 
-	"cloudmirror/internal/place"
-	"cloudmirror/internal/place/cloudmirror"
+	"cloudmirror/guarantee"
 	"cloudmirror/internal/sim"
 	"cloudmirror/internal/topology"
 	"cloudmirror/internal/workload"
@@ -83,9 +82,13 @@ func main() {
 
 	pool := workload.BingLike(*seed)
 	workload.ScaleToBmax(pool, 800)
+	algorithm, err := guarantee.AlgorithmByName("cm")
+	if err != nil {
+		fatal(err)
+	}
 	cfg := sim.Config{
 		Spec:      spec,
-		NewPlacer: func(t *topology.Tree) place.Placer { return cloudmirror.New(t) },
+		NewPlacer: algorithm.NewPlacer,
 		Pool:      pool,
 		Arrivals:  *arrivals,
 		Seed:      *seed,

@@ -1,0 +1,130 @@
+// Command bwd is the bandwidth-guarantee daemon: the CloudMirror
+// controller as a service. It builds a guarantee.Service over a
+// simulated datacenter fleet and serves admit / resize / release /
+// stats as an HTTP JSON API, so applications request, scale, and drop
+// bandwidth guarantees the way the paper's workflows describe (§2,
+// Fig. 2) instead of linking the library.
+//
+// Usage:
+//
+//	bwd [-addr :8080] [-alg cm|cm-oppha|cm-coloc|cm-balance|ovoc|ovoc-aware|secondnet]
+//	    [-servers 128|512|2048] [-shards N] [-planners N] [-policy rr|least|p2c]
+//	    [-seed N]
+//
+// Endpoints (bodies are JSON; TAGs use the internal/tag wire format):
+//
+//	POST   /v1/guarantees              admit a TAG            -> 201 + grant
+//	GET    /v1/guarantees/{id}         inspect a grant        -> 200
+//	POST   /v1/guarantees/{id}/resize  resize tiers in place  -> 200
+//	DELETE /v1/guarantees/{id}         release                -> 204
+//	GET    /v1/stats                   counters + shard loads -> 200
+//	GET    /healthz                    liveness               -> 200
+//
+// Every rejection carries a machine-readable reason code in its JSON
+// body ({"error":{"reason":"insufficient_bandwidth",...}}); capacity
+// rejections map to 409, malformed requests to 400, optimistic retry
+// exhaustion to 503 (retry), released grants to 410.
+//
+// Example session:
+//
+//	bwd -addr :8080 -alg cm -servers 512 &
+//	curl -s localhost:8080/v1/guarantees -d '{
+//	  "tag": {"name":"shop",
+//	          "tiers":[{"name":"web","n":8},{"name":"db","n":4}],
+//	          "edges":[{"from":"web","to":"db","s":100,"r":300}]},
+//	  "rwcs": 0.5}'
+//	curl -s localhost:8080/v1/guarantees/g-1/resize -d '{
+//	  "tag": {"name":"shop",
+//	          "tiers":[{"name":"web","n":16},{"name":"db","n":4}],
+//	          "edges":[{"from":"web","to":"db","s":100,"r":300}]}}'
+//	curl -s -X DELETE localhost:8080/v1/guarantees/g-1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cloudmirror/guarantee"
+	"cloudmirror/internal/topology"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	alg := flag.String("alg", "cm", "placement algorithm: "+strings.Join(guarantee.Algorithms(), ", "))
+	servers := flag.Int("servers", 512, "per-shard datacenter size: 128, 512, or 2048 servers")
+	shards := flag.Int("shards", 1, "number of independent datacenter trees behind the dispatcher")
+	planners := flag.Int("planners", 0, "per-shard optimistic planner count (0 = locked admission)")
+	policy := flag.String("policy", "rr", "dispatch policy: rr, least, p2c")
+	seed := flag.Int64("seed", 1, "seed for randomized dispatch policies")
+	flag.Parse()
+
+	var spec topology.Spec
+	switch *servers {
+	case 128:
+		spec = topology.SmallSpec()
+	case 512:
+		spec = topology.MediumSpec()
+	case 2048:
+		spec = topology.PaperSpec()
+	default:
+		fatal(fmt.Errorf("unsupported -servers %d: valid values are 128, 512, 2048", *servers))
+	}
+
+	svc, err := guarantee.New(spec,
+		guarantee.WithAlgorithm(*alg),
+		guarantee.WithShards(*shards),
+		guarantee.WithPlanners(*planners),
+		guarantee.WithPolicy(*policy),
+		guarantee.WithSeed(*seed),
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           guarantee.NewServer(svc).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "bwd: serving %s guarantees on %s (%d shards × %d servers, policy %s, admission %s)\n",
+		svc.Name(), *addr, svc.Shards(), *servers, svc.Policy(), admissionMode(*planners))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "bwd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// admissionMode names the per-shard admission path the flags selected.
+func admissionMode(planners int) string {
+	if planners > 0 {
+		return fmt.Sprintf("optimistic (%d planners)", planners)
+	}
+	return "locked"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bwd:", err)
+	os.Exit(1)
+}

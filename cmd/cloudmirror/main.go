@@ -1,6 +1,6 @@
 // Command cloudmirror places a tenant described by a TAG (JSON) onto a
-// simulated datacenter and reports the placement and the bandwidth it
-// reserves at each network level.
+// simulated datacenter through the public guarantee API and reports the
+// placement and the bandwidth it reserves at each network level.
 //
 // Usage:
 //
@@ -17,21 +17,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"cloudmirror/guarantee"
 	"cloudmirror/internal/ha"
-	"cloudmirror/internal/pipe"
-	"cloudmirror/internal/place"
-	"cloudmirror/internal/place/cloudmirror"
-	"cloudmirror/internal/place/oktopus"
-	"cloudmirror/internal/place/secondnet"
 	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
-	"cloudmirror/internal/voc"
 )
 
 func main() {
@@ -72,34 +68,27 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unsupported -servers %d (use 512 or 2048)", *servers))
 	}
-	tree := topology.New(spec)
 
-	req := &place.Request{Graph: &g, Model: &g, HA: place.HASpec{RWCS: *rwcs}}
-	var placer place.Placer
-	switch *alg {
-	case "cm":
-		if *oppHA {
-			placer = cloudmirror.New(tree, cloudmirror.WithOpportunisticHA())
-		} else {
-			placer = cloudmirror.New(tree)
-		}
-	case "ovoc":
-		placer = oktopus.New(tree)
-		req.Model = voc.FromTAG(&g)
-	case "secondnet":
-		placer = secondnet.New(tree)
-		req.Model = pipe.FromTAG(&g)
-	default:
-		fatal(fmt.Errorf("unknown -alg %q", *alg))
+	name := *alg
+	if name == "cm" && *oppHA {
+		name = "cm-oppha"
 	}
-
-	res, err := placer.Place(req)
+	svc, err := guarantee.New(spec, guarantee.WithAlgorithm(name))
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("placed %q: %d VMs via %s on %s\n", g.Name, g.VMs(), placer.Name(), tree)
-	pl := res.Placement()
+	grant, err := svc.Admit(context.Background(), guarantee.Request{
+		Graph: &g,
+		HA:    guarantee.HASpec{RWCS: *rwcs},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	tree := svc.Topology(0)
+	fmt.Printf("placed %q: %d VMs via %s on %s\n", g.Name, g.VMs(), svc.Name(), tree)
+	pl := grant.Reservation().Placement()
 	nodes := make([]topology.NodeID, 0, len(pl))
 	for n := range pl {
 		nodes = append(nodes, n)

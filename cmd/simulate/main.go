@@ -8,7 +8,7 @@
 //	         [-workload bing|hpcloud|synthetic] [-servers 128|512|2048]
 //	         [-arrivals N] [-load F] [-bmax Mbps] [-rwcs F] [-oversub R]
 //	         [-seed N] [-parallel N] [-churn] [-shards N] [-policy rr|least|p2c]
-//	         [-planners N]
+//	         [-planners N] [-resize F]
 //
 // Example:
 //
@@ -36,6 +36,14 @@
 // the authoritative ledger. -planners 1 reproduces the locked path's
 // decisions exactly; higher values trade strict arrival-order
 // decision making for intra-shard concurrency.
+//
+// With -resize F (combined with -churn) each arrival is followed, with
+// probability F, by an elastic tier resize of one live tenant through
+// the guarantee API — the paper's §6 auto-scaling under churn.
+//
+// Algorithm, policy, shard, and planner validation lives in the public
+// guarantee package; this command only maps flags onto its functional
+// options.
 package main
 
 import (
@@ -43,15 +51,10 @@ import (
 	"fmt"
 	"os"
 
-	"cloudmirror/internal/pipe"
-	"cloudmirror/internal/place"
-	"cloudmirror/internal/place/cloudmirror"
-	"cloudmirror/internal/place/oktopus"
-	"cloudmirror/internal/place/secondnet"
+	"cloudmirror/guarantee"
 	"cloudmirror/internal/sim"
 	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
-	"cloudmirror/internal/voc"
 	"cloudmirror/internal/workload"
 )
 
@@ -70,23 +73,17 @@ func main() {
 	shards := flag.Int("shards", 1, "number of independent datacenter trees behind the dispatcher")
 	policy := flag.String("policy", "rr", "dispatch policy: rr, least, p2c")
 	planners := flag.Int("planners", 0, "per-shard optimistic planner count (0 = locked admission; requires -churn or -parallel)")
+	resize := flag.Float64("resize", 0, "per-arrival probability of an elastic tier resize (churn mode)")
 	flag.Parse()
 
-	// Validate the fleet flags up front: a typo'd policy or a negative
-	// count should fail with the valid values, not misbehave later.
-	switch *policy {
-	case "rr", "least", "p2c":
-	default:
-		fatal(fmt.Errorf("invalid -policy %q: valid values are rr, least, p2c", *policy))
-	}
-	if *shards < 1 {
-		fatal(fmt.Errorf("invalid -shards %d: need an integer >= 1", *shards))
-	}
-	if *planners < 0 {
-		fatal(fmt.Errorf("invalid -planners %d: need 0 (locked admission) or an integer >= 1 (optimistic)", *planners))
-	}
+	// Fleet-option validation (policy names, shard and planner counts)
+	// lives in guarantee.New; only the flag interplay this command owns
+	// is checked here.
 	if *planners > 0 && !*churn && *par <= 0 {
 		fatal(fmt.Errorf("-planners %d needs -churn or -parallel: the single-run mode always places serially", *planners))
+	}
+	if *resize > 0 && !*churn {
+		fatal(fmt.Errorf("-resize %g needs -churn: only the churn simulation drives elastic scaling", *resize))
 	}
 	if *par < 0 {
 		fatal(fmt.Errorf("invalid -parallel %d: need an integer >= 0", *par))
@@ -119,60 +116,38 @@ func main() {
 	}
 	workload.ScaleToBmax(pool, *bmax)
 
+	algorithm, err := guarantee.AlgorithmByName(*alg)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := sim.Config{
 		Spec:      spec,
+		NewPlacer: algorithm.NewPlacer,
+		ModelFor:  algorithm.ModelFor,
 		Pool:      pool,
 		Arrivals:  *arrivals,
 		Load:      *load,
 		MeanDwell: 1,
 		Seed:      *seed,
-		HA:        place.HASpec{RWCS: *rwcs},
-	}
-	switch *alg {
-	case "cm":
-		cfg.NewPlacer = func(t *topology.Tree) place.Placer { return cloudmirror.New(t) }
-	case "cm-oppha":
-		cfg.NewPlacer = func(t *topology.Tree) place.Placer {
-			return cloudmirror.New(t, cloudmirror.WithOpportunisticHA())
-		}
-	case "cm-coloc":
-		cfg.NewPlacer = func(t *topology.Tree) place.Placer {
-			return cloudmirror.New(t, cloudmirror.WithoutBalance())
-		}
-	case "cm-balance":
-		cfg.NewPlacer = func(t *topology.Tree) place.Placer {
-			return cloudmirror.New(t, cloudmirror.WithoutColocate())
-		}
-	case "ovoc":
-		cfg.NewPlacer = func(t *topology.Tree) place.Placer { return oktopus.New(t) }
-		cfg.ModelFor = func(g *tag.Graph) place.Model { return voc.FromTAG(g) }
-	case "ovoc-aware":
-		cfg.NewPlacer = func(t *topology.Tree) place.Placer {
-			return oktopus.New(t, oktopus.WithVOCAwareness())
-		}
-		cfg.ModelFor = func(g *tag.Graph) place.Model { return voc.FromTAG(g) }
-	case "secondnet":
-		cfg.NewPlacer = func(t *topology.Tree) place.Placer { return secondnet.New(t) }
-		cfg.ModelFor = func(g *tag.Graph) place.Model { return pipe.FromTAG(g) }
-	default:
-		fatal(fmt.Errorf("unknown -alg %q: valid values are cm, cm-oppha, cm-coloc, cm-balance, ovoc, ovoc-aware, secondnet", *alg))
+		HA:        guarantee.HASpec{RWCS: *rwcs},
 	}
 
 	if *churn {
 		cr, err := sim.Churn(sim.ChurnConfig{
-			Spec:      cfg.Spec,
-			NewPlacer: cfg.NewPlacer,
-			ModelFor:  cfg.ModelFor,
-			Pool:      cfg.Pool,
-			Shards:    *shards,
-			Planners:  *planners,
-			Policy:    *policy,
-			Arrivals:  cfg.Arrivals,
-			Load:      cfg.Load,
-			MeanDwell: cfg.MeanDwell,
-			HA:        cfg.HA,
-			Seed:      cfg.Seed,
-			Workers:   *par,
+			Spec:       cfg.Spec,
+			NewPlacer:  cfg.NewPlacer,
+			ModelFor:   cfg.ModelFor,
+			Pool:       cfg.Pool,
+			Shards:     *shards,
+			Planners:   *planners,
+			Policy:     *policy,
+			Arrivals:   cfg.Arrivals,
+			Load:       cfg.Load,
+			MeanDwell:  cfg.MeanDwell,
+			ResizeProb: *resize,
+			HA:         cfg.HA,
+			Seed:       cfg.Seed,
+			Workers:    *par,
 		})
 		if err != nil {
 			fatal(err)
@@ -182,6 +157,9 @@ func main() {
 			cr.Shards, spec.Servers(), spec.SlotsPerServer, cr.Policy, admissionMode(*planners))
 		fmt.Printf("arrivals         %d  (admitted %d, rejected %d, departed %d)\n",
 			cr.Arrivals, cr.Admitted, cr.Rejected, cr.Departures)
+		if cr.Resized+cr.ResizeRejected > 0 {
+			fmt.Printf("resizes          %d committed, %d rejected\n", cr.Resized, cr.ResizeRejected)
+		}
 		fmt.Printf("failovers        %d retried placement attempts\n", cr.Failovers)
 		fmt.Printf("admission rate   %.1f tenants per unit time (simulated duration %.2f)\n",
 			cr.AdmissionRate, cr.Duration)

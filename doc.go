@@ -16,7 +16,13 @@
 // with pluggable policies (round-robin, least-loaded,
 // power-of-two-choices) and failover, and sim.Churn drives it with a
 // deterministic dynamic-churn workload (Poisson arrivals, exponential
-// tenant lifetimes).
+// tenant lifetimes, optional elastic tier resizes).
+//
+// All of it is consumed through the public guarantee package — the one
+// front door for obtaining, resizing, and releasing bandwidth
+// guarantees (guarantee.Service / guarantee.Grant, functional-options
+// construction, a typed rejection taxonomy with machine-readable
+// Reason codes) — and cmd/bwd serves that API as an HTTP JSON daemon.
 //
 // See README.md for a tour: module setup, the -parallel, -shards,
 // -policy and -churn flags of cmd/experiments and cmd/simulate, and

@@ -1,16 +1,19 @@
-// Autoscale demonstrates the §3/§6 flexibility argument: per-VM TAG
-// guarantees survive tier re-sizing ("auto-scaling") unchanged, and the
-// placer grows or shrinks the deployment *in place* — only the delta VMs
-// are placed — while a pipe model would recompute every pair guarantee.
+// Autoscale demonstrates the §3/§6 flexibility argument through the
+// public guarantee API: per-VM TAG guarantees survive tier re-sizing
+// ("auto-scaling") unchanged, and Grant.Resize grows the deployment *in
+// place* — only the delta VMs are placed — while a pipe model would
+// recompute every pair guarantee. A multi-tier jump is one Resize call:
+// the service decomposes it into single-tier steps and commits them as
+// one atomic ledger transition.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"cloudmirror/guarantee"
 	"cloudmirror/internal/pipe"
-	"cloudmirror/internal/place"
-	"cloudmirror/internal/place/cloudmirror"
 	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
 )
@@ -28,41 +31,39 @@ func buildTenant(webVMs, logicVMs int) *tag.Graph {
 }
 
 func main() {
-	tree := topology.New(topology.MediumSpec())
-	placer := cloudmirror.New(tree)
+	svc, err := guarantee.New(topology.MediumSpec(), guarantee.WithAlgorithm("cm"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	// Initial deployment: 48+12 VMs, then Netflix-style scale-up
 	// toward 288+72 (the AWS benchmark the paper cites grew 48 → 288
 	// with stable per-VM bandwidth).
 	cur := buildTenant(48, 12)
-	res, err := placer.Place(&place.Request{Graph: cur, Model: cur})
+	grant, err := svc.Admit(ctx, guarantee.Request{Graph: cur})
 	if err != nil {
 		log.Fatal(err)
 	}
-	report := func(g *tag.Graph, r *place.Reservation) {
+	report := func(g *tag.Graph) {
 		e := g.Edges()[0]
 		fmt.Printf("%3d VMs: per-VM guarantee <S=%g,R=%g> (unchanged), ", g.VMs(), e.S, e.R)
 		fmt.Printf("reserved %7.0f Mbps; a pipe model would need %5d pair guarantees recomputed\n",
-			r.TotalReserved(), pipe.FromTAG(g).Pipes())
+			grant.Reservation().TotalReserved(), pipe.FromTAG(g).Pipes())
 	}
-	report(cur, res)
+	report(cur)
 
 	for _, size := range []struct{ web, logic int }{{96, 24}, {288, 72}} {
-		// Grow one tier at a time, each an in-place incremental resize.
-		step := buildTenant(size.web, cur.TierSize(1))
-		res, err = placer.Resize(res, cur, step, 0, place.HASpec{})
-		if err != nil {
-			log.Fatal(err)
-		}
+		// Both tiers grow in ONE call: Resize steps tier by tier
+		// internally and the whole transition is atomic.
 		next := buildTenant(size.web, size.logic)
-		res, err = placer.Resize(res, step, next, 1, place.HASpec{})
-		if err != nil {
-			log.Fatal(err)
+		if err := grant.Resize(ctx, next); err != nil {
+			log.Fatalf("resize rejected (%s): %v", guarantee.ReasonOf(err), err)
 		}
 		cur = next
-		report(cur, res)
+		report(cur)
 	}
-	res.Release()
+	grant.Release()
 
 	fmt.Println("\nThe TAG spec the tenant wrote never changed across scaling events;")
 	fmt.Println("only the delta VMs were placed and the reservations re-synchronized.")

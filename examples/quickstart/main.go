@@ -1,14 +1,15 @@
-// Quickstart: describe an application as a TAG, place it with
-// CloudMirror, and inspect the bandwidth it reserves — the minimal
-// end-to-end tour of the library.
+// Quickstart: describe an application as a TAG, obtain a bandwidth
+// guarantee for it through the public guarantee API, and inspect what
+// the guarantee costs the fabric — the minimal end-to-end tour of the
+// service.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"cloudmirror/internal/place"
-	"cloudmirror/internal/place/cloudmirror"
+	"cloudmirror/guarantee"
 	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
 )
@@ -35,29 +36,48 @@ func main() {
 	fmt.Printf("aggregate guaranteed bandwidth: %.0f Mbps; mean per-VM demand: %.0f Mbps\n\n",
 		g.AggregateBandwidth(), g.PerVMDemand())
 
-	// 2. Build a datacenter and the CloudMirror placer.
-	tree := topology.New(topology.MediumSpec())
-	placer := cloudmirror.New(tree)
-
-	// 3. Place the tenant, requesting 50% worst-case survivability.
-	res, err := placer.Place(&place.Request{
-		Graph: g,
-		Model: g,
-		HA:    place.HASpec{RWCS: 0.5},
-	})
+	// 2. Build the guarantee service: one front door for admit, resize,
+	// and release, here a single CloudMirror-placed datacenter.
+	svc, err := guarantee.New(topology.MediumSpec(), guarantee.WithAlgorithm("cm"))
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// 3. Request the guarantee, with 50% worst-case survivability.
+	ctx := context.Background()
+	grant, err := svc.Admit(ctx, guarantee.Request{
+		Graph: g,
+		HA:    guarantee.HASpec{RWCS: 0.5},
+	})
+	if err != nil {
+		// Every rejection carries a machine-readable reason code.
+		log.Fatalf("rejected (%s): %v", guarantee.ReasonOf(err), err)
+	}
+	res := grant.Reservation()
 	fmt.Printf("placed %d VMs on %d servers\n", res.Placement().VMs(), len(res.Placement()))
 
 	// 4. Inspect what the guarantee costs the fabric.
+	tree := svc.Topology(0)
 	for l := 0; l < tree.Height(); l++ {
 		fmt.Printf("reserved at %-7s level: %8.1f Mbps\n", tree.LevelName(l), tree.LevelReserved(l))
 	}
 	fmt.Printf("tenant total reservation: %.1f Mbps across all uplinks\n", res.TotalReserved())
 
-	// 5. Tenant departure returns every resource.
-	res.Release()
+	// 5. Elastic scaling: double the web tier in place. The per-VM
+	// guarantees in the TAG are untouched — only the tier size changes
+	// — and only the delta VMs are placed.
+	bigger, err := g.WithTierSize(web, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := grant.Resize(ctx, bigger); err != nil {
+		log.Fatalf("resize rejected (%s): %v", guarantee.ReasonOf(err), err)
+	}
+	fmt.Printf("\nafter doubling the web tier: %d VMs, %.1f Mbps reserved\n",
+		grant.Reservation().Placement().VMs(), grant.Reservation().TotalReserved())
+
+	// 6. Tenant departure returns every resource.
+	grant.Release()
 	fmt.Printf("\nafter release: %s, server-level reserved = %.1f Mbps\n",
 		tree, tree.LevelReserved(0))
 }

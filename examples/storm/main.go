@@ -1,15 +1,17 @@
-// Storm reproduces the Fig. 3 analysis end to end: a Storm-style
-// streaming pipeline is placed by CloudMirror, which pairs the
-// communicating components under common subtrees, and the cross-branch
-// reservation is compared against what the VOC abstraction would need.
+// Storm reproduces the Fig. 3 analysis end to end through the public
+// guarantee API: a Storm-style streaming pipeline is admitted by the
+// CloudMirror-backed service, which pairs the communicating components
+// under common subtrees, and the cross-branch reservation is compared
+// against what the VOC abstraction would need.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"cloudmirror/guarantee"
 	"cloudmirror/internal/place"
-	"cloudmirror/internal/place/cloudmirror"
 	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
 	"cloudmirror/internal/voc"
@@ -29,18 +31,24 @@ func main() {
 	g.AddEdge(bolt2, bolt3, b, b)
 
 	// Two branches (ToRs), each with room for two components.
-	tree := topology.New(topology.Spec{
+	spec := topology.Spec{
 		SlotsPerServer: s,
 		Levels: []topology.LevelSpec{
 			{Name: "server", Fanout: 2, Uplink: 10_000},
 			{Name: "tor", Fanout: 2, Uplink: 10_000},
 		},
-	})
-
-	res, err := cloudmirror.New(tree).Place(&place.Request{Graph: g, Model: g})
+	}
+	svc, err := guarantee.New(spec, guarantee.WithAlgorithm("cm"))
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	grant, err := svc.Admit(context.Background(), guarantee.Request{Graph: g})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := grant.Reservation()
+	tree := svc.Topology(0)
 	fmt.Println("CloudMirror placement (component → branch):")
 	for _, tor := range tree.NodesAtLevel(1) {
 		fmt.Printf("  branch %d:", tor)
@@ -69,5 +77,5 @@ func main() {
 	vocOut, _ := voc.FromTAG(g).Cut(counts[branch])
 	fmt.Printf("\ncross-branch reservation:  TAG %.0f Mbps (= S·B), VOC would need %.0f Mbps (%.1f×)\n",
 		tagOut, vocOut, vocOut/tagOut)
-	res.Release()
+	grant.Release()
 }

@@ -1,0 +1,278 @@
+// Package guarantee is the public front door of the repository: the
+// single API through which every consumer — commands, examples,
+// experiments, RPC daemons — obtains, resizes, and releases bandwidth
+// guarantees.
+//
+// The CloudMirror controller of the paper is a *service* applications
+// call: request a guarantee for a TAG, grow or shrink tiers as load
+// changes (§6 auto-scaling), release on departure. This package models
+// exactly that lifecycle:
+//
+//	svc, _ := guarantee.New(topology.MediumSpec(),
+//	        guarantee.WithAlgorithm("cm"),
+//	        guarantee.WithShards(4),
+//	        guarantee.WithPolicy("p2c"),
+//	        guarantee.WithPlanners(2))
+//	grant, err := svc.Admit(ctx, guarantee.Request{Graph: g, HA: guarantee.HASpec{RWCS: 0.5}})
+//	...
+//	err = grant.Resize(ctx, biggerG) // tier sizes changed, per-VM guarantees untouched
+//	...
+//	grant.Release()
+//
+// Construction is by functional options over one constructor: shard
+// count, dispatch policy, optimistic planner count, and placement
+// algorithm compose freely, replacing the locked/optimistic
+// constructor fork the internal packages expose. Every failure is a
+// typed *RejectionError carrying a machine-readable Reason, so callers
+// (and the cmd/bwd HTTP daemon) can act on rejection causes without
+// string matching; capacity-class rejections keep satisfying
+// errors.Is(err, place.ErrRejected) for older code.
+package guarantee
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cloudmirror/internal/cluster"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// Aliases re-exported from the internal layers, so consumers of the
+// public API never import internal packages for its vocabulary types.
+type (
+	// HASpec is a tenant's high-availability requirement (§4.5).
+	HASpec = place.HASpec
+	// Model prices subtree cuts; usually the tenant's TAG itself.
+	Model = place.Model
+	// Reservation is a committed tenant's placement and holdings.
+	Reservation = place.Reservation
+	// Load is one shard's occupancy snapshot.
+	Load = cluster.Load
+	// RejectionError is the typed failure every operation returns: an
+	// operation name, a machine-readable Reason, and the underlying
+	// cause.
+	RejectionError = place.RejectionError
+	// Reason is the machine-readable rejection code.
+	Reason = place.Reason
+)
+
+// The rejection taxonomy, re-exported: every error returned by a
+// Service or Grant carries one of these codes.
+const (
+	// NoSlots: a server ran out of free VM slots.
+	NoSlots = place.ReasonNoSlots
+	// InsufficientBandwidth: an uplink cannot cover the tenant's cut.
+	InsufficientBandwidth = place.ReasonInsufficientBandwidth
+	// InsufficientResources: a declared per-server resource dimension
+	// (CPU, memory) is exhausted.
+	InsufficientResources = place.ReasonInsufficientResources
+	// NoPlacement: the placement search exhausted the tree without a
+	// feasible embedding.
+	NoPlacement = place.ReasonNoPlacement
+	// ConflictRetriesExhausted: the optimistic pipeline could not
+	// validate a plan within its retry budget; retry the operation.
+	ConflictRetriesExhausted = place.ReasonConflictRetriesExhausted
+	// InvalidRequest: the request (or an option) is malformed.
+	InvalidRequest = place.ReasonInvalidRequest
+	// Unsupported: the configured algorithm cannot perform the
+	// operation (e.g. Resize without incremental auto-scaling).
+	Unsupported = place.ReasonUnsupported
+	// Released: the grant was already released.
+	Released = place.ReasonReleased
+	// Canceled: the caller's context ended before a decision.
+	Canceled = place.ReasonCanceled
+)
+
+// ReasonOf extracts the Reason from any error returned by this
+// package ("" for untyped errors).
+func ReasonOf(err error) Reason { return place.ReasonOf(err) }
+
+// Request is one tenant's guarantee request.
+type Request struct {
+	// ID identifies the tenant within the service (surfaced in errors
+	// and experiment output; uniqueness is the caller's concern).
+	ID int64
+	// Graph is the tenant's TAG. Required unless Model is set.
+	Graph *tag.Graph
+	// Model optionally overrides the bandwidth abstraction used to
+	// price the tenant (VOC, pipes — Table 1 accounting). Nil means the
+	// TAG itself. Tenants admitted under an override cannot Resize.
+	Model Model
+	// HA is the tenant's availability requirement; zero means none.
+	HA HASpec
+	// Resources optionally gives each tier's per-VM demand vector for
+	// the topology's declared resource dimensions.
+	Resources [][]float64
+}
+
+// Grant is a live guarantee: the handle through which a tenant's
+// allocation is inspected, resized, and released. Methods are safe for
+// concurrent use; operations on one grant serialize against each
+// other.
+type Grant interface {
+	// Reservation exposes the tenant's current placement and
+	// per-uplink holdings for inspection.
+	Reservation() *Reservation
+	// Resize grows or shrinks the tenant in place to newGraph — the
+	// tenant's TAG with tier sizes changed, per-VM guarantees
+	// untouched (§3/§6). Multi-tier changes are applied as an atomic
+	// sequence of single-tier steps: on any failure the ledger and the
+	// grant are exactly as before.
+	Resize(ctx context.Context, newGraph *tag.Graph) error
+	// Release returns every slot and reservation to the service.
+	// Subsequent calls are no-ops.
+	Release()
+	// Shard returns the ID of the shard hosting the tenant.
+	Shard() int
+}
+
+// Stats aggregates a service's monotonic counters.
+type Stats struct {
+	// Admitted and Rejected partition completed requests (Rejected
+	// means every shard refused); Failed counts malformed requests and
+	// internal errors; Released counts departures; Resized counts
+	// successful in-place resizes.
+	Admitted, Rejected, Failed, Released, Resized int64
+	// Failovers counts placement attempts beyond each request's first
+	// shard.
+	Failovers int64
+	// PerShard holds each shard's admission counters, indexed by shard
+	// ID.
+	PerShard []place.AdmitStats
+}
+
+// Service is the admission front door: every consumer obtains
+// guarantees through one of these. Implementations are safe for
+// concurrent use.
+type Service interface {
+	// Name identifies the placement algorithm serving the guarantees.
+	Name() string
+	// Policy identifies the dispatch policy routing requests across
+	// shards.
+	Policy() string
+	// Shards returns the fleet size.
+	Shards() int
+	// Admit obtains a guarantee for the request. On success the
+	// returned Grant owns the tenant's resources until Release; on
+	// failure the service is exactly as if the request never arrived,
+	// and the error is a *RejectionError.
+	Admit(ctx context.Context, req Request) (Grant, error)
+	// AdmitBatch admits the requests in order, returning one grant per
+	// request (nil where that request was rejected) and the joined
+	// rejection errors, if any. A batch is not atomic: earlier
+	// admissions stand even when later ones reject.
+	AdmitBatch(ctx context.Context, reqs []Request) ([]Grant, error)
+	// Stats reports the service's counters so far.
+	Stats() Stats
+	// Loads returns a point-in-time occupancy snapshot of every shard,
+	// indexed by shard ID.
+	Loads() []Load
+	// Topology exposes shard i's datacenter tree for read-only
+	// inspection (level names, per-level reserved bandwidth). Mutating
+	// it corrupts the ledger; concurrent admissions make reads
+	// approximate.
+	Topology(shard int) *topology.Tree
+}
+
+// service is the Service implementation: a shard fleet behind a
+// dispatcher, built by New.
+type service struct {
+	cl       *cluster.Cluster
+	disp     *cluster.Dispatcher
+	name     string
+	modelFor func(*tag.Graph) place.Model
+}
+
+// Name identifies the placement algorithm serving the guarantees.
+func (s *service) Name() string { return s.name }
+
+// Policy identifies the dispatch policy routing requests.
+func (s *service) Policy() string { return s.disp.Policy().Name() }
+
+// Shards returns the fleet size.
+func (s *service) Shards() int { return s.cl.Size() }
+
+// Topology exposes shard i's tree for read-only inspection.
+func (s *service) Topology(shard int) *topology.Tree { return s.cl.Shard(shard).Tree() }
+
+// Admit obtains a guarantee for the request.
+func (s *service) Admit(ctx context.Context, req Request) (Grant, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, place.Reject("admit", Canceled, err)
+	}
+	preq := place.Request{
+		ID:        req.ID,
+		Graph:     req.Graph,
+		Model:     req.Model,
+		HA:        req.HA,
+		Resources: req.Resources,
+	}
+	if preq.Model == nil && s.modelFor != nil && req.Graph != nil {
+		preq.Model = s.modelFor(req.Graph)
+	}
+	ten, err := s.disp.Place(&preq)
+	if err != nil {
+		return nil, err
+	}
+	return &grant{ten: ten}, nil
+}
+
+// AdmitBatch admits the requests in order.
+func (s *service) AdmitBatch(ctx context.Context, reqs []Request) ([]Grant, error) {
+	grants := make([]Grant, len(reqs))
+	var errs []error
+	for i := range reqs {
+		g, err := s.Admit(ctx, reqs[i])
+		if err != nil {
+			errs = append(errs, fmt.Errorf("request %d: %w", i, err))
+			continue
+		}
+		grants[i] = g
+	}
+	return grants, errors.Join(errs...)
+}
+
+// Stats reports the service's counters so far.
+func (s *service) Stats() Stats {
+	d := s.disp.Stats()
+	st := Stats{
+		Admitted:  d.Admitted,
+		Rejected:  d.Rejected,
+		Failovers: d.Failovers,
+		PerShard:  s.cl.Stats(),
+	}
+	for _, sh := range st.PerShard {
+		st.Failed += sh.Failed
+		st.Released += sh.Released
+		st.Resized += sh.Resized
+	}
+	return st
+}
+
+// Loads returns every shard's occupancy snapshot.
+func (s *service) Loads() []Load { return s.cl.Loads() }
+
+// grant adapts a cluster.Tenant to the public Grant interface.
+type grant struct {
+	ten *cluster.Tenant
+}
+
+// Reservation exposes the tenant's current placement and holdings.
+func (g *grant) Reservation() *Reservation { return g.ten.Reservation() }
+
+// Resize grows or shrinks the tenant in place to newGraph.
+func (g *grant) Resize(ctx context.Context, newGraph *tag.Graph) error {
+	if err := ctx.Err(); err != nil {
+		return place.Reject("resize", Canceled, err)
+	}
+	return g.ten.Resize(newGraph)
+}
+
+// Release returns the tenant's resources. Subsequent calls are no-ops.
+func (g *grant) Release() { g.ten.Release() }
+
+// Shard returns the hosting shard's ID.
+func (g *grant) Shard() int { return g.ten.Shard().ID() }

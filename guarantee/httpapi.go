@@ -1,0 +1,293 @@
+package guarantee
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+)
+
+// Server exposes a Service as an HTTP JSON API — the handler behind
+// the cmd/bwd daemon. Every rejection is serialized with its typed
+// Reason code, so clients dispatch on machine-readable causes:
+//
+//	POST   /v1/guarantees              admit a TAG          -> 201 + grant
+//	GET    /v1/guarantees/{id}         inspect a grant      -> 200
+//	POST   /v1/guarantees/{id}/resize  resize in place      -> 200
+//	DELETE /v1/guarantees/{id}         release              -> 204
+//	GET    /v1/stats                   counters + loads     -> 200
+//	GET    /healthz                    liveness             -> 200
+//
+// Grant handles are process-local: the server keeps the id -> Grant
+// registry in memory, mirroring the paper's controller owning tenant
+// state.
+type Server struct {
+	svc Service
+
+	mu     sync.Mutex
+	grants map[string]*servedGrant
+	nextID int64
+}
+
+// servedGrant pairs a live grant with the TAG it currently guarantees
+// (the resize base). Its own lock serializes resizes and graph reads
+// of one grant, so a slow placement search never blocks the registry —
+// requests for other grants proceed concurrently.
+type servedGrant struct {
+	mu    sync.Mutex
+	grant Grant
+	graph *tag.Graph
+}
+
+// NewServer wraps the service for HTTP serving.
+func NewServer(svc Service) *Server {
+	return &Server{svc: svc, grants: make(map[string]*servedGrant)}
+}
+
+// Handler returns the route table as a stdlib http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/guarantees", s.handleAdmit)
+	mux.HandleFunc("GET /v1/guarantees/{id}", s.handleGet)
+	mux.HandleFunc("POST /v1/guarantees/{id}/resize", s.handleResize)
+	mux.HandleFunc("DELETE /v1/guarantees/{id}", s.handleRelease)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// admitBody is the admit request wire form. The "tag" field uses the
+// TAG JSON format of internal/tag (tiers by name, edges with per-VM
+// s/r guarantees, self-loops with sr).
+type admitBody struct {
+	ID            int64       `json:"id,omitempty"`
+	TAG           *tag.Graph  `json:"tag"`
+	RWCS          float64     `json:"rwcs,omitempty"`
+	LAA           int         `json:"laa,omitempty"`
+	Opportunistic bool        `json:"opportunistic,omitempty"`
+	Resources     [][]float64 `json:"resources,omitempty"`
+}
+
+// resizeBody is the resize request wire form: the tenant's full TAG
+// with tier sizes changed.
+type resizeBody struct {
+	TAG *tag.Graph `json:"tag"`
+}
+
+// grantBody is the grant representation returned by admit, get, and
+// resize.
+type grantBody struct {
+	ID           string     `json:"id"`
+	Shard        int        `json:"shard"`
+	VMs          int        `json:"vms"`
+	Servers      int        `json:"servers"`
+	ReservedMbps float64    `json:"reserved_mbps"`
+	TAG          *tag.Graph `json:"tag,omitempty"`
+}
+
+// errorBody is the uniform error envelope: every rejection carries its
+// typed Reason code.
+type errorBody struct {
+	Error struct {
+		Reason  string `json:"reason"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// statusOf maps a rejection Reason to an HTTP status: malformed
+// requests are client errors, capacity rejections are 409 Conflict
+// (the datacenter cannot host the tenant right now), optimistic retry
+// exhaustion is 503 with retry semantics, and operations on released
+// grants are 410 Gone.
+func statusOf(reason Reason) int {
+	switch reason {
+	case InvalidRequest:
+		return http.StatusBadRequest
+	case Unsupported:
+		return http.StatusUnprocessableEntity
+	case Released:
+		return http.StatusGone
+	case ConflictRetriesExhausted:
+		return http.StatusServiceUnavailable
+	case Canceled:
+		return 499 // client closed request (nginx convention)
+	case NoSlots, InsufficientBandwidth, InsufficientResources, NoPlacement:
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+// writeError serializes err with its typed Reason (falling back to
+// "internal" for untyped failures, which should not happen).
+func writeError(w http.ResponseWriter, err error) {
+	reason := ReasonOf(err)
+	status := http.StatusInternalServerError
+	body := errorBody{}
+	body.Error.Reason = "internal"
+	body.Error.Message = err.Error()
+	if reason != "" {
+		body.Error.Reason = string(reason)
+		status = statusOf(reason)
+	}
+	writeJSON(w, status, body)
+}
+
+// writeNotFound reports an unknown grant id with the server-level
+// "not_found" code (the taxonomy covers admission outcomes; an id that
+// never existed is a routing miss, not a rejection).
+func writeNotFound(w http.ResponseWriter, id string) {
+	body := errorBody{}
+	body.Error.Reason = "not_found"
+	body.Error.Message = fmt.Sprintf("no grant %q", id)
+	writeJSON(w, http.StatusNotFound, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a failed write
+}
+
+// body renders a registered grant under the grant's lock.
+func (sg *servedGrant) body(id string) grantBody {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	res := sg.grant.Reservation()
+	return grantBody{
+		ID:           id,
+		Shard:        sg.grant.Shard(),
+		VMs:          res.Placement().VMs(),
+		Servers:      len(res.Placement()),
+		ReservedMbps: res.TotalReserved(),
+		TAG:          sg.graph,
+	}
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var body admitBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, Rejectf("admit", InvalidRequest, "bad JSON: %v", err))
+		return
+	}
+	if body.TAG == nil {
+		writeError(w, Rejectf("admit", InvalidRequest, "missing tag"))
+		return
+	}
+	grant, err := s.svc.Admit(r.Context(), Request{
+		ID:        body.ID,
+		Graph:     body.TAG,
+		HA:        HASpec{RWCS: body.RWCS, LAA: body.LAA, Opportunistic: body.Opportunistic},
+		Resources: body.Resources,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sg := &servedGrant{grant: grant, graph: body.TAG}
+	s.mu.Lock()
+	s.nextID++
+	id := "g-" + strconv.FormatInt(s.nextID, 10)
+	s.grants[id] = sg
+	s.mu.Unlock()
+	resp := sg.body(id)
+	w.Header().Set("Location", "/v1/guarantees/"+id)
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sg, ok := s.grants[id]
+	s.mu.Unlock()
+	if !ok {
+		writeNotFound(w, id)
+		return
+	}
+	writeJSON(w, http.StatusOK, sg.body(id))
+}
+
+func (s *Server) handleResize(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var body resizeBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, Rejectf("resize", InvalidRequest, "bad JSON: %v", err))
+		return
+	}
+	if body.TAG == nil {
+		writeError(w, Rejectf("resize", InvalidRequest, "missing tag"))
+		return
+	}
+	// The registry lock covers only the lookup; the grant's own lock
+	// serializes resizes of one tenant (and keeps the stored graph in
+	// step with what actually committed), so a placement search for one
+	// grant never blocks admits, gets, or resizes of others.
+	s.mu.Lock()
+	sg, ok := s.grants[id]
+	s.mu.Unlock()
+	if !ok {
+		writeNotFound(w, id)
+		return
+	}
+	sg.mu.Lock()
+	if err := sg.grant.Resize(r.Context(), body.TAG); err != nil {
+		sg.mu.Unlock()
+		writeError(w, err)
+		return
+	}
+	sg.graph = body.TAG
+	sg.mu.Unlock()
+	writeJSON(w, http.StatusOK, sg.body(id))
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sg, ok := s.grants[id]
+	delete(s.grants, id)
+	s.mu.Unlock()
+	if !ok {
+		writeNotFound(w, id)
+		return
+	}
+	sg.grant.Release()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// statsBody is the /v1/stats wire form.
+type statsBody struct {
+	Algorithm string `json:"algorithm"`
+	Policy    string `json:"policy"`
+	Shards    int    `json:"shards"`
+	Stats     Stats  `json:"stats"`
+	Loads     []Load `json:"loads"`
+	Live      int    `json:"live_grants"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	live := len(s.grants)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsBody{
+		Algorithm: s.svc.Name(),
+		Policy:    s.svc.Policy(),
+		Shards:    s.svc.Shards(),
+		Stats:     s.svc.Stats(),
+		Loads:     s.svc.Loads(),
+		Live:      live,
+	})
+}
+
+// Rejectf builds a typed rejection; exported so API layers above the
+// Service (like this server) classify their own failures with the same
+// taxonomy.
+func Rejectf(op string, reason Reason, format string, args ...any) *RejectionError {
+	return place.Rejectf(op, reason, format, args...)
+}

@@ -1,0 +1,159 @@
+package guarantee
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// newTestServer spins up the HTTP API over a small single-shard
+// CloudMirror service.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := New(testSpec(), WithAlgorithm("cm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// tagJSON renders a two-tier tenant in the TAG wire format.
+func tagJSON(web, db int) string {
+	return fmt.Sprintf(`{"name":"shop",
+		"tiers":[{"name":"web","n":%d},{"name":"db","n":%d}],
+		"edges":[{"from":"web","to":"db","s":100,"r":300}]}`, web, db)
+}
+
+// do issues a request and decodes the JSON response into out.
+func do(t *testing.T, method, url, body string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+// TestHTTPLifecycle: admit → get → resize → release over the wire.
+func TestHTTPLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+
+	var g grantBody
+	resp := do(t, "POST", ts.URL+"/v1/guarantees", `{"tag":`+tagJSON(3, 2)+`,"rwcs":0.5}`, &g)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit status = %d, want 201", resp.StatusCode)
+	}
+	if g.ID == "" || g.VMs != 5 || g.ReservedMbps <= 0 {
+		t.Fatalf("admit body = %+v", g)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/guarantees/"+g.ID {
+		t.Errorf("Location = %q", loc)
+	}
+
+	var got grantBody
+	if resp := do(t, "GET", ts.URL+"/v1/guarantees/"+g.ID, "", &got); resp.StatusCode != 200 {
+		t.Fatalf("get status = %d", resp.StatusCode)
+	}
+	if got.VMs != 5 {
+		t.Errorf("get VMs = %d, want 5", got.VMs)
+	}
+
+	var resized grantBody
+	resp = do(t, "POST", ts.URL+"/v1/guarantees/"+g.ID+"/resize", `{"tag":`+tagJSON(6, 2)+`}`, &resized)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resize status = %d, want 200", resp.StatusCode)
+	}
+	if resized.VMs != 8 {
+		t.Errorf("resize VMs = %d, want 8", resized.VMs)
+	}
+
+	var stats statsBody
+	do(t, "GET", ts.URL+"/v1/stats", "", &stats)
+	if stats.Stats.Admitted != 1 || stats.Stats.Resized != 1 || stats.Live != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Algorithm != "cm" || stats.Shards != 1 {
+		t.Errorf("identity = %s/%d shards", stats.Algorithm, stats.Shards)
+	}
+
+	if resp := do(t, "DELETE", ts.URL+"/v1/guarantees/"+g.ID, "", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("release status = %d, want 204", resp.StatusCode)
+	}
+	var e errorBody
+	if resp := do(t, "GET", ts.URL+"/v1/guarantees/"+g.ID, "", &e); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after release status = %d, want 404", resp.StatusCode)
+	}
+	if e.Error.Reason != "not_found" {
+		t.Errorf("get after release reason = %q", e.Error.Reason)
+	}
+}
+
+// TestHTTPTypedRejections: every failure mode carries its typed reason
+// code in the JSON body with the documented status.
+func TestHTTPTypedRejections(t *testing.T) {
+	ts := newTestServer(t)
+
+	cases := []struct {
+		name       string
+		method, ep string
+		body       string
+		status     int
+		reason     string
+	}{
+		{"bad json", "POST", "/v1/guarantees", "{", 400, string(InvalidRequest)},
+		{"missing tag", "POST", "/v1/guarantees", "{}", 400, string(InvalidRequest)},
+		{"invalid rwcs", "POST", "/v1/guarantees", `{"tag":` + tagJSON(2, 1) + `,"rwcs":2}`, 400, string(InvalidRequest)},
+		{"capacity", "POST", "/v1/guarantees", `{"tag":` + tagJSON(1000, 1) + `}`, 409, string(NoPlacement)},
+		{"resize unknown id", "POST", "/v1/guarantees/g-99/resize", `{"tag":` + tagJSON(2, 1) + `}`, 404, "not_found"},
+		{"release unknown id", "DELETE", "/v1/guarantees/g-99", "", 404, "not_found"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var e errorBody
+			resp := do(t, c.method, ts.URL+c.ep, c.body, &e)
+			if resp.StatusCode != c.status {
+				t.Errorf("status = %d, want %d", resp.StatusCode, c.status)
+			}
+			if e.Error.Reason != c.reason {
+				t.Errorf("reason = %q, want %q", e.Error.Reason, c.reason)
+			}
+			if e.Error.Message == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+
+	// A structural change on a live grant rejects with invalid_request
+	// and a capacity-busting grow with a capacity code.
+	var g grantBody
+	do(t, "POST", ts.URL+"/v1/guarantees", `{"tag":`+tagJSON(2, 1)+`}`, &g)
+	var e errorBody
+	resp := do(t, "POST", ts.URL+"/v1/guarantees/"+g.ID+"/resize",
+		`{"tag":{"name":"shop","tiers":[{"name":"web","n":2}],"edges":[]}}`, &e)
+	if resp.StatusCode != 400 || e.Error.Reason != string(InvalidRequest) {
+		t.Errorf("structural resize: %d/%q, want 400/%q", resp.StatusCode, e.Error.Reason, InvalidRequest)
+	}
+	resp = do(t, "POST", ts.URL+"/v1/guarantees/"+g.ID+"/resize", `{"tag":`+tagJSON(1000, 1)+`}`, &e)
+	if resp.StatusCode != 409 {
+		t.Errorf("capacity resize status = %d, want 409", resp.StatusCode)
+	}
+	reason := Reason(e.Error.Reason)
+	if !reason.Capacity() {
+		t.Errorf("capacity resize reason %q is not capacity-class", reason)
+	}
+}

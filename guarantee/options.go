@@ -1,0 +1,135 @@
+package guarantee
+
+import (
+	"cloudmirror/internal/cluster"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// config collects the functional options New folds together. The zero
+// value plus defaults() is a valid single-shard locked-admission
+// CloudMirror service.
+type config struct {
+	shards    int
+	planners  int
+	policy    string
+	seed      int64
+	workers   int
+	algorithm string
+	newPlacer func(*topology.Tree) place.Placer
+	modelFor  func(*tag.Graph) place.Model
+}
+
+// Option configures a Service under construction. Options validate at
+// New time: a bad value fails construction with a typed
+// InvalidRequest rejection rather than misbehaving later.
+type Option func(*config)
+
+// WithShards sets the number of independent datacenter trees behind
+// the dispatcher (default 1). Shards share nothing, so admissions on
+// different shards proceed fully in parallel.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithPlanners selects the per-shard admission path: 0 (the default)
+// uses the locked Admitter; n >= 1 uses the optimistic two-phase
+// pipeline with n concurrent planner replicas per shard. planners=1
+// produces decisions byte-identical to the locked path under serial
+// callers.
+func WithPlanners(n int) Option { return func(c *config) { c.planners = n } }
+
+// WithPolicy names the dispatch policy routing requests across shards:
+// "rr" (round-robin, the default), "least" (least-loaded), or "p2c"
+// (power-of-two-choices).
+func WithPolicy(name string) Option { return func(c *config) { c.policy = name } }
+
+// WithSeed seeds the randomized dispatch policies ("p2c"); equal seeds
+// give identical pick sequences. Defaults to 1.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithWorkers bounds the goroutines used for shard construction (0,
+// the default, uses all cores). It never changes the built service.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithAlgorithm selects the placement algorithm (and its bandwidth
+// model) by name — see Algorithms for the registry. The default is
+// "cm", the CloudMirror placer under the TAG model.
+func WithAlgorithm(name string) Option {
+	return func(c *config) {
+		c.algorithm = name
+		c.newPlacer = nil // name wins over a previously set constructor
+	}
+}
+
+// WithPlacer installs a custom placement-algorithm constructor, one
+// instance per shard tree (per planner replica when optimistic). It
+// overrides WithAlgorithm; the service's model defaults to the
+// tenant's TAG unless WithModelFor is also given.
+func WithPlacer(newPlacer func(*topology.Tree) place.Placer) Option {
+	return func(c *config) {
+		c.newPlacer = newPlacer
+		c.algorithm = ""
+	}
+}
+
+// WithModelFor installs the translation from a tenant's TAG to the
+// bandwidth model used for admission and reservation (VOC, pipes).
+// Nil, the default, prices tenants by their TAG directly. Only
+// meaningful with WithPlacer; WithAlgorithm names carry their model.
+func WithModelFor(modelFor func(*tag.Graph) place.Model) Option {
+	return func(c *config) { c.modelFor = modelFor }
+}
+
+// New builds a Service over n identical shards of the given topology:
+// the one public constructor behind which the locked/optimistic
+// admission fork, the dispatch policy, and the algorithm registry all
+// hide. Invalid options fail with a typed InvalidRequest rejection
+// naming the valid values.
+func New(spec topology.Spec, opts ...Option) (Service, error) {
+	c := config{shards: 1, policy: "rr", seed: 1, algorithm: "cm"}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	const op = "configure"
+	if c.shards < 1 {
+		return nil, place.Rejectf(op, InvalidRequest, "invalid shards %d: need an integer >= 1", c.shards)
+	}
+	if c.planners < 0 {
+		return nil, place.Rejectf(op, InvalidRequest,
+			"invalid planners %d: need 0 (locked admission) or an integer >= 1 (optimistic)", c.planners)
+	}
+	if c.policy == "" {
+		c.policy = "rr"
+	}
+	pol, err := cluster.NewPolicy(c.policy, c.seed)
+	if err != nil {
+		return nil, place.Reject(op, InvalidRequest, err)
+	}
+	name := c.algorithm
+	newPlacer, modelFor := c.newPlacer, c.modelFor
+	if newPlacer == nil {
+		alg, err := AlgorithmByName(c.algorithm)
+		if err != nil {
+			return nil, err
+		}
+		newPlacer, modelFor = alg.NewPlacer, alg.ModelFor
+	}
+	var cl *cluster.Cluster
+	if c.planners > 0 {
+		cl, err = cluster.NewOptimistic(spec, c.shards, newPlacer, c.planners, c.workers)
+	} else {
+		cl, err = cluster.New(spec, c.shards, newPlacer, c.workers)
+	}
+	if err != nil {
+		return nil, place.Reject(op, InvalidRequest, err)
+	}
+	if name == "" {
+		name = cl.Shard(0).Name()
+	}
+	return &service{
+		cl:       cl,
+		disp:     cluster.NewDispatcher(cl, pol),
+		name:     name,
+		modelFor: modelFor,
+	}, nil
+}

@@ -17,10 +17,12 @@ package cluster
 import (
 	"errors"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"cloudmirror/internal/parallel"
 	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
 )
 
@@ -51,6 +53,9 @@ type Load struct {
 	ReservedMbps float64
 	// SlotsUsed is the number of occupied VM slots.
 	SlotsUsed int
+	// SlotsTotal is the shard's fixed VM slot capacity, so consumers of
+	// a snapshot can compute occupancy without reaching into the shard.
+	SlotsTotal int
 	// Tenants is the number of live tenants.
 	Tenants int
 }
@@ -63,6 +68,7 @@ type Load struct {
 type Shard struct {
 	id         int
 	adm        place.Admission
+	tree       *topology.Tree
 	slotsTotal int
 
 	reserved atomicFloat64
@@ -76,6 +82,12 @@ func (s *Shard) ID() int { return s.id }
 // SlotsTotal is the shard's VM slot capacity (fixed at construction).
 func (s *Shard) SlotsTotal() int { return s.slotsTotal }
 
+// Tree exposes the shard's datacenter tree for read-only inspection
+// (level names, per-level reserved totals). Mutating it behind the
+// admission path corrupts the ledger; concurrent admissions make reads
+// approximate.
+func (s *Shard) Tree() *topology.Tree { return s.tree }
+
 // Name identifies the shard's placement algorithm.
 func (s *Shard) Name() string { return s.adm.Name() }
 
@@ -84,6 +96,7 @@ func (s *Shard) Load() Load {
 	return Load{
 		ReservedMbps: s.reserved.load(),
 		SlotsUsed:    int(s.slots.Load()),
+		SlotsTotal:   s.slotsTotal,
 		Tenants:      int(s.tenants.Load()),
 	}
 }
@@ -113,14 +126,19 @@ func (s *Shard) Place(req *place.Request) (*Tenant, error) {
 }
 
 // Tenant is a committed tenant admitted through a Shard (directly or
-// via a Dispatcher). Release is safe to call from any goroutine, and at
-// most once has an effect.
+// via a Dispatcher). Release and Resize are safe to call from any
+// goroutine; operations on one tenant serialize on its own lock, and
+// Release at most once has an effect.
 type Tenant struct {
 	shard *Shard
 	ad    place.Grant
-	// reservedMbps and vms are cached at admission so Release subtracts
-	// exactly what Place added to the shard gauges (and skips a second
-	// TotalReserved walk).
+	// mu serializes Resize against Release so the cached gauge
+	// contributions below stay consistent with what the shard gauges
+	// actually carry.
+	mu sync.Mutex
+	// reservedMbps and vms are cached at admission (and refreshed by
+	// Resize) so Release subtracts exactly what Place added to the
+	// shard gauges (and skips a second TotalReserved walk).
 	reservedMbps float64
 	vms          int
 	released     atomic.Bool
@@ -132,9 +150,33 @@ func (t *Tenant) Shard() *Shard { return t.shard }
 // Reservation exposes the underlying reservation for inspection.
 func (t *Tenant) Reservation() *place.Reservation { return t.ad.Reservation() }
 
+// Resize grows or shrinks the tenant in place to newGraph through the
+// shard's admission path (see place.Grant.Resize), refreshing the
+// shard's load gauges by the change. On failure the shard and the
+// tenant are exactly as before, and the error carries a typed
+// place.Reason.
+func (t *Tenant) Resize(newGraph *tag.Graph) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.released.Load() {
+		return place.Rejectf("resize", place.ReasonReleased, "tenant already released")
+	}
+	if err := t.ad.Resize(newGraph); err != nil {
+		return err
+	}
+	res := t.ad.Reservation()
+	reserved, vms := res.TotalReserved(), res.Placement().VMs()
+	t.shard.reserved.add(reserved - t.reservedMbps)
+	t.shard.slots.Add(int64(vms - t.vms))
+	t.reservedMbps, t.vms = reserved, vms
+	return nil
+}
+
 // Release returns the tenant's slots and bandwidth to its shard.
 // Subsequent calls are no-ops.
 func (t *Tenant) Release() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.released.CompareAndSwap(false, true) {
 		return
 	}
@@ -190,6 +232,7 @@ func build(spec topology.Spec, n, workers int, mk func(*topology.Tree) place.Adm
 		return &Shard{
 			id:         i,
 			adm:        mk(tree),
+			tree:       tree,
 			slotsTotal: tree.SlotsTotal(tree.Root()),
 		}, nil
 	})

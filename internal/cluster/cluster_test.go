@@ -51,8 +51,9 @@ func TestClusterValidation(t *testing.T) {
 func TestShardLoadAccounting(t *testing.T) {
 	c := newTestCluster(t, 2)
 	s := c.Shard(0)
-	if got := s.Load(); got != (Load{}) {
-		t.Fatalf("fresh shard load = %+v, want zero", got)
+	idle := Load{SlotsTotal: s.SlotsTotal()}
+	if got := s.Load(); got != idle {
+		t.Fatalf("fresh shard load = %+v, want idle", got)
 	}
 	if s.SlotsTotal() <= 0 {
 		t.Fatalf("SlotsTotal = %d, want positive", s.SlotsTotal())
@@ -72,14 +73,14 @@ func TestShardLoadAccounting(t *testing.T) {
 	if want := ten.Reservation().TotalReserved(); ld.ReservedMbps != want {
 		t.Errorf("ReservedMbps = %g, want %g", ld.ReservedMbps, want)
 	}
-	if other := c.Shard(1).Load(); other != (Load{}) {
-		t.Errorf("untouched shard load = %+v, want zero", other)
+	if other := c.Shard(1).Load(); other != (Load{SlotsTotal: c.Shard(1).SlotsTotal()}) {
+		t.Errorf("untouched shard load = %+v, want idle", other)
 	}
 
 	ten.Release()
 	ten.Release() // second release must be a no-op
-	if got := s.Load(); got != (Load{}) {
-		t.Errorf("post-release load = %+v, want zero", got)
+	if got := s.Load(); got != idle {
+		t.Errorf("post-release load = %+v, want idle", got)
 	}
 	st := s.Stats()
 	if st.Admitted != 1 || st.Released != 1 {
@@ -133,8 +134,8 @@ func TestClusterConcurrentShards(t *testing.T) {
 	}
 	wg.Wait()
 	for i, ld := range c.Loads() {
-		if ld != (Load{}) {
-			t.Errorf("shard %d load after full release = %+v, want zero", i, ld)
+		if ld != (Load{SlotsTotal: c.Shard(i).SlotsTotal()}) {
+			t.Errorf("shard %d load after full release = %+v, want idle", i, ld)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
 )
 
@@ -24,12 +25,23 @@ type Admission interface {
 }
 
 // Grant is a committed tenant admitted through an Admission path.
-// Release is safe to call from any goroutine, and at most once has an
-// effect.
+// Release and Resize are safe to call from any goroutine; operations on
+// one grant serialize against each other, and Release at most once has
+// an effect.
 type Grant interface {
-	// Reservation exposes the tenant's placement and per-uplink
-	// holdings for inspection; the data is fixed at admission.
+	// Reservation exposes the tenant's current placement and per-uplink
+	// holdings for inspection; the returned reservation is fixed (a
+	// Resize swaps in a new one rather than mutating it).
 	Reservation() *Reservation
+	// Resize grows or shrinks the tenant in place to newGraph — the
+	// tenant's TAG with one or more tier sizes changed (per-VM
+	// guarantees are untouched, §3/§6). On success the grant's
+	// reservation and footprint reflect the new size; on failure the
+	// ledger and the grant are exactly as before, and the error carries
+	// a typed Reason (ReasonUnsupported when the placer cannot resize,
+	// ReasonInvalidRequest for structural changes, capacity reasons
+	// when the datacenter cannot host the growth).
+	Resize(newGraph *tag.Graph) error
 	// Release returns the tenant's slots and bandwidth to the shared
 	// ledger. Subsequent calls are no-ops.
 	Release()
@@ -52,7 +64,8 @@ type Grant interface {
 // path bit-compatible with the optimistic path: OptimisticAdmitter
 // with one planner produces a byte-identical ledger. Departures go
 // through Admitted.Release, which commits the negated delta under the
-// same lock.
+// same lock, and resizes through Admitted.Resize, which commits the
+// net delta of the tenant's old-to-new transition.
 //
 // The zero value is not usable; construct with NewAdmitter.
 type Admitter struct {
@@ -65,6 +78,7 @@ type Admitter struct {
 	rejected atomic.Int64
 	failed   atomic.Int64
 	released atomic.Int64
+	resized  atomic.Int64
 }
 
 // AdmitStats are an Admitter's monotonic counters.
@@ -74,11 +88,13 @@ type AdmitStats struct {
 	// (ErrRejected), the signal the experiments measure.
 	Admitted, Rejected int64
 	// Failed counts Place errors that are NOT capacity rejections —
-	// internal placer failures that callers should surface, never
-	// fold into a rejection rate.
+	// malformed requests and internal placer failures that callers
+	// should surface, never fold into a rejection rate.
 	Failed int64
 	// Released counts departures.
 	Released int64
+	// Resized counts successful in-place tenant resizes.
+	Resized int64
 }
 
 // NewAdmitter wraps the tree and the placer built on it for concurrent
@@ -102,6 +118,10 @@ func (a *Admitter) Name() string { return a.placer.Name() }
 // tenant's resources until its Release; on failure the tree is exactly
 // as if the request had never arrived.
 func (a *Admitter) Place(req *Request) (*Admitted, error) {
+	if err := ValidateRequest(a.tree, req); err != nil {
+		a.failed.Add(1)
+		return nil, err
+	}
 	// The snapshot save/restore copies the whole mutable ledger
 	// (O(nodes), two memcpys of a few hundred KB at paper scale) rather
 	// than tracking the placer's touched set; the copies cost a few
@@ -129,7 +149,7 @@ func (a *Admitter) Place(req *Request) (*Admitted, error) {
 	a.mu.Unlock()
 	a.admitted.Add(1)
 	res.released = true // inspection-only: departures commit the delta
-	return &Admitted{a: a, res: res, delta: d}, nil
+	return &Admitted{a: a, res: res, delta: d, graph: resizableGraph(req), ha: req.HA}, nil
 }
 
 // Admit implements Admission by delegating to Place.
@@ -148,27 +168,106 @@ func (a *Admitter) Stats() AdmitStats {
 		Rejected: a.rejected.Load(),
 		Failed:   a.failed.Load(),
 		Released: a.released.Load(),
+		Resized:  a.resized.Load(),
 	}
 }
 
-// Admitted is a committed tenant placed through an Admitter. Release is
-// safe to call from any goroutine, and at most once has an effect.
+// resizableGraph returns the request's TAG when the admission was
+// priced by the TAG itself — the precondition for in-place resizing.
+// Tenants admitted under a translated model (VOC, pipes) return nil and
+// reject Resize: their reservations were not computed from the graph a
+// resize would re-price.
+func resizableGraph(req *Request) *tag.Graph {
+	if req.Graph != nil && req.Model == Model(req.Graph) {
+		return req.Graph
+	}
+	return nil
+}
+
+// Admitted is a committed tenant placed through an Admitter. Release
+// and Resize are safe to call from any goroutine; operations on one
+// grant serialize on its own lock, and Release at most once has an
+// effect.
 type Admitted struct {
-	a        *Admitter
+	a *Admitter
+
+	// gmu serializes grant operations (Resize/Release/Reservation) so a
+	// resize never races a release of the same tenant. Lock order: gmu
+	// before the admitter's mu.
+	gmu      sync.Mutex
 	res      *Reservation
 	delta    topology.Delta
+	graph    *tag.Graph
+	ha       HASpec
 	released atomic.Bool
 }
 
 // Reservation exposes the underlying reservation for inspection
-// (placement, per-uplink holdings). The tenant's own data is fixed
-// after admission, so reading it does not require the admission lock;
-// methods that consult the shared tree do.
-func (ad *Admitted) Reservation() *Reservation { return ad.res }
+// (placement, per-uplink holdings). The returned reservation is fixed —
+// a Resize swaps in a fresh one — so reading it does not require the
+// admission lock.
+func (ad *Admitted) Reservation() *Reservation {
+	ad.gmu.Lock()
+	defer ad.gmu.Unlock()
+	return ad.res
+}
+
+// Resize grows or shrinks the tenant in place to newGraph, running the
+// placer's incremental auto-scaling inside the admission critical
+// section and committing the net old-to-new delta in one step. The
+// whole multi-tier transition is atomic: on any failure the ledger is
+// byte-identical to before the call and the grant is unchanged.
+func (ad *Admitted) Resize(newGraph *tag.Graph) error {
+	ad.gmu.Lock()
+	defer ad.gmu.Unlock()
+	a := ad.a
+	if ad.released.Load() {
+		return Rejectf("resize", ReasonReleased, "grant already released")
+	}
+	rz, ok := a.placer.(Resizer)
+	if !ok {
+		return Rejectf("resize", ReasonUnsupported, "placer %s cannot resize", a.placer.Name())
+	}
+	if ad.graph == nil {
+		return Rejectf("resize", ReasonUnsupported, "tenant was not admitted under its TAG model")
+	}
+	steps, err := resizeSteps(ad.graph, newGraph)
+	if err != nil {
+		a.failed.Add(1)
+		return err
+	}
+	if len(steps) == 0 {
+		return nil // no size changed
+	}
+
+	a.mu.Lock()
+	a.tree.Save(a.ck)
+	newRes, err := runResize(a.tree, rz, ad.res.data(), ad.graph, steps, ad.ha)
+	if err != nil {
+		a.tree.RestoreSnapshot(a.ck)
+		a.mu.Unlock()
+		if errors.Is(err, ErrRejected) {
+			a.rejected.Add(1)
+		} else {
+			a.failed.Add(1)
+		}
+		return err
+	}
+	newDelta := newRes.Delta()
+	a.tree.RestoreSnapshot(a.ck)
+	a.tree.Apply(topology.Merge(ad.delta.Negate(), newDelta))
+	a.mu.Unlock()
+	a.resized.Add(1)
+	newRes.released = true // inspection-only, like the admit path
+	ad.res, ad.delta, ad.graph = newRes, newDelta, newGraph
+	return nil
+}
 
 // Release returns the tenant's slots and bandwidth to the shared tree.
 // Subsequent calls are no-ops.
 func (ad *Admitted) Release() {
+	ad.gmu.Lock()
+	defer ad.gmu.Unlock()
 	if !ad.released.CompareAndSwap(false, true) {
 		return
 	}

@@ -145,7 +145,7 @@ func (p *Placer) Place(req *place.Request) (*place.Reservation, error) {
 		}
 		st = r.findLowestSubtree(lvl + 1)
 	}
-	return nil, fmt.Errorf("%w: tenant %q (%d VMs) does not fit", place.ErrRejected, req.Graph.Name, r.totalVMs)
+	return nil, place.Rejectf("admit", place.ReasonNoPlacement, "tenant %q (%d VMs) does not fit", req.Graph.Name, r.totalVMs)
 }
 
 // run holds per-request placement state.

@@ -15,6 +15,10 @@ import (
 // changes no guarantee values — only the VM count — so the placer can
 // grow or shrink a deployed tenant in place instead of re-deploying it.
 
+// Compile-time check: CloudMirror is the placer that supports in-place
+// auto-scaling through the admission paths.
+var _ place.Resizer = (*Placer)(nil)
+
 // Resize adjusts a deployed tenant to a new size for one tier. res is
 // consumed (whether Resize succeeds or not); the returned reservation
 // replaces it and reflects either the resized tenant or, on error, the
@@ -49,23 +53,23 @@ func (p *Placer) Resize(res *place.Reservation, oldGraph, newGraph *tag.Graph, t
 // changed.
 func compatible(oldG, newG *tag.Graph, tier int) error {
 	if oldG.Tiers() != newG.Tiers() || len(oldG.Edges()) != len(newG.Edges()) {
-		return fmt.Errorf("cloudmirror: resize changed graph structure")
+		return place.Rejectf("resize", place.ReasonInvalidRequest, "cloudmirror: resize changed graph structure")
 	}
 	for t := 0; t < oldG.Tiers(); t++ {
 		if t == tier {
 			continue
 		}
 		if oldG.Tier(t) != newG.Tier(t) {
-			return fmt.Errorf("cloudmirror: resize changed tier %d, expected only tier %d", t, tier)
+			return place.Rejectf("resize", place.ReasonInvalidRequest, "cloudmirror: resize changed tier %d, expected only tier %d", t, tier)
 		}
 	}
 	for i, e := range oldG.Edges() {
 		if newG.Edges()[i] != e {
-			return fmt.Errorf("cloudmirror: resize changed edge %d guarantees", i)
+			return place.Rejectf("resize", place.ReasonInvalidRequest, "cloudmirror: resize changed edge %d guarantees", i)
 		}
 	}
 	if newG.TierSize(tier) < 0 {
-		return fmt.Errorf("cloudmirror: negative tier size")
+		return place.Rejectf("resize", place.ReasonInvalidRequest, "cloudmirror: negative tier size")
 	}
 	return nil
 }
@@ -156,7 +160,7 @@ func (p *Placer) grow(tx *place.Txn, oldG, newG *tag.Graph, tier, d int, ha plac
 		}
 		if st == p.tree.Root() {
 			return p.restore(tx, oldG),
-				fmt.Errorf("%w: cannot grow tier %q by %d VMs", place.ErrRejected, newG.Tier(tier).Name, d)
+				place.Rejectf("resize", place.ReasonNoPlacement, "cannot grow tier %q by %d VMs", newG.Tier(tier).Name, d)
 		}
 		st = p.tree.Parent(st)
 	}

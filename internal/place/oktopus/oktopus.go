@@ -105,7 +105,7 @@ func (p *Placer) Place(req *place.Request) (*place.Reservation, error) {
 		}
 		st = r.findLowestSubtree(p.tree.Level(st) + 1)
 	}
-	return nil, fmt.Errorf("%w: tenant %d (%d VMs) does not fit", place.ErrRejected, req.ID, r.totalVMs)
+	return nil, place.Rejectf("admit", place.ReasonNoPlacement, "tenant %d (%d VMs) does not fit", req.ID, r.totalVMs)
 }
 
 type run struct {

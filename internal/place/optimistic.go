@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
 )
 
@@ -46,6 +47,11 @@ type OptimisticAdmitter struct {
 	mu   sync.Mutex
 	pool chan *plannerSlot
 	name string
+	// canResize records whether the placer implements Resizer (all
+	// planners run the same algorithm), so Resize can reject
+	// Unsupported without consuming a planner slot or touching the
+	// counters — exactly like the locked path.
+	canResize bool
 
 	// seqs[i] mirrors planner i's replica sequence for log trimming;
 	// written only by the goroutine holding planner i.
@@ -55,6 +61,7 @@ type OptimisticAdmitter struct {
 	rejected atomic.Int64
 	failed   atomic.Int64
 	released atomic.Int64
+	resized  atomic.Int64
 
 	conflicts atomic.Int64
 	fallbacks atomic.Int64
@@ -74,8 +81,9 @@ type OptimisticStats struct {
 	// Conflicts counts plans that failed validate-and-commit because a
 	// concurrent commit invalidated them.
 	Conflicts int64
-	// Fallbacks counts requests that exhausted their optimistic
-	// attempts and were decided by a locked plan.
+	// Fallbacks counts operations that exhausted their optimistic
+	// attempts: admissions fall back to a locked plan, resizes fail
+	// with ReasonConflictRetriesExhausted.
 	Fallbacks int64
 }
 
@@ -99,6 +107,7 @@ func NewOptimisticAdmitter(auth *topology.Tree, newPlacer func(*topology.Tree) P
 		pl := NewPlanner(topology.NewReplica(auth, a.log), newPlacer)
 		if i == 0 {
 			a.name = pl.Name()
+			_, a.canResize = pl.placer.(Resizer)
 		}
 		a.pool <- &plannerSlot{id: i, pl: pl}
 	}
@@ -116,6 +125,10 @@ func (a *OptimisticAdmitter) Planners() int { return len(a.seqs) }
 // Planners() requests plan concurrently while commits serialize on a
 // short critical section.
 func (a *OptimisticAdmitter) Admit(req *Request) (Grant, error) {
+	if err := ValidateRequest(a.auth, req); err != nil {
+		a.failed.Add(1)
+		return nil, err
+	}
 	slot := <-a.pool
 	defer func() { a.pool <- slot }()
 
@@ -145,10 +158,10 @@ func (a *OptimisticAdmitter) Admit(req *Request) (Grant, error) {
 		if plan.Seq() == a.log.Seq() {
 			// Nothing committed since the plan: the speculative run is
 			// the validation.
-			return a.commit(slot, plan), nil
+			return a.grant(a.commit(slot, plan), req), nil
 		}
 		if err := a.auth.Validate(plan.Delta()); err == nil {
-			return a.commit(slot, plan), nil
+			return a.grant(a.commit(slot, plan), req), nil
 		}
 		a.mu.Unlock()
 		a.conflicts.Add(1)
@@ -169,20 +182,28 @@ func (a *OptimisticAdmitter) Admit(req *Request) (Grant, error) {
 		}
 		return nil, err
 	}
-	return a.commit(slot, plan), nil
+	return a.grant(a.commit(slot, plan), req), nil
+}
+
+// grant finishes a committed admission: it records the request's TAG
+// and HA spec on the grant so a later Resize can re-price the tenant.
+func (a *OptimisticAdmitter) grant(g *optimisticGrant, req *Request) Grant {
+	g.graph = resizableGraph(req)
+	g.ha = req.HA
+	return g
 }
 
 // commit applies the plan's delta to the authoritative ledger, appends
 // it to the log, and releases the commit lock (which the caller must
 // hold). The planner's replica already carries the plan's own delta
 // context, so only its sequence mirror needs refreshing.
-func (a *OptimisticAdmitter) commit(slot *plannerSlot, plan *Plan) Grant {
+func (a *OptimisticAdmitter) commit(slot *plannerSlot, plan *Plan) *optimisticGrant {
 	a.auth.Apply(plan.Delta())
 	a.log.Append(plan.Delta())
 	a.mu.Unlock()
 	a.admitted.Add(1)
 	a.trim()
-	return &optimisticGrant{a: a, res: plan.reservation(a.auth), delta: plan.Delta()}
+	return &optimisticGrant{a: a, res: plan.reservation(a.auth), delta: plan.Footprint()}
 }
 
 // trim drops log entries every replica has already replayed, bounding
@@ -205,6 +226,7 @@ func (a *OptimisticAdmitter) Stats() AdmitStats {
 		Rejected: a.rejected.Load(),
 		Failed:   a.failed.Load(),
 		Released: a.released.Load(),
+		Resized:  a.resized.Load(),
 	}
 }
 
@@ -220,21 +242,111 @@ func (a *OptimisticAdmitter) OptStats() OptimisticStats {
 
 // optimisticGrant is a tenant committed through the optimistic path.
 // Its resources live on the authoritative tree and are returned by
-// committing the negated delta, so replicas observe the departure like
-// any other ledger change.
+// committing the negated footprint, so replicas observe the departure
+// like any other ledger change.
 type optimisticGrant struct {
-	a        *OptimisticAdmitter
+	a *OptimisticAdmitter
+
+	// gmu serializes grant operations (Resize/Release/Reservation) so a
+	// resize never plans against a footprint a concurrent release of
+	// the same grant is about to return. Lock order: gmu before the
+	// admitter's mu.
+	gmu      sync.Mutex
 	res      *Reservation
 	delta    topology.Delta
+	graph    *tag.Graph
+	ha       HASpec
 	released atomic.Bool
 }
 
 // Reservation exposes the committed placement and per-uplink holdings.
-func (g *optimisticGrant) Reservation() *Reservation { return g.res }
+// The returned reservation is fixed — a Resize swaps in a fresh one.
+func (g *optimisticGrant) Reservation() *Reservation {
+	g.gmu.Lock()
+	defer g.gmu.Unlock()
+	return g.res
+}
+
+// Resize grows or shrinks the tenant in place to newGraph through the
+// same two-phase pipeline as admission: the resize plans speculatively
+// on a planner replica, exporting the NET old-to-new delta, and a short
+// validate-and-commit section applies it to the authoritative ledger.
+// Conflicting commits trigger a replan; after maxPlanAttempts conflicts
+// the resize fails with ReasonConflictRetriesExhausted — the ledger is
+// untouched and the caller may retry. With one planner and serial
+// callers no conflict is possible and the decisions (and the ledger)
+// are byte-identical to the locked Admitter's.
+func (g *optimisticGrant) Resize(newGraph *tag.Graph) error {
+	g.gmu.Lock()
+	defer g.gmu.Unlock()
+	a := g.a
+	if g.released.Load() {
+		return Rejectf("resize", ReasonReleased, "grant already released")
+	}
+	if !a.canResize {
+		return Rejectf("resize", ReasonUnsupported, "placer %s cannot resize", a.name)
+	}
+	if g.graph == nil {
+		return Rejectf("resize", ReasonUnsupported, "tenant was not admitted under its TAG model")
+	}
+	steps, err := resizeSteps(g.graph, newGraph)
+	if err != nil {
+		a.failed.Add(1)
+		return err
+	}
+	if len(steps) == 0 {
+		return nil // no size changed
+	}
+
+	slot := <-a.pool
+	defer func() { a.pool <- slot }()
+
+	for attempt := 1; attempt <= maxPlanAttempts; attempt++ {
+		plan, err := slot.pl.PlanResize(g.res.data(), g.delta, g.graph, steps, g.ha)
+		a.seqs[slot.id].Store(slot.pl.Seq())
+		if err != nil {
+			if !errors.Is(err, ErrRejected) {
+				a.failed.Add(1)
+				return err
+			}
+			// Like an admission, a capacity rejection is authoritative
+			// only if the ledger has not moved since the plan started.
+			a.mu.Lock()
+			moved := a.log.Seq() != slot.pl.Seq()
+			a.mu.Unlock()
+			if !moved {
+				a.rejected.Add(1)
+				return err
+			}
+			a.conflicts.Add(1)
+			continue
+		}
+
+		a.mu.Lock()
+		if plan.Seq() == a.log.Seq() || a.auth.Validate(plan.Delta()) == nil {
+			a.auth.Apply(plan.Delta())
+			a.log.Append(plan.Delta())
+			a.mu.Unlock()
+			a.resized.Add(1)
+			a.trim()
+			g.res = plan.reservation(a.auth)
+			g.delta = plan.Footprint()
+			g.graph = newGraph
+			return nil
+		}
+		a.mu.Unlock()
+		a.conflicts.Add(1)
+	}
+	a.fallbacks.Add(1)
+	return Rejectf("resize", ReasonConflictRetriesExhausted,
+		"%d plans invalidated by concurrent commits; retry", maxPlanAttempts)
+}
 
 // Release returns the tenant's slots and bandwidth to the ledger.
 // Subsequent calls are no-ops.
 func (g *optimisticGrant) Release() {
+	g.gmu.Lock()
+	defer g.gmu.Unlock()
 	if !g.released.CompareAndSwap(false, true) {
 		return
 	}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
 )
 
@@ -48,32 +49,74 @@ func (p *Planner) Plan(req *Request) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	d := res.Delta()
 	return &Plan{
 		seq:       p.rep.Seq(),
-		delta:     res.Delta(),
+		delta:     d,
+		footprint: d,
 		placement: res.placement,
 		reserved:  res.reserved,
 		resources: res.resources,
 	}, nil
 }
 
-// Plan is a successful speculative placement: the ledger delta to
-// validate-and-commit, plus the reservation data (placement, per-uplink
-// holdings) the committed tenant exposes for inspection. The underlying
-// replica has already been rolled back; the plan owns its data.
+// PlanResize is one speculative in-place resize: catch the replica up,
+// rebuild the tenant's committed reservation on it, replay the per-tier
+// resize steps with the replica-bound placer, and export the NET
+// old-to-new delta — the single entry validate-and-commit applies to
+// the authoritative ledger. The replica is rolled back byte-exactly
+// afterwards, exactly like Plan. The returned plan's Delta is the net
+// change; its footprint is the tenant's full new footprint, which the
+// committed grant needs for its eventual Release.
+func (p *Planner) PlanResize(base reservationData, oldDelta topology.Delta, oldG *tag.Graph, steps []resizeStep, ha HASpec) (*Plan, error) {
+	rz, ok := p.placer.(Resizer)
+	if !ok {
+		return nil, Rejectf("resize", ReasonUnsupported, "placer %s cannot resize", p.placer.Name())
+	}
+	p.rep.CatchUp()
+	p.rep.Checkpoint()
+	defer p.rep.Restore()
+	res, err := runResize(p.rep.Tree(), rz, base, oldG, steps, ha)
+	if err != nil {
+		return nil, err
+	}
+	footprint := res.Delta()
+	return &Plan{
+		seq:       p.rep.Seq(),
+		delta:     topology.Merge(oldDelta.Negate(), footprint),
+		footprint: footprint,
+		placement: res.placement,
+		reserved:  res.reserved,
+		resources: res.resources,
+	}, nil
+}
+
+// Plan is a successful speculative placement or resize: the ledger
+// delta to validate-and-commit, plus the reservation data (placement,
+// per-uplink holdings) the committed tenant exposes for inspection. The
+// underlying replica has already been rolled back; the plan owns its
+// data.
 type Plan struct {
 	// seq is the log sequence the plan was computed against. If the
 	// authoritative log is still at seq at commit time, the speculative
 	// run itself was the validation.
 	seq       uint64
 	delta     topology.Delta
+	footprint topology.Delta
 	placement Placement
 	reserved  map[topology.NodeID][2]float64
 	resources [][]float64
 }
 
-// Delta returns the ledger footprint the plan wants to commit.
+// Delta returns the ledger change the plan wants to commit: the
+// tenant's footprint for an admission, the net old-to-new change for a
+// resize.
 func (pl *Plan) Delta() topology.Delta { return pl.delta }
+
+// Footprint returns the tenant's full resource footprint after the
+// plan commits — what a Release must negate. For admissions it equals
+// Delta.
+func (pl *Plan) Footprint() topology.Delta { return pl.footprint }
 
 // Seq returns the log sequence the plan was computed against.
 func (pl *Plan) Seq() uint64 { return pl.seq }

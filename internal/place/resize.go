@@ -1,0 +1,127 @@
+package place
+
+import (
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// Resizer is implemented by placers that can grow or shrink a committed
+// tenant in place (auto-scaling, §6). CloudMirror implements it; model
+// translations (O+VOC, SecondNet's pipes) do not, and grants admitted
+// through them reject Resize with ReasonUnsupported.
+type Resizer interface {
+	// Resize adjusts a deployed tenant to newGraph, which must be
+	// oldGraph with only tier's size changed. res is consumed; the
+	// returned reservation replaces it and reflects either the resized
+	// tenant or, on error, the original unchanged.
+	Resize(res *Reservation, oldGraph, newGraph *tag.Graph, tier int, ha HASpec) (*Reservation, error)
+}
+
+// Compile-time check lives in the cloudmirror package (importing it
+// here would cycle).
+
+// resizeStep is one single-tier hop of a resize: the graph after
+// changing `tier`, with every earlier step already applied.
+type resizeStep struct {
+	graph *tag.Graph
+	tier  int
+}
+
+// resizeSteps validates that newGraph is oldGraph with only tier sizes
+// changed and decomposes the transition into single-tier steps (the
+// granularity placer Resize implementations work at). Structure changes
+// — different tier count, renamed tiers, different edges or guarantees
+// — reject with ReasonInvalidRequest: a structural change is a new
+// tenant, not a resize.
+func resizeSteps(oldG, newG *tag.Graph) ([]resizeStep, error) {
+	const op = "resize"
+	if newG == nil {
+		return nil, Rejectf(op, ReasonInvalidRequest, "nil graph")
+	}
+	if err := newG.Validate(); err != nil {
+		return nil, Reject(op, ReasonInvalidRequest, err)
+	}
+	if oldG.Tiers() != newG.Tiers() {
+		return nil, Rejectf(op, ReasonInvalidRequest,
+			"resize changed tier count %d -> %d", oldG.Tiers(), newG.Tiers())
+	}
+	if len(oldG.Edges()) != len(newG.Edges()) {
+		return nil, Rejectf(op, ReasonInvalidRequest, "resize changed edge set")
+	}
+	for i, e := range oldG.Edges() {
+		if newG.Edges()[i] != e {
+			return nil, Rejectf(op, ReasonInvalidRequest, "resize changed edge %d guarantees", i)
+		}
+	}
+	var steps []resizeStep
+	cur := oldG
+	for t := 0; t < oldG.Tiers(); t++ {
+		ot, nt := oldG.Tier(t), newG.Tier(t)
+		if ot.Name != nt.Name || ot.External != nt.External {
+			return nil, Rejectf(op, ReasonInvalidRequest,
+				"resize changed tier %d identity (%q -> %q)", t, ot.Name, nt.Name)
+		}
+		if ot.N == nt.N {
+			continue
+		}
+		next, err := cur.WithTierSize(t, nt.N)
+		if err != nil {
+			return nil, Reject(op, ReasonInvalidRequest, err)
+		}
+		steps = append(steps, resizeStep{graph: next, tier: t})
+		cur = next
+	}
+	return steps, nil
+}
+
+// reservationData is the tree-independent payload of a committed grant:
+// everything needed to rebuild a live reservation on any tree whose
+// ledger carries the tenant (the authoritative tree or a planner
+// replica — node IDs are identical across trees built from one Spec).
+type reservationData struct {
+	placement Placement
+	reserved  map[topology.NodeID][2]float64
+	resources [][]float64
+}
+
+// data snapshots the reservation's payload for rebuilding elsewhere.
+func (r *Reservation) data() reservationData {
+	return reservationData{placement: r.placement, reserved: r.reserved, resources: r.resources}
+}
+
+// rebuild materializes a live reservation on the given tree from the
+// snapshot. Maps are deep-copied: placer Resize implementations mutate
+// the reservation they consume, and a failed or speculative resize must
+// never corrupt the grant's committed state.
+func (d reservationData) rebuild(tree *topology.Tree) *Reservation {
+	reserved := make(map[topology.NodeID][2]float64, len(d.reserved))
+	for n, v := range d.reserved {
+		reserved[n] = v
+	}
+	return &Reservation{
+		tree:      tree,
+		placement: d.placement.Clone(),
+		reserved:  reserved,
+		resources: d.resources,
+		ownsSlots: true,
+	}
+}
+
+// runResize replays the per-tier steps on the given tree, whose ledger
+// must currently carry the tenant's old footprint, and returns the
+// resized reservation. The tree is left with the resize arithmetic
+// applied; callers roll it back (snapshot restore or replica checkpoint)
+// and commit the net delta instead, so both admission paths advance
+// their ledgers identically.
+func runResize(tree *topology.Tree, rz Resizer, base reservationData, oldG *tag.Graph, steps []resizeStep, ha HASpec) (*Reservation, error) {
+	cur := base.rebuild(tree)
+	g := oldG
+	for _, st := range steps {
+		next, err := rz.Resize(cur, g, st.graph, st.tier, ha)
+		if err != nil {
+			return nil, err
+		}
+		cur, g = next, st.graph
+	}
+	return cur, nil
+}

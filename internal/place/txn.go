@@ -82,11 +82,11 @@ func (tx *Txn) Place(server topology.NodeID, t, k int) error {
 		return nil
 	}
 	if err := tx.tree.UseResources(server, k, tx.tierDemand(t)); err != nil {
-		return fmt.Errorf("%w: %v", topology.ErrNoSlots, err)
+		return Reject("place", ReasonInsufficientResources, err)
 	}
 	if err := tx.tree.UseSlots(server, k); err != nil {
 		tx.tree.ReleaseResources(server, k, tx.tierDemand(t))
-		return err
+		return Reject("place", ReasonNoSlots, err)
 	}
 	tx.tree.PathToRoot(server, func(n topology.NodeID) {
 		c := tx.counts[n]
@@ -222,7 +222,7 @@ func (tx *Txn) sync(want func(topology.NodeID) bool) error {
 				r := tx.reserved[d.node]
 				tx.reserved[d.node] = [2]float64{r[0] - d.out, r[1] - d.in}
 			}
-			return fmt.Errorf("%w: %v", ErrRejected, err)
+			return Reject("reserve", ReasonInsufficientBandwidth, err)
 		}
 		applied = append(applied, delta{n, dOut, dIn})
 		tx.reserved[n] = [2]float64{wantOut, wantIn}

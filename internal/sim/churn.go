@@ -2,11 +2,12 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
-	"cloudmirror/internal/cluster"
+	"cloudmirror/guarantee"
 	"cloudmirror/internal/parallel"
 	"cloudmirror/internal/place"
 	"cloudmirror/internal/tag"
@@ -14,9 +15,10 @@ import (
 )
 
 // ChurnConfig describes one dynamic-churn simulation: a Poisson tenant
-// arrival process with exponential lifetimes, dispatched across a
-// sharded cluster. Equal configs (including Seed) give byte-identical
-// results at any Workers value.
+// arrival process with exponential lifetimes (optionally interleaved
+// with elastic tier resizes), dispatched across a sharded cluster
+// through the public guarantee.Service. Equal configs (including Seed)
+// give byte-identical results at any Workers value.
 type ChurnConfig struct {
 	// Spec is the per-shard datacenter topology.
 	Spec topology.Spec
@@ -48,10 +50,17 @@ type ChurnConfig struct {
 	// MeanDwell is the mean tenant lifetime Td (simulated time units);
 	// zero or negative means 1.
 	MeanDwell float64
+	// ResizeProb, when positive, interleaves elastic scaling with the
+	// churn: after each arrival, with this probability a uniformly
+	// chosen live tenant grows or shrinks one uniformly chosen tier by
+	// a factor drawn from {0.5, 1.5, 2} through Grant.Resize. Zero (the
+	// default) draws nothing from the RNG, so adding resize support
+	// does not perturb resize-free workloads.
+	ResizeProb float64
 	// HA is applied to every arriving tenant (zero value: none).
 	HA place.HASpec
 	// Seed drives all randomness: arrival spacing, pool sampling,
-	// lifetimes, and the p2c policy's sampling.
+	// lifetimes, resize picks, and the p2c policy's sampling.
 	Seed int64
 	// Workers bounds the goroutines used for shard construction and the
 	// final drain. It never changes results: the event loop itself is
@@ -65,6 +74,8 @@ type ChurnShardStats struct {
 	// Admitted and Rejected are the shard's admission counters;
 	// failover attempts count as rejections on each shard that refused.
 	Admitted, Rejected int
+	// Resized counts successful in-place tenant resizes on the shard.
+	Resized int
 	// LiveTenants is the shard's tenant count when the last arrival was
 	// processed (before the final drain).
 	LiveTenants int
@@ -92,6 +103,10 @@ type ChurnResult struct {
 	Arrivals, Admitted, Rejected int
 	// Departures counts tenants that left before the end of the run.
 	Departures int
+	// Resized and ResizeRejected partition the elastic-scaling events
+	// (both zero when ResizeProb is zero): Resized counts committed
+	// in-place resizes, ResizeRejected ones the fleet could not host.
+	Resized, ResizeRejected int
 	// Failovers counts placement attempts beyond each request's first
 	// shard — how often the policy's first pick was wrong.
 	Failovers int64
@@ -117,12 +132,21 @@ type ChurnResult struct {
 // randomness never perturbs the arrival sequence.
 func policySeed(seed int64) int64 { return seed ^ 0x5DEECE66D }
 
+// churnTenant is one live tenant of a churn run: its grant, its
+// current TAG (updated by resizes), and its index in the live slice
+// (for O(1) swap-removal on departure).
+type churnTenant struct {
+	grant guarantee.Grant
+	graph *tag.Graph
+	idx   int
+}
+
 // churnDeparture is a scheduled tenant exit from a churn run. seq
 // breaks simulated-time ties deterministically (insertion order).
 type churnDeparture struct {
 	at  float64
 	seq int
-	ten *cluster.Tenant
+	ten *churnTenant
 }
 
 type churnQueue []churnDeparture
@@ -147,7 +171,9 @@ func (q *churnQueue) Pop() any {
 // Churn runs a dynamic-churn simulation: cfg.Arrivals Poisson tenant
 // arrivals with exponential lifetimes, each dispatched across
 // cfg.Shards independent trees by the named policy, with failover
-// through the remaining shards when the first pick rejects.
+// through the remaining shards when the first pick rejects. With
+// cfg.ResizeProb > 0, live tenants additionally grow and shrink tiers
+// in place through the guarantee API's Resize.
 //
 // The event loop is serial and fully deterministic: equal configs give
 // byte-identical results at any cfg.Workers value, which only bounds
@@ -165,24 +191,26 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 	if cfg.Shards <= 0 {
 		return nil, errors.New("sim: Shards must be positive")
 	}
-	policyName := cfg.Policy
-	if policyName == "" {
-		policyName = "rr"
+	if cfg.ResizeProb > 0 && cfg.ModelFor != nil {
+		// Resize requires TAG-native pricing: tenants admitted under a
+		// translated model (VOC, pipes) reject Resize with Unsupported,
+		// which would abort the run at the first resize event. Fail
+		// before any work is done instead.
+		return nil, errors.New("sim: ResizeProb requires TAG-native pricing (ModelFor must be nil)")
 	}
-	policy, err := cluster.NewPolicy(policyName, policySeed(cfg.Seed))
+	svc, err := guarantee.New(cfg.Spec,
+		guarantee.WithPlacer(cfg.NewPlacer),
+		guarantee.WithModelFor(cfg.ModelFor),
+		guarantee.WithShards(cfg.Shards),
+		guarantee.WithPlanners(cfg.Planners),
+		guarantee.WithPolicy(cfg.Policy),
+		guarantee.WithSeed(policySeed(cfg.Seed)),
+		guarantee.WithWorkers(cfg.Workers),
+	)
 	if err != nil {
 		return nil, err
 	}
-	var cl *cluster.Cluster
-	if cfg.Planners > 0 {
-		cl, err = cluster.NewOptimistic(cfg.Spec, cfg.Shards, cfg.NewPlacer, cfg.Planners, cfg.Workers)
-	} else {
-		cl, err = cluster.New(cfg.Spec, cfg.Shards, cfg.NewPlacer, cfg.Workers)
-	}
-	if err != nil {
-		return nil, err
-	}
-	disp := cluster.NewDispatcher(cl, policy)
+	ctx := context.Background()
 
 	// Arrival rate from the load formula, over the whole fleet's slots.
 	meanDwell := cfg.MeanDwell
@@ -195,8 +223,9 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 	}
 	meanSize /= float64(len(cfg.Pool))
 	var totalSlots float64
-	for i := 0; i < cl.Size(); i++ {
-		totalSlots += float64(cl.Shard(i).SlotsTotal())
+	loads := svc.Loads()
+	for _, ld := range loads {
+		totalSlots += float64(ld.SlotsTotal)
 	}
 	load := cfg.Load
 	if load <= 0 {
@@ -206,27 +235,34 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 
 	r := rand.New(rand.NewSource(cfg.Seed))
 	res := &ChurnResult{
-		Placer:   cl.Shard(0).Name(),
-		Policy:   policy.Name(),
-		Shards:   cl.Size(),
-		PerShard: make([]ChurnShardStats, cl.Size()),
+		Placer:   svc.Name(),
+		Policy:   svc.Policy(),
+		Shards:   svc.Shards(),
+		PerShard: make([]ChurnShardStats, svc.Shards()),
 	}
 
 	var (
 		clock      float64
 		departures churnQueue
+		live       []*churnTenant
 		seq        int
 		// slotSeconds[s] integrates shard s's occupied slots over
 		// simulated time, for the steady-state utilization report.
-		slotSeconds = make([]float64, cl.Size())
+		slotSeconds = make([]float64, svc.Shards())
 	)
 	heap.Init(&departures)
 	advance := func(to float64) {
 		dt := to - clock
-		for i := 0; i < cl.Size(); i++ {
-			slotSeconds[i] += float64(cl.Shard(i).Load().SlotsUsed) * dt
+		for i, ld := range svc.Loads() {
+			slotSeconds[i] += float64(ld.SlotsUsed) * dt
 		}
 		clock = to
+	}
+	unlive := func(ten *churnTenant) {
+		last := len(live) - 1
+		live[ten.idx] = live[last]
+		live[ten.idx].idx = ten.idx
+		live = live[:last]
 	}
 
 	for i := 0; i < cfg.Arrivals; i++ {
@@ -234,43 +270,85 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 		for len(departures) > 0 && departures[0].at <= next {
 			d := heap.Pop(&departures).(churnDeparture)
 			advance(d.at)
-			d.ten.Release()
+			d.ten.grant.Release()
+			unlive(d.ten)
 			res.Departures++
 		}
 		advance(next)
 
 		g := cfg.Pool[r.Intn(len(cfg.Pool))]
-		var model place.Model = g
-		if cfg.ModelFor != nil {
-			model = cfg.ModelFor(g)
-		}
-		req := &place.Request{ID: int64(i), Graph: g, Model: model, HA: cfg.HA}
+		req := guarantee.Request{ID: int64(i), Graph: g, HA: cfg.HA}
 		res.Arrivals++
-		ten, err := disp.Place(req)
+		grant, err := svc.Admit(ctx, req)
 		if err != nil {
 			if !errors.Is(err, place.ErrRejected) {
 				return nil, fmt.Errorf("sim: churn placement error: %w", err)
 			}
 			res.Rejected++
-			continue
+		} else {
+			res.Admitted++
+			seq++
+			ten := &churnTenant{grant: grant, graph: g, idx: len(live)}
+			live = append(live, ten)
+			heap.Push(&departures, churnDeparture{clock + r.ExpFloat64()*meanDwell, seq, ten})
 		}
-		res.Admitted++
-		seq++
-		heap.Push(&departures, churnDeparture{clock + r.ExpFloat64()*meanDwell, seq, ten})
+
+		// Elastic scaling: with probability ResizeProb, one live tenant
+		// changes one tier's size in place. Every draw below is from
+		// the single workload RNG, so the event sequence — and through
+		// it every admission decision — stays a pure function of the
+		// config.
+		if cfg.ResizeProb > 0 && len(live) > 0 && r.Float64() < cfg.ResizeProb {
+			ten := live[r.Intn(len(live))]
+			var resizable []int
+			for t := 0; t < ten.graph.Tiers(); t++ {
+				if !ten.graph.Tier(t).External {
+					resizable = append(resizable, t)
+				}
+			}
+			if len(resizable) > 0 {
+				t := resizable[r.Intn(len(resizable))]
+				factor := []float64{0.5, 1.5, 2}[r.Intn(3)]
+				n := ten.graph.TierSize(t)
+				newN := int(float64(n) * factor)
+				if newN < 1 {
+					newN = 1
+				}
+				if newN == n {
+					newN = n + 1
+				}
+				ng, gerr := ten.graph.WithTierSize(t, newN)
+				if gerr != nil {
+					return nil, fmt.Errorf("sim: churn resize graph: %w", gerr)
+				}
+				if err := ten.grant.Resize(ctx, ng); err != nil {
+					if !errors.Is(err, place.ErrRejected) {
+						return nil, fmt.Errorf("sim: churn resize error: %w", err)
+					}
+					res.ResizeRejected++
+				} else {
+					ten.graph = ng
+					res.Resized++
+				}
+			}
+		}
 	}
 
 	res.Duration = clock
-	res.Failovers = disp.Stats().Failovers
-	for i, st := range cl.Stats() {
-		ld := cl.Shard(i).Load()
+	stats := svc.Stats()
+	res.Failovers = stats.Failovers
+	loads = svc.Loads()
+	for i, st := range stats.PerShard {
+		ld := loads[i]
 		res.PerShard[i] = ChurnShardStats{
 			Admitted:     int(st.Admitted),
 			Rejected:     int(st.Rejected),
+			Resized:      int(st.Resized),
 			LiveTenants:  ld.Tenants,
 			ReservedGbps: ld.ReservedMbps / 1000,
 		}
 		if clock > 0 {
-			res.PerShard[i].Utilization = slotSeconds[i] / (float64(cl.Shard(i).SlotsTotal()) * clock)
+			res.PerShard[i].Utilization = slotSeconds[i] / (float64(ld.SlotsTotal) * clock)
 		}
 	}
 	if clock > 0 {
@@ -288,15 +366,15 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 	// Drain the fleet: shards are independent, so releasing each
 	// shard's survivors is embarrassingly parallel and cannot affect
 	// the already-assembled result.
-	remaining := make([][]*cluster.Tenant, cl.Size())
+	remaining := make([][]*churnTenant, svc.Shards())
 	for len(departures) > 0 {
 		d := heap.Pop(&departures).(churnDeparture)
-		id := d.ten.Shard().ID()
+		id := d.ten.grant.Shard()
 		remaining[id] = append(remaining[id], d.ten)
 	}
 	if err := parallel.ForEach(cfg.Workers, len(remaining), func(i int) error {
 		for _, ten := range remaining[i] {
-			ten.Release()
+			ten.grant.Release()
 		}
 		return nil
 	}); err != nil {

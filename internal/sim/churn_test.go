@@ -271,3 +271,69 @@ func TestChurnValidation(t *testing.T) {
 		t.Error("unknown policy accepted")
 	}
 }
+
+// TestChurnResizeDeterminism: the churn-with-resize workload is a pure
+// function of the config too — equal configs give identical results at
+// any Workers value, with elastic scaling events interleaved through
+// the guarantee API.
+func TestChurnResizeDeterminism(t *testing.T) {
+	for _, planners := range []int{0, 2} {
+		t.Run(fmt.Sprintf("planners=%d", planners), func(t *testing.T) {
+			var ref *ChurnResult
+			for _, workers := range []int{1, 4, 0} {
+				cfg := churnConfig(400, 2, "least")
+				cfg.ResizeProb = 0.4
+				cfg.Planners = planners
+				cfg.Workers = workers
+				res, err := Churn(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if !reflect.DeepEqual(res, ref) {
+					t.Errorf("workers=%d result differs:\n--- want ---\n%s--- got ---\n%s",
+						workers, renderChurn(ref), renderChurn(res))
+				}
+			}
+			if ref.Resized == 0 {
+				t.Fatalf("degenerate workload: no resizes committed (rejected %d)", ref.ResizeRejected)
+			}
+		})
+	}
+}
+
+// TestChurnResizeOptimisticMatchesLocked extends the byte-identity
+// proof to elastic scaling: on the seeded churn+resize workload,
+// optimistic admission with one planner must reproduce the locked
+// path exactly — the same admit/reject/resize sequence, the same
+// placements, the same final ledger-derived statistics. Resizes commit
+// through the same net-delta machinery on both paths, which is what
+// this pins down.
+func TestChurnResizeOptimisticMatchesLocked(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		mk := func(planners int) ChurnConfig {
+			cfg := churnConfig(600, shards, "least")
+			cfg.ResizeProb = 0.4
+			cfg.Planners = planners
+			return cfg
+		}
+		want, err := Churn(mk(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Churn(mk(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: optimistic(planners=1) diverges from locked under resize:\n--- locked ---\n%s--- optimistic ---\n%s",
+				shards, renderChurn(want), renderChurn(got))
+		}
+		if want.Resized == 0 {
+			t.Fatalf("shards=%d: degenerate workload: no resizes committed", shards)
+		}
+	}
+}

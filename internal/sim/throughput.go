@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -8,13 +9,14 @@ import (
 	"sync/atomic"
 	"time"
 
-	"cloudmirror/internal/cluster"
+	"cloudmirror/guarantee"
 	"cloudmirror/internal/parallel"
 	"cloudmirror/internal/place"
 )
 
 // ThroughputResult reports a concurrent-admission measurement: many
-// workers hammering a shard fleet through a cluster.Dispatcher.
+// workers hammering a shard fleet through the public
+// guarantee.Service.
 type ThroughputResult struct {
 	// Placer and Policy identify the placement algorithm and dispatch
 	// policy under test.
@@ -56,7 +58,7 @@ func Throughput(cfg Config, workers int) (*ThroughputResult, error) {
 // of shards trees: `workers` concurrent clients each issue a share of
 // cfg.Arrivals admission attempts (tenants sampled from cfg.Pool with a
 // per-worker RNG derived deterministically from cfg.Seed) through one
-// shared cluster.Dispatcher running the named policy ("" means "rr"),
+// shared guarantee.Service running the named policy ("" means "rr"),
 // holding up to a small window of live tenants and releasing the oldest
 // as they go.
 //
@@ -64,8 +66,8 @@ func Throughput(cfg Config, workers int) (*ThroughputResult, error) {
 // results artifact: the admission order — and therefore which tenants
 // are accepted, and on which shard — depends on scheduling when
 // workers > 1. Counters are exact, placements are always consistent
-// (each shard's Admitter serializes its ledger mutations), and the
-// fleet is fully drained before returning.
+// (each shard's admission path serializes its ledger mutations), and
+// the fleet is fully drained before returning.
 func ShardedThroughput(cfg Config, shards int, policy string, workers int) (*ThroughputResult, error) {
 	return shardedThroughput(cfg, shards, policy, 0, workers)
 }
@@ -93,27 +95,23 @@ func shardedThroughput(cfg Config, shards int, policy string, planners, workers 
 	if cfg.Arrivals <= 0 {
 		return nil, errors.New("sim: Arrivals must be positive")
 	}
-	if policy == "" {
-		policy = "rr"
-	}
-	pol, err := cluster.NewPolicy(policy, policySeed(cfg.Seed))
-	if err != nil {
-		return nil, err
-	}
 	workers = parallel.Workers(workers)
 	if workers > cfg.Arrivals {
 		workers = cfg.Arrivals
 	}
-	var cl *cluster.Cluster
-	if planners > 0 {
-		cl, err = cluster.NewOptimistic(cfg.Spec, shards, cfg.NewPlacer, planners, workers)
-	} else {
-		cl, err = cluster.New(cfg.Spec, shards, cfg.NewPlacer, workers)
-	}
+	svc, err := guarantee.New(cfg.Spec,
+		guarantee.WithPlacer(cfg.NewPlacer),
+		guarantee.WithModelFor(cfg.ModelFor),
+		guarantee.WithShards(shards),
+		guarantee.WithPlanners(planners),
+		guarantee.WithPolicy(policy),
+		guarantee.WithSeed(policySeed(cfg.Seed)),
+		guarantee.WithWorkers(workers),
+	)
 	if err != nil {
 		return nil, err
 	}
-	disp := cluster.NewDispatcher(cl, pol)
+	ctx := context.Background()
 
 	var (
 		wg       sync.WaitGroup
@@ -141,20 +139,16 @@ func shardedThroughput(cfg Config, shards int, policy string, planners, workers 
 			// SplitMix-style odd multiplier keeps per-worker streams
 			// disjoint for any seed.
 			r := rand.New(rand.NewSource(cfg.Seed ^ (int64(w)+1)*-0x61C8864680B583EB))
-			var live []*cluster.Tenant
+			var live []guarantee.Grant
 			defer func() {
-				for _, ten := range live {
-					ten.Release()
+				for _, g := range live {
+					g.Release()
 				}
 			}()
 			for i := 0; i < ops && !stop.Load(); i++ {
 				g := cfg.Pool[r.Intn(len(cfg.Pool))]
-				var model place.Model = g
-				if cfg.ModelFor != nil {
-					model = cfg.ModelFor(g)
-				}
-				req := &place.Request{ID: int64(w)<<32 | int64(i), Graph: g, Model: model, HA: cfg.HA}
-				ten, err := disp.Place(req)
+				req := guarantee.Request{ID: int64(w)<<32 | int64(i), Graph: g, HA: cfg.HA}
+				grant, err := svc.Admit(ctx, req)
 				if err != nil {
 					if !errors.Is(err, place.ErrRejected) {
 						fail(fmt.Errorf("sim: concurrent placement error: %w", err))
@@ -167,7 +161,7 @@ func shardedThroughput(cfg Config, shards int, policy string, planners, workers 
 					}
 					continue
 				}
-				live = append(live, ten)
+				live = append(live, grant)
 				if len(live) > holdWindow {
 					live[0].Release()
 					live = live[1:]
@@ -181,11 +175,11 @@ func shardedThroughput(cfg Config, shards int, policy string, planners, workers 
 	if ep := firstErr.Load(); ep != nil {
 		return nil, *ep
 	}
-	stats := disp.Stats()
+	stats := svc.Stats()
 	res := &ThroughputResult{
-		Placer:    cl.Shard(0).Name(),
-		Policy:    pol.Name(),
-		Shards:    cl.Size(),
+		Placer:    svc.Name(),
+		Policy:    svc.Policy(),
+		Shards:    svc.Shards(),
 		Planners:  planners,
 		Workers:   workers,
 		Attempts:  int(stats.Admitted + stats.Rejected),

@@ -1,0 +1,23 @@
+package tag
+
+import "fmt"
+
+// WithTierSize returns a copy of the graph with tier t's VM count set
+// to n — the auto-scaling transform of §3/§6: per-VM guarantees are
+// untouched, only the tier size changes. It errors on an out-of-range
+// tier, a non-positive size, or an external tier (external components
+// are never placed, so they cannot be auto-scaled).
+func (g *Graph) WithTierSize(t, n int) (*Graph, error) {
+	if t < 0 || t >= len(g.tiers) {
+		return nil, fmt.Errorf("tag: tier %d out of range [0,%d)", t, len(g.tiers))
+	}
+	if g.tiers[t].External {
+		return nil, fmt.Errorf("tag: cannot resize external tier %q", g.tiers[t].Name)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("tag: tier %q resize to non-positive size %d", g.tiers[t].Name, n)
+	}
+	c := g.Clone()
+	c.tiers[t].N = n
+	return c, nil
+}

@@ -105,6 +105,65 @@ func (d Delta) Normalize() Delta {
 	return d
 }
 
+// Merge combines deltas into one canonical delta: per-node entries are
+// summed and entries whose contributions cancel exactly drop out. A
+// resize commits Merge(oldFootprint.Negate(), newFootprint) — the net
+// ledger change of the tenant's transition — as a single atomic delta,
+// so validation and replication see one entry per resize, exactly like
+// an admission. Both admission paths merge the same way, which keeps
+// the locked and planners=1 optimistic ledgers byte-identical.
+func Merge(ds ...Delta) Delta {
+	slots := make(map[NodeID]int)
+	links := make(map[NodeID][2]float64)
+	var resources map[NodeID][]float64
+	for _, d := range ds {
+		for _, s := range d.Slots {
+			slots[s.Server] += s.N
+		}
+		for _, l := range d.Links {
+			v := links[l.Node]
+			links[l.Node] = [2]float64{v[0] + l.Out, v[1] + l.In}
+		}
+		for _, r := range d.Resources {
+			if resources == nil {
+				resources = make(map[NodeID][]float64)
+			}
+			dem := resources[r.Server]
+			if dem == nil {
+				dem = make([]float64, len(r.Demand))
+				resources[r.Server] = dem
+			}
+			for dim, v := range r.Demand {
+				dem[dim] += v
+			}
+		}
+	}
+	var m Delta
+	for n, k := range slots {
+		if k != 0 {
+			m.Slots = append(m.Slots, SlotDelta{Server: n, N: k})
+		}
+	}
+	for n, v := range links {
+		if v[0] != 0 || v[1] != 0 {
+			m.Links = append(m.Links, LinkDelta{Node: n, Out: v[0], In: v[1]})
+		}
+	}
+	for n, dem := range resources {
+		zero := true
+		for _, v := range dem {
+			if v != 0 {
+				zero = false
+				break
+			}
+		}
+		if !zero {
+			m.Resources = append(m.Resources, ResourceDelta{Server: n, Demand: dem})
+		}
+	}
+	return m.Normalize()
+}
+
 // Validate checks the delta against the tree's current headroom without
 // changing anything: every positive slot entry must fit the server's
 // free slots, every positive resource entry the server's free capacity,

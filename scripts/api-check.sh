@@ -1,0 +1,40 @@
+#!/bin/sh
+# api-check enforces the public-API boundary: binaries and examples
+# obtain admission only through the public guarantee package — never by
+# constructing internal admitters, reaching into the shard cluster, or
+# instantiating placer packages directly. The guarantee.Service front
+# door is the single admission entry point outside internal/, so the
+# typed rejection taxonomy, central request validation, and functional
+# options cannot be bypassed by a new cmd or example. Purely textual
+# (grep over the source), so it stays fast and dependency-free.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. The shard cluster is an implementation detail of guarantee: no
+#    cmd or example may import it.
+if out=$(grep -rn '"cloudmirror/internal/cluster"' cmd examples); then
+    echo "api-check: direct internal/cluster import (use guarantee.New):"
+    echo "$out"
+    fail=1
+fi
+
+# 2. The admission paths of internal/place are wrapped by guarantee:
+#    no cmd or example may name the admitters or the Admission/Grant
+#    machinery. (Data helpers like place.Placement stay usable.)
+if out=$(grep -rnE 'place\.(NewAdmitter|NewOptimisticAdmitter|Admitter|OptimisticAdmitter|Admission|Grant)\b' cmd examples); then
+    echo "api-check: direct internal/place admission usage (use guarantee.Service):"
+    echo "$out"
+    fail=1
+fi
+
+# 3. Placement algorithms are selected through the guarantee algorithm
+#    registry: no cmd or example may import a placer package.
+if out=$(grep -rnE '"cloudmirror/internal/place/(cloudmirror|oktopus|secondnet)"' cmd examples); then
+    echo "api-check: direct placer package import (use guarantee.WithAlgorithm):"
+    echo "$out"
+    fail=1
+fi
+
+exit $fail

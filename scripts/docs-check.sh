@@ -1,5 +1,6 @@
 #!/bin/sh
-# docs-check enforces the godoc contract on internal/...: every
+# docs-check enforces the godoc contract on internal/... and the
+# public guarantee package: every
 # exported top-level identifier and every exported method on an
 # exported type needs a doc comment, and every package needs a
 # package-level doc comment. Purely textual (awk over the source), so
@@ -9,7 +10,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 fail=0
-files=$(find internal -name '*.go' ! -name '*_test.go' | sort)
+files=$(find internal guarantee -name '*.go' ! -name '*_test.go' | sort)
 
 # Exported identifiers: a top-level `func|type|var|const Exported`, or
 # a method `func (recv ExportedType) ExportedName`, must be directly
@@ -42,7 +43,7 @@ fi
 
 # Package doc comments: at least one file per package must carry a
 # comment block directly above its package clause.
-for dir in $(find internal -type d | sort); do
+for dir in $(find internal guarantee -type d | sort); do
     ok=""
     found_go=""
     for f in "$dir"/*.go; do
