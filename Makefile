@@ -41,11 +41,12 @@ test-full:
 # Same seed => bit-identical tables at every worker count, exercised at
 # several GOMAXPROCS values. Covers the experiment sweeps (including
 # the churn and admission sweeps), the sharded churn simulator itself
-# (locked and optimistic admission paths), and the optimistic-vs-locked
-# output-identity check.
+# (locked and optimistic admission paths, with and without the
+# enforcement dataplane), and the optimistic-vs-locked output-identity
+# check.
 determinism:
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run TestParallelDeterminism ./internal/experiments
-	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestChurnDeterminism|TestChurnResizeDeterminism|TestChurnOptimisticMatchesLocked|TestChurnResizeOptimisticMatchesLocked' ./internal/sim
+	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestChurnDeterminism|TestChurnResizeDeterminism|TestEnforceChurnDeterminism|TestChurnOptimisticMatchesLocked|TestChurnResizeOptimisticMatchesLocked' ./internal/sim
 
 # One iteration of every per-artifact benchmark: regenerates the quick
 # experiment suite and the admission-throughput numbers.
@@ -53,9 +54,10 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
 
 # Machine-readable admission throughput (locked vs optimistic at 1/4/8
-# goroutines); CI uploads the JSON as an artifact so the perf
-# trajectory is tracked per commit.
+# goroutines) plus enforcement control-loop throughput and convergence
+# latency vs tenant count; CI uploads both JSONs as artifacts so the
+# perf trajectory is tracked per commit.
 bench-json:
-	$(GO) run ./cmd/admbench -out BENCH_admission.json
+	$(GO) run ./cmd/admbench -out BENCH_admission.json -enforce-out BENCH_enforce.json
 
 ci: lint docs-check api-check build test determinism bench bench-json

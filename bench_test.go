@@ -8,6 +8,7 @@ package cloudmirror
 // result's shape in minutes. cmd/experiments runs the full paper scale.
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"cloudmirror/guarantee"
 	"cloudmirror/internal/enforce"
 	"cloudmirror/internal/experiments"
 	"cloudmirror/internal/infer"
@@ -361,14 +363,26 @@ func BenchmarkTAGCut(b *testing.B) {
 // network.
 func BenchmarkMaxMin(b *testing.B) {
 	n := netem.New()
-	links := []netem.LinkID{n.AddLink("a", 1000), n.AddLink("b", 2000), n.AddLink("c", 500)}
+	var links []netem.LinkID
+	for _, l := range []struct {
+		name string
+		cap  float64
+	}{{"a", 1000}, {"b", 2000}, {"c", 500}} {
+		id, err := n.AddLink(l.name, l.cap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		links = append(links, id)
+	}
 	flows := make([]netem.Flow, 100)
 	for i := range flows {
 		flows[i] = netem.Flow{Path: []netem.LinkID{links[i%3], links[(i+1)%3]}, Demand: netem.Greedy}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.MaxMin(flows)
+		if _, err := n.MaxMin(flows); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -415,7 +429,10 @@ func BenchmarkControllerStep(b *testing.B) {
 	g.AddEdge(0, 1, 10, 500)
 	dep := enforce.NewDeployment(g)
 	n := netem.New()
-	link := n.AddLink("l", 1000)
+	link, err := n.AddLink("l", 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
 	pairs := make([]enforce.Pair, 50)
 	paths := make([][]netem.LinkID, 50)
 	for i := range pairs {
@@ -426,6 +443,34 @@ func BenchmarkControllerStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Step(pairs, paths); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataplaneStep measures one full enforcement control period
+// — GP fan-out, RA, limiter update — over a shard-sized fabric with 32
+// tenants under default (all-pairs backlogged) demands.
+func BenchmarkDataplaneStep(b *testing.B) {
+	svc, err := guarantee.New(topology.SmallSpec(),
+		guarantee.WithAlgorithm("cm"),
+		guarantee.WithEnforcement(guarantee.EnforcementConfig{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := tag.New("t")
+	g.AddTier("web", 4)
+	g.AddTier("db", 2)
+	g.AddBidirectional(0, 1, 50, 100)
+	for i := 0; i < 32; i++ {
+		if _, err := svc.Admit(context.Background(), guarantee.Request{ID: int64(i), Graph: g}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	enf := svc.Enforcement()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enf.Step(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,13 @@
 //
 //	admbench [-out BENCH_admission.json] [-arrivals N] [-servers 128|512|2048]
 //	         [-goroutines 1,4,8] [-seed N]
+//	         [-enforce-out BENCH_enforce.json] [-enforce-tenants 8,32,128]
+//
+// With -enforce-out the tool additionally benchmarks the enforcement
+// control loop: for each -enforce-tenants fleet size it admits that
+// many tenants through an enforcement-enabled service, declares
+// bounded demand matrices, and measures Controller.Step throughput and
+// cold-convergence latency, emitting a second JSON report.
 //
 // For each goroutine count G the tool runs the same workload twice on a
 // single shard: once through the locked admission path and once through
@@ -52,12 +59,34 @@ type report struct {
 	Results   []result `json:"results"`
 }
 
+// enforceResult is one fleet-size cell of the enforcement benchmark.
+type enforceResult struct {
+	Tenants            int     `json:"tenants"`
+	Pairs              int     `json:"pairs"`
+	Steps              int     `json:"steps"`
+	StepsPerSec        float64 `json:"steps_per_sec"`
+	MsPerStep          float64 `json:"ms_per_step"`
+	ConvergeIterations int     `json:"converge_iterations"`
+	ConvergeMs         float64 `json:"converge_ms"`
+}
+
+// enforceReport is the BENCH_enforce.json schema.
+type enforceReport struct {
+	Benchmark string          `json:"benchmark"`
+	Unit      string          `json:"unit"`
+	Servers   int             `json:"servers"`
+	Seed      int64           `json:"seed"`
+	Results   []enforceResult `json:"results"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_admission.json", "output file (\"-\" for stdout)")
 	arrivals := flag.Int("arrivals", 4000, "admission attempts per measurement cell")
 	servers := flag.Int("servers", 128, "datacenter size: 128, 512, or 2048 servers")
 	gor := flag.String("goroutines", "1,4,8", "comma-separated concurrency levels")
 	seed := flag.Int64("seed", 1, "workload seed")
+	enfOut := flag.String("enforce-out", "", "also benchmark the enforcement control loop into this file (\"-\" for stdout)")
+	enfTenants := flag.String("enforce-tenants", "8,32,128", "comma-separated tenant counts for the enforcement benchmark")
 	flag.Parse()
 
 	var spec topology.Spec
@@ -118,16 +147,54 @@ func main() {
 			g, lps, ops, ops/lps)
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+	writeJSON(*out, rep)
+
+	if *enfOut == "" {
+		return
+	}
+	var counts []int
+	for _, f := range strings.Split(*enfTenants, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("invalid -enforce-tenants entry %q: need positive integers", f))
+		}
+		counts = append(counts, n)
+	}
+	cells, err := sim.EnforceBench(sim.EnforceBenchConfig{
+		Spec:         spec,
+		Pool:         pool,
+		TenantCounts: counts,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	erep := enforceReport{
+		Benchmark: "enforcement-control-loop",
+		Unit:      "steps/sec",
+		Servers:   *servers,
+		Seed:      *seed,
+	}
+	for _, c := range cells {
+		erep.Results = append(erep.Results, enforceResult(c))
+		fmt.Fprintf(os.Stderr, "admbench: enforce tenants=%d pairs=%d %.0f steps/s (%.2f ms/step), converge %d iters in %.2f ms\n",
+			c.Tenants, c.Pairs, c.StepsPerSec, c.MsPerStep, c.ConvergeIterations, c.ConvergeMs)
+	}
+	writeJSON(*enfOut, erep)
+}
+
+// writeJSON marshals a report to the file ("-" for stdout).
+func writeJSON(out string, v any) {
+	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		fatal(err)
 	}
 }

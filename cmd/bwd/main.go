@@ -9,7 +9,7 @@
 //
 //	bwd [-addr :8080] [-alg cm|cm-oppha|cm-coloc|cm-balance|ovoc|ovoc-aware|secondnet]
 //	    [-servers 128|512|2048] [-shards N] [-planners N] [-policy rr|least|p2c]
-//	    [-seed N]
+//	    [-seed N] [-enforce] [-enforce-alpha F] [-enforce-gp tag|hose|gatekeeper]
 //
 // Endpoints (bodies are JSON; TAGs use the internal/tag wire format):
 //
@@ -18,7 +18,17 @@
 //	POST   /v1/guarantees/{id}/resize  resize tiers in place  -> 200
 //	DELETE /v1/guarantees/{id}         release                -> 204
 //	GET    /v1/stats                   counters + shard loads -> 200
+//	POST   /v1/enforcement/step        run one control period -> 200
+//	GET    /v1/enforcement             last period + events   -> 200
 //	GET    /healthz                    liveness               -> 200
+//
+// With -enforce the daemon attaches the enforcement dataplane: every
+// admit/resize/release is applied to it incrementally. POST
+// /v1/enforcement/step advances the work-conserving GP/RA control
+// loop one period and reports per-tenant achieved vs. guaranteed
+// bandwidth; GET /v1/enforcement is read-only (polling it never moves
+// a rate limiter), returning the latest period plus live lifecycle
+// counters.
 //
 // Every rejection carries a machine-readable reason code in its JSON
 // body ({"error":{"reason":"insufficient_bandwidth",...}}); capacity
@@ -64,7 +74,16 @@ func main() {
 	planners := flag.Int("planners", 0, "per-shard optimistic planner count (0 = locked admission)")
 	policy := flag.String("policy", "rr", "dispatch policy: rr, least, p2c")
 	seed := flag.Int64("seed", 1, "seed for randomized dispatch policies")
+	enforce := flag.Bool("enforce", false, "attach the enforcement dataplane (serves GET /v1/enforcement)")
+	alpha := flag.Float64("enforce-alpha", 1, "enforcement rate-limiter convergence step in (0,1]")
+	gp := flag.String("enforce-gp", "tag", "guarantee partitioner: tag, hose, gatekeeper")
 	flag.Parse()
+
+	// Enforcement tuning without enforcement would be silently dropped;
+	// fail fast like simulate does for -resize without -churn.
+	if !*enforce && (*alpha != 1 || *gp != "tag") {
+		fatal(fmt.Errorf("-enforce-alpha/-enforce-gp need -enforce: the daemon starts no dataplane without it"))
+	}
 
 	var spec topology.Spec
 	switch *servers {
@@ -78,13 +97,20 @@ func main() {
 		fatal(fmt.Errorf("unsupported -servers %d: valid values are 128, 512, 2048", *servers))
 	}
 
-	svc, err := guarantee.New(spec,
+	opts := []guarantee.Option{
 		guarantee.WithAlgorithm(*alg),
 		guarantee.WithShards(*shards),
 		guarantee.WithPlanners(*planners),
 		guarantee.WithPolicy(*policy),
 		guarantee.WithSeed(*seed),
-	)
+	}
+	if *enforce {
+		opts = append(opts, guarantee.WithEnforcement(guarantee.EnforcementConfig{
+			Alpha:       *alpha,
+			Partitioner: *gp,
+		}))
+	}
+	svc, err := guarantee.New(spec, opts...)
 	if err != nil {
 		fatal(err)
 	}

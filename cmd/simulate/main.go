@@ -8,7 +8,7 @@
 //	         [-workload bing|hpcloud|synthetic] [-servers 128|512|2048]
 //	         [-arrivals N] [-load F] [-bmax Mbps] [-rwcs F] [-oversub R]
 //	         [-seed N] [-parallel N] [-churn] [-shards N] [-policy rr|least|p2c]
-//	         [-planners N] [-resize F]
+//	         [-planners N] [-resize F] [-enforce] [-enforce-every N]
 //
 // Example:
 //
@@ -40,6 +40,14 @@
 // With -resize F (combined with -churn) each arrival is followed, with
 // probability F, by an elastic tier resize of one live tenant through
 // the guarantee API — the paper's §6 auto-scaling under churn.
+//
+// With -enforce (combined with -churn) the enforcement dataplane rides
+// the Grant lifecycle: every -enforce-every arrivals the live tenants
+// draw fresh demand matrices and the work-conserving GP/RA control
+// loop converges their per-flow rates; the report shows the worst
+// achieved/guaranteed ratio and the redistributed spare capacity.
+// Enforcement demands come from a dedicated RNG, so the admission
+// trace is byte-identical with and without -enforce.
 //
 // Algorithm, policy, shard, and planner validation lives in the public
 // guarantee package; this command only maps flags onto its functional
@@ -74,6 +82,8 @@ func main() {
 	policy := flag.String("policy", "rr", "dispatch policy: rr, least, p2c")
 	planners := flag.Int("planners", 0, "per-shard optimistic planner count (0 = locked admission; requires -churn or -parallel)")
 	resize := flag.Float64("resize", 0, "per-arrival probability of an elastic tier resize (churn mode)")
+	enforce := flag.Bool("enforce", false, "attach the enforcement dataplane and interleave GP/RA control periods (churn mode)")
+	enforceEvery := flag.Int("enforce-every", 16, "control-period cadence in arrivals (with -enforce)")
 	flag.Parse()
 
 	// Fleet-option validation (policy names, shard and planner counts)
@@ -84,6 +94,12 @@ func main() {
 	}
 	if *resize > 0 && !*churn {
 		fatal(fmt.Errorf("-resize %g needs -churn: only the churn simulation drives elastic scaling", *resize))
+	}
+	if *enforce && !*churn {
+		fatal(fmt.Errorf("-enforce needs -churn: only the churn simulation drives the enforcement dataplane"))
+	}
+	if !*enforce && *enforceEvery != 16 {
+		fatal(fmt.Errorf("-enforce-every needs -enforce: no control periods run without it"))
 	}
 	if *par < 0 {
 		fatal(fmt.Errorf("invalid -parallel %d: need an integer >= 0", *par))
@@ -134,20 +150,22 @@ func main() {
 
 	if *churn {
 		cr, err := sim.Churn(sim.ChurnConfig{
-			Spec:       cfg.Spec,
-			NewPlacer:  cfg.NewPlacer,
-			ModelFor:   cfg.ModelFor,
-			Pool:       cfg.Pool,
-			Shards:     *shards,
-			Planners:   *planners,
-			Policy:     *policy,
-			Arrivals:   cfg.Arrivals,
-			Load:       cfg.Load,
-			MeanDwell:  cfg.MeanDwell,
-			ResizeProb: *resize,
-			HA:         cfg.HA,
-			Seed:       cfg.Seed,
-			Workers:    *par,
+			Spec:         cfg.Spec,
+			NewPlacer:    cfg.NewPlacer,
+			ModelFor:     cfg.ModelFor,
+			Pool:         cfg.Pool,
+			Shards:       *shards,
+			Planners:     *planners,
+			Policy:       *policy,
+			Arrivals:     cfg.Arrivals,
+			Load:         cfg.Load,
+			MeanDwell:    cfg.MeanDwell,
+			ResizeProb:   *resize,
+			Enforce:      *enforce,
+			EnforceEvery: *enforceEvery,
+			HA:           cfg.HA,
+			Seed:         cfg.Seed,
+			Workers:      *par,
 		})
 		if err != nil {
 			fatal(err)
@@ -169,6 +187,16 @@ func main() {
 		for i, s := range cr.PerShard {
 			fmt.Printf("%5d  %8d  %8d  %4d  %12.1f  %5.1f\n",
 				i, s.Admitted, s.Rejected, s.LiveTenants, s.ReservedGbps, 100*s.Utilization)
+		}
+		if e := cr.Enforcement; e != nil {
+			fmt.Printf("enforcement      %d control periods (%d GP/RA iterations), %d tenants × %d flows at the end\n",
+				e.Periods, e.Iterations, e.Tenants, e.Pairs)
+			fmt.Printf("guarantees       min achieved/guaranteed ratio %.6f (>= 1 means every guarantee held)\n",
+				e.MinRatio)
+			fmt.Printf("work conservation%9.1f Gbps achieved = %.1f guaranteed-and-demanded + %.1f redistributed spare\n",
+				e.AchievedMbps/1000, (e.AchievedMbps-e.SpareMbps)/1000, e.SpareMbps/1000)
+			fmt.Printf("dataplane events %d admitted, %d resized, %d released, %d fabric builds (incremental: builds == shards)\n",
+				e.Events.Admitted, e.Events.Resized, e.Events.Released, e.Events.FabricBuilds)
 		}
 		return
 	}

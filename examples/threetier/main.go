@@ -5,13 +5,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"cloudmirror/internal/enforce"
+	"cloudmirror/guarantee"
 	"cloudmirror/internal/hose"
-	"cloudmirror/internal/netem"
 	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
 	"cloudmirror/internal/voc"
 )
 
@@ -40,7 +41,10 @@ func main() {
 
 	// Fig. 4: one logic VM behind a 600 Mbps bottleneck, receiving from
 	// one web VM (guarantee 500) and one db VM (guarantee 100), both
-	// backlogged.
+	// backlogged. The tenant is admitted through the public guarantee
+	// API onto a 1-slot-per-server datacenter, so the logic VM's 600
+	// Mbps downlink is the bottleneck, and each partitioning scheme
+	// runs as the service's own enforcement plane.
 	fmt.Println("\nFig. 4: enforcement under congestion (600 Mbps bottleneck to a logic VM):")
 	sg := tag.New("fig4")
 	w := sg.AddTier("web", 1)
@@ -48,32 +52,47 @@ func main() {
 	d := sg.AddTier("db", 1)
 	sg.AddEdge(w, l, 500, 500)
 	sg.AddEdge(d, l, 100, 100)
-	dep := enforce.NewDeployment(sg)
-
-	net := netem.New()
-	link := net.AddLink("to-logic", 600)
-	pairs := []enforce.Pair{
-		{Src: 0, Dst: 1, Demand: netem.Greedy},
-		{Src: 2, Dst: 1, Demand: netem.Greedy},
-	}
-	paths := [][]netem.LinkID{{link}, {link}}
 
 	for _, m := range []struct {
-		name string
-		gp   enforce.Partitioner
+		name        string
+		partitioner string
 	}{
-		{"hose", enforce.NewHosePartitioner(dep)},
-		{"TAG ", enforce.NewTAGPartitioner(dep)},
+		{"hose", "hose"},
+		{"TAG ", "tag"},
 	} {
-		alloc, err := enforce.WorkConservingRates(net, pairs, paths, m.gp)
+		svc, err := guarantee.New(topology.Spec{
+			SlotsPerServer: 1,
+			Levels:         []topology.LevelSpec{{Name: "server", Fanout: 4, Uplink: 600}},
+		},
+			guarantee.WithAlgorithm("cm"),
+			guarantee.WithEnforcement(guarantee.EnforcementConfig{Partitioner: m.partitioner}),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
+		grant, err := svc.Admit(context.Background(), guarantee.Request{Graph: sg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		enf := svc.Enforcement()
+		// VM IDs are tier-major: 0 = web, 1 = logic, 2 = db.
+		if err := enf.SetDemand(grant, []guarantee.Demand{
+			{Src: 0, Dst: 1, Mbps: guarantee.Greedy},
+			{Src: 2, Dst: 1, Mbps: guarantee.Greedy},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := enf.Converge(0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flows := rep.PerShard[grant.Shard()].Tenants[0].Pairs
 		status := "✓ 500 Mbps guarantee held"
-		if alloc.Rates[0] < 500 {
+		if flows[0].Rate < 500 {
 			status = "✗ 500 Mbps guarantee broken"
 		}
 		fmt.Printf("  %s: web→logic %5.1f Mbps, db→logic %5.1f Mbps   %s\n",
-			m.name, alloc.Rates[0], alloc.Rates[1], status)
+			m.name, flows[0].Rate, flows[1].Rate, status)
+		grant.Release()
 	}
 }

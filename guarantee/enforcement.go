@@ -1,0 +1,160 @@
+package guarantee
+
+import (
+	"cloudmirror/internal/dataplane"
+	"cloudmirror/internal/parallel"
+	"cloudmirror/internal/place"
+)
+
+// Enforcement vocabulary, re-exported so consumers of the public API
+// never import the internal dataplane for its types.
+type (
+	// Demand is one active flow of a tenant: an ordered pair of
+	// tenant-local VM IDs (tier-major deployment order) and its offered
+	// load in Mbps (guarantee.Greedy for a backlogged source).
+	Demand = dataplane.Demand
+	// EnforcementCounters are a dataplane's monotonic lifecycle-event
+	// counters (admitted/resized/released/skipped, fabric builds).
+	EnforcementCounters = dataplane.Counters
+	// ShardEnforcement is one shard's control-period outcome.
+	ShardEnforcement = dataplane.StepStats
+	// TenantEnforcement is one tenant's slice of a control period.
+	TenantEnforcement = dataplane.TenantStats
+	// PairEnforcement is one flow's enforcement outcome.
+	PairEnforcement = dataplane.PairStats
+)
+
+// Greedy marks a Demand whose source is always backlogged.
+var Greedy = dataplane.GreedyDemand
+
+// EnforcementReport aggregates one control period (or convergence run)
+// across every shard's dataplane.
+type EnforcementReport struct {
+	// PerShard holds each shard's outcome, indexed by shard ID.
+	PerShard []*ShardEnforcement
+	// Iterations is the total number of control periods run (summed
+	// over shards for a Converge call; Shards() for a plain Step).
+	Iterations int
+	// Tenants, Pairs, and Colocated count tenants under enforcement,
+	// enforced fabric-crossing flows, and intra-server flows.
+	Tenants, Pairs, Colocated int
+	// GuaranteedMbps, BaseMbps, AchievedMbps, and SpareMbps aggregate
+	// the per-shard sums: partitioned guarantees, demand-bounded
+	// guarantees, achieved rates, and the work-conserving surplus.
+	GuaranteedMbps, BaseMbps, AchievedMbps, SpareMbps float64
+	// MinRatio is the worst pair's achieved / min(demand, guarantee)
+	// across the fleet — >= 1 (up to rounding) when every guarantee is
+	// honored. 1 when nothing is being enforced.
+	MinRatio float64
+}
+
+// Enforcement is the runtime half of a Service: one dataplane driver
+// per shard, fed by the Grant lifecycle (admit installs a tenant's
+// deployment, resize patches it, release removes it — no caller-side
+// wiring). Obtain it from Service.Enforcement; nil when the service
+// was built without WithEnforcement.
+type Enforcement struct {
+	drivers []*dataplane.Driver
+}
+
+// Shards returns the number of per-shard dataplanes.
+func (e *Enforcement) Shards() int { return len(e.drivers) }
+
+// Step runs one control period on every shard's dataplane: GP
+// re-partitions each tenant's guarantees over its active flows, RA
+// computes work-conserving targets, and rate limiters move one alpha
+// step toward them. Shards share no state, so their periods run in
+// parallel; outcomes fold in shard order, keeping the report a
+// deterministic function of the dataplane state.
+func (e *Enforcement) Step() (*EnforcementReport, error) {
+	return e.run(func(d *dataplane.Driver) (*ShardEnforcement, int, error) {
+		st, err := d.Step()
+		return st, 1, err
+	})
+}
+
+// Converge runs control periods on every shard until rates stabilize
+// (eps movement between periods; maxIters caps each shard's loop, 0
+// meaning 50 and eps 0 meaning 1e-6) and reports the final state plus
+// the total iterations spent. Shards converge in parallel.
+func (e *Enforcement) Converge(maxIters int, eps float64) (*EnforcementReport, error) {
+	return e.run(func(d *dataplane.Driver) (*ShardEnforcement, int, error) {
+		return d.Converge(maxIters, eps)
+	})
+}
+
+// run fans one control operation out across the per-shard drivers and
+// folds the outcomes in shard order.
+func (e *Enforcement) run(op func(*dataplane.Driver) (*ShardEnforcement, int, error)) (*EnforcementReport, error) {
+	type outcome struct {
+		st    *ShardEnforcement
+		iters int
+	}
+	outs, err := parallel.Map(0, len(e.drivers), func(i int) (outcome, error) {
+		st, iters, err := op(e.drivers[i])
+		return outcome{st, iters}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &EnforcementReport{MinRatio: 1}
+	for _, o := range outs {
+		rep.add(o.st, o.iters)
+	}
+	return rep, nil
+}
+
+// add folds one shard's outcome into the report.
+func (r *EnforcementReport) add(st *ShardEnforcement, iters int) {
+	r.PerShard = append(r.PerShard, st)
+	r.Iterations += iters
+	r.Tenants += len(st.Tenants)
+	r.Pairs += st.Pairs
+	r.Colocated += st.Colocated
+	r.GuaranteedMbps += st.GuaranteedMbps
+	r.BaseMbps += st.BaseMbps
+	r.AchievedMbps += st.AchievedMbps
+	r.SpareMbps += st.SpareMbps
+	if st.MinRatio < r.MinRatio {
+		r.MinRatio = st.MinRatio
+	}
+}
+
+// SetDemand declares a grant's active flows for subsequent control
+// periods, replacing any previous declaration. Tenants with no
+// declaration default to every TAG-permitted pair backlogged. A resize
+// resets the declaration to that default (the VM set changed), so
+// callers re-declare after resizing. The grant must have been issued
+// by the service this Enforcement belongs to.
+func (e *Enforcement) SetDemand(g Grant, demands []Demand) error {
+	if e == nil {
+		// Service.Enforcement() returns nil without WithEnforcement;
+		// chained calls must degrade to a typed rejection, not a panic.
+		return place.Rejectf("enforce", Unsupported, "enforcement not enabled on this service")
+	}
+	gr, ok := g.(*grant)
+	if !ok || gr.svc.enf != e {
+		// Grant keys are per-shard sequences, so a grant from another
+		// service could silently collide with an unrelated tenant here;
+		// identity of the issuing service is the only safe check.
+		return place.Rejectf("enforce", InvalidRequest,
+			"grant was not issued by this service")
+	}
+	return e.drivers[gr.ten.Shard().ID()].SetDemand(gr.ten.Key(), demands)
+}
+
+// Counters sums the per-shard lifecycle-event counters — the audit
+// trail proving the dataplane is updated incrementally (FabricBuilds
+// equals the shard count: one image per driver, ever).
+func (e *Enforcement) Counters() EnforcementCounters {
+	var sum EnforcementCounters
+	for _, d := range e.drivers {
+		c := d.Counters()
+		sum.Admitted += c.Admitted
+		sum.Resized += c.Resized
+		sum.Released += c.Released
+		sum.Skipped += c.Skipped
+		sum.FabricBuilds += c.FabricBuilds
+	}
+	return sum
+}

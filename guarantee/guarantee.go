@@ -175,6 +175,10 @@ type Service interface {
 	// it corrupts the ledger; concurrent admissions make reads
 	// approximate.
 	Topology(shard int) *topology.Tree
+	// Enforcement exposes the runtime enforcement plane — the GP/RA
+	// control loop the Grant lifecycle feeds — or nil when the service
+	// was built without WithEnforcement.
+	Enforcement() *Enforcement
 }
 
 // service is the Service implementation: a shard fleet behind a
@@ -184,6 +188,7 @@ type service struct {
 	disp     *cluster.Dispatcher
 	name     string
 	modelFor func(*tag.Graph) place.Model
+	enf      *Enforcement
 }
 
 // Name identifies the placement algorithm serving the guarantees.
@@ -217,7 +222,7 @@ func (s *service) Admit(ctx context.Context, req Request) (Grant, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &grant{ten: ten}, nil
+	return &grant{ten: ten, svc: s}, nil
 }
 
 // AdmitBatch admits the requests in order.
@@ -255,9 +260,16 @@ func (s *service) Stats() Stats {
 // Loads returns every shard's occupancy snapshot.
 func (s *service) Loads() []Load { return s.cl.Loads() }
 
-// grant adapts a cluster.Tenant to the public Grant interface.
+// Enforcement exposes the enforcement plane; nil when the service was
+// built without WithEnforcement.
+func (s *service) Enforcement() *Enforcement { return s.enf }
+
+// grant adapts a cluster.Tenant to the public Grant interface. svc is
+// the issuing service, so the enforcement plane can verify a grant
+// belongs to it (shard-local keys are not unique across services).
 type grant struct {
 	ten *cluster.Tenant
+	svc *service
 }
 
 // Reservation exposes the tenant's current placement and holdings.

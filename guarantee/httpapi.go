@@ -20,6 +20,8 @@ import (
 //	POST   /v1/guarantees/{id}/resize  resize in place      -> 200
 //	DELETE /v1/guarantees/{id}         release              -> 204
 //	GET    /v1/stats                   counters + loads     -> 200
+//	POST   /v1/enforcement/step        run a control period -> 200
+//	GET    /v1/enforcement             last period + events -> 200
 //	GET    /healthz                    liveness             -> 200
 //
 // Grant handles are process-local: the server keeps the id -> Grant
@@ -31,6 +33,10 @@ type Server struct {
 	mu     sync.Mutex
 	grants map[string]*servedGrant
 	nextID int64
+	// lastEnforcement caches the most recent control period's outcome,
+	// so GET /v1/enforcement stays read-only (only POST .../step
+	// advances the loop).
+	lastEnforcement *enforcementBody
 }
 
 // servedGrant pairs a live grant with the TAG it currently guarantees
@@ -56,6 +62,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/guarantees/{id}/resize", s.handleResize)
 	mux.HandleFunc("DELETE /v1/guarantees/{id}", s.handleRelease)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/enforcement", s.handleEnforcementGet)
+	mux.HandleFunc("POST /v1/enforcement/step", s.handleEnforcementStep)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -283,6 +291,141 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Loads:     s.svc.Loads(),
 		Live:      live,
 	})
+}
+
+// enforcementBody is the /v1/enforcement wire form: the outcome of one
+// control period, aggregates only (per-pair rates can be unbounded for
+// backlogged flows, which JSON cannot carry).
+type enforcementBody struct {
+	Shards         int                 `json:"shards"`
+	Tenants        int                 `json:"tenants"`
+	Pairs          int                 `json:"pairs"`
+	Colocated      int                 `json:"colocated_pairs"`
+	GuaranteedMbps float64             `json:"guaranteed_mbps"`
+	BaseMbps       float64             `json:"base_mbps"`
+	AchievedMbps   float64             `json:"achieved_mbps"`
+	SpareMbps      float64             `json:"spare_mbps"`
+	MinRatio       float64             `json:"min_ratio"`
+	Events         enforcementEvents   `json:"events"`
+	PerTenant      []enforcementTenant `json:"per_tenant"`
+}
+
+// enforcementEvents mirrors the dataplane's lifecycle counters.
+type enforcementEvents struct {
+	Admitted     int64 `json:"admitted"`
+	Resized      int64 `json:"resized"`
+	Released     int64 `json:"released"`
+	Skipped      int64 `json:"skipped"`
+	FabricBuilds int64 `json:"fabric_builds"`
+}
+
+// enforcementTenant is one tenant's slice of the control period.
+type enforcementTenant struct {
+	Shard          int     `json:"shard"`
+	Key            int64   `json:"key"`
+	ID             int64   `json:"id"`
+	Pairs          int     `json:"pairs"`
+	GuaranteedMbps float64 `json:"guaranteed_mbps"`
+	AchievedMbps   float64 `json:"achieved_mbps"`
+	SpareMbps      float64 `json:"spare_mbps"`
+	MinRatio       float64 `json:"min_ratio"`
+}
+
+// handleEnforcementStep advances the enforcement plane one control
+// period and reports the outcome — the mutating endpoint (each call
+// moves every rate limiter one alpha step, so it is a POST: polling a
+// GET must never change enforcement behavior). 422 when the service
+// was built without enforcement.
+func (s *Server) handleEnforcementStep(w http.ResponseWriter, r *http.Request) {
+	enf := s.svc.Enforcement()
+	if enf == nil {
+		writeError(w, Rejectf("enforce", Unsupported,
+			"enforcement not enabled: start the service with WithEnforcement (bwd -enforce)"))
+		return
+	}
+	rep, err := enf.Step()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body := enforcementReportBody(enf, rep)
+	s.mu.Lock()
+	s.lastEnforcement = &body
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleEnforcementGet reports enforcement state read-only: the
+// lifecycle counters (always current) plus the outcome of the most
+// recent control period, if any has run. It never advances the loop.
+func (s *Server) handleEnforcementGet(w http.ResponseWriter, r *http.Request) {
+	enf := s.svc.Enforcement()
+	if enf == nil {
+		writeError(w, Rejectf("enforce", Unsupported,
+			"enforcement not enabled: start the service with WithEnforcement (bwd -enforce)"))
+		return
+	}
+	s.mu.Lock()
+	last := s.lastEnforcement
+	s.mu.Unlock()
+	if last != nil {
+		// Refresh the counters — lifecycle events flow regardless of
+		// control periods — but keep the cached period outcome.
+		body := *last
+		body.Events = eventsBody(enf.Counters())
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	c := enf.Counters()
+	writeJSON(w, http.StatusOK, enforcementBody{
+		Shards:    enf.Shards(),
+		MinRatio:  1,
+		Events:    eventsBody(c),
+		PerTenant: []enforcementTenant{},
+	})
+}
+
+// eventsBody mirrors the dataplane counters into the wire form.
+func eventsBody(c EnforcementCounters) enforcementEvents {
+	return enforcementEvents{
+		Admitted:     c.Admitted,
+		Resized:      c.Resized,
+		Released:     c.Released,
+		Skipped:      c.Skipped,
+		FabricBuilds: c.FabricBuilds,
+	}
+}
+
+// enforcementReportBody flattens one control period's report.
+func enforcementReportBody(enf *Enforcement, rep *EnforcementReport) enforcementBody {
+	body := enforcementBody{
+		Shards:         enf.Shards(),
+		Tenants:        rep.Tenants,
+		Pairs:          rep.Pairs,
+		Colocated:      rep.Colocated,
+		GuaranteedMbps: rep.GuaranteedMbps,
+		BaseMbps:       rep.BaseMbps,
+		AchievedMbps:   rep.AchievedMbps,
+		SpareMbps:      rep.SpareMbps,
+		MinRatio:       rep.MinRatio,
+		Events:         eventsBody(enf.Counters()),
+		PerTenant:      []enforcementTenant{},
+	}
+	for shard, st := range rep.PerShard {
+		for _, ts := range st.Tenants {
+			body.PerTenant = append(body.PerTenant, enforcementTenant{
+				Shard:          shard,
+				Key:            ts.Key,
+				ID:             ts.ID,
+				Pairs:          len(ts.Pairs),
+				GuaranteedMbps: ts.GuaranteedMbps,
+				AchievedMbps:   ts.AchievedMbps,
+				SpareMbps:      ts.SpareMbps,
+				MinRatio:       ts.MinRatio,
+			})
+		}
+	}
+	return body
 }
 
 // Rejectf builds a typed rejection; exported so API layers above the

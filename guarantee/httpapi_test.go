@@ -157,3 +157,73 @@ func TestHTTPTypedRejections(t *testing.T) {
 		t.Errorf("capacity resize reason %q is not capacity-class", reason)
 	}
 }
+
+// TestHTTPEnforcement: POST /v1/enforcement/step runs a control
+// period, GET /v1/enforcement reads state without advancing the loop,
+// and both 422 on a service built without enforcement.
+func TestHTTPEnforcement(t *testing.T) {
+	// Without enforcement: typed Unsupported rejection on both routes.
+	plain := newTestServer(t)
+	for _, req := range [][2]string{{"GET", "/v1/enforcement"}, {"POST", "/v1/enforcement/step"}} {
+		var e errorBody
+		resp := do(t, req[0], plain.URL+req[1], "", &e)
+		if resp.StatusCode != http.StatusUnprocessableEntity || e.Error.Reason != string(Unsupported) {
+			t.Errorf("%s %s without enforcement: status %d reason %q, want 422 unsupported",
+				req[0], req[1], resp.StatusCode, e.Error.Reason)
+		}
+	}
+
+	svc, err := New(testSpec(), WithAlgorithm("cm"), WithEnforcement(EnforcementConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc).Handler())
+	t.Cleanup(ts.Close)
+
+	var g grantBody
+	resp := do(t, "POST", ts.URL+"/v1/guarantees", `{"tag":`+tagJSON(3, 2)+`}`, &g)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit status = %d, want 201", resp.StatusCode)
+	}
+
+	// Before any period has run, GET reports counters only — and must
+	// not itself advance the control loop.
+	var body enforcementBody
+	resp = do(t, "GET", ts.URL+"/v1/enforcement", "", &body)
+	if resp.StatusCode != http.StatusOK || body.Events.Admitted != 1 || body.Pairs != 0 {
+		t.Errorf("pre-step GET = %d %+v, want 200 with counters and no period outcome", resp.StatusCode, body)
+	}
+
+	resp = do(t, "POST", ts.URL+"/v1/enforcement/step", "", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step status = %d, want 200", resp.StatusCode)
+	}
+	if body.Tenants != 1 || body.Events.Admitted != 1 {
+		t.Errorf("step body = %+v, want 1 tenant admitted", body)
+	}
+	if body.MinRatio < 1-1e-9 {
+		t.Errorf("MinRatio = %g, want >= 1", body.MinRatio)
+	}
+	if len(body.PerTenant) != 1 || body.PerTenant[0].GuaranteedMbps <= 0 {
+		t.Errorf("per-tenant = %+v, want one tenant with a positive guarantee", body.PerTenant)
+	}
+
+	// GET now serves the cached period outcome read-only.
+	var got enforcementBody
+	resp = do(t, "GET", ts.URL+"/v1/enforcement", "", &got)
+	if resp.StatusCode != http.StatusOK || got.Tenants != 1 || got.AchievedMbps != body.AchievedMbps {
+		t.Errorf("post-step GET = %d %+v, want the cached period outcome", resp.StatusCode, got)
+	}
+
+	// Release: counters refresh on GET without running a period; the
+	// next step reflects the departure.
+	do(t, "DELETE", ts.URL+"/v1/guarantees/"+g.ID, "", nil)
+	resp = do(t, "GET", ts.URL+"/v1/enforcement", "", &got)
+	if resp.StatusCode != http.StatusOK || got.Events.Released != 1 {
+		t.Errorf("post-release GET = %d %+v, want released counter 1", resp.StatusCode, got)
+	}
+	resp = do(t, "POST", ts.URL+"/v1/enforcement/step", "", &got)
+	if resp.StatusCode != http.StatusOK || got.Tenants != 0 {
+		t.Errorf("post-release step = %d %+v, want 0 tenants", resp.StatusCode, got)
+	}
+}

@@ -2,6 +2,7 @@ package guarantee
 
 import (
 	"cloudmirror/internal/cluster"
+	"cloudmirror/internal/dataplane"
 	"cloudmirror/internal/place"
 	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
@@ -19,6 +20,7 @@ type config struct {
 	algorithm string
 	newPlacer func(*topology.Tree) place.Placer
 	modelFor  func(*tag.Graph) place.Model
+	enforce   *EnforcementConfig
 }
 
 // Option configures a Service under construction. Options validate at
@@ -80,6 +82,29 @@ func WithModelFor(modelFor func(*tag.Graph) place.Model) Option {
 	return func(c *config) { c.modelFor = modelFor }
 }
 
+// EnforcementConfig tunes the enforcement dataplane WithEnforcement
+// attaches. The zero value is valid: rate limiters jump straight to
+// their targets (alpha 1) under TAG partitioning.
+type EnforcementConfig struct {
+	// Alpha is the per-period convergence step of each rate limiter
+	// toward its target, in (0,1]; 0 means 1 (jump immediately).
+	Alpha float64
+	// Partitioner names the guarantee-partitioning scheme: "tag" (the
+	// default), "hose" (single-hose baseline), or "gatekeeper" (§2.2
+	// baseline).
+	Partitioner string
+}
+
+// WithEnforcement attaches a per-shard enforcement dataplane to the
+// service: every Grant lifecycle transition (admit, resize, release)
+// is applied to it incrementally, and Service.Enforcement exposes the
+// GP/RA control loop and its stats. Tenants admitted under a
+// translated model (VOC, pipes) are skipped — only TAG-priced tenants
+// carry the guarantees the dataplane partitions.
+func WithEnforcement(cfg EnforcementConfig) Option {
+	return func(c *config) { c.enforce = &cfg }
+}
+
 // New builds a Service over n identical shards of the given topology:
 // the one public constructor behind which the locked/optimistic
 // admission fork, the dispatch policy, and the algorithm registry all
@@ -126,10 +151,25 @@ func New(spec topology.Spec, opts ...Option) (Service, error) {
 	if name == "" {
 		name = cl.Shard(0).Name()
 	}
+	var enf *Enforcement
+	if c.enforce != nil {
+		dcfg := dataplane.Config{Alpha: c.enforce.Alpha, Partitioner: c.enforce.Partitioner}
+		drivers := make([]*dataplane.Driver, cl.Size())
+		for i := range drivers {
+			drv, derr := dataplane.New(cl.Shard(i).Tree(), dcfg)
+			if derr != nil {
+				return nil, derr
+			}
+			cl.Shard(i).SetSink(drv)
+			drivers[i] = drv
+		}
+		enf = &Enforcement{drivers: drivers}
+	}
 	return &service{
 		cl:       cl,
 		disp:     cluster.NewDispatcher(cl, pol),
 		name:     name,
 		modelFor: modelFor,
+		enf:      enf,
 	}, nil
 }

@@ -74,7 +74,18 @@ type Shard struct {
 	reserved atomicFloat64
 	slots    atomic.Int64
 	tenants  atomic.Int64
+
+	// seq hands out the shard-unique grant keys carried by lifecycle
+	// events; sink, when set, receives those events.
+	seq  atomic.Int64
+	sink place.EventSink
 }
+
+// SetSink installs the lifecycle-event consumer for this shard:
+// admissions, resizes, and releases are published to it with the
+// tenant's footprint (see place.Event). Must be called before the
+// shard serves requests; a nil sink (the default) disables emission.
+func (s *Shard) SetSink(sink place.EventSink) { s.sink = sink }
 
 // ID is the shard's index within its cluster.
 func (s *Shard) ID() int { return s.id }
@@ -116,12 +127,23 @@ func (s *Shard) Place(req *place.Request) (*Tenant, error) {
 	ten := &Tenant{
 		shard:        s,
 		ad:           ad,
+		key:          s.seq.Add(1),
+		id:           req.ID,
 		reservedMbps: res.TotalReserved(),
 		vms:          res.Placement().VMs(),
 	}
 	s.reserved.add(ten.reservedMbps)
 	s.slots.Add(int64(ten.vms))
 	s.tenants.Add(1)
+	if s.sink != nil {
+		s.sink.Publish(place.Event{
+			Kind:      place.EventAdmitted,
+			Key:       ten.key,
+			ID:        req.ID,
+			Graph:     place.EnforceableGraph(req),
+			Placement: res.Placement(),
+		})
+	}
 	return ten, nil
 }
 
@@ -132,6 +154,9 @@ func (s *Shard) Place(req *place.Request) (*Tenant, error) {
 type Tenant struct {
 	shard *Shard
 	ad    place.Grant
+	// key is the shard-unique grant key lifecycle events carry; id is
+	// the caller-chosen request ID.
+	key, id int64
 	// mu serializes Resize against Release so the cached gauge
 	// contributions below stay consistent with what the shard gauges
 	// actually carry.
@@ -146,6 +171,11 @@ type Tenant struct {
 
 // Shard returns the shard hosting the tenant.
 func (t *Tenant) Shard() *Shard { return t.shard }
+
+// Key returns the shard-unique grant key carried by the tenant's
+// lifecycle events, so out-of-band consumers (the enforcement
+// dataplane) can address the tenant's state.
+func (t *Tenant) Key() int64 { return t.key }
 
 // Reservation exposes the underlying reservation for inspection.
 func (t *Tenant) Reservation() *place.Reservation { return t.ad.Reservation() }
@@ -169,6 +199,15 @@ func (t *Tenant) Resize(newGraph *tag.Graph) error {
 	t.shard.reserved.add(reserved - t.reservedMbps)
 	t.shard.slots.Add(int64(vms - t.vms))
 	t.reservedMbps, t.vms = reserved, vms
+	if t.shard.sink != nil {
+		t.shard.sink.Publish(place.Event{
+			Kind:      place.EventResized,
+			Key:       t.key,
+			ID:        t.id,
+			Graph:     newGraph,
+			Placement: res.Placement(),
+		})
+	}
 	return nil
 }
 
@@ -184,6 +223,9 @@ func (t *Tenant) Release() {
 	t.shard.reserved.add(-t.reservedMbps)
 	t.shard.slots.Add(int64(-t.vms))
 	t.shard.tenants.Add(-1)
+	if t.shard.sink != nil {
+		t.shard.sink.Publish(place.Event{Kind: place.EventReleased, Key: t.key, ID: t.id})
+	}
 }
 
 // Cluster is a fixed fleet of shards built from one topology spec and

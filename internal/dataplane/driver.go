@@ -1,0 +1,511 @@
+package dataplane
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+
+	"cloudmirror/internal/enforce"
+	"cloudmirror/internal/netem"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// Config tunes a Driver. The zero value is valid: alpha 1 (rate
+// limiters jump straight to their targets) under TAG partitioning.
+type Config struct {
+	// Alpha is the per-period convergence step of each rate limiter
+	// toward its RA target, in (0,1]; 0 means 1.
+	Alpha float64
+	// Partitioner names the guarantee-partitioning scheme: "tag" (the
+	// default, the paper's §5.2 patch), "hose" (single-hose baseline,
+	// the Fig. 4 failure mode), or "gatekeeper" (§2.2 baseline).
+	Partitioner string
+}
+
+// alpha resolves the configured convergence step.
+func (c Config) alpha() float64 {
+	if c.Alpha == 0 {
+		return 1
+	}
+	return c.Alpha
+}
+
+// validate rejects malformed configs with a typed error.
+func (c Config) validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return place.Rejectf("configure", place.ReasonInvalidRequest,
+			"enforcement alpha %g outside (0,1]", c.Alpha)
+	}
+	switch c.Partitioner {
+	case "", "tag", "hose", "gatekeeper":
+		return nil
+	}
+	return place.Rejectf("configure", place.ReasonInvalidRequest,
+		"unknown partitioner %q: valid values are tag, hose, gatekeeper", c.Partitioner)
+}
+
+// newPartitioner builds the configured GP over one tenant's deployment.
+func (c Config) newPartitioner(dep *enforce.Deployment) enforce.Partitioner {
+	switch c.Partitioner {
+	case "hose":
+		return enforce.NewHosePartitioner(dep)
+	case "gatekeeper":
+		return enforce.NewGatekeeperPartitioner(dep)
+	}
+	return enforce.NewTAGPartitioner(dep)
+}
+
+// GreedyDemand marks a Demand whose source is always backlogged
+// (netem.Greedy, re-exported so layers above need not import netem).
+var GreedyDemand = netem.Greedy
+
+// Demand is one active flow of a tenant: the ordered VM pair (IDs in
+// the tenant's tier-major deployment order, see Binding) and its
+// offered load in Mbps (netem.Greedy for a backlogged source).
+type Demand struct {
+	// Src and Dst are tenant-local VM IDs.
+	Src, Dst int
+	// Mbps is the offered load; netem.Greedy means always backlogged.
+	Mbps float64
+}
+
+// Counters are a driver's monotonic event counters — the incremental-
+// update audit trail: FabricBuilds stays at 1 for the driver's
+// lifetime (events patch state, they never rebuild the fabric), and
+// the lifecycle counters match the control plane's own counts.
+type Counters struct {
+	// Admitted, Resized, and Released count lifecycle events applied to
+	// enforcement state.
+	Admitted, Resized, Released int64
+	// Skipped counts events that installed nothing: tenants admitted
+	// under a translated model (VOC, pipes — no TAG to enforce) and
+	// resizes of such tenants.
+	Skipped int64
+	// FabricBuilds counts fabric constructions; 1 unless something is
+	// deeply wrong.
+	FabricBuilds int64
+}
+
+// tenant is one enforced tenant's dataplane state.
+type tenant struct {
+	key, id int64
+	graph   *tag.Graph
+	bind    *Binding
+	// base offsets the tenant's local VM IDs into the driver-global ID
+	// space the shared Controller tracks limits in. A resize allocates
+	// a fresh base (the VM set changed), which resets the tenant's
+	// limits to its new guarantees without touching other tenants.
+	base int
+	gp   enforce.Partitioner
+	// demands are the tenant's active flows, sorted by (Src, Dst); nil
+	// means "not set" and defaults, lazily, to every TAG-permitted pair
+	// backlogged.
+	demands []Demand
+}
+
+// PairStats reports one flow's enforcement outcome in a step.
+type PairStats struct {
+	// Src and Dst are tenant-local VM IDs.
+	Src, Dst int
+	// Guarantee is the GP-assigned pair guarantee, Mbps (0 for
+	// colocated pairs, which never cross the fabric).
+	Guarantee float64
+	// Demand is the offered load (possibly netem.Greedy).
+	Demand float64
+	// Rate is the rate achieved this period. Colocated pairs achieve
+	// their full demand (intra-server traffic is not enforced).
+	Rate float64
+	// Colocated marks intra-server pairs, excluded from enforcement
+	// and from the aggregate sums.
+	Colocated bool
+}
+
+// TenantStats aggregates one tenant's step outcome. Sums and ratios
+// cover enforced (fabric-crossing) pairs only.
+type TenantStats struct {
+	// Key is the grant key; ID the caller-chosen tenant ID.
+	Key, ID int64
+	// Pairs lists per-flow outcomes in demand order.
+	Pairs []PairStats
+	// GuaranteedMbps sums the pair guarantees; BaseMbps the
+	// demand-bounded guarantees min(demand, guarantee); AchievedMbps
+	// the achieved rates; SpareMbps is achieved minus base — the
+	// tenant's share of the work-conserving redistribution.
+	GuaranteedMbps, BaseMbps, AchievedMbps, SpareMbps float64
+	// MinRatio is the minimum over enforced pairs of
+	// rate / min(demand, guarantee) — at least 1 (up to float rounding)
+	// when the tenant's guarantee is being honored. 1 when no pair
+	// qualifies.
+	MinRatio float64
+}
+
+// StepStats reports one control period over the whole shard.
+type StepStats struct {
+	// Tenants holds per-tenant outcomes in admission order.
+	Tenants []TenantStats
+	// Pairs counts enforced (fabric-crossing) flows; Colocated the
+	// intra-server flows excluded from enforcement.
+	Pairs, Colocated int
+	// GuaranteedMbps, BaseMbps, AchievedMbps, and SpareMbps aggregate
+	// the per-tenant sums.
+	GuaranteedMbps, BaseMbps, AchievedMbps, SpareMbps float64
+	// MinRatio is the minimum per-tenant MinRatio (1 when idle).
+	MinRatio float64
+}
+
+// Driver is one shard's enforcement plane: it consumes Grant lifecycle
+// events (implementing place.EventSink) to maintain per-tenant
+// deployments, bindings, and flow paths incrementally, and runs the
+// GP/RA control loop (enforce.Controller.Step) over the shared fabric.
+// All methods are safe for concurrent use.
+type Driver struct {
+	mu  sync.Mutex
+	fab *Fabric
+	gp  *fanoutGP
+	ctl *enforce.Controller
+	cfg Config
+
+	tenants  map[int64]*tenant
+	order    []int64
+	nextBase int
+	counters Counters
+	// err latches control-plane invariant violations (a placement that
+	// does not match its graph); Step surfaces it rather than enforcing
+	// a wrong binding silently.
+	err error
+}
+
+// New builds the enforcement plane over one shard's tree. The fabric
+// is imaged once, here; every later change arrives as an event.
+func New(tree *topology.Tree, cfg Config) (*Driver, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fab, err := NewFabric(tree)
+	if err != nil {
+		return nil, err
+	}
+	gp := &fanoutGP{}
+	return &Driver{
+		fab:      fab,
+		gp:       gp,
+		ctl:      enforce.NewController(fab.Network(), gp, cfg.alpha()),
+		cfg:      cfg,
+		tenants:  make(map[int64]*tenant),
+		counters: Counters{FabricBuilds: 1},
+	}, nil
+}
+
+// Publish implements place.EventSink: each lifecycle event patches the
+// driver's state incrementally — admit installs the tenant's
+// deployment and flows, resize rebinds it, release removes it. Other
+// tenants' state (and the fabric) are untouched.
+func (d *Driver) Publish(ev place.Event) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch ev.Kind {
+	case place.EventAdmitted:
+		if ev.Graph == nil {
+			d.counters.Skipped++
+			return
+		}
+		if d.install(ev) {
+			d.counters.Admitted++
+		}
+	case place.EventResized:
+		if _, ok := d.tenants[ev.Key]; !ok || ev.Graph == nil {
+			d.counters.Skipped++
+			return
+		}
+		if d.install(ev) {
+			d.counters.Resized++
+		}
+	case place.EventReleased:
+		if _, ok := d.tenants[ev.Key]; !ok {
+			return
+		}
+		delete(d.tenants, ev.Key)
+		for i, k := range d.order {
+			if k == ev.Key {
+				d.order = append(d.order[:i], d.order[i+1:]...)
+				break
+			}
+		}
+		d.counters.Released++
+	}
+}
+
+// install binds the event's footprint and (re)installs the tenant,
+// reporting whether it took effect.
+func (d *Driver) install(ev place.Event) bool {
+	bind, err := Bind(ev.Graph, ev.Placement)
+	if err != nil {
+		d.err = errors.Join(d.err, err)
+		d.counters.Skipped++
+		return false
+	}
+	t, ok := d.tenants[ev.Key]
+	if !ok {
+		t = &tenant{key: ev.Key, id: ev.ID}
+		d.tenants[ev.Key] = t
+		d.order = append(d.order, ev.Key)
+	}
+	t.graph, t.bind, t.gp = ev.Graph, bind, d.cfg.newPartitioner(bind.Deployment())
+	t.base, d.nextBase = d.nextBase, d.nextBase+bind.VMs()
+	t.demands = nil // VM IDs changed; offered loads must be re-declared
+	return true
+}
+
+// SetDemand declares a tenant's active flows (replacing any previous
+// declaration) for subsequent control periods. Demands are tenant-local
+// VM pairs; a resize resets them to the backlogged default, so callers
+// re-declare after resizing. Unknown keys and malformed entries fail
+// with a typed InvalidRequest rejection.
+func (d *Driver) SetDemand(key int64, demands []Demand) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tenants[key]
+	if !ok {
+		return place.Rejectf("enforce", place.ReasonInvalidRequest,
+			"no tenant with key %d under enforcement", key)
+	}
+	vms := t.bind.VMs()
+	ds := make([]Demand, len(demands))
+	copy(ds, demands)
+	for _, dm := range ds {
+		if dm.Src < 0 || dm.Src >= vms || dm.Dst < 0 || dm.Dst >= vms {
+			return place.Rejectf("enforce", place.ReasonInvalidRequest,
+				"demand pair (%d,%d) outside tenant's %d VMs", dm.Src, dm.Dst, vms)
+		}
+		if dm.Src == dm.Dst {
+			return place.Rejectf("enforce", place.ReasonInvalidRequest,
+				"demand pair (%d,%d) is a self-flow", dm.Src, dm.Dst)
+		}
+		if math.IsNaN(dm.Mbps) || dm.Mbps < 0 {
+			return place.Rejectf("enforce", place.ReasonInvalidRequest,
+				"demand pair (%d,%d) has invalid offered load %g", dm.Src, dm.Dst, dm.Mbps)
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Src != ds[j].Src {
+			return ds[i].Src < ds[j].Src
+		}
+		return ds[i].Dst < ds[j].Dst
+	})
+	t.demands = ds
+	return nil
+}
+
+// defaultDemands backs an undeclared tenant with the backlogged
+// default: every TAG-permitted ordered pair sends greedily.
+func defaultDemands(dep *enforce.Deployment) []Demand {
+	var ds []Demand
+	for s := 0; s < dep.VMs(); s++ {
+		for t := 0; t < dep.VMs(); t++ {
+			if s == t {
+				continue
+			}
+			if _, _, ok := dep.PairGuarantee(s, t); ok {
+				ds = append(ds, Demand{Src: s, Dst: t, Mbps: netem.Greedy})
+			}
+		}
+	}
+	return ds
+}
+
+// Tenants returns the number of tenants under enforcement.
+func (d *Driver) Tenants() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.tenants)
+}
+
+// Counters returns the driver's monotonic event counters.
+func (d *Driver) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counters
+}
+
+// Step runs one control period: GP re-partitions every tenant's
+// guarantees over its active flows, RA computes work-conserving
+// targets, limiters move alpha of the way toward them, and the
+// achieved rates are reported per tenant.
+func (d *Driver) Step() (*StepStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, _, err := d.stepLocked()
+	return st, err
+}
+
+// Converge runs control periods until the enforced rates move by at
+// most eps between consecutive periods (maxIters caps the loop; 0
+// means 50 iterations and eps 0 means 1e-6). It returns the final
+// period's stats and the number of periods run.
+func (d *Driver) Converge(maxIters int, eps float64) (*StepStats, int, error) {
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var prev []float64
+	for it := 1; ; it++ {
+		st, rates, err := d.stepLocked()
+		if err != nil {
+			return nil, it, err
+		}
+		if prev != nil && len(prev) == len(rates) {
+			worst := 0.0
+			for i := range rates {
+				if delta := math.Abs(rates[i] - prev[i]); delta > worst {
+					worst = delta
+				}
+			}
+			if worst <= eps {
+				return st, it, nil
+			}
+		}
+		if it == maxIters {
+			return st, it, nil
+		}
+		prev = rates
+	}
+}
+
+// stepEntry tracks one declared flow through a step's scatter/gather.
+type stepEntry struct {
+	tenantIdx int
+	demand    Demand
+	colocated bool
+	pairIdx   int // index into the enforced pair list; -1 when colocated
+}
+
+// stepLocked is the control period body; the caller holds d.mu. It
+// returns the stats and the enforced-pair achieved rates (for
+// convergence detection).
+func (d *Driver) stepLocked() (*StepStats, []float64, error) {
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	var (
+		entries []stepEntry
+		pairs   []enforce.Pair
+		paths   [][]netem.LinkID
+		segs    []gpSeg
+	)
+	for ti, key := range d.order {
+		t := d.tenants[key]
+		if t.demands == nil {
+			t.demands = defaultDemands(t.bind.Deployment())
+		}
+		n := 0
+		for _, dm := range t.demands {
+			path := d.fab.Path(t.bind.Server(dm.Src), t.bind.Server(dm.Dst))
+			e := stepEntry{tenantIdx: ti, demand: dm, pairIdx: -1}
+			if len(path) == 0 {
+				e.colocated = true
+			} else {
+				e.pairIdx = len(pairs)
+				pairs = append(pairs, enforce.Pair{
+					Src:    t.base + dm.Src,
+					Dst:    t.base + dm.Dst,
+					Demand: dm.Mbps,
+				})
+				paths = append(paths, path)
+				n++
+			}
+			entries = append(entries, e)
+		}
+		if n > 0 {
+			segs = append(segs, gpSeg{gp: t.gp, base: t.base, n: n})
+		}
+	}
+	d.gp.segs = segs
+	rates, err := d.ctl.Step(pairs, paths)
+	if err != nil {
+		if errors.Is(err, netem.ErrBadInput) {
+			return nil, nil, place.Reject("enforce", place.ReasonInvalidRequest, err)
+		}
+		return nil, nil, err
+	}
+	guarantees := d.gp.last
+
+	st := &StepStats{Tenants: make([]TenantStats, len(d.order)), MinRatio: 1}
+	for i, key := range d.order {
+		t := d.tenants[key]
+		st.Tenants[i] = TenantStats{Key: t.key, ID: t.id, MinRatio: 1}
+	}
+	for _, e := range entries {
+		ts := &st.Tenants[e.tenantIdx]
+		ps := PairStats{Src: e.demand.Src, Dst: e.demand.Dst, Demand: e.demand.Mbps}
+		if e.colocated {
+			ps.Colocated = true
+			ps.Rate = e.demand.Mbps // intra-server: full demand, unenforced
+			st.Colocated++
+		} else {
+			ps.Guarantee = guarantees[e.pairIdx]
+			ps.Rate = rates[e.pairIdx]
+			ts.GuaranteedMbps += ps.Guarantee
+			ts.AchievedMbps += ps.Rate
+			base := math.Min(ps.Demand, ps.Guarantee)
+			ts.BaseMbps += base
+			if base > 0 {
+				if ratio := ps.Rate / base; ratio < ts.MinRatio {
+					ts.MinRatio = ratio
+				}
+			}
+			st.Pairs++
+		}
+		ts.Pairs = append(ts.Pairs, ps)
+	}
+	for i := range st.Tenants {
+		ts := &st.Tenants[i]
+		ts.SpareMbps = ts.AchievedMbps - ts.BaseMbps
+		st.GuaranteedMbps += ts.GuaranteedMbps
+		st.BaseMbps += ts.BaseMbps
+		st.AchievedMbps += ts.AchievedMbps
+		st.SpareMbps += ts.SpareMbps
+		if ts.MinRatio < st.MinRatio {
+			st.MinRatio = ts.MinRatio
+		}
+	}
+	return st, rates, nil
+}
+
+// fanoutGP implements enforce.Partitioner over the driver-global pair
+// list by delegating each tenant's contiguous segment to that tenant's
+// own partitioner with tenant-local VM IDs. It also keeps the last
+// computed guarantees so Step can report them without re-partitioning.
+type fanoutGP struct {
+	segs []gpSeg
+	last []float64
+}
+
+// gpSeg is one tenant's contiguous run of pairs in the global list.
+type gpSeg struct {
+	gp      enforce.Partitioner
+	base, n int
+}
+
+// PairGuarantees implements enforce.Partitioner.
+func (f *fanoutGP) PairGuarantees(pairs []enforce.Pair) []float64 {
+	out := make([]float64, len(pairs))
+	off := 0
+	for _, seg := range f.segs {
+		local := make([]enforce.Pair, seg.n)
+		for i := 0; i < seg.n; i++ {
+			p := pairs[off+i]
+			local[i] = enforce.Pair{Src: p.Src - seg.base, Dst: p.Dst - seg.base, Demand: p.Demand}
+		}
+		copy(out[off:off+seg.n], seg.gp.PairGuarantees(local))
+		off += seg.n
+	}
+	f.last = out
+	return out
+}

@@ -59,7 +59,7 @@ func (c *Controller) Limit(src, dst int) float64 { return c.limits[[2]int{src, d
 // aggressiveness). Pairs absent from the input are forgotten.
 func (c *Controller) Step(pairs []Pair, paths [][]netem.LinkID) ([]float64, error) {
 	if len(paths) != len(pairs) {
-		return nil, fmt.Errorf("enforce: %d paths for %d pairs", len(paths), len(pairs))
+		return nil, fmt.Errorf("%w: %d paths for %d pairs", netem.ErrBadInput, len(paths), len(pairs))
 	}
 	alloc, err := WorkConservingRates(c.net, pairs, paths, c.gp)
 	if err != nil {
@@ -91,5 +91,5 @@ func (c *Controller) Step(pairs []Pair, paths [][]netem.LinkID) ([]float64, erro
 			Weight: alloc.Guarantees[i] + 1,
 		}
 	}
-	return c.net.MaxMin(flows), nil
+	return c.net.MaxMin(flows)
 }

@@ -12,7 +12,7 @@ import (
 func fig13Setup(k int) (*Deployment, *netem.Network, []Pair, [][]netem.LinkID) {
 	d := fig13(max(k, 1))
 	n := netem.New()
-	link := n.AddLink("to-Z", 1000)
+	link := addLink(n, "to-Z", 1000)
 	pairs := []Pair{{Src: 0, Dst: 1, Demand: netem.Greedy}}
 	for s := 0; s < k; s++ {
 		pairs = append(pairs, Pair{Src: 2 + s, Dst: 1, Demand: netem.Greedy})

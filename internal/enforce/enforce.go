@@ -203,7 +203,7 @@ type Allocation struct {
 // paths[i] is the link path of pairs[i].
 func WorkConservingRates(n *netem.Network, pairs []Pair, paths [][]netem.LinkID, gp Partitioner) (*Allocation, error) {
 	if len(paths) != len(pairs) {
-		return nil, fmt.Errorf("enforce: %d paths for %d pairs", len(paths), len(pairs))
+		return nil, fmt.Errorf("%w: %d paths for %d pairs", netem.ErrBadInput, len(paths), len(pairs))
 	}
 	guarantees := gp.PairGuarantees(pairs)
 
@@ -213,12 +213,19 @@ func WorkConservingRates(n *netem.Network, pairs []Pair, paths [][]netem.LinkID,
 	for l := 0; l < n.Links(); l++ {
 		residualCap[l] = n.Capacity(netem.LinkID(l))
 	}
+	// overflowEps tolerates the float slack admission control itself
+	// allows (topology reservations may overshoot a link by up to 1e-6
+	// Mbps); only a meaningful overflow indicates a violated invariant.
+	const overflowEps = 1e-6
 	for i, pr := range pairs {
 		base[i] = min(pr.Demand, guarantees[i])
 		for _, l := range paths[i] {
 			residualCap[l] -= base[i]
-			if residualCap[l] < 0 {
+			if residualCap[l] < -overflowEps {
 				return nil, fmt.Errorf("enforce: guarantees overflow link %s — admission control violated", n.Name(l))
+			}
+			if residualCap[l] < 0 {
+				residualCap[l] = 0
 			}
 		}
 	}
@@ -226,7 +233,9 @@ func WorkConservingRates(n *netem.Network, pairs []Pair, paths [][]netem.LinkID,
 	// Phase 2: weighted max-min over the residual capacity.
 	resNet := netem.New()
 	for l := 0; l < n.Links(); l++ {
-		resNet.AddLink(n.Name(netem.LinkID(l)), residualCap[l])
+		if _, err := resNet.AddLink(n.Name(netem.LinkID(l)), residualCap[l]); err != nil {
+			return nil, err
+		}
 	}
 	const weightFloor = 1.0 // Mbps-equivalent scavenger weight
 	resFlows := make([]netem.Flow, len(pairs))
@@ -237,7 +246,10 @@ func WorkConservingRates(n *netem.Network, pairs []Pair, paths [][]netem.LinkID,
 			Weight: guarantees[i] + weightFloor,
 		}
 	}
-	extra := resNet.MaxMin(resFlows)
+	extra, err := resNet.MaxMin(resFlows)
+	if err != nil {
+		return nil, err
+	}
 
 	rates := make([]float64, len(pairs))
 	for i := range rates {

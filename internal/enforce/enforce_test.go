@@ -122,7 +122,7 @@ func TestWorkConservingRatesFig13(t *testing.T) {
 	for k := 0; k <= 5; k++ {
 		d := fig13(max(k, 1))
 		n := netem.New()
-		bottleneck := n.AddLink("to-Z", 1000)
+		bottleneck := addLink(n, "to-Z", 1000)
 		pairs := []Pair{{Src: 0, Dst: 1, Demand: netem.Greedy}}
 		for s := 0; s < k; s++ {
 			pairs = append(pairs, Pair{Src: 2 + s, Dst: 1, Demand: netem.Greedy})
@@ -171,7 +171,7 @@ func TestHoseFailsUnderCongestionFig4(t *testing.T) {
 	d := NewDeployment(g)
 
 	n := netem.New()
-	l := n.AddLink("to-logic", 600)
+	l := addLink(n, "to-logic", 600)
 	pairs := []Pair{
 		{Src: 0, Dst: 1, Demand: netem.Greedy},
 		{Src: 2, Dst: 1, Demand: netem.Greedy},
@@ -198,7 +198,7 @@ func TestHoseFailsUnderCongestionFig4(t *testing.T) {
 func TestAdmissionViolation(t *testing.T) {
 	d := fig13(1)
 	n := netem.New()
-	l := n.AddLink("tiny", 100)
+	l := addLink(n, "tiny", 100)
 	pairs := []Pair{{Src: 0, Dst: 1, Demand: netem.Greedy}}
 	if _, err := WorkConservingRates(n, pairs, [][]netem.LinkID{{l}}, NewTAGPartitioner(d)); err == nil {
 		t.Error("450 guarantee on 100 Mbps link accepted")
@@ -209,7 +209,7 @@ func TestAdmissionViolation(t *testing.T) {
 func TestDemandBoundedWorkConservation(t *testing.T) {
 	d := fig13(1)
 	n := netem.New()
-	l := n.AddLink("to-Z", 1000)
+	l := addLink(n, "to-Z", 1000)
 	pairs := []Pair{
 		{Src: 0, Dst: 1, Demand: 100},          // X uses 100 of its 450
 		{Src: 2, Dst: 1, Demand: netem.Greedy}, // intra sender scavenges
@@ -227,7 +227,7 @@ func TestDemandBoundedWorkConservation(t *testing.T) {
 func TestPathCountMismatch(t *testing.T) {
 	d := fig13(1)
 	n := netem.New()
-	n.AddLink("l", 1000)
+	addLink(n, "l", 1000)
 	if _, err := WorkConservingRates(n, []Pair{{Src: 0, Dst: 1}}, nil, NewTAGPartitioner(d)); err == nil {
 		t.Error("mismatched paths accepted")
 	}

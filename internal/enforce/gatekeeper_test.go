@@ -101,7 +101,7 @@ func TestGatekeeperEndToEnd(t *testing.T) {
 	const k = 4
 	d := gatekeeperScenario(k + 1)
 	n := netem.New()
-	l := n.AddLink("to-db1", 200)
+	l := addLink(n, "to-db1", 200)
 	pairs := []Pair{{Src: 0, Dst: 1, Demand: netem.Greedy}}
 	for s := 0; s < k; s++ {
 		pairs = append(pairs, Pair{Src: 2 + s, Dst: 1, Demand: netem.Greedy})

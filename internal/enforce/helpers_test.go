@@ -1,0 +1,14 @@
+package enforce
+
+import "cloudmirror/internal/netem"
+
+// addLink unwraps netem.AddLink's error return for the well-formed
+// networks these tests construct; the error paths themselves are
+// covered in the netem package.
+func addLink(n *netem.Network, name string, capacity float64) netem.LinkID {
+	l, err := n.AddLink(name, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

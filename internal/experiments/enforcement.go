@@ -43,7 +43,10 @@ func fig13Point(k int) (xRate, c2Rate float64, err error) {
 	dep := enforce.NewDeployment(g)
 
 	n := netem.New()
-	bottleneck := n.AddLink("to-Z", 1000)
+	bottleneck, err := n.AddLink("to-Z", 1000)
+	if err != nil {
+		return 0, 0, err
+	}
 	pairs := []enforce.Pair{{Src: 0, Dst: 1, Demand: netem.Greedy}}
 	for s := 0; s < k; s++ {
 		pairs = append(pairs, enforce.Pair{Src: 2 + s, Dst: 1, Demand: netem.Greedy})
@@ -76,7 +79,10 @@ func Fig13Dynamic(o Options) (*Table, error) {
 	dep := enforce.NewDeployment(g)
 
 	n := netem.New()
-	link := n.AddLink("to-Z", 1000)
+	link, err := n.AddLink("to-Z", 1000)
+	if err != nil {
+		return nil, err
+	}
 	mkPairs := func(k int) ([]enforce.Pair, [][]netem.LinkID) {
 		pairs := []enforce.Pair{{Src: 0, Dst: 1, Demand: netem.Greedy}}
 		for s := 0; s < k; s++ {
@@ -132,7 +138,10 @@ func Fig4(o Options) (*Table, error) {
 	dep := enforce.NewDeployment(g)
 
 	n := netem.New()
-	l := n.AddLink("to-logic", 600)
+	l, err := n.AddLink("to-logic", 600)
+	if err != nil {
+		return nil, err
+	}
 	pairs := []enforce.Pair{
 		{Src: 0, Dst: 1, Demand: netem.Greedy},
 		{Src: 2, Dst: 1, Demand: netem.Greedy},

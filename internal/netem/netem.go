@@ -10,9 +10,17 @@
 package netem
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrBadInput is wrapped by every malformed-input failure of this
+// package (negative capacities, flows referencing unknown links), so
+// callers up the stack — the enforcement dataplane, the bwd daemon —
+// can classify emulator misuse as an invalid request in the
+// place.RejectionError taxonomy instead of crashing on a panic.
+var ErrBadInput = errors.New("netem: bad input")
 
 // LinkID identifies a link in a Network.
 type LinkID int
@@ -28,13 +36,15 @@ type Network struct {
 func New() *Network { return &Network{} }
 
 // AddLink adds a link with the given capacity (Mbps) and returns its ID.
-func (n *Network) AddLink(name string, capacity float64) LinkID {
+// A negative capacity fails with an error wrapping ErrBadInput and
+// leaves the network unchanged.
+func (n *Network) AddLink(name string, capacity float64) (LinkID, error) {
 	if capacity < 0 {
-		panic("netem: negative link capacity")
+		return 0, fmt.Errorf("%w: link %q has negative capacity %g", ErrBadInput, name, capacity)
 	}
 	n.caps = append(n.caps, capacity)
 	n.names = append(n.names, name)
-	return LinkID(len(n.caps) - 1)
+	return LinkID(len(n.caps) - 1), nil
 }
 
 // Links returns the number of links.
@@ -85,11 +95,15 @@ func (f Flow) weight() float64 {
 // The allocation is feasible (no link over capacity beyond rounding),
 // Pareto-efficient (every flow is limited by its cap or a saturated
 // link), and max-min fair among flows with equal weights.
-func (n *Network) MaxMin(flows []Flow) []float64 {
-	for _, f := range flows {
+//
+// A flow referencing a link outside the network fails with an error
+// wrapping ErrBadInput before any allocation work is done.
+func (n *Network) MaxMin(flows []Flow) ([]float64, error) {
+	for i, f := range flows {
 		for _, l := range f.Path {
 			if int(l) < 0 || int(l) >= len(n.caps) {
-				panic(fmt.Sprintf("netem: flow references unknown link %d", l))
+				return nil, fmt.Errorf("%w: flow %d references unknown link %d (network has %d)",
+					ErrBadInput, i, l, len(n.caps))
 			}
 		}
 	}
@@ -188,5 +202,5 @@ func (n *Network) MaxMin(flows []Flow) []float64 {
 			}
 		}
 	}
-	return rates
+	return rates, nil
 }

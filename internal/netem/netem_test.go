@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -9,15 +10,34 @@ import (
 
 func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
 
+// addLink and maxMin unwrap the error returns for the well-formed
+// inputs these tests construct; bad-input classification is covered by
+// TestErrorsOnBadInput.
+func addLink(n *Network, name string, capacity float64) LinkID {
+	l, err := n.AddLink(name, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func maxMin(n *Network, flows []Flow) []float64 {
+	rates, err := n.MaxMin(flows)
+	if err != nil {
+		panic(err)
+	}
+	return rates
+}
+
 func TestSingleBottleneckEqualShare(t *testing.T) {
 	n := New()
-	l := n.AddLink("L", 900)
+	l := addLink(n, "L", 900)
 	flows := []Flow{
 		{Path: []LinkID{l}, Demand: Greedy},
 		{Path: []LinkID{l}, Demand: Greedy},
 		{Path: []LinkID{l}, Demand: Greedy},
 	}
-	rates := n.MaxMin(flows)
+	rates := maxMin(n, flows)
 	for i, r := range rates {
 		if !almostEq(r, 300) {
 			t.Errorf("flow %d rate = %g, want 300", i, r)
@@ -27,13 +47,13 @@ func TestSingleBottleneckEqualShare(t *testing.T) {
 
 func TestDemandBoundedFlowReleasesShare(t *testing.T) {
 	n := New()
-	l := n.AddLink("L", 900)
+	l := addLink(n, "L", 900)
 	flows := []Flow{
 		{Path: []LinkID{l}, Demand: 100},
 		{Path: []LinkID{l}, Demand: Greedy},
 		{Path: []LinkID{l}, Demand: Greedy},
 	}
-	rates := n.MaxMin(flows)
+	rates := maxMin(n, flows)
 	if !almostEq(rates[0], 100) || !almostEq(rates[1], 400) || !almostEq(rates[2], 400) {
 		t.Errorf("rates = %v, want [100 400 400]", rates)
 	}
@@ -41,12 +61,12 @@ func TestDemandBoundedFlowReleasesShare(t *testing.T) {
 
 func TestLimitActsAsRateLimiter(t *testing.T) {
 	n := New()
-	l := n.AddLink("L", 900)
+	l := addLink(n, "L", 900)
 	flows := []Flow{
 		{Path: []LinkID{l}, Demand: Greedy, Limit: 150},
 		{Path: []LinkID{l}, Demand: Greedy},
 	}
-	rates := n.MaxMin(flows)
+	rates := maxMin(n, flows)
 	if !almostEq(rates[0], 150) || !almostEq(rates[1], 750) {
 		t.Errorf("rates = %v, want [150 750]", rates)
 	}
@@ -54,12 +74,12 @@ func TestLimitActsAsRateLimiter(t *testing.T) {
 
 func TestWeightedShares(t *testing.T) {
 	n := New()
-	l := n.AddLink("L", 900)
+	l := addLink(n, "L", 900)
 	flows := []Flow{
 		{Path: []LinkID{l}, Demand: Greedy, Weight: 2},
 		{Path: []LinkID{l}, Demand: Greedy, Weight: 1},
 	}
-	rates := n.MaxMin(flows)
+	rates := maxMin(n, flows)
 	if !almostEq(rates[0], 600) || !almostEq(rates[1], 300) {
 		t.Errorf("rates = %v, want [600 300]", rates)
 	}
@@ -67,13 +87,13 @@ func TestWeightedShares(t *testing.T) {
 
 func TestMultiLinkBottleneck(t *testing.T) {
 	n := New()
-	a := n.AddLink("A", 300)
-	b := n.AddLink("B", 1000)
+	a := addLink(n, "A", 300)
+	b := addLink(n, "B", 1000)
 	flows := []Flow{
 		{Path: []LinkID{a, b}, Demand: Greedy}, // bottlenecked at A
 		{Path: []LinkID{b}, Demand: Greedy},    // takes the rest of B
 	}
-	rates := n.MaxMin(flows)
+	rates := maxMin(n, flows)
 	if !almostEq(rates[0], 300) || !almostEq(rates[1], 700) {
 		t.Errorf("rates = %v, want [300 700]", rates)
 	}
@@ -85,14 +105,14 @@ func TestMultiLinkBottleneck(t *testing.T) {
 // filling: all rise to 5, A and B saturate simultaneously.
 func TestClassicMaxMinExample(t *testing.T) {
 	n := New()
-	a := n.AddLink("A", 10)
-	b := n.AddLink("B", 10)
+	a := addLink(n, "A", 10)
+	b := addLink(n, "B", 10)
 	flows := []Flow{
 		{Path: []LinkID{a}, Demand: Greedy},
 		{Path: []LinkID{b}, Demand: Greedy},
 		{Path: []LinkID{a, b}, Demand: Greedy},
 	}
-	rates := n.MaxMin(flows)
+	rates := maxMin(n, flows)
 	if !almostEq(rates[0], 5) || !almostEq(rates[1], 5) || !almostEq(rates[2], 5) {
 		t.Errorf("rates = %v, want [5 5 5]", rates)
 	}
@@ -100,13 +120,13 @@ func TestClassicMaxMinExample(t *testing.T) {
 
 func TestZeroDemandAndEmptyPath(t *testing.T) {
 	n := New()
-	l := n.AddLink("L", 100)
+	l := addLink(n, "L", 100)
 	flows := []Flow{
 		{Path: []LinkID{l}, Demand: 0},
 		{Path: nil, Demand: Greedy},
 		{Path: []LinkID{l}, Demand: Greedy},
 	}
-	rates := n.MaxMin(flows)
+	rates := maxMin(n, flows)
 	if rates[0] != 0 || rates[1] != 0 || !almostEq(rates[2], 100) {
 		t.Errorf("rates = %v, want [0 0 100]", rates)
 	}
@@ -120,7 +140,7 @@ func TestMaxMinProperties(t *testing.T) {
 		n := New()
 		nl := 1 + r.Intn(5)
 		for i := 0; i < nl; i++ {
-			n.AddLink("l", 10+float64(r.Intn(1000)))
+			addLink(n, "l", 10+float64(r.Intn(1000)))
 		}
 		nf := 1 + r.Intn(8)
 		flows := make([]Flow, nf)
@@ -146,7 +166,7 @@ func TestMaxMinProperties(t *testing.T) {
 				flows[i].Weight = 1 + float64(r.Intn(4))
 			}
 		}
-		rates := n.MaxMin(flows)
+		rates := maxMin(n, flows)
 
 		// Feasibility: no link over capacity.
 		load := make([]float64, n.Links())
@@ -187,20 +207,22 @@ func TestMaxMinProperties(t *testing.T) {
 	}
 }
 
-func TestPanicsOnBadInput(t *testing.T) {
+// TestErrorsOnBadInput: malformed input returns a typed error wrapping
+// ErrBadInput — never a panic, so a bad state reaching the enforcement
+// dataplane cannot crash a serving daemon.
+func TestErrorsOnBadInput(t *testing.T) {
 	n := New()
-	n.AddLink("L", 10)
-	for name, fn := range map[string]func(){
-		"negative capacity": func() { n.AddLink("bad", -1) },
-		"unknown link":      func() { n.MaxMin([]Flow{{Path: []LinkID{9}, Demand: 1}}) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s did not panic", name)
-				}
-			}()
-			fn()
-		}()
+	addLink(n, "L", 10)
+	if _, err := n.AddLink("bad", -1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("AddLink(-1) error = %v, want ErrBadInput", err)
+	}
+	if n.Links() != 1 {
+		t.Errorf("failed AddLink mutated the network: %d links, want 1", n.Links())
+	}
+	if _, err := n.MaxMin([]Flow{{Path: []LinkID{9}, Demand: 1}}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("MaxMin(unknown link) error = %v, want ErrBadInput", err)
+	}
+	if _, err := n.MaxMin([]Flow{{Path: []LinkID{-1}, Demand: 1}}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("MaxMin(negative link) error = %v, want ErrBadInput", err)
 	}
 }

@@ -1,0 +1,85 @@
+package place
+
+import (
+	"fmt"
+
+	"cloudmirror/internal/tag"
+)
+
+// EventKind classifies one Grant lifecycle transition.
+type EventKind uint8
+
+// The Grant lifecycle: a tenant is admitted once, resized any number of
+// times, and released once.
+const (
+	// EventAdmitted: a tenant was committed to the ledger; the event
+	// carries its full resource footprint.
+	EventAdmitted EventKind = iota + 1
+	// EventResized: a live tenant's tiers were grown or shrunk in
+	// place; the event carries the new graph and placement (the old
+	// footprint is superseded wholesale).
+	EventResized
+	// EventReleased: the tenant departed and every slot and reservation
+	// returned to the ledger.
+	EventReleased
+)
+
+// String names the kind for logs and tests.
+func (k EventKind) String() string {
+	switch k {
+	case EventAdmitted:
+		return "admitted"
+	case EventResized:
+		return "resized"
+	case EventReleased:
+		return "released"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one Grant lifecycle transition together with the tenant's
+// resource footprint — what a dataplane needs to install, patch, or
+// remove enforcement state incrementally, without reading the ledger.
+type Event struct {
+	// Kind is the lifecycle transition.
+	Kind EventKind
+	// Key uniquely identifies the grant within the emitting scope (one
+	// shard): the same Key ties an admission to its later resizes and
+	// release.
+	Key int64
+	// ID is the caller-chosen tenant ID from the request (not
+	// necessarily unique; surfaced in stats).
+	ID int64
+	// Graph is the tenant's TAG when the tenant was priced by it — the
+	// precondition for TAG enforcement, matching the Resize rule. Nil
+	// for tenants admitted under a translated model (VOC, pipes) and
+	// for EventReleased.
+	Graph *tag.Graph
+	// Placement is where the tenant's VMs sit after the transition.
+	// The map is the reservation's own (fixed — a resize swaps in a
+	// fresh one) and must not be modified. Nil for EventReleased.
+	Placement Placement
+}
+
+// EventSink consumes Grant lifecycle events. Publish is called from
+// admission paths — potentially from many goroutines at once — so
+// implementations must be safe for concurrent use and should return
+// quickly. For one grant, Publish calls are ordered (admitted happens
+// before any resize, a release is last); across grants there is no
+// ordering guarantee.
+type EventSink interface {
+	// Publish delivers one lifecycle event.
+	Publish(Event)
+}
+
+// EnforceableGraph returns the request's TAG when the tenant is priced
+// by the TAG itself — the same precondition Resize applies — and nil
+// otherwise: reservations computed under a translated model (VOC,
+// pipes) do not cover the TAG's hose guarantees, so TAG enforcement
+// could overflow links the admission control never checked.
+func EnforceableGraph(req *Request) *tag.Graph {
+	if req.Graph != nil && (req.Model == nil || req.Model == Model(req.Graph)) {
+		return req.Graph
+	}
+	return nil
+}

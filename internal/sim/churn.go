@@ -57,6 +57,21 @@ type ChurnConfig struct {
 	// default) draws nothing from the RNG, so adding resize support
 	// does not perturb resize-free workloads.
 	ResizeProb float64
+	// Enforce attaches the enforcement dataplane to the service and
+	// interleaves work-conserving GP/RA control periods with the churn:
+	// every EnforceEvery arrivals, each live tenant draws a fresh
+	// demand matrix and the fleet's rates are converged. Demands come
+	// from a dedicated RNG derived from Seed (like the policy RNG), so
+	// attaching enforcement never perturbs the admission workload —
+	// the same churn trace runs with and without it. Requires
+	// TAG-native pricing (ModelFor nil).
+	Enforce bool
+	// EnforceEvery is the control-period cadence in arrivals; 0 means
+	// 16.
+	EnforceEvery int
+	// EnforceAlpha is the rate limiters' per-period convergence step in
+	// (0,1]; 0 means 1.
+	EnforceAlpha float64
 	// HA is applied to every arriving tenant (zero value: none).
 	HA place.HASpec
 	// Seed drives all randomness: arrival spacing, pool sampling,
@@ -123,6 +138,10 @@ type ChurnResult struct {
 
 	// PerShard holds each shard's slice, indexed by shard ID.
 	PerShard []ChurnShardStats
+
+	// Enforcement reports the interleaved control periods' outcome; nil
+	// unless the config set Enforce.
+	Enforcement *ChurnEnforcement
 }
 
 // policySeed derives the dispatch-policy seed from a config seed. One
@@ -132,13 +151,20 @@ type ChurnResult struct {
 // randomness never perturbs the arrival sequence.
 func policySeed(seed int64) int64 { return seed ^ 0x5DEECE66D }
 
+// enforceSeed derives the enforcement-demand seed from a config seed,
+// decoupling the demand RNG from the workload RNG so attaching
+// enforcement never perturbs the admission trace.
+func enforceSeed(seed int64) int64 { return seed ^ 0x6D2B79F5 }
+
 // churnTenant is one live tenant of a churn run: its grant, its
-// current TAG (updated by resizes), and its index in the live slice
-// (for O(1) swap-removal on departure).
+// current TAG (updated by resizes), its index in the live slice
+// (for O(1) swap-removal on departure), and its cached enforcement
+// demand plan (nil until first used; invalidated by resizes).
 type churnTenant struct {
 	grant guarantee.Grant
 	graph *tag.Graph
 	idx   int
+	plan  *demandPlan
 }
 
 // churnDeparture is a scheduled tenant exit from a churn run. seq
@@ -198,7 +224,13 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 		// before any work is done instead.
 		return nil, errors.New("sim: ResizeProb requires TAG-native pricing (ModelFor must be nil)")
 	}
-	svc, err := guarantee.New(cfg.Spec,
+	if cfg.Enforce && cfg.ModelFor != nil {
+		// The dataplane enforces TAG guarantees; tenants priced under a
+		// translated model would all be skipped, making the run
+		// meaningless. Fail up front instead.
+		return nil, errors.New("sim: Enforce requires TAG-native pricing (ModelFor must be nil)")
+	}
+	opts := []guarantee.Option{
 		guarantee.WithPlacer(cfg.NewPlacer),
 		guarantee.WithModelFor(cfg.ModelFor),
 		guarantee.WithShards(cfg.Shards),
@@ -206,7 +238,11 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 		guarantee.WithPolicy(cfg.Policy),
 		guarantee.WithSeed(policySeed(cfg.Seed)),
 		guarantee.WithWorkers(cfg.Workers),
-	)
+	}
+	if cfg.Enforce {
+		opts = append(opts, guarantee.WithEnforcement(guarantee.EnforcementConfig{Alpha: cfg.EnforceAlpha}))
+	}
+	svc, err := guarantee.New(cfg.Spec, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +275,18 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 		Policy:   svc.Policy(),
 		Shards:   svc.Shards(),
 		PerShard: make([]ChurnShardStats, svc.Shards()),
+	}
+	enforceEvery := cfg.EnforceEvery
+	if enforceEvery <= 0 {
+		enforceEvery = 16
+	}
+	var enforceRand *rand.Rand
+	if cfg.Enforce {
+		res.Enforcement = &ChurnEnforcement{MinRatio: 1}
+		// A dedicated demand RNG, decoupled from the workload RNG the
+		// same way the policy RNG is: attaching enforcement must not
+		// perturb the admission trace.
+		enforceRand = rand.New(rand.NewSource(enforceSeed(cfg.Seed)))
 	}
 
 	var (
@@ -328,8 +376,19 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 					res.ResizeRejected++
 				} else {
 					ten.graph = ng
+					ten.plan = nil // VM set changed; demand plan is stale
 					res.Resized++
 				}
+			}
+		}
+
+		// Enforcement: every enforceEvery arrivals, the live tenants
+		// draw fresh demand matrices and the dataplane converges their
+		// work-conserving rates. Serial, like the rest of the loop, so
+		// the outcome stays a pure function of the config.
+		if cfg.Enforce && (i+1)%enforceEvery == 0 && len(live) > 0 {
+			if err := controlPeriod(enforceRand, svc.Enforcement(), live, res.Enforcement); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -379,6 +438,12 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	if cfg.Enforce {
+		// After the drain every lifecycle event has reached the
+		// dataplane; the counters are the incremental-update audit
+		// trail the enforcement tests assert on.
+		res.Enforcement.Events = svc.Enforcement().Counters()
 	}
 	return res, nil
 }

@@ -37,4 +37,14 @@ if out=$(grep -rnE '"cloudmirror/internal/place/(cloudmirror|oktopus|secondnet)"
     fail=1
 fi
 
+# 4. Enforcement is reached only through guarantee.WithEnforcement and
+#    Service.Enforcement(): no cmd or example may import the GP/RA
+#    machinery, the fluid-network emulator, or the dataplane directly.
+#    (Only internal packages and the packages' own tests may.)
+if out=$(grep -rnE '"cloudmirror/internal/(enforce|netem|dataplane)"' cmd examples); then
+    echo "api-check: direct enforcement import (use guarantee.WithEnforcement):"
+    echo "$out"
+    fail=1
+fi
+
 exit $fail

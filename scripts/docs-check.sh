@@ -1,5 +1,7 @@
 #!/bin/sh
-# docs-check enforces the godoc contract on internal/... and the
+# docs-check enforces the godoc contract on internal/... (every
+# package under it, including new ones like internal/dataplane, is
+# picked up automatically by the find below) and the
 # public guarantee package: every
 # exported top-level identifier and every exported method on an
 # exported type needs a doc comment, and every package needs a
