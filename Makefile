@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint docs-check api-check test test-full determinism bench bench-json ci
+.PHONY: all build lint docs-check api-check test test-full determinism bench bench-json bench-diff ci
 
 all: build
 
@@ -42,11 +42,14 @@ test-full:
 # several GOMAXPROCS values. Covers the experiment sweeps (including
 # the churn and admission sweeps), the sharded churn simulator itself
 # (locked and optimistic admission paths, with and without the
-# enforcement dataplane), and the optimistic-vs-locked output-identity
-# check.
+# enforcement dataplane), the optimistic-vs-locked output-identity
+# check, and the crash-recovery identity check (kill a durable service
+# mid-churn, recover from WAL + snapshot, demand a byte-identical
+# admission trace and final ledger).
 determinism:
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run TestParallelDeterminism ./internal/experiments
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestChurnDeterminism|TestChurnResizeDeterminism|TestEnforceChurnDeterminism|TestChurnOptimisticMatchesLocked|TestChurnResizeOptimisticMatchesLocked' ./internal/sim
+	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestCrashRecoveryDeterminism|TestDurableMatchesInMemory' ./guarantee
 
 # One iteration of every per-artifact benchmark: regenerates the quick
 # experiment suite and the admission-throughput numbers.
@@ -55,9 +58,21 @@ bench:
 
 # Machine-readable admission throughput (locked vs optimistic at 1/4/8
 # goroutines) plus enforcement control-loop throughput and convergence
-# latency vs tenant count; CI uploads both JSONs as artifacts so the
-# perf trajectory is tracked per commit.
+# latency vs tenant count; both JSONs are committed as the baseline so
+# the perf trajectory is tracked per commit. 512 servers: the smallest
+# spec with room for the full 8/32/128-tenant enforcement sweep.
 bench-json:
-	$(GO) run ./cmd/admbench -out BENCH_admission.json -enforce-out BENCH_enforce.json
+	$(GO) run ./cmd/admbench -servers 512 -out BENCH_admission.json -enforce-out BENCH_enforce.json
 
-ci: lint docs-check api-check build test determinism bench bench-json
+# Regenerate the benchmarks into scratch files and diff them against
+# the committed baselines, metric by metric. Report-only by default;
+# pass BENCH_FAIL=0.5 (a fraction) to fail on throughput regressions
+# beyond it.
+BENCH_FAIL ?= 0
+bench-diff:
+	$(GO) run ./cmd/admbench -servers 512 -out BENCH_admission.cand.json -enforce-out BENCH_enforce.cand.json
+	$(GO) run ./cmd/benchdiff -old BENCH_admission.json -new BENCH_admission.cand.json -fail $(BENCH_FAIL)
+	$(GO) run ./cmd/benchdiff -old BENCH_enforce.json -new BENCH_enforce.cand.json -fail $(BENCH_FAIL)
+	rm -f BENCH_admission.cand.json BENCH_enforce.cand.json
+
+ci: lint docs-check api-check build test determinism bench bench-diff

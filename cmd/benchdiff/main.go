@@ -1,0 +1,124 @@
+// Command benchdiff compares two machine-readable benchmark reports
+// (the BENCH_*.json files admbench emits) and prints the per-metric
+// deltas, so a commit's perf trajectory is visible without external
+// tooling (no jq, no spreadsheet).
+//
+// Usage:
+//
+//	benchdiff -old BENCH_admission.json -new BENCH_admission.new.json [-fail 0.3]
+//
+// Both files are flattened generically: every numeric leaf becomes a
+// dotted path (arrays by index — benchmark shapes are deterministic,
+// so index alignment is stable), and each path present in both files
+// is reported as old -> new with the relative change. With -fail F,
+// any throughput-like metric (its path ends in per_sec) that drops by
+// more than the fraction F fails the run — the regression gate for
+// `make bench-diff`. Timing noise on shared CI machines is real, so
+// the default is report-only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline report (committed BENCH_*.json)")
+	newPath := flag.String("new", "", "candidate report (freshly generated)")
+	failOver := flag.Float64("fail", 0, "fail if any *per_sec metric regresses by more than this fraction (0 = report only)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fatal(fmt.Errorf("both -old and -new are required"))
+	}
+
+	oldM, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newM, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	paths := make([]string, 0, len(newM))
+	for p := range newM {
+		if _, ok := oldM[p]; ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no common numeric metrics between %s and %s", *oldPath, *newPath))
+	}
+
+	fmt.Printf("benchdiff %s -> %s\n", *oldPath, *newPath)
+	worst, worstPath := 0.0, ""
+	for _, p := range paths {
+		o, n := oldM[p], newM[p]
+		change := 0.0
+		if o != 0 {
+			change = (n - o) / o
+		}
+		fmt.Printf("  %-60s %14.4g -> %14.4g  %+7.2f%%\n", p, o, n, change*100)
+		// Only throughput-like metrics gate: for them, down is bad.
+		if strings.HasSuffix(p, "per_sec") && -change > worst {
+			worst, worstPath = -change, p
+		}
+	}
+	if worstPath != "" {
+		fmt.Printf("worst throughput regression: %s (%.2f%%)\n", worstPath, worst*100)
+	}
+	if *failOver > 0 && worst > *failOver {
+		fatal(fmt.Errorf("%s regressed %.2f%%, over the %.0f%% gate", worstPath, worst*100, *failOver*100))
+	}
+}
+
+// load parses a JSON report and flattens its numeric leaves.
+func load(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]float64)
+	flatten("", v, m)
+	return m, nil
+}
+
+// flatten walks the decoded JSON, recording every numeric leaf under
+// its dotted path.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, x[k], out)
+		}
+	case []any:
+		for i, e := range x {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), e, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

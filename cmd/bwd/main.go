@@ -10,6 +10,7 @@
 //	bwd [-addr :8080] [-alg cm|cm-oppha|cm-coloc|cm-balance|ovoc|ovoc-aware|secondnet]
 //	    [-servers 128|512|2048] [-shards N] [-planners N] [-policy rr|least|p2c]
 //	    [-seed N] [-enforce] [-enforce-alpha F] [-enforce-gp tag|hose|gatekeeper]
+//	    [-wal-dir DIR] [-snapshot-every N]
 //
 // Endpoints (bodies are JSON; TAGs use the internal/tag wire format):
 //
@@ -20,7 +21,19 @@
 //	GET    /v1/stats                   counters + shard loads -> 200
 //	POST   /v1/enforcement/step        run one control period -> 200
 //	GET    /v1/enforcement             last period + events   -> 200
+//	GET    /v1/healthz                 liveness + WAL lag     -> 200
+//	POST   /v1/snapshot                snapshot now           -> 200
+//	GET    /v1/wal                     log position           -> 200
 //	GET    /healthz                    liveness               -> 200
+//
+// With -wal-dir the daemon is durable: every admit/resize/release is
+// fsynced to a write-ahead log under the directory before it is
+// acknowledged, and snapshots truncate the log every -snapshot-every
+// events. If the directory already holds a ledger the daemon recovers
+// it (the topology/algorithm/policy flags are then read from the
+// ledger, not the command line); otherwise it starts fresh. On SIGTERM
+// the daemon drains HTTP, writes a final snapshot, and closes the log,
+// so the next start replays nothing.
 //
 // With -enforce the daemon attaches the enforcement dataplane: every
 // admit/resize/release is applied to it incrementally. POST
@@ -77,12 +90,17 @@ func main() {
 	enforce := flag.Bool("enforce", false, "attach the enforcement dataplane (serves GET /v1/enforcement)")
 	alpha := flag.Float64("enforce-alpha", 1, "enforcement rate-limiter convergence step in (0,1]")
 	gp := flag.String("enforce-gp", "tag", "guarantee partitioner: tag, hose, gatekeeper")
+	walDir := flag.String("wal-dir", "", "durable ledger directory: write-ahead log + snapshots (empty = in-memory)")
+	snapEvery := flag.Int("snapshot-every", 1024, "events between automatic snapshots (needs -wal-dir)")
 	flag.Parse()
 
 	// Enforcement tuning without enforcement would be silently dropped;
 	// fail fast like simulate does for -resize without -churn.
 	if !*enforce && (*alpha != 1 || *gp != "tag") {
 		fatal(fmt.Errorf("-enforce-alpha/-enforce-gp need -enforce: the daemon starts no dataplane without it"))
+	}
+	if *walDir == "" && *snapEvery != 1024 {
+		fatal(fmt.Errorf("-snapshot-every needs -wal-dir: the daemon keeps no log without it"))
 	}
 
 	var spec topology.Spec
@@ -110,7 +128,27 @@ func main() {
 			Partitioner: *gp,
 		}))
 	}
-	svc, err := guarantee.New(spec, opts...)
+	var svc guarantee.Service
+	var err error
+	recovered := false
+	switch {
+	case *walDir != "" && guarantee.HasLedger(*walDir):
+		// The ledger carries the topology and configuration it was
+		// created with; recovery rebuilds the exact pre-crash state.
+		svc, err = guarantee.Open(*walDir)
+		if err == nil {
+			recovered = true
+			st := svc.Durability().Stats()
+			fmt.Fprintf(os.Stderr, "bwd: recovered ledger %s (generation %d)\n", *walDir, st.Gen)
+		}
+	case *walDir != "":
+		opts = append(opts,
+			guarantee.WithDurability(*walDir),
+			guarantee.WithSnapshotEvery(*snapEvery))
+		svc, err = guarantee.New(spec, opts...)
+	default:
+		svc, err = guarantee.New(spec, opts...)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -122,8 +160,15 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "bwd: serving %s guarantees on %s (%d shards × %d servers, policy %s, admission %s)\n",
-		svc.Name(), *addr, svc.Shards(), *servers, svc.Policy(), admissionMode(*planners))
+	if recovered {
+		// The topology and admission flags came from the ledger, not
+		// the command line — don't echo flag defaults as fact.
+		fmt.Fprintf(os.Stderr, "bwd: serving %s guarantees on %s (%d shards, policy %s, recovered ledger)\n",
+			svc.Name(), *addr, svc.Shards(), svc.Policy())
+	} else {
+		fmt.Fprintf(os.Stderr, "bwd: serving %s guarantees on %s (%d shards × %d servers, policy %s, admission %s)\n",
+			svc.Name(), *addr, svc.Shards(), *servers, svc.Policy(), admissionMode(*planners))
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -137,6 +182,11 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+		// Drained: flush a final snapshot and close the log, so the
+		// next start recovers without replaying anything.
+		if err := svc.Close(ctx); err != nil {
 			fatal(err)
 		}
 	}

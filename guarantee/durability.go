@@ -1,0 +1,718 @@
+package guarantee
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"cloudmirror/internal/cluster"
+	"cloudmirror/internal/dataplane"
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+	"cloudmirror/internal/wal"
+)
+
+// Durable control plane: a write-ahead log of Grant lifecycle events
+// plus periodic ledger snapshots. Every admit, resize, and release is
+// appended (and fsynced) to the log before the operation returns, so a
+// crash loses nothing that was acknowledged; Open rebuilds the exact
+// admission state — ledger bits, gauges, counters, placer demand
+// estimators, dispatch-policy state, and enforcement dataplanes — by
+// importing the latest snapshot and replaying the log suffix through
+// the same commit paths live operations use.
+//
+// Exactness caveat: the log records operations in append order, which
+// equals commit order because a durable service serializes lifecycle
+// operations on the Durability lock. The price is admission
+// concurrency; the reward is byte-identical recovery (including float
+// residue in every ledger accumulator — see internal/place replay).
+
+// snapshotVersion tags the snapshot JSON format.
+const snapshotVersion = 1
+
+// durableConfig is the construction-time configuration persisted in
+// every snapshot, so Open rebuilds the identical service without the
+// caller repeating options.
+type durableConfig struct {
+	Shards        int                `json:"shards"`
+	Planners      int                `json:"planners"`
+	Policy        string             `json:"policy"`
+	Seed          int64              `json:"seed"`
+	Algorithm     string             `json:"algorithm"`
+	SnapshotEvery int                `json:"snapshot_every"`
+	Enforce       *EnforcementConfig `json:"enforce,omitempty"`
+}
+
+// shardSnap is one shard's durable state within a snapshot. The ledger
+// arrays and the reserved gauge are captured byte-exactly — both carry
+// float residue from the full admission history that cannot be
+// reconstructed from the surviving tenants.
+type shardSnap struct {
+	Ledger       topology.Ledger     `json:"ledger"`
+	ReservedMbps float64             `json:"reserved_mbps"`
+	Slots        int64               `json:"slots"`
+	Tenants      int64               `json:"tenants"`
+	Seq          int64               `json:"seq"`
+	Stats        place.AdmitStats    `json:"stats"`
+	PlacerStates []float64           `json:"placer_states,omitempty"`
+	Grants       []place.GrantRecord `json:"grants"`
+}
+
+// enforceSnap is the enforcement plane's durable state: the per-driver
+// lifecycle counters (rate-limiter state is reconstructed by the next
+// control period, not persisted).
+type enforceSnap struct {
+	Counters []dataplane.Counters `json:"counters"`
+}
+
+// snapshotFile is the complete snapshot payload stored by the
+// write-ahead log at each generation.
+type snapshotFile struct {
+	Version  int                   `json:"version"`
+	Spec     topology.Spec         `json:"spec"`
+	Config   durableConfig         `json:"config"`
+	Shards   []shardSnap           `json:"shards"`
+	Dispatch cluster.DispatchStats `json:"dispatch"`
+	Picks    uint64                `json:"picks"`
+	Enforce  *enforceSnap          `json:"enforce,omitempty"`
+}
+
+// grantKey addresses one live grant: grant keys are per-shard
+// sequences, so only the (shard, key) pair is unique service-wide.
+type grantKey struct {
+	shard int
+	key   int64
+}
+
+// WALStats re-exports the write-ahead log's position report so
+// consumers of the public API never import the internal wal package.
+type WALStats = wal.Stats
+
+// Durability is a durable service's lifecycle-owning handle, returned
+// by Service.Durability (nil for services built without
+// WithDurability). It owns the write-ahead log, serializes every
+// lifecycle operation, and exposes snapshot control and log stats.
+type Durability struct {
+	mu    sync.Mutex
+	log   *wal.Log
+	every int
+	// closed latches after Close, abandon, or a log failure; err holds
+	// the failure that wedged the service, nil for a clean Close.
+	closed bool
+	err    error
+	svc    *service
+	spec   topology.Spec
+	cfg    durableConfig
+	grants map[grantKey]*grant
+}
+
+// HasLedger reports whether dir holds a durable ledger a previous
+// service wrote — the discriminator between New (fresh directory) and
+// Open (recovery).
+func HasLedger(dir string) bool { return wal.HasLedger(dir) }
+
+// createDurability initializes a fresh durable ledger under c.walDir
+// for a just-built (still empty) service and attaches the Durability
+// to it.
+func createDurability(spec topology.Spec, c *config, svc *service) error {
+	const op = "configure"
+	if c.newPlacer != nil && c.algorithm == "" {
+		return place.Rejectf(op, Unsupported,
+			"WithPlacer constructors cannot be persisted: durable services need a registered WithAlgorithm name")
+	}
+	d := &Durability{
+		every: c.snapEvery,
+		svc:   svc,
+		spec:  spec,
+		cfg: durableConfig{
+			Shards:        c.shards,
+			Planners:      c.planners,
+			Policy:        c.policy,
+			Seed:          c.seed,
+			Algorithm:     c.algorithm,
+			SnapshotEvery: c.snapEvery,
+			Enforce:       c.enforce,
+		},
+		grants: make(map[grantKey]*grant),
+	}
+	b, err := d.encodeSnapshot()
+	if err != nil {
+		return place.Reject(op, InvalidRequest, err)
+	}
+	log, err := wal.Create(c.walDir, b)
+	if err != nil {
+		if errors.Is(err, wal.ErrExists) {
+			return place.Rejectf(op, InvalidRequest,
+				"%s already holds a durable ledger: recover it with Open, not New", c.walDir)
+		}
+		return place.Reject(op, InvalidRequest, err)
+	}
+	d.log = log
+	svc.dur = d
+	return nil
+}
+
+// Open recovers a durable Service from the ledger a previous service
+// left under dir: it rebuilds the fleet from the persisted
+// configuration, imports the latest snapshot, and deterministically
+// replays the write-ahead-log suffix through the same commit paths
+// live operations use. The recovered admission state is byte-identical
+// to the crashed service's. Options may re-supply what cannot persist
+// (WithWorkers tuning); structural options are taken from the
+// snapshot and cannot be changed here.
+func Open(dir string, opts ...Option) (Service, error) {
+	const op = "recover"
+	log, snapBytes, suffix, err := wal.Open(dir)
+	if err != nil {
+		return nil, place.Reject(op, InvalidRequest, err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(snapBytes, &snap); err != nil {
+		log.Close()
+		return nil, place.Rejectf(op, InvalidRequest, "corrupt snapshot in %s: %v", dir, err)
+	}
+	if snap.Version != snapshotVersion {
+		log.Close()
+		return nil, place.Rejectf(op, InvalidRequest,
+			"snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	}
+	c := config{
+		shards:    snap.Config.Shards,
+		planners:  snap.Config.Planners,
+		policy:    snap.Config.Policy,
+		seed:      snap.Config.Seed,
+		algorithm: snap.Config.Algorithm,
+		snapEvery: snap.Config.SnapshotEvery,
+		enforce:   snap.Config.Enforce,
+	}
+	// Fold caller options for the non-persistable knobs, then reassert
+	// the snapshot's structural configuration — a recovered fleet must
+	// match the one that wrote the ledger.
+	tune := config{}
+	for _, opt := range opts {
+		opt(&tune)
+	}
+	c.workers = tune.workers
+	svc, err := build(snap.Spec, &c)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	d := &Durability{
+		log:    log,
+		every:  c.snapEvery,
+		svc:    svc,
+		spec:   snap.Spec,
+		cfg:    snap.Config,
+		grants: make(map[grantKey]*grant),
+	}
+	if err := d.recover(&snap, suffix); err != nil {
+		log.Close()
+		return nil, place.Reject(op, InvalidRequest, err)
+	}
+	svc.dur = d
+	return svc, nil
+}
+
+// recover rebuilds the service's state from the snapshot plus the log
+// suffix. Single-threaded: the service is not yet published.
+func (d *Durability) recover(snap *snapshotFile, suffix [][]byte) error {
+	svc := d.svc
+	n := svc.cl.Size()
+	if len(snap.Shards) != n {
+		return fmt.Errorf("snapshot has %d shards, fleet has %d", len(snap.Shards), n)
+	}
+	// 1. Ledger bits first: everything below replays on top of them.
+	for i := 0; i < n; i++ {
+		sh := svc.cl.Shard(i)
+		if err := sh.Tree().ImportLedger(snap.Shards[i].Ledger); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		// Re-base optimistic planner replicas on the imported bits.
+		sh.Resync()
+		sh.RestorePlacerStates(snap.Shards[i].PlacerStates)
+	}
+	// 2. Attach the snapshot's live grants (sorted by key within each
+	// shard when written): no ledger or gauge mutation — the imported
+	// bits already carry them — but the lifecycle events flow to the
+	// enforcement sinks, rebuilding per-tenant dataplane state.
+	for i := 0; i < n; i++ {
+		sh := svc.cl.Shard(i)
+		for _, rec := range snap.Shards[i].Grants {
+			ten := sh.Attach(rec)
+			d.grants[grantKey{i, rec.Key}] = &grant{ten: ten, svc: svc}
+		}
+	}
+	// 3. Absolute state: gauges, counters, dispatch stats. Restored
+	// after attach so the attach-time sink events' counter bumps are
+	// overwritten by the snapshot values (the dataplane keeps only its
+	// own FabricBuilds — the fabrics really were rebuilt).
+	for i := 0; i < n; i++ {
+		s := snap.Shards[i]
+		sh := svc.cl.Shard(i)
+		sh.RestoreGauges(s.ReservedMbps, s.Slots, s.Tenants, s.Seq)
+		sh.RestoreAdmitStats(s.Stats)
+	}
+	if svc.enf != nil {
+		if snap.Enforce == nil || len(snap.Enforce.Counters) != len(svc.enf.drivers) {
+			return errors.New("snapshot enforcement counters missing or mis-sized")
+		}
+		for i, drv := range svc.enf.drivers {
+			drv.RestoreCounters(snap.Enforce.Counters[i])
+		}
+	}
+	svc.disp.RestoreStats(snap.Dispatch)
+	// 4. Replay the suffix through the natural commit paths: counters,
+	// gauges, and sink events advance exactly as they did live.
+	dispatched := uint64(0)
+	for i, rec := range suffix {
+		ev, err := place.DecodeEvent(rec)
+		if err != nil {
+			return fmt.Errorf("log record %d: %w", i, err)
+		}
+		if ev.First >= 0 {
+			dispatched++
+		}
+		if err := d.replayEvent(ev); err != nil {
+			return fmt.Errorf("log record %d (%s key %d): %w", i, ev.Kind, ev.Key, err)
+		}
+	}
+	// 5. Dispatch-policy state: every dispatch-path event consumed
+	// exactly one policy pick (replay does not run the policy — the
+	// routes come from the log), so the pick counter advances by the
+	// suffix's dispatch count and stateful policies rebuild their RNG
+	// position from it.
+	if sp, ok := svc.disp.Policy().(cluster.StatefulPolicy); ok {
+		sp.RestorePicks(snap.Picks+dispatched, n)
+	}
+	// 6. Replicas re-based once more after replay advanced the
+	// authoritative ledgers, trimming the delta logs.
+	for i := 0; i < n; i++ {
+		svc.cl.Shard(i).Resync()
+	}
+	return nil
+}
+
+// replayEvent applies one recorded lifecycle event. Admit-path events
+// (First >= 0) re-walk the recorded failover route so every shard that
+// saw the request live re-observes it — counters and placer demand
+// estimators advance exactly as they did. Resize- and release-scoped
+// events (First == -1) touch only the grant's shard; First == -2 marks
+// a zero-step resize, replayed through the natural Resize path (no
+// placer runs for it).
+func (d *Durability) replayEvent(ev place.Event) error {
+	svc := d.svc
+	if ev.First >= 0 {
+		n := svc.cl.Size()
+		// Placers observe demand on every well-formed arrival they saw;
+		// NaN marks requests the placer never priced (nil TAG under a
+		// translated model), and validation failures never reached a
+		// placer at all.
+		observe := !math.IsNaN(ev.Demand) && ev.Reason != InvalidRequest
+		steps := (ev.Shard - ev.First + n) % n
+		for k := 0; k < steps; k++ {
+			sh := svc.cl.Shard((ev.First + k) % n)
+			if observe {
+				sh.ObserveDemand(ev.Demand)
+			}
+			sh.ReplayReject()
+		}
+		final := svc.cl.Shard(ev.Shard)
+		if observe {
+			final.ObserveDemand(ev.Demand)
+		}
+		switch ev.Kind {
+		case place.EventAdmitted:
+			ten := final.ReplayAdmit(ev)
+			d.grants[grantKey{ev.Shard, ev.Key}] = &grant{ten: ten, svc: svc}
+		case place.EventRejected:
+			final.ReplayReject()
+		case place.EventFailed:
+			final.ReplayFail()
+		default:
+			return fmt.Errorf("dispatch-path event with kind %s", ev.Kind)
+		}
+		svc.disp.ReplayDispatch(ev.Kind, ev.First, ev.Shard)
+		return nil
+	}
+	gk := grantKey{ev.Shard, ev.Key}
+	switch ev.Kind {
+	case place.EventResized:
+		g, ok := d.grants[gk]
+		if !ok {
+			return errors.New("resize of unknown grant")
+		}
+		if ev.First == -2 {
+			// Zero-step resize: nothing committed live, but the
+			// lifecycle event still reached the enforcement sink.
+			return g.ten.Resize(ev.Graph)
+		}
+		return g.ten.ReplayResize(ev)
+	case place.EventRejected:
+		svc.cl.Shard(ev.Shard).ReplayReject()
+	case place.EventFailed:
+		svc.cl.Shard(ev.Shard).ReplayFail()
+	case place.EventReleased:
+		g, ok := d.grants[gk]
+		if !ok {
+			return errors.New("release of unknown grant")
+		}
+		g.ten.Release()
+		delete(d.grants, gk)
+	default:
+		return fmt.Errorf("grant-scoped event with kind %s", ev.Kind)
+	}
+	return nil
+}
+
+// encodeSnapshot serializes the service's complete durable state.
+// Callers must hold d.mu (or own the service exclusively, as New and
+// recovery do).
+func (d *Durability) encodeSnapshot() ([]byte, error) {
+	svc := d.svc
+	n := svc.cl.Size()
+	snap := snapshotFile{
+		Version:  snapshotVersion,
+		Spec:     d.spec,
+		Config:   d.cfg,
+		Shards:   make([]shardSnap, n),
+		Dispatch: svc.disp.Stats(),
+	}
+	if sp, ok := svc.disp.Policy().(cluster.StatefulPolicy); ok {
+		snap.Picks = sp.Picks()
+	}
+	for i := 0; i < n; i++ {
+		sh := svc.cl.Shard(i)
+		reserved, slots, tenants, seq := sh.ExportGauges()
+		snap.Shards[i] = shardSnap{
+			Ledger:       sh.ExportLedger(),
+			ReservedMbps: reserved,
+			Slots:        slots,
+			Tenants:      tenants,
+			Seq:          seq,
+			Stats:        sh.Stats(),
+			PlacerStates: sh.PlacerStates(),
+			Grants:       []place.GrantRecord{},
+		}
+	}
+	for gk, g := range d.grants {
+		rec, ok := g.ten.Record()
+		if !ok {
+			continue
+		}
+		snap.Shards[gk.shard].Grants = append(snap.Shards[gk.shard].Grants, rec)
+	}
+	for i := range snap.Shards {
+		recs := snap.Shards[i].Grants
+		sort.Slice(recs, func(a, b int) bool { return recs[a].Key < recs[b].Key })
+	}
+	if svc.enf != nil {
+		es := &enforceSnap{Counters: make([]dataplane.Counters, len(svc.enf.drivers))}
+		for i, drv := range svc.enf.drivers {
+			es.Counters[i] = drv.Counters()
+		}
+		snap.Enforce = es
+	}
+	return json.Marshal(snap)
+}
+
+// Stats reports the write-ahead log's position: generation, records
+// and bytes since the last snapshot (the replay lag a crash would pay),
+// fsyncs, and the last snapshot's size and time.
+func (d *Durability) Stats() WALStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Stats()
+}
+
+// Dir returns the ledger directory.
+func (d *Durability) Dir() string { return d.log.Dir() }
+
+// Grants returns the live grants in deterministic (shard, key) order —
+// the handles a recovered service's callers rebind to after Open.
+func (d *Durability) Grants() []Grant {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]grantKey, 0, len(d.grants))
+	for gk := range d.grants {
+		keys = append(keys, gk)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].shard != keys[b].shard {
+			return keys[a].shard < keys[b].shard
+		}
+		return keys[a].key < keys[b].key
+	})
+	out := make([]Grant, len(keys))
+	for i, gk := range keys {
+		out[i] = d.grants[gk]
+	}
+	return out
+}
+
+// Snapshot forces a snapshot now, truncating the write-ahead log.
+func (d *Durability) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return d.rejectClosedLocked("snapshot")
+	}
+	return d.snapshotLocked()
+}
+
+// snapshotLocked writes a snapshot and rotates the log, wedging the
+// service on failure (a service that cannot persist must stop
+// acknowledging operations).
+func (d *Durability) snapshotLocked() error {
+	b, err := d.encodeSnapshot()
+	if err != nil {
+		d.wedgeLocked(err)
+		return place.Reject("snapshot", ShuttingDown, err)
+	}
+	if err := d.log.Rotate(b); err != nil {
+		d.wedgeLocked(err)
+		return place.Reject("snapshot", ShuttingDown, err)
+	}
+	return nil
+}
+
+// maybeSnapshotLocked rotates when the log reached the configured
+// event count.
+func (d *Durability) maybeSnapshotLocked() {
+	if !d.closed && d.log.Stats().Records >= uint64(d.every) {
+		d.snapshotLocked() //nolint:errcheck // wedges on failure; next op reports it
+	}
+}
+
+// wedgeLocked latches a log failure: the service stops accepting
+// operations (typed shutting_down rejections) so no acknowledged state
+// can diverge from the log.
+func (d *Durability) wedgeLocked(err error) {
+	d.closed = true
+	d.err = err
+	d.log.Close() //nolint:errcheck // already failing; nothing to report
+}
+
+// rejectClosedLocked builds the typed rejection for operations after
+// Close or a wedge.
+func (d *Durability) rejectClosedLocked(op string) error {
+	if d.err != nil {
+		return place.Rejectf(op, ShuttingDown, "service closed after log failure: %v", d.err)
+	}
+	return place.Rejectf(op, ShuttingDown, "service is closed")
+}
+
+// close flushes a final snapshot and closes the log. Idempotent.
+func (d *Durability) close(ctx context.Context) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return d.err
+	}
+	if err := ctx.Err(); err != nil {
+		return place.Reject("close", Canceled, err)
+	}
+	d.closed = true
+	if err := d.snapshotNoWedgeLocked(); err != nil {
+		d.err = err
+		d.log.Close() //nolint:errcheck // snapshot failure already reported
+		return err
+	}
+	return d.log.Close()
+}
+
+// snapshotNoWedgeLocked is snapshotLocked for the close path, which
+// manages the latch itself.
+func (d *Durability) snapshotNoWedgeLocked() error {
+	b, err := d.encodeSnapshot()
+	if err != nil {
+		return err
+	}
+	return d.log.Rotate(b)
+}
+
+// abandon simulates a crash for recovery tests: the log's file handles
+// close with no final snapshot, exactly the state a kill would leave
+// (every acknowledged append is already fsynced).
+func (d *Durability) abandon() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.err = errors.New("abandoned")
+	d.log.Close() //nolint:errcheck // simulated crash
+}
+
+// admit runs one admission under the durability lock: dispatch with
+// route tracing, append the outcome to the log, and only then return.
+// An admission whose append fails is rolled back before the service
+// wedges — an acknowledged grant must never be missing from the log.
+func (d *Durability) admit(preq *place.Request) (Grant, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, d.rejectClosedLocked("admit")
+	}
+	ten, first, last, err := d.svc.disp.PlaceTraced(preq)
+	demand := math.NaN()
+	if preq.Graph != nil {
+		demand = preq.Graph.PerVMDemand()
+	}
+	if err != nil {
+		kind := place.EventFailed
+		if errors.Is(err, place.ErrRejected) {
+			kind = place.EventRejected
+		}
+		ev := place.Event{
+			Kind:   kind,
+			ID:     preq.ID,
+			Shard:  last,
+			First:  first,
+			Demand: demand,
+			Reason: place.ReasonOf(err),
+		}
+		if aerr := d.appendLocked(ev); aerr != nil {
+			return nil, aerr
+		}
+		d.maybeSnapshotLocked()
+		return nil, err
+	}
+	rec, _ := ten.Record()
+	ev := place.Event{
+		Kind:      place.EventAdmitted,
+		Key:       ten.Key(),
+		ID:        preq.ID,
+		Graph:     rec.Graph,
+		Placement: rec.Placement,
+		Shard:     last,
+		First:     first,
+		HA:        rec.HA,
+		Resources: rec.Resources,
+		Delta:     rec.Delta,
+		Demand:    demand,
+	}
+	if aerr := d.appendLocked(ev); aerr != nil {
+		ten.Release()
+		return nil, aerr
+	}
+	g := &grant{ten: ten, svc: d.svc}
+	d.grants[grantKey{last, ten.Key()}] = g
+	d.maybeSnapshotLocked()
+	return g, nil
+}
+
+// resize runs one resize under the durability lock. Outcomes that
+// mutated state — committed resizes, zero-step resizes (their
+// lifecycle event reached the enforcement sink), and failures that
+// advanced shard counters — are logged; Unsupported/Released
+// rejections touch nothing and are not.
+func (d *Durability) resize(g *grant, newGraph *tag.Graph) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return d.rejectClosedLocked("resize")
+	}
+	shard := g.ten.Shard().ID()
+	before := g.ten.Reservation()
+	err := g.ten.Resize(newGraph)
+	if err != nil {
+		reason := place.ReasonOf(err)
+		if reason == Unsupported || reason == Released {
+			return err // no counters moved; nothing to replay
+		}
+		kind := place.EventFailed
+		if errors.Is(err, place.ErrRejected) {
+			kind = place.EventRejected
+		}
+		ev := place.Event{
+			Kind:   kind,
+			Key:    g.ten.Key(),
+			ID:     g.ten.ID(),
+			Shard:  shard,
+			First:  -1,
+			Demand: math.NaN(),
+			Reason: reason,
+		}
+		if aerr := d.appendLocked(ev); aerr != nil {
+			return aerr
+		}
+		d.maybeSnapshotLocked()
+		return err
+	}
+	rec, _ := g.ten.Record()
+	ev := place.Event{
+		Kind:      place.EventResized,
+		Key:       g.ten.Key(),
+		ID:        g.ten.ID(),
+		Graph:     rec.Graph,
+		Placement: rec.Placement,
+		Shard:     shard,
+		First:     -1,
+		Delta:     rec.Delta,
+		Demand:    math.NaN(),
+	}
+	if g.ten.Reservation() == before {
+		// Zero-step resize: the reservation pointer only changes when a
+		// resize commits, so nothing was placed — but the lifecycle
+		// event reached the enforcement sink and must replay.
+		ev.First = -2
+		ev.Graph = newGraph
+	}
+	if aerr := d.appendLocked(ev); aerr != nil {
+		// The resize committed but its record did not: the ledger would
+		// diverge from the log on recovery, so the service wedges
+		// (appendLocked already latched) and the caller must treat the
+		// resize outcome as unknown.
+		return aerr
+	}
+	d.maybeSnapshotLocked()
+	return nil
+}
+
+// release runs one release under the durability lock. Releases on a
+// closed or wedged service still free the in-memory state but are not
+// logged — the recovered service resurrects the tenant, matching the
+// last durable state.
+func (d *Durability) release(g *grant) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !g.ten.Release() {
+		return // second release: no-op, nothing to log
+	}
+	gk := grantKey{g.ten.Shard().ID(), g.ten.Key()}
+	delete(d.grants, gk)
+	if d.closed {
+		return
+	}
+	ev := place.Event{
+		Kind:   place.EventReleased,
+		Key:    g.ten.Key(),
+		ID:     g.ten.ID(),
+		Shard:  gk.shard,
+		First:  -1,
+		Demand: math.NaN(),
+	}
+	if aerr := d.appendLocked(ev); aerr != nil {
+		return // wedged; the release stands in memory, Grant has no error path
+	}
+	d.maybeSnapshotLocked()
+}
+
+// appendLocked encodes and appends one event, fsyncing before return.
+// On failure the service wedges and a typed shutting_down rejection is
+// returned for the caller to surface.
+func (d *Durability) appendLocked(ev place.Event) error {
+	b, err := place.EncodeEvent(ev)
+	if err == nil {
+		err = d.log.Append(b)
+	}
+	if err != nil {
+		d.wedgeLocked(err)
+		return place.Rejectf("append", ShuttingDown, "write-ahead log failed: %v", err)
+	}
+	return nil
+}

@@ -84,6 +84,10 @@ const (
 	Released = place.ReasonReleased
 	// Canceled: the caller's context ended before a decision.
 	Canceled = place.ReasonCanceled
+	// ShuttingDown: the service was closed (Service.Close) or wedged
+	// after a write-ahead-log failure; no further operations are
+	// accepted.
+	ShuttingDown = place.ReasonShuttingDown
 )
 
 // ReasonOf extracts the Reason from any error returned by this
@@ -127,6 +131,10 @@ type Grant interface {
 	Release()
 	// Shard returns the ID of the shard hosting the tenant.
 	Shard() int
+	// Key returns the shard-unique grant key carried by the grant's
+	// lifecycle events — with Shard, the stable address a recovered
+	// service's Durability.Grants handles are matched by.
+	Key() int64
 }
 
 // Stats aggregates a service's monotonic counters.
@@ -179,6 +187,15 @@ type Service interface {
 	// control loop the Grant lifecycle feeds — or nil when the service
 	// was built without WithEnforcement.
 	Enforcement() *Enforcement
+	// Durability exposes the durable control plane — the write-ahead
+	// log and snapshot lifecycle behind WithDurability/Open — or nil
+	// for an in-memory service.
+	Durability() *Durability
+	// Close shuts the service down cleanly: for a durable service it
+	// writes a final snapshot and closes the write-ahead log; for an
+	// in-memory service it is a no-op. After Close every operation
+	// rejects with ShuttingDown. Idempotent.
+	Close(ctx context.Context) error
 }
 
 // service is the Service implementation: a shard fleet behind a
@@ -189,6 +206,7 @@ type service struct {
 	name     string
 	modelFor func(*tag.Graph) place.Model
 	enf      *Enforcement
+	dur      *Durability
 }
 
 // Name identifies the placement algorithm serving the guarantees.
@@ -217,6 +235,9 @@ func (s *service) Admit(ctx context.Context, req Request) (Grant, error) {
 	}
 	if preq.Model == nil && s.modelFor != nil && req.Graph != nil {
 		preq.Model = s.modelFor(req.Graph)
+	}
+	if s.dur != nil {
+		return s.dur.admit(&preq)
 	}
 	ten, err := s.disp.Place(&preq)
 	if err != nil {
@@ -264,6 +285,20 @@ func (s *service) Loads() []Load { return s.cl.Loads() }
 // built without WithEnforcement.
 func (s *service) Enforcement() *Enforcement { return s.enf }
 
+// Durability exposes the durable control plane; nil for an in-memory
+// service.
+func (s *service) Durability() *Durability { return s.dur }
+
+// Close shuts the service down: a durable service flushes a final
+// snapshot and closes its write-ahead log; an in-memory service has
+// nothing to flush.
+func (s *service) Close(ctx context.Context) error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.close(ctx)
+}
+
 // grant adapts a cluster.Tenant to the public Grant interface. svc is
 // the issuing service, so the enforcement plane can verify a grant
 // belongs to it (shard-local keys are not unique across services).
@@ -280,11 +315,23 @@ func (g *grant) Resize(ctx context.Context, newGraph *tag.Graph) error {
 	if err := ctx.Err(); err != nil {
 		return place.Reject("resize", Canceled, err)
 	}
+	if g.svc.dur != nil {
+		return g.svc.dur.resize(g, newGraph)
+	}
 	return g.ten.Resize(newGraph)
 }
 
 // Release returns the tenant's resources. Subsequent calls are no-ops.
-func (g *grant) Release() { g.ten.Release() }
+func (g *grant) Release() {
+	if g.svc.dur != nil {
+		g.svc.dur.release(g)
+		return
+	}
+	g.ten.Release()
+}
 
 // Shard returns the hosting shard's ID.
 func (g *grant) Shard() int { return g.ten.Shard().ID() }
+
+// Key returns the shard-unique grant key.
+func (g *grant) Key() int64 { return g.ten.Key() }

@@ -22,11 +22,15 @@ import (
 //	GET    /v1/stats                   counters + loads     -> 200
 //	POST   /v1/enforcement/step        run a control period -> 200
 //	GET    /v1/enforcement             last period + events -> 200
+//	GET    /v1/healthz                 liveness + WAL lag   -> 200
+//	POST   /v1/snapshot                snapshot now         -> 200
+//	GET    /v1/wal                     log position         -> 200
 //	GET    /healthz                    liveness             -> 200
 //
 // Grant handles are process-local: the server keeps the id -> Grant
 // registry in memory, mirroring the paper's controller owning tenant
-// state.
+// state. For a durable service the registry survives anyway — NewServer
+// rebinds a recovered service's grants under their pre-crash ids.
 type Server struct {
 	svc Service
 
@@ -49,9 +53,44 @@ type servedGrant struct {
 	graph *tag.Graph
 }
 
-// NewServer wraps the service for HTTP serving.
+// NewServer wraps the service for HTTP serving. A recovered durable
+// service (guarantee.Open) comes with live grants; NewServer re-serves
+// them immediately, each under the id its admission logged — the
+// server passes its minted id through Request.ID, so grant URLs are
+// stable across a crash and recovery. Grants whose recorded id is
+// absent or already taken (a caller-chosen Request.ID can collide with
+// a minted one) are re-minted in Durability.Grants order.
 func NewServer(svc Service) *Server {
-	return &Server{svc: svc, grants: make(map[string]*servedGrant)}
+	s := &Server{svc: svc, grants: make(map[string]*servedGrant)}
+	dur := svc.Durability()
+	if dur == nil {
+		return s
+	}
+	for _, rg := range dur.Grants() {
+		g, ok := rg.(*grant)
+		if !ok {
+			continue
+		}
+		rec, ok := g.ten.Record()
+		if !ok {
+			continue
+		}
+		id := ""
+		if rec.ID > 0 {
+			if c := "g-" + strconv.FormatInt(rec.ID, 10); s.grants[c] == nil {
+				id = c
+				if rec.ID > s.nextID {
+					s.nextID = rec.ID
+				}
+			}
+		}
+		if id == "" {
+			s.nextID++
+			id = "g-" + strconv.FormatInt(s.nextID, 10)
+		}
+		s.grants[id] = &servedGrant{grant: g, graph: rec.Graph}
+	}
+	return s
 }
 
 // Handler returns the route table as a stdlib http.Handler.
@@ -64,6 +103,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/enforcement", s.handleEnforcementGet)
 	mux.HandleFunc("POST /v1/enforcement/step", s.handleEnforcementStep)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/wal", s.handleWAL)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -121,7 +163,7 @@ func statusOf(reason Reason) int {
 		return http.StatusUnprocessableEntity
 	case Released:
 		return http.StatusGone
-	case ConflictRetriesExhausted:
+	case ConflictRetriesExhausted, ShuttingDown:
 		return http.StatusServiceUnavailable
 	case Canceled:
 		return 499 // client closed request (nginx convention)
@@ -189,8 +231,20 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, Rejectf("admit", InvalidRequest, "missing tag"))
 		return
 	}
+	// The id is minted before the admission so it can ride along as
+	// Request.ID: a durable service logs it, and a recovered server
+	// rebinds the grant under the same URL (a failed admission burns
+	// the number — ids are unique, not dense).
+	s.mu.Lock()
+	s.nextID++
+	n := s.nextID
+	s.mu.Unlock()
+	reqID := body.ID
+	if reqID == 0 {
+		reqID = n
+	}
 	grant, err := s.svc.Admit(r.Context(), Request{
-		ID:        body.ID,
+		ID:        reqID,
 		Graph:     body.TAG,
 		HA:        HASpec{RWCS: body.RWCS, LAA: body.LAA, Opportunistic: body.Opportunistic},
 		Resources: body.Resources,
@@ -200,9 +254,8 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sg := &servedGrant{grant: grant, graph: body.TAG}
+	id := "g-" + strconv.FormatInt(n, 10)
 	s.mu.Lock()
-	s.nextID++
-	id := "g-" + strconv.FormatInt(s.nextID, 10)
 	s.grants[id] = sg
 	s.mu.Unlock()
 	resp := sg.body(id)
@@ -426,6 +479,57 @@ func enforcementReportBody(enf *Enforcement, rep *EnforcementReport) enforcement
 		}
 	}
 	return body
+}
+
+// healthzBody is the /v1/healthz wire form: liveness plus, for
+// durable services, the write-ahead log position — Records is the
+// replay lag a crash right now would cost.
+type healthzBody struct {
+	Status  string    `json:"status"`
+	Durable bool      `json:"durable"`
+	WAL     *WALStats `json:"wal,omitempty"`
+}
+
+// handleHealthz reports liveness and durability health: an in-memory
+// service is simply "ok"; a durable one adds its WAL lag and last
+// snapshot so operators can alarm on unbounded replay cost.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := healthzBody{Status: "ok"}
+	if dur := s.svc.Durability(); dur != nil {
+		body.Durable = true
+		st := dur.Stats()
+		body.WAL = &st
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleSnapshot forces a snapshot now, truncating the write-ahead
+// log, and reports the resulting log position. 422 for in-memory
+// services; 503 once the service is closed or wedged.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	dur := s.svc.Durability()
+	if dur == nil {
+		writeError(w, Rejectf("snapshot", Unsupported,
+			"durability not enabled: start the service with WithDurability (bwd -wal-dir)"))
+		return
+	}
+	if err := dur.Snapshot(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dur.Stats())
+}
+
+// handleWAL reports the write-ahead log position read-only. 422 for
+// in-memory services.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	dur := s.svc.Durability()
+	if dur == nil {
+		writeError(w, Rejectf("wal", Unsupported,
+			"durability not enabled: start the service with WithDurability (bwd -wal-dir)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, dur.Stats())
 }
 
 // Rejectf builds a typed rejection; exported so API layers above the

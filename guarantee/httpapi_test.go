@@ -2,6 +2,7 @@ package guarantee
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -225,5 +226,139 @@ func TestHTTPEnforcement(t *testing.T) {
 	resp = do(t, "POST", ts.URL+"/v1/enforcement/step", "", &got)
 	if resp.StatusCode != http.StatusOK || got.Tenants != 0 {
 		t.Errorf("post-release step = %d %+v, want 0 tenants", resp.StatusCode, got)
+	}
+}
+
+// TestHTTPDurabilityEndpoints: /v1/healthz, /v1/wal, and /v1/snapshot
+// against a durable service — and their typed 422 on an in-memory one.
+func TestHTTPDurabilityEndpoints(t *testing.T) {
+	svc, err := New(testSpec(), WithAlgorithm("cm"), WithDurability(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc).Handler())
+	t.Cleanup(ts.Close)
+
+	var h healthzBody
+	if resp := do(t, "GET", ts.URL+"/v1/healthz", "", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+	if h.Status != "ok" || !h.Durable || h.WAL == nil {
+		t.Fatalf("healthz = %+v, want ok/durable with wal stats", h)
+	}
+
+	var g grantBody
+	if resp := do(t, "POST", ts.URL+"/v1/guarantees", `{"tag":`+tagJSON(2, 1)+`}`, &g); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit status = %d, want 201", resp.StatusCode)
+	}
+	var st WALStats
+	if resp := do(t, "GET", ts.URL+"/v1/wal", "", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("wal status = %d, want 200", resp.StatusCode)
+	}
+	if st.Records != 1 {
+		t.Fatalf("wal records = %d after one admit, want 1", st.Records)
+	}
+	if resp := do(t, "POST", ts.URL+"/v1/snapshot", "", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status = %d, want 200", resp.StatusCode)
+	}
+	if st.Records != 0 || st.Gen != 2 {
+		t.Fatalf("post-snapshot wal stats = %+v, want empty gen 2", st)
+	}
+
+	// A closed service rejects admits over the wire with 503 and the
+	// typed shutting_down reason.
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	resp := do(t, "POST", ts.URL+"/v1/guarantees", `{"tag":`+tagJSON(1, 1)+`}`, &eb)
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Error.Reason != string(ShuttingDown) {
+		t.Fatalf("admit after close: status %d reason %q, want 503 shutting_down", resp.StatusCode, eb.Error.Reason)
+	}
+
+	// In-memory services get the typed 422, reason-coded error body.
+	mem := newTestServer(t)
+	for _, ep := range []struct{ method, path string }{
+		{"GET", "/v1/wal"}, {"POST", "/v1/snapshot"},
+	} {
+		var eb errorBody
+		resp := do(t, ep.method, mem.URL+ep.path, "", &eb)
+		if resp.StatusCode != http.StatusUnprocessableEntity || eb.Error.Reason != string(Unsupported) {
+			t.Fatalf("%s %s on in-memory service: status %d reason %q, want 422 unsupported",
+				ep.method, ep.path, resp.StatusCode, eb.Error.Reason)
+		}
+	}
+	var memH healthzBody
+	if resp := do(t, "GET", mem.URL+"/v1/healthz", "", &memH); resp.StatusCode != http.StatusOK || memH.Durable {
+		t.Fatalf("in-memory healthz = %+v (status %d), want non-durable 200", memH, resp.StatusCode)
+	}
+}
+
+// TestHTTPRecoveryRebindsGrants: a grant admitted over HTTP keeps its
+// URL across a crash — the recovered server re-serves it under the id
+// the admission logged, the full get/resize/release lifecycle works on
+// the rebound handle, and fresh admissions mint ids past it.
+func TestHTTPRecoveryRebindsGrants(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(testSpec(), WithAlgorithm("cm"), WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc).Handler())
+
+	var g1, g2 grantBody
+	if resp := do(t, "POST", ts.URL+"/v1/guarantees", `{"tag":`+tagJSON(2, 1)+`}`, &g1); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit status = %d, want 201", resp.StatusCode)
+	}
+	if resp := do(t, "POST", ts.URL+"/v1/guarantees", `{"tag":`+tagJSON(3, 2)+`}`, &g2); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit status = %d, want 201", resp.StatusCode)
+	}
+	// Release g1 pre-crash: only g2 must survive, and its id must not
+	// be renumbered into the gap.
+	if resp := do(t, "DELETE", ts.URL+"/v1/guarantees/"+g1.ID, "", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("release status = %d, want 204", resp.StatusCode)
+	}
+	ts.Close()
+	svc.Durability().abandon() // crash: no drain, no final snapshot
+
+	recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close(context.Background())
+	ts2 := httptest.NewServer(NewServer(recovered).Handler())
+	defer ts2.Close()
+
+	var eb errorBody
+	if resp := do(t, "GET", ts2.URL+"/v1/guarantees/"+g1.ID, "", &eb); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get released %s status = %d, want 404", g1.ID, resp.StatusCode)
+	}
+	var got grantBody
+	if resp := do(t, "GET", ts2.URL+"/v1/guarantees/"+g2.ID, "", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("get recovered %s status = %d, want 200", g2.ID, resp.StatusCode)
+	}
+	if got.ID != g2.ID || got.VMs != g2.VMs || got.ReservedMbps != g2.ReservedMbps || got.TAG == nil {
+		t.Fatalf("recovered grant = %+v, want %+v with its TAG", got, g2)
+	}
+
+	// The rebound handle is live: resize and release work over the wire.
+	var grown grantBody
+	if resp := do(t, "POST", ts2.URL+"/v1/guarantees/"+g2.ID+"/resize", `{"tag":`+tagJSON(4, 2)+`}`, &grown); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resize recovered grant status = %d, want 200", resp.StatusCode)
+	}
+	if grown.VMs <= got.VMs {
+		t.Fatalf("resize grew VMs %d -> %d, want increase", got.VMs, grown.VMs)
+	}
+
+	// Fresh admissions mint ids past the recovered ones — no collision.
+	var g3 grantBody
+	if resp := do(t, "POST", ts2.URL+"/v1/guarantees", `{"tag":`+tagJSON(1, 1)+`}`, &g3); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-recovery admit status = %d, want 201", resp.StatusCode)
+	}
+	if g3.ID == g2.ID || g3.ID == g1.ID {
+		t.Fatalf("post-recovery admit reused id %s", g3.ID)
+	}
+	if resp := do(t, "DELETE", ts2.URL+"/v1/guarantees/"+g2.ID, "", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("release recovered grant status = %d, want 204", resp.StatusCode)
 	}
 }

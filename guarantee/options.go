@@ -21,6 +21,8 @@ type config struct {
 	newPlacer func(*topology.Tree) place.Placer
 	modelFor  func(*tag.Graph) place.Model
 	enforce   *EnforcementConfig
+	walDir    string
+	snapEvery int
 }
 
 // Option configures a Service under construction. Options validate at
@@ -105,16 +107,45 @@ func WithEnforcement(cfg EnforcementConfig) Option {
 	return func(c *config) { c.enforce = &cfg }
 }
 
+// WithDurability makes the service durable: every Grant lifecycle
+// transition is appended to a write-ahead log under dir (fsynced
+// before the operation returns), and periodic snapshots truncate the
+// log. After a crash, Open(dir) rebuilds the exact admission state.
+// The directory must not already hold a ledger — recovering one is
+// Open's job, not New's. Durable services serialize lifecycle
+// operations on one lock so the log order equals the commit order.
+func WithDurability(dir string) Option { return func(c *config) { c.walDir = dir } }
+
+// WithSnapshotEvery sets how many logged events accumulate before the
+// service writes a snapshot and truncates the log (default 1024).
+// Only meaningful with WithDurability.
+func WithSnapshotEvery(n int) Option { return func(c *config) { c.snapEvery = n } }
+
 // New builds a Service over n identical shards of the given topology:
 // the one public constructor behind which the locked/optimistic
 // admission fork, the dispatch policy, and the algorithm registry all
 // hide. Invalid options fail with a typed InvalidRequest rejection
 // naming the valid values.
 func New(spec topology.Spec, opts ...Option) (Service, error) {
-	c := config{shards: 1, policy: "rr", seed: 1, algorithm: "cm"}
+	c := config{shards: 1, policy: "rr", seed: 1, algorithm: "cm", snapEvery: defaultSnapshotEvery}
 	for _, opt := range opts {
 		opt(&c)
 	}
+	svc, err := build(spec, &c)
+	if err != nil {
+		return nil, err
+	}
+	if c.walDir != "" {
+		if err := createDurability(spec, &c, svc); err != nil {
+			return nil, err
+		}
+	}
+	return svc, nil
+}
+
+// build assembles the shard fleet, dispatcher, and enforcement plane
+// from a folded config — the construction path New and Open share.
+func build(spec topology.Spec, c *config) (*service, error) {
 	const op = "configure"
 	if c.shards < 1 {
 		return nil, place.Rejectf(op, InvalidRequest, "invalid shards %d: need an integer >= 1", c.shards)
@@ -122,6 +153,10 @@ func New(spec topology.Spec, opts ...Option) (Service, error) {
 	if c.planners < 0 {
 		return nil, place.Rejectf(op, InvalidRequest,
 			"invalid planners %d: need 0 (locked admission) or an integer >= 1 (optimistic)", c.planners)
+	}
+	if c.snapEvery < 1 {
+		return nil, place.Rejectf(op, InvalidRequest,
+			"invalid snapshot interval %d: need an integer >= 1", c.snapEvery)
 	}
 	if c.policy == "" {
 		c.policy = "rr"
@@ -173,3 +208,7 @@ func New(spec topology.Spec, opts ...Option) (Service, error) {
 		enf:      enf,
 	}, nil
 }
+
+// defaultSnapshotEvery is the WithSnapshotEvery default: how many
+// logged events accumulate before an automatic snapshot.
+const defaultSnapshotEvery = 1024

@@ -211,13 +211,14 @@ func (t *Tenant) Resize(newGraph *tag.Graph) error {
 	return nil
 }
 
-// Release returns the tenant's slots and bandwidth to its shard.
-// Subsequent calls are no-ops.
-func (t *Tenant) Release() {
+// Release returns the tenant's slots and bandwidth to its shard. It
+// reports whether this call performed the release; subsequent calls
+// are no-ops and report false.
+func (t *Tenant) Release() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if !t.released.CompareAndSwap(false, true) {
-		return
+		return false
 	}
 	t.ad.Release()
 	t.shard.reserved.add(-t.reservedMbps)
@@ -226,6 +227,7 @@ func (t *Tenant) Release() {
 	if t.shard.sink != nil {
 		t.shard.sink.Publish(place.Event{Kind: place.EventReleased, Key: t.key, ID: t.id})
 	}
+	return true
 }
 
 // Cluster is a fixed fleet of shards built from one topology spec and

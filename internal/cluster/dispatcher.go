@@ -56,8 +56,17 @@ func (d *Dispatcher) Policy() Policy { return d.policy }
 // place.ErrRejected); any other placement error aborts the request
 // immediately.
 func (d *Dispatcher) Place(req *place.Request) (*Tenant, error) {
+	ten, _, _, err := d.PlaceTraced(req)
+	return ten, err
+}
+
+// PlaceTraced is Place plus the routing trace a write-ahead log needs
+// to replay the failover walk: the policy's first pick and the shard
+// the walk ended on (the admitting shard, the last rejecting shard, or
+// the shard whose non-capacity failure aborted the walk). Every shard
+// from first to last in wrap-around order saw the request.
+func (d *Dispatcher) PlaceTraced(req *place.Request) (ten *Tenant, first, last int, err error) {
 	n := d.c.Size()
-	var first int
 	if lf, ok := d.policy.(loadFree); ok {
 		first = lf.PickN(n) // no snapshot for load-indifferent policies
 	} else {
@@ -68,18 +77,42 @@ func (d *Dispatcher) Place(req *place.Request) (*Tenant, error) {
 		if k > 0 {
 			d.failovers.Add(1)
 		}
-		ten, err := d.c.Shard((first + k) % n).Place(req)
+		shard := (first + k) % n
+		ten, err := d.c.Shard(shard).Place(req)
 		if err == nil {
 			d.admitted.Add(1)
-			return ten, nil
+			return ten, first, shard, nil
 		}
 		if !errors.Is(err, place.ErrRejected) {
-			return nil, err
+			return nil, first, shard, err
 		}
 		lastErr = err
 	}
 	d.rejected.Add(1)
-	return nil, lastErr
+	return nil, first, (first + n - 1) % n, lastErr
+}
+
+// ReplayDispatch advances the dispatcher's counters for one recorded
+// request exactly as the live walk from shard first to shard last did:
+// one admission or rejection, plus one failover per extra shard tried.
+// Driven only by single-threaded recovery.
+func (d *Dispatcher) ReplayDispatch(kind place.EventKind, first, last int) {
+	n := d.c.Size()
+	switch kind {
+	case place.EventAdmitted:
+		d.admitted.Add(1)
+	case place.EventRejected:
+		d.rejected.Add(1)
+	}
+	d.failovers.Add(int64((last - first + n) % n))
+}
+
+// RestoreStats overwrites the dispatcher's counters with snapshot
+// values. Driven only by single-threaded recovery.
+func (d *Dispatcher) RestoreStats(s DispatchStats) {
+	d.admitted.Store(s.Admitted)
+	d.rejected.Store(s.Rejected)
+	d.failovers.Store(s.Failovers)
 }
 
 // Stats reports the dispatcher's counters so far.

@@ -330,6 +330,18 @@ func (d *Driver) Counters() Counters {
 	return d.counters
 }
 
+// RestoreCounters overwrites the lifecycle counters with snapshot
+// values after crash recovery re-attached the surviving tenants (whose
+// attach events bumped the counters as if freshly admitted);
+// FabricBuilds keeps this driver's own count — the fabric really was
+// rebuilt. Driven only by single-threaded recovery.
+func (d *Driver) RestoreCounters(c Counters) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.FabricBuilds = d.counters.FabricBuilds
+	d.counters = c
+}
+
 // Step runs one control period: GP re-partitions every tenant's
 // guarantees over its active flows, RA computes work-conserving
 // targets, limiters move alpha of the way toward them, and the

@@ -88,6 +88,27 @@ func (p *Placer) Name() string {
 	}
 }
 
+// ObserveDemand implements place.DemandObserver: fold one arrival's
+// per-VM demand into the desirability estimator's EMA. Place calls it
+// on every well-formed request regardless of outcome; replay re-feeds
+// recorded arrivals through it so a recovered placer's estimator
+// matches the crashed one's bit-for-bit.
+func (p *Placer) ObserveDemand(perVM float64) {
+	if p.emaDemand == 0 {
+		p.emaDemand = perVM
+	} else {
+		p.emaDemand = 0.9*p.emaDemand + 0.1*perVM
+	}
+}
+
+// DemandState implements place.DemandObserver: export the estimator for
+// a durability snapshot.
+func (p *Placer) DemandState() float64 { return p.emaDemand }
+
+// RestoreDemandState implements place.DemandObserver: overwrite the
+// estimator with a snapshot value.
+func (p *Placer) RestoreDemandState(v float64) { p.emaDemand = v }
+
 // Place implements place.Placer: AllocTenant of Algorithm 1.
 func (p *Placer) Place(req *place.Request) (*place.Reservation, error) {
 	if req.Graph == nil {
@@ -110,12 +131,7 @@ func (p *Placer) Place(req *place.Request) (*place.Reservation, error) {
 
 	// Track arriving demand for the desirability estimator regardless of
 	// outcome, mirroring "predicted based on previous arrivals".
-	d := req.Graph.PerVMDemand()
-	if p.emaDemand == 0 {
-		p.emaDemand = d
-	} else {
-		p.emaDemand = 0.9*p.emaDemand + 0.1*d
-	}
+	p.ObserveDemand(req.Graph.PerVMDemand())
 
 	minLevel := 0
 	if r.oppHA {

@@ -1,0 +1,208 @@
+package place
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// codecFixtures is a corpus covering every event kind and every
+// optional-field shape: nil and non-nil graphs, empty and populated
+// placements/resources/deltas, negative sentinels, non-finite-free
+// float bit patterns that don't survive naive text round-trips.
+func codecFixtures() []Event {
+	g := tag.New("web")
+	fe := g.AddTier("fe", 3)
+	be := g.AddTier("be", 2)
+	g.AddEdge(fe, be, 120.5, 80.25)
+
+	return []Event{
+		{
+			Kind: EventAdmitted, Key: 1, ID: 42, Shard: 0, First: 0,
+			Graph: g,
+			Placement: Placement{
+				3: {2, 0},
+				5: {1, 2},
+			},
+			HA:        HASpec{RWCS: 0.25, LAA: 1},
+			Resources: [][]float64{{1.5, 0.5}, {2.0, 1.0}},
+			Delta: topology.Delta{
+				Slots: []topology.SlotDelta{{Server: 3, N: -2}, {Server: 5, N: -3}},
+				Links: []topology.LinkDelta{{Node: 1, Out: 120.5, In: 80.25}, {Node: 3, Out: 0.1, In: 0.3}},
+				Resources: []topology.ResourceDelta{
+					{Server: 3, Demand: []float64{-3.0, -1.0}},
+					{Server: 5, Demand: []float64{-4.5, -1.5}},
+				},
+			},
+			Demand: 66.91666666666667,
+		},
+		{
+			Kind: EventResized, Key: 1, ID: 42, Shard: 0, First: -1,
+			Graph:     g,
+			Placement: Placement{3: {4, 0}, 5: {1, 2}},
+			Delta: topology.Delta{
+				Slots: []topology.SlotDelta{{Server: 3, N: -2}},
+				Links: []topology.LinkDelta{{Node: 1, Out: 40.16666666666666, In: 26.75}},
+			},
+		},
+		{
+			Kind: EventReleased, Key: 1, ID: 42, Shard: 0, First: -1,
+			Delta: topology.Delta{
+				Slots: []topology.SlotDelta{{Server: 3, N: 4}, {Server: 5, N: 3}},
+				Links: []topology.LinkDelta{{Node: 1, Out: -160.66666666666666, In: -107.0}},
+			},
+		},
+		{
+			Kind: EventRejected, ID: 7, Shard: 2, First: 1,
+			HA:     HASpec{Opportunistic: true},
+			Reason: ReasonNoPlacement,
+			Demand: 0.1, // 0.1 has no exact binary form; bits must survive
+		},
+		{
+			Kind: EventFailed, ID: 8, Shard: 1, First: 1,
+			Reason: ReasonInvalidRequest,
+		},
+	}
+}
+
+// TestEventCodecRoundTrip: decode(encode(ev)) must reproduce every
+// field, including float bit patterns, for the whole fixture corpus.
+func TestEventCodecRoundTrip(t *testing.T) {
+	for i, ev := range codecFixtures() {
+		b, err := EncodeEvent(ev)
+		if err != nil {
+			t.Fatalf("fixture %d (%s): encode: %v", i, ev.Kind, err)
+		}
+		got, err := DecodeEvent(b)
+		if err != nil {
+			t.Fatalf("fixture %d (%s): decode: %v", i, ev.Kind, err)
+		}
+		// Graphs are pointers; compare their canonical JSON, then the
+		// rest structurally.
+		wantG, gotG := ev.Graph, got.Graph
+		ev.Graph, got.Graph = nil, nil
+		if !reflect.DeepEqual(ev, got) {
+			t.Errorf("fixture %d (%s): round-trip mismatch:\n got %+v\nwant %+v", i, ev.Kind, got, ev)
+		}
+		if (wantG == nil) != (gotG == nil) {
+			t.Fatalf("fixture %d: graph nil-ness changed: want %v got %v", i, wantG == nil, gotG == nil)
+		}
+		if wantG != nil {
+			wj, _ := wantG.MarshalJSON()
+			gj, _ := gotG.MarshalJSON()
+			if !bytes.Equal(wj, gj) {
+				t.Errorf("fixture %d: graph changed:\n got %s\nwant %s", i, gj, wj)
+			}
+		}
+	}
+}
+
+// TestEventCodecGolden pins the wire format: encodings of the fixture
+// corpus must match the committed golden file byte-for-byte, so an
+// accidental layout change (which would silently orphan existing
+// write-ahead logs) fails loudly. Regenerate with -update after a
+// deliberate format change (and bump eventCodecVersion).
+func TestEventCodecGolden(t *testing.T) {
+	var buf bytes.Buffer
+	for i, ev := range codecFixtures() {
+		b, err := EncodeEvent(ev)
+		if err != nil {
+			t.Fatalf("fixture %d: encode: %v", i, err)
+		}
+		buf.WriteString(hex.EncodeToString(b))
+		buf.WriteByte('\n')
+	}
+	golden := filepath.Join("testdata", "event_codec.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Errorf("encoded corpus differs from %s — the wire format changed; "+
+			"if deliberate, bump eventCodecVersion and regenerate with -update", golden)
+	}
+
+	// The golden bytes must also decode: guards against committing a
+	// stale file after a format change.
+	for i, line := range bytes.Split(bytes.TrimSpace(want), []byte("\n")) {
+		raw, err := hex.DecodeString(string(line))
+		if err != nil {
+			t.Fatalf("golden line %d: %v", i, err)
+		}
+		if _, err := DecodeEvent(raw); err != nil {
+			t.Errorf("golden line %d does not decode: %v", i, err)
+		}
+	}
+}
+
+// TestEventCodecTruncation: every proper prefix of a valid encoding
+// must fail with an error — never panic, never succeed (the full
+// payload length is part of the format).
+func TestEventCodecTruncation(t *testing.T) {
+	for i, ev := range codecFixtures() {
+		b, err := EncodeEvent(ev)
+		if err != nil {
+			t.Fatalf("fixture %d: encode: %v", i, err)
+		}
+		for n := 0; n < len(b); n++ {
+			if _, err := DecodeEvent(b[:n]); err == nil {
+				t.Fatalf("fixture %d: truncation to %d/%d bytes decoded successfully", i, n, len(b))
+			}
+		}
+	}
+}
+
+// TestEventCodecCorruption flips bytes across a valid encoding; decode
+// must never panic. (It may succeed when the flip lands in an inert
+// spot — integrity is the log layer's checksum's job — but most flips
+// hit counts or lengths and must fail cleanly.)
+func TestEventCodecCorruption(t *testing.T) {
+	ev := codecFixtures()[0]
+	b, err := EncodeEvent(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(b); off++ {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), b...)
+			mut[off] ^= flip
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("decode panicked with byte %d ^= %#x: %v", off, flip, r)
+					}
+				}()
+				_, _ = DecodeEvent(mut)
+			}()
+		}
+	}
+}
+
+// TestEventCodecTrailingBytes: extra bytes after a valid payload are an
+// error, so a misframed log record cannot half-parse.
+func TestEventCodecTrailingBytes(t *testing.T) {
+	b, err := EncodeEvent(codecFixtures()[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeEvent(append(b, 0x00)); err == nil {
+		t.Fatal("payload with trailing byte decoded successfully")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
 )
 
 // EventKind classifies one Grant lifecycle transition.
@@ -22,6 +23,16 @@ const (
 	// EventReleased: the tenant departed and every slot and reservation
 	// returned to the ledger.
 	EventReleased
+	// EventRejected: every shard rejected the request for capacity. No
+	// ledger state changed, but dispatch state (policy picks, per-shard
+	// rejection counters, placer demand estimators) did — the write-ahead
+	// log records it so replay reproduces that state bit-exactly.
+	EventRejected
+	// EventFailed: the request failed for a non-capacity reason
+	// (malformed request, internal placer error) at the shard named by
+	// the event, after the shards between First and Shard rejected it.
+	// Logged for the same dispatch-state reasons as EventRejected.
+	EventFailed
 )
 
 // String names the kind for logs and tests.
@@ -33,6 +44,10 @@ func (k EventKind) String() string {
 		return "resized"
 	case EventReleased:
 		return "released"
+	case EventRejected:
+		return "rejected"
+	case EventFailed:
+		return "failed"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -59,6 +74,38 @@ type Event struct {
 	// The map is the reservation's own (fixed — a resize swaps in a
 	// fresh one) and must not be modified. Nil for EventReleased.
 	Placement Placement
+
+	// The remaining fields are populated only by the durability layer
+	// (the write-ahead log of package guarantee); events published to
+	// dataplane sinks leave them zero.
+
+	// Shard is the shard that committed the transition — or, for
+	// EventFailed, the shard where the failure occurred.
+	Shard int
+	// First is the dispatch policy's first pick for the request;
+	// replaying First alongside Shard reproduces the failover walk
+	// (every shard between them rejected). -1 marks events outside the
+	// dispatch path: resize rejections/failures, which touch only the
+	// grant's own shard.
+	First int
+	// HA is the tenant's availability requirement from the request.
+	HA HASpec
+	// Resources is the request's per-tier per-VM demand vectors; nil
+	// for slot-only tenants.
+	Resources [][]float64
+	// Delta is the tenant's full canonical resource footprint after the
+	// transition (what a Release must negate). Replay applies it — for
+	// a resize, merged with the negated previous footprint — through
+	// the same Apply path live commits use, so the recovered ledger is
+	// byte-identical.
+	Delta topology.Delta
+	// Demand is the request graph's per-VM bandwidth demand, recorded
+	// so replay can feed placer demand estimators (which observe every
+	// arrival, admitted or not) without the full graph — the graph is
+	// omitted for tenants priced under a translated model.
+	Demand float64
+	// Reason is the typed rejection code for EventRejected/EventFailed.
+	Reason Reason
 }
 
 // EventSink consumes Grant lifecycle events. Publish is called from

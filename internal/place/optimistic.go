@@ -57,6 +57,11 @@ type OptimisticAdmitter struct {
 	// written only by the goroutine holding planner i.
 	seqs []atomic.Uint64
 
+	// placers[i] is planner i's placer instance, retained for the replay
+	// path's demand-estimator access (snapshot and re-feed). Only
+	// single-threaded recovery touches placer state through this slice.
+	placers []Placer
+
 	admitted atomic.Int64
 	rejected atomic.Int64
 	failed   atomic.Int64
@@ -109,6 +114,7 @@ func NewOptimisticAdmitter(auth *topology.Tree, newPlacer func(*topology.Tree) P
 			a.name = pl.Name()
 			_, a.canResize = pl.placer.(Resizer)
 		}
+		a.placers = append(a.placers, pl.placer)
 		a.pool <- &plannerSlot{id: i, pl: pl}
 	}
 	return a

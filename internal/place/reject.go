@@ -48,6 +48,11 @@ const (
 	// ReasonCanceled: the caller's context was canceled or expired
 	// before a decision was reached.
 	ReasonCanceled Reason = "canceled"
+	// ReasonShuttingDown: the service's lifecycle owner closed it (or a
+	// write-ahead-log failure wedged it); no new admissions are
+	// accepted. Not a capacity rejection — retrying against this
+	// instance cannot succeed.
+	ReasonShuttingDown Reason = "shutting_down"
 )
 
 // Capacity reports whether the reason is a capacity rejection — the

@@ -1,0 +1,432 @@
+package place
+
+import (
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// Replay: deterministic reconstruction of an admitter from a ledger
+// snapshot plus a write-ahead-log suffix of Events. The shared ledger
+// only ever advances by delta application (both admission paths commit
+// through Apply), so replaying the recorded deltas onto the imported
+// snapshot bits reproduces the live tree byte-exactly — including the
+// float residue departed tenants left behind. Replay never runs a
+// placer: placements, footprints, and rejection outcomes come from the
+// log, and placer-internal estimator state is fed through
+// DemandObserver.
+//
+// All replay methods assume single-threaded recovery: no concurrent
+// Admit/Resize/Release may run until recovery finishes.
+
+// DemandObserver is the optional placer interface for demand-estimator
+// state. Placers that adapt to observed tenant demand (cloudmirror's
+// EMA, §4.4) implement it so the durability layer can snapshot the
+// estimator and re-feed recorded arrivals during replay; stateless
+// placers simply don't implement it.
+type DemandObserver interface {
+	// ObserveDemand folds one arrival's per-VM bandwidth demand into the
+	// estimator. Place calls it on every well-formed request, admitted
+	// or not; replay calls it once per shard whose placer ran.
+	ObserveDemand(perVM float64)
+	// DemandState exports the estimator for a snapshot.
+	DemandState() float64
+	// RestoreDemandState overwrites the estimator with a snapshot value.
+	RestoreDemandState(v float64)
+}
+
+// GrantRecord is the serializable form of one live grant in a ledger
+// snapshot: everything needed to attach an equivalent Grant to a
+// recovered admitter without re-running placement or re-applying its
+// delta (the snapshot's ledger bits already carry every live tenant).
+type GrantRecord struct {
+	// Key is the shard-unique grant key.
+	Key int64 `json:"key"`
+	// ID is the caller-chosen tenant ID.
+	ID int64 `json:"id"`
+	// Graph is the tenant's TAG when it was priced by it (the resize
+	// precondition); nil otherwise.
+	Graph *tag.Graph `json:"graph,omitempty"`
+	// HA is the tenant's availability requirement.
+	HA HASpec `json:"ha"`
+	// Placement is where the tenant's VMs sit.
+	Placement Placement `json:"placement"`
+	// Resources is the request's per-tier per-VM demand vectors; nil for
+	// slot-only tenants.
+	Resources [][]float64 `json:"resources,omitempty"`
+	// Delta is the tenant's full canonical footprint (what its Release
+	// must negate).
+	Delta topology.Delta `json:"delta"`
+}
+
+// Replayer is the replay face of an admission path; both Admitter and
+// OptimisticAdmitter implement it. The durability layer drives it
+// during recovery; nothing else should.
+type Replayer interface {
+	// AttachGrant materializes a live Grant from a snapshot record
+	// without touching the ledger or the counters — the imported
+	// snapshot bits already include the tenant, and RestoreStats
+	// supplies the counters.
+	AttachGrant(rec GrantRecord) Grant
+	// ReplayAdmit commits a recorded admission: it applies the event's
+	// delta through the same path live commits use and returns the
+	// grant.
+	ReplayAdmit(ev Event) Grant
+	// ReplayReject counts one capacity rejection at this shard.
+	ReplayReject()
+	// ReplayFail counts one non-capacity failure at this shard.
+	ReplayFail()
+	// RestoreStats overwrites the admission counters with snapshot
+	// values.
+	RestoreStats(s AdmitStats)
+	// ObserveDemand feeds one recorded arrival to the placer's demand
+	// estimator, if it keeps one.
+	ObserveDemand(perVM float64)
+	// PlacerStates exports the demand-estimator state of every placer
+	// instance this admitter owns (one for the locked path, one per
+	// planner for the optimistic path); nil when the placer keeps no
+	// state.
+	PlacerStates() []float64
+	// RestorePlacerStates overwrites the estimator states with snapshot
+	// values; a nil slice is a no-op.
+	RestorePlacerStates(states []float64)
+}
+
+// ReplayableGrant is the replay face of a Grant: a resize recorded in
+// the log is re-committed without re-running the placer, and the
+// grant's durable state is exported for snapshots.
+type ReplayableGrant interface {
+	Grant
+	// ReplayResize commits a recorded resize: the net old-to-new delta
+	// is applied exactly as the live resize applied it, and the grant's
+	// reservation, footprint, and graph are swapped to the recorded
+	// after state.
+	ReplayResize(ev Event)
+	// Record exports the grant's durable state for a snapshot; Key and
+	// ID are left for the owning layer to fill.
+	Record() GrantRecord
+	// Footprint returns the grant's committed canonical delta — the
+	// exact bits its Release will negate.
+	Footprint() topology.Delta
+}
+
+// Compile-time checks that both paths are replayable.
+var (
+	_ Replayer        = (*Admitter)(nil)
+	_ Replayer        = (*OptimisticAdmitter)(nil)
+	_ ReplayableGrant = (*Admitted)(nil)
+	_ ReplayableGrant = (*optimisticGrant)(nil)
+)
+
+// replayReservation rebuilds a grant's reservation from recorded state.
+// Uplink holdings come from the footprint's link entries; zero-valued
+// holdings the live map may have carried are dropped by the canonical
+// delta, which is harmless — reads default to zero and the bit-stable
+// TotalReserved sum is unchanged (adding 0.0 is an exact identity).
+func replayReservation(tree *topology.Tree, pl Placement, resources [][]float64, d topology.Delta) *Reservation {
+	reserved := make(map[topology.NodeID][2]float64, len(d.Links))
+	for _, l := range d.Links {
+		reserved[l.Node] = [2]float64{l.Out, l.In}
+	}
+	return &Reservation{
+		tree:      tree,
+		placement: pl,
+		reserved:  reserved,
+		resources: resources,
+		ownsSlots: true,
+		released:  true, // inspection-only, like the live admit path
+	}
+}
+
+// AttachGrant implements Replayer: no ledger mutation, no counters.
+func (a *Admitter) AttachGrant(rec GrantRecord) Grant {
+	return &Admitted{
+		a:     a,
+		res:   replayReservation(a.tree, rec.Placement, rec.Resources, rec.Delta),
+		delta: rec.Delta,
+		graph: rec.Graph,
+		ha:    rec.HA,
+	}
+}
+
+// ReplayAdmit implements Replayer: the recorded delta is applied to the
+// same pre-event ledger bits the live commit applied it to, so the
+// resulting tree is byte-identical (the delta bit-exactness contract).
+func (a *Admitter) ReplayAdmit(ev Event) Grant {
+	a.mu.Lock()
+	a.tree.Apply(ev.Delta)
+	a.mu.Unlock()
+	a.admitted.Add(1)
+	return &Admitted{
+		a:     a,
+		res:   replayReservation(a.tree, ev.Placement, ev.Resources, ev.Delta),
+		delta: ev.Delta,
+		graph: ev.Graph,
+		ha:    ev.HA,
+	}
+}
+
+// ReplayReject implements Replayer.
+func (a *Admitter) ReplayReject() { a.rejected.Add(1) }
+
+// ReplayFail implements Replayer.
+func (a *Admitter) ReplayFail() { a.failed.Add(1) }
+
+// RestoreStats implements Replayer.
+func (a *Admitter) RestoreStats(s AdmitStats) {
+	a.admitted.Store(s.Admitted)
+	a.rejected.Store(s.Rejected)
+	a.failed.Store(s.Failed)
+	a.released.Store(s.Released)
+	a.resized.Store(s.Resized)
+}
+
+// ObserveDemand implements Replayer.
+func (a *Admitter) ObserveDemand(perVM float64) {
+	o, ok := a.placer.(DemandObserver)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	o.ObserveDemand(perVM)
+	a.mu.Unlock()
+}
+
+// PlacerStates implements Replayer. Safe against concurrent admissions:
+// the placer only runs under the admission lock, which this takes.
+func (a *Admitter) PlacerStates() []float64 {
+	o, ok := a.placer.(DemandObserver)
+	if !ok {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return []float64{o.DemandState()}
+}
+
+// ExportLedger copies the shared tree's mutable ledger state out
+// byte-exactly under the admission lock, so a snapshot taken during
+// live traffic never reads a half-committed placement.
+func (a *Admitter) ExportLedger() topology.Ledger {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tree.ExportLedger()
+}
+
+// RestorePlacerStates implements Replayer.
+func (a *Admitter) RestorePlacerStates(states []float64) {
+	o, ok := a.placer.(DemandObserver)
+	if !ok || len(states) == 0 {
+		return
+	}
+	o.RestoreDemandState(states[0])
+}
+
+// Record implements ReplayableGrant.
+func (ad *Admitted) Record() GrantRecord {
+	ad.gmu.Lock()
+	defer ad.gmu.Unlock()
+	return GrantRecord{
+		Graph:     ad.graph,
+		HA:        ad.ha,
+		Placement: ad.res.placement,
+		Resources: ad.res.resources,
+		Delta:     ad.delta,
+	}
+}
+
+// Footprint implements ReplayableGrant.
+func (ad *Admitted) Footprint() topology.Delta {
+	ad.gmu.Lock()
+	defer ad.gmu.Unlock()
+	return ad.delta
+}
+
+// ReplayResize implements ReplayableGrant on the locked path: commit
+// the net old-to-new delta exactly as the live Resize committed it.
+func (ad *Admitted) ReplayResize(ev Event) {
+	ad.gmu.Lock()
+	defer ad.gmu.Unlock()
+	a := ad.a
+	a.mu.Lock()
+	a.tree.Apply(topology.Merge(ad.delta.Negate(), ev.Delta))
+	a.mu.Unlock()
+	a.resized.Add(1)
+	ad.res = replayReservation(a.tree, ev.Placement, ev.Resources, ev.Delta)
+	ad.delta = ev.Delta
+	if ev.Graph != nil {
+		ad.graph = ev.Graph
+	}
+}
+
+// AttachGrant implements Replayer: no ledger mutation, no log append —
+// planner replicas learn the snapshot state through Resync, not the
+// delta log.
+func (a *OptimisticAdmitter) AttachGrant(rec GrantRecord) Grant {
+	return &optimisticGrant{
+		a:     a,
+		res:   replayReservation(a.auth, rec.Placement, rec.Resources, rec.Delta),
+		delta: rec.Delta,
+		graph: rec.Graph,
+		ha:    rec.HA,
+	}
+}
+
+// ReplayAdmit implements Replayer: apply and append like a live commit,
+// so planner replicas catch the replayed suffix up through the ordinary
+// delta log.
+func (a *OptimisticAdmitter) ReplayAdmit(ev Event) Grant {
+	a.mu.Lock()
+	a.auth.Apply(ev.Delta)
+	a.log.Append(ev.Delta)
+	a.mu.Unlock()
+	a.admitted.Add(1)
+	return &optimisticGrant{
+		a:     a,
+		res:   replayReservation(a.auth, ev.Placement, ev.Resources, ev.Delta),
+		delta: ev.Delta,
+		graph: ev.Graph,
+		ha:    ev.HA,
+	}
+}
+
+// ReplayReject implements Replayer.
+func (a *OptimisticAdmitter) ReplayReject() { a.rejected.Add(1) }
+
+// ReplayFail implements Replayer.
+func (a *OptimisticAdmitter) ReplayFail() { a.failed.Add(1) }
+
+// RestoreStats implements Replayer.
+func (a *OptimisticAdmitter) RestoreStats(s AdmitStats) {
+	a.admitted.Store(s.Admitted)
+	a.rejected.Store(s.Rejected)
+	a.failed.Store(s.Failed)
+	a.released.Store(s.Released)
+	a.resized.Store(s.Resized)
+}
+
+// ObserveDemand implements Replayer. Every planner's placer observes
+// the arrival: live, only the planner that happened to take the request
+// does, but with one planner (the configuration whose recovery is
+// byte-exact) the two are identical, and with several the estimators
+// were already path-dependent on scheduling.
+func (a *OptimisticAdmitter) ObserveDemand(perVM float64) {
+	for _, p := range a.placers {
+		if o, ok := p.(DemandObserver); ok {
+			o.ObserveDemand(perVM)
+		}
+	}
+}
+
+// PlacerStates implements Replayer: one state per planner. The planner
+// pool is drained for the read, so a snapshot taken during live traffic
+// never races a speculative plan's estimator update.
+func (a *OptimisticAdmitter) PlacerStates() []float64 {
+	if _, ok := a.placers[0].(DemandObserver); !ok {
+		return nil
+	}
+	var states []float64
+	a.quiesced(func([]*plannerSlot) {
+		states = make([]float64, 0, len(a.placers))
+		for _, p := range a.placers {
+			states = append(states, p.(DemandObserver).DemandState())
+		}
+	})
+	return states
+}
+
+// ExportLedger copies the authoritative tree's mutable ledger state out
+// byte-exactly under the commit lock, so a snapshot taken during live
+// traffic never reads a half-committed delta.
+func (a *OptimisticAdmitter) ExportLedger() topology.Ledger {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.auth.ExportLedger()
+}
+
+// quiesced runs fn while holding every planner slot, so fn can touch
+// planner-owned state (placers, replicas) without racing a speculative
+// plan. It blocks until in-flight plans finish.
+func (a *OptimisticAdmitter) quiesced(fn func(slots []*plannerSlot)) {
+	slots := make([]*plannerSlot, 0, cap(a.pool))
+	for len(slots) < cap(a.pool) {
+		slots = append(slots, <-a.pool)
+	}
+	fn(slots)
+	for _, slot := range slots {
+		a.pool <- slot
+	}
+}
+
+// RestorePlacerStates implements Replayer. States beyond the planner
+// count are ignored; missing states leave the remaining planners at
+// their zero estimator (a recovery with more planners than the
+// snapshot's writer had is best-effort beyond planner one).
+func (a *OptimisticAdmitter) RestorePlacerStates(states []float64) {
+	for i, p := range a.placers {
+		if i >= len(states) {
+			return
+		}
+		if o, ok := p.(DemandObserver); ok {
+			o.RestoreDemandState(states[i])
+		}
+	}
+}
+
+// Resync re-bases every planner replica on the authoritative tree's
+// current state. Recovery calls it twice: after importing the ledger
+// snapshot (the replicas were cloned from the pre-import tree and must
+// be replaced wholesale) and after replaying the log suffix (to trim
+// the replayed deltas out of the delta log). It drains the planner
+// pool, so no admission may be in flight.
+func (a *OptimisticAdmitter) Resync() {
+	a.quiesced(func(slots []*plannerSlot) {
+		a.mu.Lock()
+		seq := a.log.Seq()
+		for _, slot := range slots {
+			slot.pl.rep.ResyncFrom(a.auth, seq)
+			a.seqs[slot.id].Store(seq)
+		}
+		a.mu.Unlock()
+	})
+	a.trim()
+}
+
+// Record implements ReplayableGrant.
+func (g *optimisticGrant) Record() GrantRecord {
+	g.gmu.Lock()
+	defer g.gmu.Unlock()
+	return GrantRecord{
+		Graph:     g.graph,
+		HA:        g.ha,
+		Placement: g.res.placement,
+		Resources: g.res.resources,
+		Delta:     g.delta,
+	}
+}
+
+// Footprint implements ReplayableGrant.
+func (g *optimisticGrant) Footprint() topology.Delta {
+	g.gmu.Lock()
+	defer g.gmu.Unlock()
+	return g.delta
+}
+
+// ReplayResize implements ReplayableGrant on the optimistic path: the
+// net delta is applied and appended exactly as the live resize's
+// validate-and-commit section applied it.
+func (g *optimisticGrant) ReplayResize(ev Event) {
+	g.gmu.Lock()
+	defer g.gmu.Unlock()
+	a := g.a
+	net := topology.Merge(g.delta.Negate(), ev.Delta)
+	a.mu.Lock()
+	a.auth.Apply(net)
+	a.log.Append(net)
+	a.mu.Unlock()
+	a.resized.Add(1)
+	g.res = replayReservation(a.auth, ev.Placement, ev.Resources, ev.Delta)
+	g.delta = ev.Delta
+	if ev.Graph != nil {
+		g.graph = ev.Graph
+	}
+}

@@ -1,0 +1,354 @@
+// Package wal is the durable storage engine of the control plane: an
+// append-only, checksummed, length-prefixed record log paired with
+// generation-numbered snapshot files. The contents are opaque bytes —
+// package guarantee encodes lifecycle events and ledger snapshots into
+// them — so the storage layer stays free of admission-control types.
+//
+// Layout: a ledger directory holds exactly one live generation g,
+// written as snap-<g>.snap (the state at the moment the generation
+// began) plus wal-<g>.log (every record appended since). A snapshot
+// rotation writes snap-<g+1>.snap via temp-file rename — atomic on
+// POSIX — so a crash at any instant leaves either generation g or g+1
+// fully intact; the stale generation's files are deleted once the new
+// snapshot is durable. Appends are fsynced before they are
+// acknowledged: an admission the control plane confirmed is on disk.
+//
+// Record framing is [u32 length][u32 CRC-32C][payload], little-endian.
+// Recovery reads records until end of file or the first frame whose
+// length or checksum does not hold, truncates the tail there, and
+// never panics: a torn final write loses only the unacknowledged
+// record it belongs to.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// frameHeaderSize is the per-record overhead: u32 length + u32 CRC-32C.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds a single record (64 MiB) so a corrupted length
+// prefix cannot drive recovery into a huge allocation.
+const maxRecordSize = 64 << 20
+
+// castagnoli is the CRC-32C table (the iSCSI polynomial, hardware-
+// accelerated on current CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrExists reports a Create into a directory that already holds a
+// ledger.
+var ErrExists = errors.New("wal: ledger already exists")
+
+// ErrNoLedger reports an Open of a directory with no ledger in it.
+var ErrNoLedger = errors.New("wal: no ledger found")
+
+// Stats is a point-in-time snapshot of the log's storage state, the
+// payload of the serving daemon's /v1/wal endpoint.
+type Stats struct {
+	// Gen is the live generation number.
+	Gen uint64 `json:"gen"`
+	// Records is the number of records appended since the generation
+	// began — the replay work a crash right now would cost.
+	Records uint64 `json:"records"`
+	// Offset is the live segment's size in bytes.
+	Offset int64 `json:"offset_bytes"`
+	// Fsyncs counts fsync calls issued since this process opened the
+	// ledger.
+	Fsyncs uint64 `json:"fsyncs"`
+	// SnapshotBytes is the size of the generation's snapshot file.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// SnapshotUnix is the modification time of the generation's snapshot
+	// file, in Unix seconds.
+	SnapshotUnix int64 `json:"snapshot_unix"`
+}
+
+// Log is an open ledger directory. Methods are not safe for concurrent
+// use; the owning layer serializes appends behind its own lock.
+type Log struct {
+	dir    string
+	gen    uint64
+	f      *os.File
+	offset int64
+
+	records  uint64
+	fsyncs   uint64
+	snapSize int64
+	snapTime time.Time
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016d.snap", gen) }
+func logName(gen uint64) string  { return fmt.Sprintf("wal-%016d.log", gen) }
+
+// HasLedger reports whether dir holds a ledger (at least one snapshot
+// generation).
+func HasLedger(dir string) bool {
+	gens, _ := listGens(dir)
+	return len(gens) > 0
+}
+
+// listGens returns the snapshot generations present in dir, ascending.
+func listGens(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range ents {
+		var g uint64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%d.snap", &g); err == nil {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Create initializes a fresh ledger in dir (created if needed) with the
+// given initial snapshot as generation 1. It fails with ErrExists if
+// dir already holds a ledger.
+func Create(dir string, snapshot []byte) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if HasLedger(dir) {
+		return nil, fmt.Errorf("%w in %s", ErrExists, dir)
+	}
+	l := &Log{dir: dir}
+	if err := l.installGen(1, snapshot); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Open recovers the ledger in dir: it loads the newest generation's
+// snapshot and every valid record of its log segment, truncating the
+// segment after the last valid record (a torn tail from a mid-write
+// crash). The returned records are the replay suffix in append order.
+func Open(dir string) (l *Log, snapshot []byte, records [][]byte, err error) {
+	gens, err := listGens(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if len(gens) == 0 {
+		return nil, nil, nil, fmt.Errorf("%w in %s", ErrNoLedger, dir)
+	}
+	gen := gens[len(gens)-1]
+	snapshot, err = os.ReadFile(filepath.Join(dir, snapName(gen)))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: reading snapshot: %w", err)
+	}
+	l = &Log{dir: dir, gen: gen}
+	if err := l.statSnapshot(); err != nil {
+		return nil, nil, nil, err
+	}
+
+	path := filepath.Join(dir, logName(gen))
+	// A crash between snapshot rename and segment creation leaves a
+	// generation with no log file; that is an empty suffix.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: opening segment: %w", err)
+	}
+	records, valid, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f, l.offset, l.records = f, valid, uint64(len(records))
+	return l, snapshot, records, nil
+}
+
+// scan reads frames from the start of f until EOF or the first invalid
+// frame, returning the valid payloads and the byte offset they end at.
+// Corruption is not an error — it marks the end of the durable prefix.
+func scan(f *os.File) (records [][]byte, valid int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	var hdr [frameHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return records, valid, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if n > maxRecordSize {
+			return records, valid, nil // garbled length
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return records, valid, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return records, valid, nil // corrupted record
+		}
+		records = append(records, payload)
+		valid += frameHeaderSize + int64(n)
+	}
+}
+
+// Append frames, writes, and fsyncs one record. On return the record is
+// durable; any error leaves the log unusable for further appends (the
+// caller is expected to wedge itself — a control plane must not
+// acknowledge admissions it cannot persist).
+func (l *Log) Append(payload []byte) error {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.fsyncs++
+	l.offset += frameHeaderSize + int64(len(payload))
+	l.records++
+	return nil
+}
+
+// Rotate makes snapshot the new generation and truncates the log: the
+// snapshot is written to a temp file, fsynced, and renamed into place
+// (atomic), a fresh empty segment is started, and the previous
+// generation's files are deleted. A crash at any point leaves one fully
+// intact generation on disk.
+func (l *Log) Rotate(snapshot []byte) error {
+	old := l.gen
+	var oldF *os.File
+	l.f, oldF = nil, l.f
+	if err := l.installGen(old+1, snapshot); err != nil {
+		l.f = oldF // rotation failed; the old segment is still good
+		return err
+	}
+	if oldF != nil {
+		oldF.Close()
+	}
+	os.Remove(filepath.Join(l.dir, logName(old)))
+	os.Remove(filepath.Join(l.dir, snapName(old)))
+	return nil
+}
+
+// installGen writes gen's snapshot durably and opens its fresh empty
+// segment, leaving l pointing at the new generation.
+func (l *Log) installGen(gen uint64, snapshot []byte) error {
+	final := filepath.Join(l.dir, snapName(gen))
+	tmp := final + ".tmp"
+	if err := writeDurable(tmp, snapshot); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: installing snapshot: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, logName(gen)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.gen, l.f, l.offset, l.records = gen, f, 0, 0
+	l.fsyncs += 3 // snapshot + two directory syncs
+	return l.statSnapshot()
+}
+
+// statSnapshot caches the live generation's snapshot size and mtime for
+// Stats.
+func (l *Log) statSnapshot() error {
+	fi, err := os.Stat(filepath.Join(l.dir, snapName(l.gen)))
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.snapSize, l.snapTime = fi.Size(), fi.ModTime()
+	return nil
+}
+
+// writeDurable writes path with the given contents and fsyncs it.
+func writeDurable(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creations in it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("wal: syncing directory: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the ledger directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats returns the log's storage statistics.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Gen:           l.gen,
+		Records:       l.records,
+		Offset:        l.offset,
+		Fsyncs:        l.fsyncs,
+		SnapshotBytes: l.snapSize,
+		SnapshotUnix:  l.snapTime.Unix(),
+	}
+}
+
+// Close syncs and closes the live segment. The log must not be used
+// afterwards.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}

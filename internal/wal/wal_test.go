@@ -1,0 +1,281 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// reopen closes the log and recovers the directory, asserting the
+// recovered snapshot matches.
+func reopen(t *testing.T, l *Log, wantSnap []byte) (*Log, [][]byte) {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nl, snap, recs, err := Open(l.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, wantSnap) {
+		t.Fatalf("recovered snapshot %q, want %q", snap, wantSnap)
+	}
+	return nl, recs
+}
+
+func TestCreateAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, []byte("snap0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf("record-%d", i))
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	if st := l.Stats(); st.Gen != 1 || st.Records != 10 {
+		t.Fatalf("stats = %+v, want gen 1 with 10 records", st)
+	}
+
+	l, recs := reopen(t, l, []byte("snap0"))
+	defer l.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(recs[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := Create(dir, nil); err == nil {
+		t.Fatal("second Create succeeded")
+	}
+	if !HasLedger(dir) {
+		t.Fatal("HasLedger = false for a created ledger")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, _, _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("Open of empty dir succeeded")
+	}
+	if HasLedger(filepath.Join(t.TempDir(), "nope")) {
+		t.Fatal("HasLedger = true for a missing dir")
+	}
+}
+
+func TestRotateTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate([]byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Gen != 2 || st.Records != 0 || st.Offset != 0 {
+		t.Fatalf("post-rotate stats = %+v, want empty gen 2", st)
+	}
+	if err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+
+	l, recs := reopen(t, l, []byte("v2"))
+	defer l.Close()
+	if len(recs) != 1 || !bytes.Equal(recs[0], []byte("after")) {
+		t.Fatalf("recovered records = %q, want [after]", recs)
+	}
+	// The old generation's files are gone.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() == snapName(1) || e.Name() == logName(1) {
+			t.Fatalf("stale generation file %s survived rotation", e.Name())
+		}
+	}
+}
+
+// TestRecoverTruncatedTail: a torn final record (half-written frame)
+// must be dropped cleanly, preserving everything before it — and the
+// truncation must leave the segment appendable.
+func TestRecoverTruncatedTail(t *testing.T) {
+	for cut := 1; cut <= 8+3; cut++ { // cut inside header and inside payload
+		dir := t.TempDir()
+		l, err := Create(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append([]byte("keep-me")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append([]byte("torn")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		path := filepath.Join(dir, logName(1))
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()-int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		nl, _, recs, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != 1 || !bytes.Equal(recs[0], []byte("keep-me")) {
+			t.Fatalf("cut %d: recovered %q, want [keep-me]", cut, recs)
+		}
+		if err := nl.Append([]byte("new")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		nl2, recs2 := reopen(t, nl, nil)
+		nl2.Close()
+		if len(recs2) != 2 || !bytes.Equal(recs2[1], []byte("new")) {
+			t.Fatalf("cut %d: second recovery got %q", cut, recs2)
+		}
+	}
+}
+
+// TestRecoverCorruptedChecksum: a bit flip inside a record's payload
+// invalidates its checksum; recovery stops at the last valid record
+// before it and never panics.
+func TestRecoverCorruptedChecksum(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	var offsets []int64
+	for _, p := range payloads {
+		offsets = append(offsets, l.Stats().Offset)
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte of the middle record.
+	path := filepath.Join(dir, logName(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[offsets[1]+frameHeaderSize] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	nl, _, recs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nl.Close()
+	// Only the prefix before the corruption survives; the valid record
+	// after it is unreachable (no resynchronization) by design.
+	if len(recs) != 1 || !bytes.Equal(recs[0], []byte("alpha")) {
+		t.Fatalf("recovered %q, want [alpha]", recs)
+	}
+	if st := nl.Stats(); st.Offset != offsets[1] {
+		t.Fatalf("offset after truncation = %d, want %d", st.Offset, offsets[1])
+	}
+}
+
+// TestRecoverGarbledLength: a length prefix pointing far past the file
+// must not drive a huge allocation or an error — it is a torn tail.
+func TestRecoverGarbledLength(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, logName(1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0xffffffff length "frame".
+	if _, err := f.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	nl, _, recs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Close()
+	if len(recs) != 1 || !bytes.Equal(recs[0], []byte("ok")) {
+		t.Fatalf("recovered %q, want [ok]", recs)
+	}
+}
+
+// TestCrashBetweenSnapshotAndSegment: a crash after the new snapshot
+// renamed into place but before its segment was created must recover
+// the new generation with an empty suffix.
+func TestCrashBetweenSnapshotAndSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("lost-by-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: generation 2's snapshot exists, its
+	// segment does not, generation 1 not yet deleted.
+	if err := os.WriteFile(filepath.Join(dir, snapName(2)), []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	nl, snap, recs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nl.Close()
+	if !bytes.Equal(snap, []byte("v2")) || len(recs) != 0 {
+		t.Fatalf("recovered snap %q with %d records, want v2 with none", snap, len(recs))
+	}
+	if nl.Stats().Gen != 2 {
+		t.Fatalf("gen = %d, want 2", nl.Stats().Gen)
+	}
+}

@@ -47,4 +47,14 @@ if out=$(grep -rnE '"cloudmirror/internal/(enforce|netem|dataplane)"' cmd exampl
     fail=1
 fi
 
+# 5. The write-ahead log is an implementation detail of the durable
+#    control plane: only the guarantee package (and cmd/bwd, which
+#    surfaces the -wal-dir flag) may import internal/wal. Everything
+#    else goes through WithDurability / Open / Service.Durability().
+if out=$(grep -rn '"cloudmirror/internal/wal"' cmd examples internal | grep -v '^internal/wal/\|^cmd/bwd/'); then
+    echo "api-check: direct internal/wal import (use guarantee.WithDurability):"
+    echo "$out"
+    fail=1
+fi
+
 exit $fail
