@@ -557,6 +557,42 @@ func (d *Durability) admit(preq *place.Request) (Grant, error) {
 	if d.closed {
 		return nil, d.rejectClosedLocked("admit")
 	}
+	return d.admitLocked(preq)
+}
+
+// admitBatch coalesces a batch of admissions into one durability
+// critical section: the lock is taken once, and each element runs the
+// same dispatch-append-acknowledge sequence admit performs, so the log
+// records the batch in order exactly as sequential admissions would.
+// Grants are parallel to preqs (nil where an element failed); the error
+// joins the per-element failures, each carrying its batch index.
+func (d *Durability) admitBatch(preqs []*place.Request) ([]Grant, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	grants := make([]Grant, len(preqs))
+	var errs []error
+	for i, preq := range preqs {
+		var (
+			g   Grant
+			err error
+		)
+		if d.closed { // a mid-batch wedge fails the remaining elements
+			err = d.rejectClosedLocked("admit")
+		} else {
+			g, err = d.admitLocked(preq)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("request %d: %w", i, place.WithBatchIndex(err, i)))
+			continue
+		}
+		grants[i] = g
+	}
+	return grants, errors.Join(errs...)
+}
+
+// admitLocked is the body of one admission; the caller holds d.mu and
+// has checked d.closed.
+func (d *Durability) admitLocked(preq *place.Request) (Grant, error) {
 	ten, first, last, err := d.svc.disp.PlaceTraced(preq)
 	demand := math.NaN()
 	if preq.Graph != nil {

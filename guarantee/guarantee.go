@@ -94,6 +94,11 @@ const (
 // package ("" for untyped errors).
 func ReasonOf(err error) Reason { return place.ReasonOf(err) }
 
+// BatchIndexOf extracts the batch position of a rejection returned by
+// AdmitBatch (-1 for errors outside a batch, or untyped errors), so
+// callers can retry or drop exactly the failing element.
+func BatchIndexOf(err error) int { return place.BatchIndexOf(err) }
+
 // Request is one tenant's guarantee request.
 type Request struct {
 	// ID identifies the tenant within the service (surfaced in errors
@@ -221,12 +226,10 @@ func (s *service) Shards() int { return s.cl.Size() }
 // Topology exposes shard i's tree for read-only inspection.
 func (s *service) Topology(shard int) *topology.Tree { return s.cl.Shard(shard).Tree() }
 
-// Admit obtains a guarantee for the request.
-func (s *service) Admit(ctx context.Context, req Request) (Grant, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, place.Reject("admit", Canceled, err)
-	}
-	preq := place.Request{
+// placeRequest lowers a public Request to the internal request shape,
+// applying the service's model translation.
+func (s *service) placeRequest(req *Request) *place.Request {
+	preq := &place.Request{
 		ID:        req.ID,
 		Graph:     req.Graph,
 		Model:     req.Model,
@@ -236,27 +239,52 @@ func (s *service) Admit(ctx context.Context, req Request) (Grant, error) {
 	if preq.Model == nil && s.modelFor != nil && req.Graph != nil {
 		preq.Model = s.modelFor(req.Graph)
 	}
-	if s.dur != nil {
-		return s.dur.admit(&preq)
+	return preq
+}
+
+// Admit obtains a guarantee for the request.
+func (s *service) Admit(ctx context.Context, req Request) (Grant, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, place.Reject("admit", Canceled, err)
 	}
-	ten, err := s.disp.Place(&preq)
+	preq := s.placeRequest(&req)
+	if s.dur != nil {
+		return s.dur.admit(preq)
+	}
+	ten, err := s.disp.Place(preq)
 	if err != nil {
 		return nil, err
 	}
 	return &grant{ten: ten, svc: s}, nil
 }
 
-// AdmitBatch admits the requests in order.
+// AdmitBatch admits the requests in order, coalescing the whole batch
+// into one admission critical section per shard path: the lock (and,
+// durably, the WAL serialization point) is taken once instead of per
+// request, while each element's decision stays identical to admitting
+// the batch sequentially. Rejection errors carry the failing element's
+// index (RejectionError.BatchIndex) so callers can retry the
+// remainder.
 func (s *service) AdmitBatch(ctx context.Context, reqs []Request) ([]Grant, error) {
+	if err := ctx.Err(); err != nil {
+		return make([]Grant, len(reqs)), place.Reject("admit", Canceled, err)
+	}
+	preqs := make([]*place.Request, len(reqs))
+	for i := range reqs {
+		preqs[i] = s.placeRequest(&reqs[i])
+	}
+	if s.dur != nil {
+		return s.dur.admitBatch(preqs)
+	}
+	tens, perrs := s.disp.PlaceBatch(preqs)
 	grants := make([]Grant, len(reqs))
 	var errs []error
 	for i := range reqs {
-		g, err := s.Admit(ctx, reqs[i])
-		if err != nil {
-			errs = append(errs, fmt.Errorf("request %d: %w", i, err))
+		if perrs[i] != nil {
+			errs = append(errs, fmt.Errorf("request %d: %w", i, perrs[i]))
 			continue
 		}
-		grants[i] = g
+		grants[i] = &grant{ten: tens[i], svc: s}
 	}
 	return grants, errors.Join(errs...)
 }

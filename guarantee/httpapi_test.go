@@ -362,3 +362,117 @@ func TestHTTPRecoveryRebindsGrants(t *testing.T) {
 		t.Fatalf("release recovered grant status = %d, want 204", resp.StatusCode)
 	}
 }
+
+// TestHTTPClosedService: every mutating endpoint on a closed durable
+// service answers 503 with the typed shutting_down reason — a load
+// balancer must be able to drain on status alone, and a client must
+// still get a machine-readable cause.
+func TestHTTPClosedService(t *testing.T) {
+	svc, err := New(testSpec(), WithAlgorithm("cm"), WithDurability(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc).Handler())
+	t.Cleanup(ts.Close)
+
+	var g grantBody
+	if resp := do(t, "POST", ts.URL+"/v1/guarantees", `{"tag":`+tagJSON(2, 1)+`}`, &g); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit status = %d, want 201", resp.StatusCode)
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []struct{ name, method, ep, body string }{
+		{"admit", "POST", "/v1/guarantees", `{"tag":` + tagJSON(1, 1) + `}`},
+		{"resize", "POST", "/v1/guarantees/" + g.ID + "/resize", `{"tag":` + tagJSON(3, 1) + `}`},
+		{"snapshot", "POST", "/v1/snapshot", ""},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			var e errorBody
+			resp := do(t, c.method, ts.URL+c.ep, c.body, &e)
+			if resp.StatusCode != http.StatusServiceUnavailable || e.Error.Reason != string(ShuttingDown) {
+				t.Errorf("%s after close: status %d reason %q, want 503 %s",
+					c.name, resp.StatusCode, e.Error.Reason, ShuttingDown)
+			}
+			if e.Error.Message == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+
+	// Reads stay up on a closed service: health is how an operator
+	// notices the drain, and the stats page must not 503 mid-shutdown.
+	var h healthzBody
+	if resp := do(t, "GET", ts.URL+"/v1/healthz", "", &h); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after close: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHTTPMalformedJSON: both JSON-accepting endpoints reject garbage,
+// truncated, and wrong-shape bodies with 400 invalid_request — never a
+// 500, never a hang on an unterminated body.
+func TestHTTPMalformedJSON(t *testing.T) {
+	ts := newTestServer(t)
+
+	var g grantBody
+	if resp := do(t, "POST", ts.URL+"/v1/guarantees", `{"tag":`+tagJSON(2, 1)+`}`, &g); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit status = %d, want 201", resp.StatusCode)
+	}
+
+	bodies := []struct{ name, body string }{
+		{"empty", ""},
+		{"truncated", `{"tag":{"name":"x"`},
+		{"not json", "::: not json :::"},
+		{"wrong type", `{"tag":42}`},
+		{"array root", `[1,2,3]`},
+	}
+	for _, ep := range []struct{ name, path string }{
+		{"admit", "/v1/guarantees"},
+		{"resize", "/v1/guarantees/" + g.ID + "/resize"},
+	} {
+		for _, b := range bodies {
+			t.Run(ep.name+"/"+b.name, func(t *testing.T) {
+				var e errorBody
+				resp := do(t, "POST", ts.URL+ep.path, b.body, &e)
+				if resp.StatusCode != http.StatusBadRequest || e.Error.Reason != string(InvalidRequest) {
+					t.Errorf("status %d reason %q, want 400 %s", resp.StatusCode, e.Error.Reason, InvalidRequest)
+				}
+				if e.Error.Message == "" {
+					t.Error("empty error message")
+				}
+			})
+		}
+	}
+}
+
+// TestHTTPUnknownReasonBody pins the error envelope's fallback rules:
+// a reason outside the taxonomy maps to 500 (not a zero status), and
+// an untyped error serializes as the "internal" reason with the
+// original message — the envelope shape holds even for failures the
+// taxonomy never anticipated.
+func TestHTTPUnknownReasonBody(t *testing.T) {
+	if got := statusOf(Reason("no_such_reason")); got != http.StatusInternalServerError {
+		t.Errorf("statusOf(unknown) = %d, want 500", got)
+	}
+
+	rec := httptest.NewRecorder()
+	writeError(rec, fmt.Errorf("disk on fire"))
+	var e errorBody
+	if err := json.NewDecoder(rec.Body).Decode(&e); err != nil {
+		t.Fatalf("decoding untyped error body: %v", err)
+	}
+	if rec.Code != http.StatusInternalServerError || e.Error.Reason != "internal" || e.Error.Message != "disk on fire" {
+		t.Errorf("untyped error = %d %+v, want 500 internal with original message", rec.Code, e.Error)
+	}
+
+	rec = httptest.NewRecorder()
+	writeError(rec, Rejectf("admit", Reason("exotic_future_reason"), "beyond the taxonomy"))
+	e = errorBody{}
+	if err := json.NewDecoder(rec.Body).Decode(&e); err != nil {
+		t.Fatalf("decoding unknown-reason body: %v", err)
+	}
+	if rec.Code != http.StatusInternalServerError || e.Error.Reason != "exotic_future_reason" {
+		t.Errorf("unknown reason = %d %+v, want 500 with the reason passed through", rec.Code, e.Error)
+	}
+}

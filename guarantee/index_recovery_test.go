@@ -1,0 +1,90 @@
+package guarantee
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"cloudmirror/internal/topology"
+)
+
+// The index half of the crash-recovery contract: guarantee.Open
+// rebuilds each shard's free-capacity index from the imported ledger
+// bits, so the recovered index must be exactly the index a fresh tree
+// with the same ledger would build — not merely sound. Anything else
+// would mean recovery prunes differently from a process that never
+// crashed, breaking the differential harness's indexed ≡ rescan
+// equivalence across a restart.
+func TestIndexRecoveryEquivalence(t *testing.T) {
+	ctx := context.Background()
+	ops := churnScript(90, 11)
+	crashAt := 55
+
+	dir := t.TempDir()
+	svc, err := New(testSpec(), durableOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOps(t, svc, ops[:crashAt], nil, new([]string))
+	svc.(*service).dur.abandon() // simulated kill: no final snapshot
+
+	recovered, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer recovered.Close(ctx)
+
+	for i := 0; i < recovered.Shards(); i++ {
+		tree := recovered.Topology(i)
+		if !tree.Indexed() {
+			t.Fatalf("shard %d: recovered tree is not indexed", i)
+		}
+		if err := tree.IndexAudit(); err != nil {
+			t.Fatalf("shard %d: recovered index violates invariant: %v", i, err)
+		}
+
+		// A fresh tree importing the recovered ledger is the
+		// ground-truth index build for this exact state.
+		fresh := topology.New(testSpec())
+		if err := fresh.ImportLedger(tree.ExportLedger()); err != nil {
+			t.Fatalf("shard %d: import ledger: %v", i, err)
+		}
+		want := fresh.IndexSnapshot()
+
+		// The live recovered bounds may sit stale-high (WAL replay
+		// applies decreases, which only loosen), but must dominate the
+		// exact bounds — never prune a feasible candidate.
+		live := tree.IndexSnapshot()
+		for l := range want.MaxSlots {
+			if live.MaxSlots[l] < want.MaxSlots[l] {
+				t.Errorf("shard %d level %d: recovered slots bound %d below exact %d",
+					i, l, live.MaxSlots[l], want.MaxSlots[l])
+			}
+			if live.MaxOut[l] < want.MaxOut[l] || live.MaxIn[l] < want.MaxIn[l] {
+				t.Errorf("shard %d level %d: recovered bw bound (%g,%g) below exact (%g,%g)",
+					i, l, live.MaxOut[l], live.MaxIn[l], want.MaxOut[l], want.MaxIn[l])
+			}
+		}
+
+		// After an exact rebuild the recovered index must be identical
+		// to the fresh build — same ledger bits, same bounds.
+		tree.IndexRebuild()
+		if got := tree.IndexSnapshot(); !reflect.DeepEqual(got, want) {
+			t.Errorf("shard %d: rebuilt recovered index differs from fresh build:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+
+	// The recovered index must also stay sound under further churn:
+	// finish the script and re-audit every shard.
+	live := recovered.Durability().Grants()
+	handles := make([]*handle, len(live))
+	for i, g := range live {
+		handles[i] = &handle{g: g, name: "r", s: 1, r: 1}
+	}
+	runOps(t, recovered, ops[crashAt:], handles, new([]string))
+	for i := 0; i < recovered.Shards(); i++ {
+		if err := recovered.Topology(i).IndexAudit(); err != nil {
+			t.Fatalf("shard %d: index invariant broken after post-recovery churn: %v", i, err)
+		}
+	}
+}

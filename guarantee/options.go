@@ -23,6 +23,7 @@ type config struct {
 	enforce   *EnforcementConfig
 	walDir    string
 	snapEvery int
+	noIndex   bool
 }
 
 // Option configures a Service under construction. Options validate at
@@ -121,6 +122,13 @@ func WithDurability(dir string) Option { return func(c *config) { c.walDir = dir
 // Only meaningful with WithDurability.
 func WithSnapshotEvery(n int) Option { return func(c *config) { c.snapEvery = n } }
 
+// WithIndex enables or disables the topology free-capacity index
+// (default on). The index prunes provably hopeless feasibility scans
+// and never changes admission decisions — disabling it restores the
+// pure rescan hot path, which exists for the differential harness and
+// as an escape hatch, not for production use.
+func WithIndex(on bool) Option { return func(c *config) { c.noIndex = !on } }
+
 // New builds a Service over n identical shards of the given topology:
 // the one public constructor behind which the locked/optimistic
 // admission fork, the dispatch policy, and the algorithm registry all
@@ -182,6 +190,11 @@ func build(spec topology.Spec, c *config) (*service, error) {
 	}
 	if err != nil {
 		return nil, place.Reject(op, InvalidRequest, err)
+	}
+	if c.noIndex {
+		for i := 0; i < cl.Size(); i++ {
+			cl.Shard(i).SetIndexed(false)
+		}
 	}
 	if name == "" {
 		name = cl.Shard(0).Name()

@@ -147,6 +147,67 @@ func (s *Shard) Place(req *place.Request) (*Tenant, error) {
 	return ten, nil
 }
 
+// SetIndexed toggles the topology free-capacity index on the shard's
+// admission path — the authoritative tree and, for optimistic shards,
+// every planner replica. Must not race in-flight admissions; the
+// differential harness uses it to build rescan-path services.
+func (s *Shard) SetIndexed(on bool) {
+	if t, ok := s.adm.(place.IndexToggler); ok {
+		t.SetIndexed(on)
+	}
+}
+
+// PlaceBatch admits the requests in order through one admission
+// critical section (see place.BatchAdmission). Tenants and errors are
+// parallel to reqs; a batch is not atomic — earlier admissions stand
+// when later elements reject. Gauges and lifecycle events are updated
+// per admitted element exactly as Place would.
+func (s *Shard) PlaceBatch(reqs []*place.Request) ([]*Tenant, []error) {
+	tens := make([]*Tenant, len(reqs))
+	ba, ok := s.adm.(place.BatchAdmission)
+	if !ok {
+		errs := make([]error, len(reqs))
+		for i, req := range reqs {
+			ten, err := s.Place(req)
+			if err != nil {
+				errs[i] = place.WithBatchIndex(err, i)
+				continue
+			}
+			tens[i] = ten
+		}
+		return tens, errs
+	}
+	grants, errs := ba.AdmitBatch(reqs)
+	for i, ad := range grants {
+		if ad == nil {
+			continue
+		}
+		res := ad.Reservation()
+		ten := &Tenant{
+			shard:        s,
+			ad:           ad,
+			key:          s.seq.Add(1),
+			id:           reqs[i].ID,
+			reservedMbps: res.TotalReserved(),
+			vms:          res.Placement().VMs(),
+		}
+		s.reserved.add(ten.reservedMbps)
+		s.slots.Add(int64(ten.vms))
+		s.tenants.Add(1)
+		if s.sink != nil {
+			s.sink.Publish(place.Event{
+				Kind:      place.EventAdmitted,
+				Key:       ten.key,
+				ID:        reqs[i].ID,
+				Graph:     place.EnforceableGraph(reqs[i]),
+				Placement: res.Placement(),
+			})
+		}
+		tens[i] = ten
+	}
+	return tens, errs
+}
+
 // Tenant is a committed tenant admitted through a Shard (directly or
 // via a Dispatcher). Release and Resize are safe to call from any
 // goroutine; operations on one tenant serialize on its own lock, and

@@ -92,6 +92,39 @@ func (d *Dispatcher) PlaceTraced(req *place.Request) (ten *Tenant, first, last i
 	return nil, first, (first + n - 1) % n, lastErr
 }
 
+// PlaceBatch coalesces a batch on single-shard clusters: the whole
+// batch runs through the shard's one-critical-section batch path, and
+// the dispatcher's counters advance exactly as per-request dispatch
+// would have (every request lands on the only shard; no failover is
+// possible). On multi-shard clusters it degrades to per-request Place
+// so the failover walk keeps its semantics. Tenants and errors are
+// parallel to reqs.
+func (d *Dispatcher) PlaceBatch(reqs []*place.Request) ([]*Tenant, []error) {
+	if d.c.Size() == 1 {
+		tens, errs := d.c.Shard(0).PlaceBatch(reqs)
+		for i := range reqs {
+			switch {
+			case tens[i] != nil:
+				d.admitted.Add(1)
+			case errors.Is(errs[i], place.ErrRejected):
+				d.rejected.Add(1)
+			}
+		}
+		return tens, errs
+	}
+	tens := make([]*Tenant, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, req := range reqs {
+		ten, err := d.Place(req)
+		if err != nil {
+			errs[i] = place.WithBatchIndex(err, i)
+			continue
+		}
+		tens[i] = ten
+	}
+	return tens, errs
+}
+
 // ReplayDispatch advances the dispatcher's counters for one recorded
 // request exactly as the live walk from shard first to shard last did:
 // one admission or rejection, plus one failover per extra shard tried.

@@ -1,0 +1,142 @@
+package place
+
+import "errors"
+
+// Batch admission: both admission paths coalesce a whole batch of
+// requests into ONE critical section instead of re-acquiring the
+// admission lock (and, optimistically, re-running the plan/validate
+// conflict dance) per request. Decisions are element-wise identical to
+// admitting the batch sequentially on an otherwise idle admitter: each
+// element still runs the full validate → save → place → restore →
+// apply bracket against the ledger state its predecessors left behind,
+// so the ledger evolves byte-identically to the sequential path.
+
+// BatchAdmission is implemented by admission paths that can admit a
+// batch of requests in one critical section. Grants and errors are
+// parallel to reqs: exactly one of grants[i], errs[i] is non-nil. A
+// batch is not atomic — earlier admissions stand when later elements
+// reject — and every non-nil error carries the failing element's index
+// (RejectionError.BatchIndex).
+type BatchAdmission interface {
+	AdmitBatch(reqs []*Request) (grants []Grant, errs []error)
+}
+
+// Compile-time check that both admission paths coalesce batches.
+var (
+	_ BatchAdmission = (*Admitter)(nil)
+	_ BatchAdmission = (*OptimisticAdmitter)(nil)
+)
+
+// IndexToggler is implemented by admission paths whose trees (and
+// planner replicas) can switch the topology free-capacity index on or
+// off — the knob the differential harness uses to compare the indexed
+// and rescan builds.
+type IndexToggler interface {
+	SetIndexed(on bool)
+}
+
+// SetIndexed toggles the free-capacity index on the admitter's tree.
+// Safe to call between admissions; must not race an in-flight Place.
+func (a *Admitter) SetIndexed(on bool) {
+	a.mu.Lock()
+	a.tree.SetIndexed(on)
+	a.mu.Unlock()
+}
+
+// AdmitBatch implements BatchAdmission: one lock acquisition, then the
+// same per-element validate/save/place/restore/apply bracket Place
+// runs, so the ledger and decisions match sequential admission exactly.
+func (a *Admitter) AdmitBatch(reqs []*Request) ([]Grant, []error) {
+	grants := make([]Grant, len(reqs))
+	errs := make([]error, len(reqs))
+	a.mu.Lock()
+	for i, req := range reqs {
+		if err := ValidateRequest(a.tree, req); err != nil {
+			a.failed.Add(1)
+			errs[i] = WithBatchIndex(err, i)
+			continue
+		}
+		a.tree.Save(a.ck)
+		res, err := a.placer.Place(req)
+		if err != nil {
+			a.tree.RestoreSnapshot(a.ck)
+			if errors.Is(err, ErrRejected) {
+				a.rejected.Add(1)
+			} else {
+				a.failed.Add(1)
+			}
+			errs[i] = WithBatchIndex(err, i)
+			continue
+		}
+		d := res.Delta()
+		a.tree.RestoreSnapshot(a.ck)
+		a.tree.Apply(d)
+		a.admitted.Add(1)
+		res.released = true // inspection-only: departures commit the delta
+		grants[i] = &Admitted{a: a, res: res, delta: d, graph: resizableGraph(req), ha: req.HA}
+	}
+	a.mu.Unlock()
+	return grants, errs
+}
+
+// SetIndexed toggles the free-capacity index on the authoritative tree
+// and every planner replica. It drains the planner pool first, so it
+// must not be called concurrently with AdmitBatch or SetIndexed from
+// another goroutine that already holds planners.
+func (a *OptimisticAdmitter) SetIndexed(on bool) {
+	slots := make([]*plannerSlot, len(a.seqs))
+	for i := range slots {
+		slots[i] = <-a.pool
+	}
+	a.mu.Lock()
+	a.auth.SetIndexed(on)
+	a.mu.Unlock()
+	for _, s := range slots {
+		s.pl.rep.Tree().SetIndexed(on)
+	}
+	for _, s := range slots {
+		a.pool <- s
+	}
+}
+
+// AdmitBatch implements BatchAdmission for the optimistic path: the
+// whole batch plans and commits under the commit lock (the locked
+// fallback every element would reach anyway under contention), so each
+// element's plan sees every predecessor's commit and no conflict is
+// possible. One planner replica serves the batch; each commit is
+// applied and logged element-by-element, preserving the log order a
+// sequential caller would produce.
+func (a *OptimisticAdmitter) AdmitBatch(reqs []*Request) ([]Grant, []error) {
+	grants := make([]Grant, len(reqs))
+	errs := make([]error, len(reqs))
+	slot := <-a.pool
+	defer func() { a.pool <- slot }()
+
+	a.mu.Lock()
+	for i, req := range reqs {
+		if err := ValidateRequest(a.auth, req); err != nil {
+			a.failed.Add(1)
+			errs[i] = WithBatchIndex(err, i)
+			continue
+		}
+		plan, err := slot.pl.Plan(req)
+		a.seqs[slot.id].Store(slot.pl.Seq())
+		if err != nil {
+			if errors.Is(err, ErrRejected) {
+				a.rejected.Add(1)
+			} else {
+				a.failed.Add(1)
+			}
+			errs[i] = WithBatchIndex(err, i)
+			continue
+		}
+		a.auth.Apply(plan.Delta())
+		a.log.Append(plan.Delta())
+		a.admitted.Add(1)
+		g := &optimisticGrant{a: a, res: plan.reservation(a.auth), delta: plan.Footprint()}
+		grants[i] = a.grant(g, req)
+	}
+	a.mu.Unlock()
+	a.trim()
+	return grants, errs
+}

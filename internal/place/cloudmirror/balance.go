@@ -3,6 +3,7 @@ package cloudmirror
 import (
 	"math"
 
+	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
 )
 
@@ -68,7 +69,9 @@ func (r *run) mdSubsetSum(st topology.NodeID, quota []int, failed map[topology.N
 		}
 		adds, score := r.packChild(c, quota)
 		if adds != nil && score > bestScore {
-			bestScore, bestChild, bestAdds = score, c, adds
+			bestScore, bestChild = score, c
+			// adds aliases packChild's scratch; keep a private copy.
+			bestAdds = append(bestAdds[:0], adds...)
 		}
 	}
 	return bestAdds, bestChild
@@ -90,7 +93,10 @@ func (r *run) packChild(c topology.NodeID, quota []int) ([]int, float64) {
 	// subset-sum approximation.
 	order := r.tiersByDemand(quota)
 	slotsLeft, outLeft, inLeft := free, availOut, availIn
-	adds := make([]int, len(quota))
+	adds := r.addsScratch
+	for i := range adds {
+		adds[i] = 0
+	}
 	resLeft := r.resourceHeadroom(c)
 	placedAny := false
 	for _, t := range order {
@@ -137,14 +143,15 @@ func (r *run) packChild(c topology.NodeID, quota []int) ([]int, float64) {
 	return adds, su + ou + iu
 }
 
-// resourceHeadroom snapshots the child's free resource capacities (nil
-// when the topology declares none or the tenant is slot-only).
+// resourceHeadroom snapshots the child's free resource capacities into
+// per-run scratch (nil when the topology declares none or the tenant is
+// slot-only).
 func (r *run) resourceHeadroom(c topology.NodeID) []float64 {
 	if r.resources == nil {
 		return nil
 	}
 	tree := r.p.tree
-	head := make([]float64, len(tree.Resources()))
+	head := r.headScratch
 	for rr := range head {
 		head[rr] = tree.ResourceFree(c, rr)
 	}
@@ -192,15 +199,31 @@ func (r *run) bandwidthFit(c topology.NodeID, base, adds []int, t, maxK int, out
 	if maxK <= 0 {
 		return 0
 	}
-	counts := make([]int, len(adds))
+	counts := r.cntScratch
 	for i := range counts {
 		counts[i] = adds[i]
 		if base != nil {
 			counts[i] += base[i]
 		}
 	}
-	out0, in0 := r.model.Cut(counts)
 	baseT := counts[t]
+	// Under the TAG model only edges touching tier t change with k, so
+	// split the cut once and re-price just those edges per probe.
+	if tg, ok := r.model.(*tag.Graph); ok {
+		fixOut, fixIn, touch := tg.SplitCut(counts, t, r.edgeScratch[:0])
+		r.edgeScratch = touch[:0]
+		eo, ei := tg.EdgesCut(touch, counts)
+		out0, in0 := fixOut+eo, fixIn+ei
+		for k := maxK; k > 0; k-- {
+			counts[t] = baseT + k
+			eo, ei = tg.EdgesCut(touch, counts)
+			if fixOut+eo-out0 <= outLeft && fixIn+ei-in0 <= inLeft {
+				return k
+			}
+		}
+		return 0
+	}
+	out0, in0 := r.model.Cut(counts)
 	for k := maxK; k > 0; k-- {
 		counts[t] = baseT + k
 		out, in := r.model.Cut(counts)

@@ -181,6 +181,22 @@ type run struct {
 	extOut    float64 // external demand that must reach the root
 	extIn     float64
 	resources [][]float64 // per-tier per-VM resource demands (may be nil)
+	needRes   []float64   // whole-tenant demand per resource dimension (nil without resources)
+
+	// tierOrder is every tier sorted by decreasing per-VM bandwidth
+	// demand (index tie-break): the demand comparator is total and
+	// run-invariant, so tiersByDemand only filters this permutation.
+	tierOrder []int
+	// Per-run scratch reused across the inner packing loops. None of
+	// these survive the call that fills them, and none are live across
+	// the alloc() recursion (audited per use).
+	ordScratch  []int
+	addsScratch []int
+	cntScratch  []int
+	headScratch []float64
+	edgeScratch []tag.Edge
+	exclScratch []bool
+	lowScratch  []bool
 }
 
 // resourceCap bounds how many more tier-t VMs node n's subtree can host
@@ -204,6 +220,35 @@ func (r *run) init() {
 		r.perVMOut[t], r.perVMIn[t] = r.g.VMProfile(t)
 	}
 	r.extOut, r.extIn = r.model.Cut(r.sizes)
+	r.tierOrder = make([]int, tiers)
+	for t := range r.tierOrder {
+		r.tierOrder[t] = t
+	}
+	sort.Slice(r.tierOrder, func(i, j int) bool {
+		a, b := r.tierOrder[i], r.tierOrder[j]
+		da := r.perVMOut[a] + r.perVMIn[a]
+		db := r.perVMOut[b] + r.perVMIn[b]
+		if da != db {
+			return da > db
+		}
+		return a < b
+	})
+	r.ordScratch = make([]int, 0, tiers)
+	r.addsScratch = make([]int, tiers)
+	r.cntScratch = make([]int, tiers)
+	r.exclScratch = make([]bool, tiers)
+	r.lowScratch = make([]bool, tiers)
+	if r.resources != nil {
+		r.headScratch = make([]float64, len(r.p.tree.Resources()))
+	}
+	if r.resources != nil {
+		r.needRes = make([]float64, len(r.p.tree.Resources()))
+		for rr := range r.needRes {
+			for t, sz := range r.sizes {
+				r.needRes[rr] += float64(sz) * r.resources[t][rr]
+			}
+		}
+	}
 }
 
 // laa returns the anti-affinity level (server by default).
@@ -246,6 +291,12 @@ func (r *run) domainsUnder(n topology.NodeID) int {
 func (r *run) findLowestSubtree(minLevel int) topology.NodeID {
 	tree := r.p.tree
 	for lvl := minLevel; lvl <= tree.Height(); lvl++ {
+		// Index prune: skip the whole level when the per-tier bounds
+		// prove no subtree here can offer the slots, path bandwidth, or
+		// resources the tenant needs (always true on unindexed trees).
+		if !tree.LevelMayHost(lvl, r.totalVMs, r.extOut, r.extIn, r.needRes) {
+			continue
+		}
 		best := topology.NoNode
 		bestFree := math.MaxInt
 		for _, n := range tree.NodesAtLevel(lvl) {
@@ -272,11 +323,7 @@ func (r *run) resourcesFit(n topology.NodeID) bool {
 		return true
 	}
 	tree := r.p.tree
-	for rr := range tree.Resources() {
-		var need float64
-		for t, sz := range r.sizes {
-			need += float64(sz) * r.resources[t][rr]
-		}
+	for rr, need := range r.needRes {
 		if need > tree.ResourceFree(n, rr)+1e-9 {
 			return false
 		}
@@ -415,23 +462,16 @@ func (r *run) rollback(st topology.NodeID, made []action, quota []int) {
 }
 
 // tiersByDemand returns tier indices with quota remaining, ordered by
-// decreasing per-VM bandwidth demand.
+// decreasing per-VM bandwidth demand. The result aliases per-run
+// scratch: it is valid until the next tiersByDemand call and must not
+// be retained.
 func (r *run) tiersByDemand(quota []int) []int {
-	order := make([]int, 0, len(quota))
-	for t, q := range quota {
-		if q > 0 {
+	order := r.ordScratch[:0]
+	for _, t := range r.tierOrder {
+		if quota[t] > 0 {
 			order = append(order, t)
 		}
 	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
-		da := r.perVMOut[a] + r.perVMIn[a]
-		db := r.perVMOut[b] + r.perVMIn[b]
-		if da != db {
-			return da > db
-		}
-		return a < b
-	})
 	return order
 }
 

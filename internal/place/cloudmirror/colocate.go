@@ -56,7 +56,10 @@ func (r *run) findTiersToColoc(st topology.NodeID, quota []int, failed map[topol
 	var (
 		bestSaving float64
 		bestChild  topology.NodeID = topology.NoNode
-		bestAdds   []int
+		bestT      int
+		bestT2     int
+		bestAT     int
+		bestAT2    int
 	)
 	for _, c := range children {
 		if failed[c] || tree.SlotsFree(c) == 0 {
@@ -64,40 +67,47 @@ func (r *run) findTiersToColoc(st topology.NodeID, quota []int, failed map[topol
 		}
 		free := tree.SlotsFree(c)
 		for _, e := range r.g.Edges() {
-			adds, saving := r.bestEdgePack(c, e, quota, free, excluded)
+			aT, aT2, saving := r.bestEdgePack(c, e, quota, free, excluded)
 			if saving > bestSaving {
-				bestSaving, bestChild, bestAdds = saving, c, adds
+				bestSaving, bestChild = saving, c
+				bestT, bestT2, bestAT, bestAT2 = e.From, e.To, aT, aT2
 			}
 		}
 	}
-	return bestAdds, bestChild
+	if bestChild == topology.NoNode {
+		return nil, topology.NoNode
+	}
+	adds := make([]int, len(quota))
+	adds[bestT] += bestAT
+	adds[bestT2] += bestAT2
+	return adds, bestChild
 }
 
-// bestEdgePack computes how many VMs of edge e's endpoint tiers to pack
-// into child c and the marginal bandwidth saving of doing so. For trunks
-// it tries both fill orders and keeps the better.
-func (r *run) bestEdgePack(c topology.NodeID, e tag.Edge, quota []int, free int, excluded []bool) ([]int, float64) {
+// bestEdgePack computes how many VMs of edge e's endpoint tiers (aT of
+// e.From, aT2 of e.To) to pack into child c and the marginal bandwidth
+// saving of doing so. For trunks it tries both fill orders and keeps the
+// better; for self-loops aT2 is 0 (the whole add is aT on the loop
+// tier). A zero saving means no verified pack exists.
+func (r *run) bestEdgePack(c topology.NodeID, e tag.Edge, quota []int, free int, excluded []bool) (aT, aT2 int, saving float64) {
 	t := e.From
 	if e.SelfLoop() {
 		if excluded[t] {
-			return nil, 0
+			return 0, 0, 0
 		}
 		add := min(quota[t], free, r.haBound(c, t), r.resourceCap(c, t))
 		if add <= 0 {
-			return nil, 0
+			return 0, 0, 0
 		}
 		cur := r.tx.CountOf(c, t)
 		// Cheap necessary condition (Eq. 2) before pricing the saving.
 		if !tag.HoseSavingFeasible(r.sizes[t], cur+add) {
-			return nil, 0
+			return 0, 0, 0
 		}
-		saving := r.g.SelfLoopSaving(e, cur+add) - r.g.SelfLoopSaving(e, cur)
+		saving = r.g.SelfLoopSaving(e, cur+add) - r.g.SelfLoopSaving(e, cur)
 		if saving <= 0 {
-			return nil, 0
+			return 0, 0, 0
 		}
-		adds := make([]int, len(quota))
-		adds[t] = add
-		return adds, saving
+		return add, 0, saving
 	}
 
 	t2 := e.To
@@ -105,15 +115,15 @@ func (r *run) bestEdgePack(c topology.NodeID, e tag.Edge, quota []int, free int,
 	maxT := boundedAdd(min(quota[t], r.resourceCap(c, t)), free, r.haBound(c, t), excluded[t])
 	maxT2 := boundedAdd(min(quota[t2], r.resourceCap(c, t2)), free, r.haBound(c, t2), excluded[t2])
 	if maxT+maxT2 == 0 {
-		return nil, 0
+		return 0, 0, 0
 	}
 	// Necessary condition (Eq. 6) on the achievable inside counts.
 	if !tag.TrunkSavingFeasible(r.sizes[t], r.sizes[t2], curT+maxT, curT2+maxT2) {
-		return nil, 0
+		return 0, 0, 0
 	}
 	base := r.g.EdgeSaving(e, curT, curT2)
 
-	try := func(firstT bool) ([]int, float64) {
+	try := func(firstT bool) (int, int, float64) {
 		aT, aT2 := maxT, maxT2
 		if firstT {
 			if aT2 > free-aT {
@@ -131,24 +141,22 @@ func (r *run) bestEdgePack(c topology.NodeID, e tag.Edge, quota []int, free int,
 			aT2 = 0
 		}
 		if aT+aT2 == 0 {
-			return nil, 0
+			return 0, 0, 0
 		}
 		// Verify the actual saving (Eq. 4) before colocating.
 		saving := r.g.EdgeSaving(e, curT+aT, curT2+aT2) - base
 		if saving <= 0 {
-			return nil, 0
+			return 0, 0, 0
 		}
-		adds := make([]int, len(quota))
-		adds[t], adds[t2] = aT, aT2
-		return adds, saving
+		return aT, aT2, saving
 	}
 
-	adds1, s1 := try(true)
-	adds2, s2 := try(false)
+	a1, a1b, s1 := try(true)
+	a2, a2b, s2 := try(false)
 	if s2 > s1 {
-		return adds2, s2
+		return a2, a2b, s2
 	}
-	return adds1, s1
+	return a1, a1b, s1
 }
 
 func boundedAdd(quota, free, haBound int, excluded bool) int {
@@ -166,13 +174,19 @@ func boundedAdd(quota, free, haBound int, excluded bool) int {
 // savings here (size/HA constraints), so it will need low-bandwidth
 // partners to balance utilization (Fig. 6).
 func (r *run) lowBandwidthExclusions(st topology.NodeID, quota []int) []bool {
-	excluded := make([]bool, len(quota))
+	excluded := r.exclScratch
+	for i := range excluded {
+		excluded[i] = false
+	}
 	perSlot := r.availPerSlot(st)
 	if perSlot <= 0 {
 		return excluded
 	}
 
-	low := make([]bool, len(quota))
+	low := r.lowScratch
+	for i := range low {
+		low[i] = false
+	}
 	anyStrandedHigh := false
 	for t, q := range quota {
 		if q == 0 {

@@ -78,14 +78,23 @@ type RejectionError struct {
 	Reason Reason
 	// Err is the underlying cause; may be nil.
 	Err error
+	// BatchIndex identifies which element of a batch request failed
+	// (0-based), so callers can retry the remainder; -1 for
+	// single-request operations.
+	BatchIndex int
 }
 
-// Error renders op, reason, and cause.
+// Error renders op, reason, cause, and — for batch failures — the
+// failing element's index.
 func (e *RejectionError) Error() string {
-	if e.Err == nil {
-		return fmt.Sprintf("place: %s rejected (%s)", e.Op, e.Reason)
+	at := ""
+	if e.BatchIndex >= 0 {
+		at = fmt.Sprintf(" at batch element %d", e.BatchIndex)
 	}
-	return fmt.Sprintf("place: %s rejected (%s): %v", e.Op, e.Reason, e.Err)
+	if e.Err == nil {
+		return fmt.Sprintf("place: %s rejected (%s)%s", e.Op, e.Reason, at)
+	}
+	return fmt.Sprintf("place: %s rejected (%s)%s: %v", e.Op, e.Reason, at, e.Err)
 }
 
 // Unwrap exposes the underlying cause to errors.Is / errors.As.
@@ -100,12 +109,39 @@ func (e *RejectionError) Is(target error) bool {
 
 // Reject builds a typed rejection.
 func Reject(op string, reason Reason, err error) *RejectionError {
-	return &RejectionError{Op: op, Reason: reason, Err: err}
+	return &RejectionError{Op: op, Reason: reason, Err: err, BatchIndex: -1}
 }
 
 // Rejectf builds a typed rejection from a formatted cause.
 func Rejectf(op string, reason Reason, format string, args ...any) *RejectionError {
-	return &RejectionError{Op: op, Reason: reason, Err: fmt.Errorf(format, args...)}
+	return &RejectionError{Op: op, Reason: reason, Err: fmt.Errorf(format, args...), BatchIndex: -1}
+}
+
+// WithBatchIndex stamps the failing batch element's index onto a typed
+// rejection (without mutating the original error), so batch callers
+// learn which request failed and can retry the remainder. Untyped
+// errors are wrapped in an InvalidRequest-shaped rejection first.
+func WithBatchIndex(err error, i int) error {
+	if err == nil {
+		return nil
+	}
+	var re *RejectionError
+	if errors.As(err, &re) {
+		stamped := *re
+		stamped.BatchIndex = i
+		return &stamped
+	}
+	return &RejectionError{Op: "admit", Reason: ReasonInvalidRequest, Err: err, BatchIndex: i}
+}
+
+// BatchIndexOf extracts the failing batch element's index from an error
+// chain (-1 when the error is untyped or not a batch failure).
+func BatchIndexOf(err error) int {
+	var re *RejectionError
+	if errors.As(err, &re) {
+		return re.BatchIndex
+	}
+	return -1
 }
 
 // ReasonOf extracts the Reason from an error chain. Untyped errors

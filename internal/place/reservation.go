@@ -128,21 +128,23 @@ func (r *Reservation) Reopen(model Model) *Txn {
 		panic("place: Reopen of an accounting-only reservation")
 	}
 	r.released = true // ownership moves to the transaction
-	tx := &Txn{
-		tree:      r.tree,
-		model:     model,
-		counts:    make(map[topology.NodeID][]int),
-		reserved:  r.reserved,
-		resources: r.resources,
+	tx := NewTxn(r.tree, model)
+	tx.resources = r.resources
+	// Deterministic touch order (sorted servers) so subsequent syncs
+	// visit nodes reproducibly across runs.
+	servers := make([]topology.NodeID, 0, len(r.placement))
+	for server := range r.placement {
+		servers = append(servers, server)
 	}
-	tiers := model.Tiers()
-	for server, c := range r.placement {
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	for _, server := range servers {
+		c := r.placement[server]
 		r.tree.PathToRoot(server, func(n topology.NodeID) {
-			agg := tx.counts[n]
-			if agg == nil {
-				agg = make([]int, tiers)
-				tx.counts[n] = agg
+			if !tx.hasCount[n] {
+				tx.hasCount[n] = true
+				tx.touched = append(tx.touched, n)
 			}
+			agg := tx.row(n)
 			for t, k := range c {
 				agg[t] += k
 			}
@@ -150,6 +152,17 @@ func (r *Reservation) Reopen(model Model) *Txn {
 		for _, k := range c {
 			tx.placed += k
 		}
+	}
+	nodes := make([]topology.NodeID, 0, len(r.reserved))
+	for n := range r.reserved {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		v := r.reserved[n]
+		tx.resOut[n], tx.resIn[n] = v[0], v[1]
+		tx.hasRes[n] = true
+		tx.resTouched = append(tx.resTouched, n)
 	}
 	return tx
 }

@@ -14,17 +14,36 @@ import (
 //
 // Either Commit is called, transferring ownership of all resources to the
 // returned Reservation, or ReleaseAll, restoring the tree exactly.
+//
+// State is kept in dense per-node arrays rather than maps: a placer
+// retries many candidate subtrees per admission through the same Txn
+// (ReleaseAll between candidates), and the dense form makes that loop
+// allocation-free after construction. It also makes sync's visit order
+// deterministic (touch order, not map order).
 type Txn struct {
 	tree  *topology.Tree
 	model Model
+	tiers int
 
-	// counts maps every touched node (servers that host VMs and all
-	// their ancestors) to the tenant's per-tier VM counts inside that
-	// node's subtree.
-	counts map[topology.NodeID][]int
-	// reserved maps nodes to the (out, in) bandwidth currently reserved
-	// on their uplinks by this transaction.
-	reserved map[topology.NodeID][2]float64
+	// counts[n*tiers+t] is the tenant's tier-t VM count inside node n's
+	// subtree, for every touched node (servers that host VMs and all
+	// their ancestors). touched lists the nodes with hasCount set, in
+	// first-touch order.
+	counts   []int
+	hasCount []bool
+	touched  []topology.NodeID
+	// resOut/resIn are the (out, in) bandwidth currently reserved on
+	// each node's uplink by this transaction; resTouched lists the nodes
+	// with hasRes set, in first-reservation order.
+	resOut, resIn []float64
+	hasRes        []bool
+	resTouched    []topology.NodeID
+	// mark/epoch select the node subset a SyncPath/SyncBetween call
+	// reconciles without allocating a set per call.
+	mark  []uint32
+	epoch uint32
+	// applied is sync's revert log, reused across calls.
+	applied []delta
 	// resources holds the per-tier per-VM demand vectors (nil for
 	// slot-only tenants).
 	resources [][]float64
@@ -33,11 +52,18 @@ type Txn struct {
 
 // NewTxn starts a placement transaction for the given model on the tree.
 func NewTxn(tree *topology.Tree, model Model) *Txn {
+	n := tree.NumNodes()
+	tiers := model.Tiers()
 	return &Txn{
 		tree:     tree,
 		model:    model,
-		counts:   make(map[topology.NodeID][]int),
-		reserved: make(map[topology.NodeID][2]float64),
+		tiers:    tiers,
+		counts:   make([]int, n*tiers),
+		hasCount: make([]bool, n),
+		resOut:   make([]float64, n),
+		resIn:    make([]float64, n),
+		hasRes:   make([]bool, n),
+		mark:     make([]uint32, n),
 	}
 }
 
@@ -75,6 +101,11 @@ func (tx *Txn) tierDemand(t int) []float64 {
 	return tx.resources[t]
 }
 
+// row returns node n's per-tier count row.
+func (tx *Txn) row(n topology.NodeID) []int {
+	return tx.counts[int(n)*tx.tiers : (int(n)+1)*tx.tiers : (int(n)+1)*tx.tiers]
+}
+
 // Place puts k VMs of tier t on the given server, consuming slots and
 // declared resources. It does not touch bandwidth; call Sync afterwards.
 func (tx *Txn) Place(server topology.NodeID, t, k int) error {
@@ -89,12 +120,11 @@ func (tx *Txn) Place(server topology.NodeID, t, k int) error {
 		return Reject("place", ReasonNoSlots, err)
 	}
 	tx.tree.PathToRoot(server, func(n topology.NodeID) {
-		c := tx.counts[n]
-		if c == nil {
-			c = make([]int, tx.model.Tiers())
-			tx.counts[n] = c
+		if !tx.hasCount[n] {
+			tx.hasCount[n] = true
+			tx.touched = append(tx.touched, n)
 		}
-		c[t] += k
+		tx.row(n)[t] += k
 	})
 	tx.placed += k
 	return nil
@@ -106,28 +136,32 @@ func (tx *Txn) Unplace(server topology.NodeID, t, k int) {
 	if k == 0 {
 		return
 	}
-	if tx.counts[server] == nil || tx.counts[server][t] < k {
+	if !tx.hasCount[server] || tx.row(server)[t] < k {
 		panic(fmt.Sprintf("place: Unplace(%d, tier %d, %d) exceeds placed count", server, t, k))
 	}
 	tx.tree.ReleaseSlots(server, k)
 	tx.tree.ReleaseResources(server, k, tx.tierDemand(t))
 	tx.tree.PathToRoot(server, func(n topology.NodeID) {
-		c := tx.counts[n]
-		c[t] -= k
+		tx.row(n)[t] -= k
 	})
 	tx.placed -= k
 }
 
 // Count returns the tenant's per-tier counts inside node n's subtree
 // (nil if the subtree holds none). The slice must not be modified.
-func (tx *Txn) Count(n topology.NodeID) []int { return tx.counts[n] }
+func (tx *Txn) Count(n topology.NodeID) []int {
+	if !tx.hasCount[n] {
+		return nil
+	}
+	return tx.row(n)
+}
 
 // CountOf returns the tenant's count of tier t inside node n's subtree.
 func (tx *Txn) CountOf(n topology.NodeID, t int) int {
-	if c := tx.counts[n]; c != nil {
-		return c[t]
+	if !tx.hasCount[n] {
+		return 0
 	}
-	return 0
+	return tx.row(n)[t]
 }
 
 // Placed returns the total number of VMs placed so far.
@@ -139,14 +173,10 @@ func (tx *Txn) PlacedOf(t int) int { return tx.CountOf(tx.tree.Root(), t) }
 // desired returns the reservation node n's uplink needs given current
 // counts: the model cut of its subtree. The root needs none (no uplink).
 func (tx *Txn) desired(n topology.NodeID) (out, in float64) {
-	if n == tx.tree.Root() {
+	if n == tx.tree.Root() || !tx.hasCount[n] {
 		return 0, 0
 	}
-	c := tx.counts[n]
-	if c == nil {
-		return 0, 0
-	}
-	return tx.model.Cut(c)
+	return tx.model.Cut(tx.row(n))
 }
 
 // Sync reconciles bandwidth reservations with current VM counts for every
@@ -162,9 +192,9 @@ func (tx *Txn) Sync(n topology.NodeID) error {
 // the root: the final "reserve bandwidth for map up to root" step of
 // Algorithm 1.
 func (tx *Txn) SyncPath(n topology.NodeID) error {
-	onPath := make(map[topology.NodeID]bool)
-	tx.tree.PathToRoot(n, func(m topology.NodeID) { onPath[m] = true })
-	return tx.sync(func(m topology.NodeID) bool { return onPath[m] })
+	tx.epoch++
+	tx.tree.PathToRoot(n, func(m topology.NodeID) { tx.mark[m] = tx.epoch })
+	return tx.sync(func(m topology.NodeID) bool { return tx.mark[m] == tx.epoch })
 }
 
 // SyncAll reconciles every touched node (subtree + path): used after bulk
@@ -177,14 +207,14 @@ func (tx *Txn) SyncAll() error {
 // to and including top. Callers that placed a single VM use it to touch
 // only the path whose counts changed.
 func (tx *Txn) SyncBetween(n, top topology.NodeID) error {
-	onPath := make(map[topology.NodeID]bool)
+	tx.epoch++
 	for m := n; ; m = tx.tree.Parent(m) {
-		onPath[m] = true
+		tx.mark[m] = tx.epoch
 		if m == top || m == topology.NoNode {
 			break
 		}
 	}
-	return tx.sync(func(m topology.NodeID) bool { return onPath[m] })
+	return tx.sync(func(m topology.NodeID) bool { return tx.mark[m] == tx.epoch })
 }
 
 type delta struct {
@@ -193,51 +223,65 @@ type delta struct {
 }
 
 func (tx *Txn) sync(want func(topology.NodeID) bool) error {
-	// Visit the union of nodes with counts and nodes with reservations,
-	// so reservations left by since-unplaced VMs are released too.
-	visit := make(map[topology.NodeID]bool, len(tx.counts)+len(tx.reserved))
-	for n := range tx.counts {
+	// Visit the union of nodes with counts and nodes with reservations
+	// (in touch order, so the walk is deterministic), so reservations
+	// left by since-unplaced VMs are released too.
+	tx.applied = tx.applied[:0]
+	for _, n := range tx.touched {
 		if want(n) {
-			visit[n] = true
-		}
-	}
-	for n := range tx.reserved {
-		if want(n) {
-			visit[n] = true
-		}
-	}
-
-	applied := make([]delta, 0, len(visit))
-	for n := range visit {
-		wantOut, wantIn := tx.desired(n)
-		cur := tx.reserved[n]
-		dOut, dIn := wantOut-cur[0], wantIn-cur[1]
-		if dOut == 0 && dIn == 0 {
-			continue
-		}
-		if err := tx.tree.Reserve(n, dOut, dIn); err != nil {
-			// Revert the deltas applied so far in this call.
-			for _, d := range applied {
-				tx.tree.Release(d.node, d.out, d.in)
-				r := tx.reserved[d.node]
-				tx.reserved[d.node] = [2]float64{r[0] - d.out, r[1] - d.in}
+			if err := tx.syncNode(n); err != nil {
+				return err
 			}
-			return Reject("reserve", ReasonInsufficientBandwidth, err)
 		}
-		applied = append(applied, delta{n, dOut, dIn})
-		tx.reserved[n] = [2]float64{wantOut, wantIn}
+	}
+	for _, n := range tx.resTouched {
+		if !tx.hasCount[n] && want(n) {
+			if err := tx.syncNode(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// syncNode reconciles one node's reservation with its desired cut,
+// reverting this sync call's prior deltas on failure.
+func (tx *Txn) syncNode(n topology.NodeID) error {
+	wantOut, wantIn := tx.desired(n)
+	dOut, dIn := wantOut-tx.resOut[n], wantIn-tx.resIn[n]
+	if dOut == 0 && dIn == 0 {
+		return nil
+	}
+	if err := tx.tree.Reserve(n, dOut, dIn); err != nil {
+		// Revert the deltas applied so far in this call.
+		for _, d := range tx.applied {
+			tx.tree.Release(d.node, d.out, d.in)
+			tx.resOut[d.node] -= d.out
+			tx.resIn[d.node] -= d.in
+		}
+		return Reject("reserve", ReasonInsufficientBandwidth, err)
+	}
+	tx.applied = append(tx.applied, delta{n, dOut, dIn})
+	tx.resOut[n], tx.resIn[n] = wantOut, wantIn
+	if !tx.hasRes[n] {
+		tx.hasRes[n] = true
+		tx.resTouched = append(tx.resTouched, n)
 	}
 	return nil
 }
 
 // ReleaseAll rolls the transaction back completely: all bandwidth
-// reservations are released and all placed VMs unplaced.
+// reservations are released and all placed VMs unplaced. The transaction
+// is reusable afterwards (placers retry candidate subtrees through it).
 func (tx *Txn) ReleaseAll() {
-	for n, r := range tx.reserved {
-		tx.tree.Release(n, r[0], r[1])
+	for _, n := range tx.resTouched {
+		tx.tree.Release(n, tx.resOut[n], tx.resIn[n])
+		tx.resOut[n], tx.resIn[n] = 0, 0
+		tx.hasRes[n] = false
 	}
-	tx.reserved = make(map[topology.NodeID][2]float64)
-	for n, c := range tx.counts {
+	tx.resTouched = tx.resTouched[:0]
+	for _, n := range tx.touched {
+		c := tx.row(n)
 		if tx.tree.IsServer(n) {
 			total := 0
 			for t, k := range c {
@@ -250,8 +294,12 @@ func (tx *Txn) ReleaseAll() {
 				tx.tree.ReleaseSlots(n, total)
 			}
 		}
+		for t := range c {
+			c[t] = 0
+		}
+		tx.hasCount[n] = false
 	}
-	tx.counts = make(map[topology.NodeID][]int)
+	tx.touched = tx.touched[:0]
 	tx.placed = 0
 }
 
@@ -259,19 +307,27 @@ func (tx *Txn) ReleaseAll() {
 // slots and bandwidth. The transaction must not be used afterwards.
 func (tx *Txn) Commit() *Reservation {
 	pl := make(Placement)
-	for n, c := range tx.counts {
+	for _, n := range tx.touched {
 		if tx.tree.IsServer(n) {
-			pl[n] = append([]int(nil), c...)
+			pl[n] = append([]int(nil), tx.row(n)...)
 		}
+	}
+	reserved := make(map[topology.NodeID][2]float64, len(tx.resTouched))
+	for _, n := range tx.resTouched {
+		reserved[n] = [2]float64{tx.resOut[n], tx.resIn[n]}
 	}
 	res := &Reservation{
 		tree:      tx.tree,
 		placement: pl,
-		reserved:  tx.reserved,
+		reserved:  reserved,
 		resources: tx.resources,
 		ownsSlots: true,
 	}
 	tx.counts = nil
-	tx.reserved = nil
+	tx.hasCount = nil
+	tx.touched = nil
+	tx.resOut, tx.resIn = nil, nil
+	tx.hasRes = nil
+	tx.resTouched = nil
 	return res
 }

@@ -28,25 +28,36 @@ func (g *Graph) Cut(inside []int) (out, in float64) {
 }
 
 // edgeCut returns the contribution of a single edge to the subtree cut.
+// This is the innermost loop of every placement decision, so it reads
+// tier fields through pointers (no Tier copies) and branches on the
+// unbounded-external cases directly instead of routing +Inf through
+// cappedMin: an inside guarantee (count·rate) is always finite, so when
+// the outside tier is unbounded the inside side alone is the min.
 func (g *Graph) edgeCut(e Edge, inside []int) (out, in float64) {
+	from := &g.tiers[e.From]
 	if e.SelfLoop() {
-		n := g.tiers[e.From].N
 		nx := inside[e.From]
-		h := float64(min(nx, n-nx)) * e.S
+		h := float64(min(nx, from.N-nx)) * e.S
 		return h, h
 	}
-	from, to := g.tiers[e.From], g.tiers[e.To]
+	to := &g.tiers[e.To]
 	fromIn, toIn := inside[e.From], inside[e.To]
 
 	// Outgoing: senders inside, receivers outside.
-	sndCap := float64(fromIn) * e.S
-	rcvCap := outsideCap(to, toIn, e.R)
-	out = cappedMin(sndCap, rcvCap)
+	out = float64(fromIn) * e.S
+	if !(to.External && to.N == 0) {
+		if rcv := float64(to.N-toIn) * e.R; rcv < out {
+			out = rcv
+		}
+	}
 
 	// Incoming: senders outside, receivers inside.
-	sndCap = outsideCap(from, fromIn, e.S)
-	rcvCap = float64(toIn) * e.R
-	in = cappedMin(sndCap, rcvCap)
+	in = float64(toIn) * e.R
+	if !(from.External && from.N == 0) {
+		if snd := float64(from.N-fromIn) * e.S; snd < in {
+			in = snd
+		}
+	}
 	return out, in
 }
 
@@ -66,11 +77,47 @@ func outsideCap(t Tier, insideCount int, perVM float64) float64 {
 // excluded via Validate (an edge between two unbounded external tiers is
 // never placeable and contributes nothing meaningful).
 func cappedMin(a, b float64) float64 {
-	m := math.Min(a, b)
-	if math.IsInf(m, 1) {
+	// Branchy min instead of math.Min: inputs are never NaN (products of
+	// counts and validated rates), and this inlines where the assembly
+	// intrinsic does not. +Inf is the only value above MaxFloat64.
+	m := a
+	if b < m {
+		m = b
+	}
+	if m > math.MaxFloat64 {
 		return 0
 	}
 	return m
+}
+
+// SplitCut partitions the cut at inside by whether an edge touches tier
+// t: it returns the summed contribution of the non-touching edges (which
+// is invariant under changes to inside[t]) and appends the touching
+// edges to buf. Callers probing many values of one tier's inside count
+// pay for only the touching edges per probe (see EdgesCut).
+func (g *Graph) SplitCut(inside []int, t int, buf []Edge) (fixOut, fixIn float64, touching []Edge) {
+	touching = buf
+	for _, e := range g.edges {
+		if e.From == t || e.To == t {
+			touching = append(touching, e)
+			continue
+		}
+		o, i := g.edgeCut(e, inside)
+		fixOut += o
+		fixIn += i
+	}
+	return fixOut, fixIn, touching
+}
+
+// EdgesCut sums the cut contribution of the given edges at inside —
+// the probe half of a SplitCut.
+func (g *Graph) EdgesCut(edges []Edge, inside []int) (out, in float64) {
+	for _, e := range edges {
+		o, i := g.edgeCut(e, inside)
+		out += o
+		in += i
+	}
+	return out, in
 }
 
 // CutOut returns only the outgoing component of Cut.

@@ -251,6 +251,9 @@ func (t *Tree) Apply(d Delta) *Undo {
 		for m := s.Server; m != NoNode; m = t.parent[m] {
 			u.entries = append(u.entries, undoEntry{kind: 0, node: m, i: t.slotsFree[m]})
 			t.slotsFree[m] -= int32(s.N)
+			if t.idx != nil && s.N < 0 {
+				t.idxRaiseSlots(m)
+			}
 		}
 	}
 	for _, l := range d.Links {
@@ -268,6 +271,9 @@ func (t *Tree) Apply(d Delta) *Undo {
 		if t.upResIn[l.Node] < 0 {
 			t.upResIn[l.Node] = 0
 		}
+		if t.idx != nil {
+			t.idxRaiseLink(l.Node)
+		}
 	}
 	for _, r := range d.Resources {
 		for dim, v := range r.Demand {
@@ -277,8 +283,14 @@ func (t *Tree) Apply(d Delta) *Undo {
 			for m := r.Server; m != NoNode; m = t.parent[m] {
 				u.entries = append(u.entries, undoEntry{kind: 3, dim: dim, node: m, f: t.res.free[dim][m]})
 				t.res.free[dim][m] -= v
+				if t.idx != nil && v < 0 {
+					t.idxRaiseRes(m, dim)
+				}
 			}
 		}
+	}
+	if t.idx != nil {
+		t.idx.stale++
 	}
 	return u
 }
@@ -298,6 +310,16 @@ func (t *Tree) Revert(u *Undo) {
 			t.upResIn[e.node] = e.f
 		case 3:
 			t.res.free[e.dim][e.node] = e.f
+		}
+		if t.idx != nil {
+			switch e.kind {
+			case 0:
+				t.idxRaiseSlots(e.node)
+			case 1, 2:
+				t.idxRaiseLink(e.node)
+			case 3:
+				t.idxRaiseRes(e.node, e.dim)
+			}
 		}
 	}
 	u.entries = u.entries[:0]

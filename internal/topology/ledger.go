@@ -73,6 +73,7 @@ func (t *Tree) ImportLedger(l Ledger) error {
 	for r := range l.Res {
 		copy(t.res.free[r], l.Res[r])
 	}
+	t.IndexRebuild()
 	return nil
 }
 
@@ -89,6 +90,7 @@ func (t *Tree) CopyLedgerFrom(src *Tree) {
 			copy(t.res.free[r], src.res.free[r])
 		}
 	}
+	t.IndexRebuild()
 }
 
 // ResyncFrom re-bases the replica on the authoritative tree's current

@@ -36,8 +36,12 @@ func (t *Tree) NewSnapshot() *Snapshot {
 	return s
 }
 
-// Save copies the tree's mutable ledger state into the snapshot.
+// Save copies the tree's mutable ledger state into the snapshot. It
+// also opens an index speculation bracket: pending bound tightening
+// happens here, and further rebuilds are deferred until the matching
+// RestoreSnapshot so a byte-exact rollback can never exceed the bounds.
 func (t *Tree) Save(s *Snapshot) {
+	t.idxSpeculate()
 	copy(s.out, t.upResOut)
 	copy(s.in, t.upResIn)
 	copy(s.slots, t.slotsFree)
@@ -47,7 +51,10 @@ func (t *Tree) Save(s *Snapshot) {
 }
 
 // RestoreSnapshot copies the snapshot back, restoring the exact bits
-// the matching Save captured.
+// the matching Save captured, and closes the index speculation bracket
+// Save opened. Restored values are covered by the bounds that held at
+// Save time (bounds only rise while the bracket is open), so no index
+// maintenance is needed beyond unfreezing.
 func (t *Tree) RestoreSnapshot(s *Snapshot) {
 	copy(t.upResOut, s.out)
 	copy(t.upResIn, s.in)
@@ -55,6 +62,7 @@ func (t *Tree) RestoreSnapshot(s *Snapshot) {
 	for i := range s.res {
 		copy(t.res.free[i], s.res[i])
 	}
+	t.idxRollback()
 }
 
 // Clone returns a tree with the same spec and the current ledger state.
@@ -73,6 +81,12 @@ func (t *Tree) Clone() *Tree {
 			rs.free[r] = append([]float64(nil), f...)
 		}
 		c.res = rs
+	}
+	if t.idx != nil {
+		// The struct copy shared the index; give the clone its own,
+		// rebuilt exactly over the copied ledger.
+		c.idx = nil
+		c.buildIndex()
 	}
 	return &c
 }

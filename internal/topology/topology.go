@@ -105,6 +105,7 @@ type Tree struct {
 	nodesByLevel [][]NodeID
 	root         NodeID
 	res          *resourceState
+	idx          *Index
 }
 
 // New builds the tree described by spec. It panics if the spec is
@@ -163,6 +164,7 @@ func New(spec Spec) *Tree {
 	}
 	t.root = build(NoNode, levels)
 	t.initResources(spec.Resources)
+	t.buildIndex()
 	return t
 }
 
@@ -226,6 +228,9 @@ func (t *Tree) UseSlots(n NodeID, k int) error {
 	for m := n; m != NoNode; m = t.parent[m] {
 		t.slotsFree[m] -= int32(k)
 	}
+	if t.idx != nil {
+		t.idx.stale++
+	}
 	return nil
 }
 
@@ -240,6 +245,9 @@ func (t *Tree) ReleaseSlots(n NodeID, k int) {
 	}
 	for m := n; m != NoNode; m = t.parent[m] {
 		t.slotsFree[m] += int32(k)
+		if t.idx != nil {
+			t.idxRaiseSlots(m)
+		}
 	}
 }
 
@@ -281,6 +289,10 @@ func (t *Tree) Reserve(n NodeID, out, in float64) error {
 	if t.upResIn[n] < 0 {
 		t.upResIn[n] = 0
 	}
+	if t.idx != nil {
+		t.idxRaiseLink(n)
+		t.idx.stale++
+	}
 	return nil
 }
 
@@ -298,6 +310,9 @@ func (t *Tree) Release(n NodeID, out, in float64) {
 	t.upResIn[n] -= in
 	if t.upResIn[n] < 0 {
 		t.upResIn[n] = 0
+	}
+	if t.idx != nil {
+		t.idxRaiseLink(n)
 	}
 }
 

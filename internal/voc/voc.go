@@ -123,8 +123,14 @@ func (m *Model) Cut(inside []int) (out, in float64) {
 }
 
 func finiteMin(a, b float64) float64 {
-	v := math.Min(a, b)
-	if math.IsInf(v, 1) {
+	// Branchy min instead of math.Min: inputs are never NaN, and this
+	// inlines where the assembly intrinsic does not. +Inf is the only
+	// value above MaxFloat64.
+	v := a
+	if b < v {
+		v = b
+	}
+	if v > math.MaxFloat64 {
 		return 0
 	}
 	return v

@@ -63,4 +63,20 @@ for dir in $(find internal guarantee -type d | sort); do
     fi
 done
 
+# Narrative docs: the sections that document cross-package contracts
+# must exist — a refactor that renames or drops them silently orphans
+# the contract they pin (the Indexes section is the soundness contract
+# of the topology free-capacity index; the README batch note is the
+# public AdmitBatch semantics).
+for want in '^## Indexes' '^### Soundness invariant' '^### Delta-maintenance contract' '^### Snapshot/replay interaction'; do
+    if ! grep -q "$want" docs/ARCHITECTURE.md; then
+        echo "docs/ARCHITECTURE.md: missing section matching '$want'"
+        fail=1
+    fi
+done
+if ! grep -q 'AdmitBatch' README.md; then
+    echo "README.md: missing the batch-admission (AdmitBatch) note"
+    fail=1
+fi
+
 exit $fail
