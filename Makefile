@@ -39,8 +39,10 @@ test-full:
 	$(GO) test -race ./...
 
 # Short coverage-guided fuzz smoke over the two parsers that face
-# untrusted bytes at recovery time: the grant-event codec (seeded from
-# the committed golden wire corpus) and the WAL frame scanner. Ten
+# untrusted bytes at recovery time — the grant-event codec (seeded from
+# the committed golden wire corpus) and the WAL frame scanner — plus
+# the event-driven max-min solver, differentially fuzzed against the
+# progressive-filling reference for Float64bits-identical rates. Ten
 # seconds each is enough to exercise the mutation engine over every
 # seed shape without slowing CI; run longer locally with
 # `go test -fuzz ... -fuzztime 5m`.
@@ -48,6 +50,7 @@ FUZZTIME ?= 10s
 test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzEventCodec -fuzztime $(FUZZTIME) ./internal/place
 	$(GO) test -run '^$$' -fuzz FuzzScan -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzMaxMin -fuzztime $(FUZZTIME) ./internal/netem
 
 # Same seed => bit-identical tables at every worker count, exercised at
 # several GOMAXPROCS values. Covers the experiment sweeps (including
@@ -59,7 +62,8 @@ test-fuzz:
 # admission trace and final ledger).
 determinism:
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run TestParallelDeterminism ./internal/experiments
-	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestChurnDeterminism|TestChurnResizeDeterminism|TestEnforceChurnDeterminism|TestChurnOptimisticMatchesLocked|TestChurnResizeOptimisticMatchesLocked' ./internal/sim
+	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestChurnDeterminism|TestChurnResizeDeterminism|TestEnforceChurnDeterminism|TestEnforceChurnIncrementalMatchesFull|TestChurnOptimisticMatchesLocked|TestChurnResizeOptimisticMatchesLocked' ./internal/sim
+	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestDifferential' ./internal/dataplane
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestCrashRecoveryDeterminism|TestDurableMatchesInMemory' ./guarantee
 
 # One iteration of every per-artifact benchmark: regenerates the quick

@@ -7,13 +7,20 @@
 //
 //	admbench [-out BENCH_admission.json] [-arrivals N] [-servers 128|512|2048]
 //	         [-goroutines 1,4,8] [-seed N]
-//	         [-enforce-out BENCH_enforce.json] [-enforce-tenants 8,32,128]
+//	         [-enforce-out BENCH_enforce.json] [-enforce-tenants 8,32,128,512]
+//	         [-enforce-dirty 0.01,0.1,1]
+//	         [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -enforce-out the tool additionally benchmarks the enforcement
-// control loop: for each -enforce-tenants fleet size it admits that
-// many tenants through an enforcement-enabled service, declares
-// bounded demand matrices, and measures Controller.Step throughput and
-// cold-convergence latency, emitting a second JSON report.
+// control loop: for each (-enforce-tenants fleet size, -enforce-dirty
+// redeclare fraction) pair it admits that many tenants through an
+// enforcement-enabled service, then times control periods in which a
+// rotating window of that fraction of the fleet redeclares fresh
+// demand matrices — measuring the incremental stepper's throughput and
+// cold-convergence latency, emitted as a second JSON report.
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the run
+// (CPU for the whole run, heap at exit) for feeding `go tool pprof`.
 //
 // For each goroutine count G the tool runs the same workload twice on a
 // single shard: once through the locked admission path and once through
@@ -27,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -59,10 +68,13 @@ type report struct {
 	Results   []result `json:"results"`
 }
 
-// enforceResult is one fleet-size cell of the enforcement benchmark.
+// enforceResult is one (fleet size, dirty fraction) cell of the
+// enforcement benchmark. Field order and types mirror
+// sim.EnforceBenchCell exactly so the conversion stays a direct cast.
 type enforceResult struct {
 	Tenants            int     `json:"tenants"`
 	Pairs              int     `json:"pairs"`
+	DirtyFraction      float64 `json:"dirty_fraction"`
 	Steps              int     `json:"steps"`
 	StepsPerSec        float64 `json:"steps_per_sec"`
 	MsPerStep          float64 `json:"ms_per_step"`
@@ -86,19 +98,40 @@ func main() {
 	gor := flag.String("goroutines", "1,4,8", "comma-separated concurrency levels")
 	seed := flag.Int64("seed", 1, "workload seed")
 	enfOut := flag.String("enforce-out", "", "also benchmark the enforcement control loop into this file (\"-\" for stdout)")
-	enfTenants := flag.String("enforce-tenants", "8,32,128", "comma-separated tenant counts for the enforcement benchmark")
+	enfTenants := flag.String("enforce-tenants", "8,32,128,512", "comma-separated tenant counts for the enforcement benchmark")
+	enfServers := flag.Int("enforce-servers", 2048, "datacenter size for the enforcement benchmark: 128, 512, or 2048 servers (512 tenants need 2048)")
+	enfDirty := flag.String("enforce-dirty", "0.01,0.1,1", "comma-separated per-step demand-redeclare fractions for the enforcement benchmark")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	var spec topology.Spec
-	switch *servers {
-	case 128:
-		spec = topology.SmallSpec()
-	case 512:
-		spec = topology.MediumSpec()
-	case 2048:
-		spec = topology.PaperSpec()
-	default:
-		fatal(fmt.Errorf("unsupported -servers %d: valid values are 128, 512, 2048", *servers))
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	spec, err := specFor(*servers, "-servers")
+	if err != nil {
+		fatal(err)
 	}
 	var levels []int
 	for _, f := range strings.Split(*gor, ",") {
@@ -160,11 +193,24 @@ func main() {
 		}
 		counts = append(counts, n)
 	}
+	var fracs []float64
+	for _, f := range strings.Split(*enfDirty, ",") {
+		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || x <= 0 || x > 1 {
+			fatal(fmt.Errorf("invalid -enforce-dirty entry %q: need fractions in (0,1]", f))
+		}
+		fracs = append(fracs, x)
+	}
+	enfSpec, err := specFor(*enfServers, "-enforce-servers")
+	if err != nil {
+		fatal(err)
+	}
 	cells, err := sim.EnforceBench(sim.EnforceBenchConfig{
-		Spec:         spec,
-		Pool:         pool,
-		TenantCounts: counts,
-		Seed:         *seed,
+		Spec:           enfSpec,
+		Pool:           pool,
+		TenantCounts:   counts,
+		DirtyFractions: fracs,
+		Seed:           *seed,
 	})
 	if err != nil {
 		fatal(err)
@@ -172,13 +218,13 @@ func main() {
 	erep := enforceReport{
 		Benchmark: "enforcement-control-loop",
 		Unit:      "steps/sec",
-		Servers:   *servers,
+		Servers:   *enfServers,
 		Seed:      *seed,
 	}
 	for _, c := range cells {
 		erep.Results = append(erep.Results, enforceResult(c))
-		fmt.Fprintf(os.Stderr, "admbench: enforce tenants=%d pairs=%d %.0f steps/s (%.2f ms/step), converge %d iters in %.2f ms\n",
-			c.Tenants, c.Pairs, c.StepsPerSec, c.MsPerStep, c.ConvergeIterations, c.ConvergeMs)
+		fmt.Fprintf(os.Stderr, "admbench: enforce tenants=%d pairs=%d dirty=%g %.0f steps/s (%.2f ms/step), converge %d iters in %.2f ms\n",
+			c.Tenants, c.Pairs, c.DirtyFraction, c.StepsPerSec, c.MsPerStep, c.ConvergeIterations, c.ConvergeMs)
 	}
 	writeJSON(*enfOut, erep)
 }
@@ -218,6 +264,19 @@ func cell(mode string, goroutines, planners int, r *sim.ThroughputResult) result
 		c.AdmissionsPerSec = float64(r.Admitted) / s
 	}
 	return c
+}
+
+// specFor maps a server count to its named topology spec.
+func specFor(n int, flagName string) (topology.Spec, error) {
+	switch n {
+	case 128:
+		return topology.SmallSpec(), nil
+	case 512:
+		return topology.MediumSpec(), nil
+	case 2048:
+		return topology.PaperSpec(), nil
+	}
+	return topology.Spec{}, fmt.Errorf("unsupported %s %d: valid values are 128, 512, 2048", flagName, n)
 }
 
 func fatal(err error) {

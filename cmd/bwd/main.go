@@ -10,7 +10,7 @@
 //	bwd [-addr :8080] [-alg cm|cm-oppha|cm-coloc|cm-balance|ovoc|ovoc-aware|secondnet]
 //	    [-servers 128|512|2048] [-shards N] [-planners N] [-policy rr|least|p2c]
 //	    [-seed N] [-enforce] [-enforce-alpha F] [-enforce-gp tag|hose|gatekeeper]
-//	    [-wal-dir DIR] [-snapshot-every N]
+//	    [-wal-dir DIR] [-snapshot-every N] [-pprof localhost:6060]
 //
 // Endpoints (bodies are JSON; TAGs use the internal/tag wire format):
 //
@@ -69,6 +69,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -92,7 +93,26 @@ func main() {
 	gp := flag.String("enforce-gp", "tag", "guarantee partitioner: tag, hose, gatekeeper")
 	walDir := flag.String("wal-dir", "", "durable ledger directory: write-ahead log + snapshots (empty = in-memory)")
 	snapEvery := flag.Int("snapshot-every", 1024, "events between automatic snapshots (needs -wal-dir)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof profiling on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener so the production API
+		// surface never exposes debug endpoints.
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			srv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fatal(fmt.Errorf("pprof listener: %w", err))
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "bwd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	// Enforcement tuning without enforcement would be silently dropped;
 	// fail fast like simulate does for -resize without -churn.

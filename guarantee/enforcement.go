@@ -143,6 +143,21 @@ func (e *Enforcement) SetDemand(g Grant, demands []Demand) error {
 	return e.drivers[gr.ten.Shard().ID()].SetDemand(gr.ten.Key(), demands)
 }
 
+// SolveStats sums the per-shard incremental-stepping stats of the most
+// recent control period: how many connected components of the
+// tenant–link graph were re-solved versus how many exist. Solved <
+// components means the incremental stepper spliced cached rates for
+// settled, untouched components; under FullRecompute the two are
+// always equal.
+func (e *Enforcement) SolveStats() (solved, components int) {
+	for _, d := range e.drivers {
+		s, c := d.SolveStats()
+		solved += s
+		components += c
+	}
+	return solved, components
+}
+
 // Counters sums the per-shard lifecycle-event counters — the audit
 // trail proving the dataplane is updated incrementally (FabricBuilds
 // equals the shard count: one image per driver, ever).

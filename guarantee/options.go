@@ -96,6 +96,12 @@ type EnforcementConfig struct {
 	// default), "hose" (single-hose baseline), or "gatekeeper" (§2.2
 	// baseline).
 	Partitioner string
+	// FullRecompute disables incremental (component-dirty) enforcement
+	// stepping: every control period re-solves every connected
+	// component. The escape hatch exists for debugging and for the
+	// differential tests proving the incremental path equivalent; both
+	// modes produce byte-identical step reports.
+	FullRecompute bool
 }
 
 // WithEnforcement attaches a per-shard enforcement dataplane to the
@@ -201,7 +207,11 @@ func build(spec topology.Spec, c *config) (*service, error) {
 	}
 	var enf *Enforcement
 	if c.enforce != nil {
-		dcfg := dataplane.Config{Alpha: c.enforce.Alpha, Partitioner: c.enforce.Partitioner}
+		dcfg := dataplane.Config{
+			Alpha:         c.enforce.Alpha,
+			Partitioner:   c.enforce.Partitioner,
+			FullRecompute: c.enforce.FullRecompute,
+		}
 		drivers := make([]*dataplane.Driver, cl.Size())
 		for i := range drivers {
 			drv, derr := dataplane.New(cl.Shard(i).Tree(), dcfg)

@@ -1,0 +1,273 @@
+package dataplane
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cloudmirror/internal/place"
+	"cloudmirror/internal/tag"
+	"cloudmirror/internal/topology"
+)
+
+// This differential harness proves the incremental stepper correct the
+// same way internal/place/diffharness_test.go proves the free-capacity
+// indexes: run the same trace through the optimized path and the
+// brute-force path and require byte-identical observable state. Here
+// the trace is a churn of admissions, resizes, releases, demand
+// declarations, and control periods; the observable is the full
+// StepStats transcript, compared Float64bits-for-Float64bits.
+
+// diffTopo is a two-level tree with multi-slot servers, so placements
+// mix colocated (nil-path) and fabric-crossing pairs and tenants
+// placed under different ToRs fall into different components.
+func diffTopo() *topology.Tree {
+	return topology.New(topology.Spec{
+		SlotsPerServer: 4,
+		Levels: []topology.LevelSpec{
+			{Name: "server", Fanout: 4, Uplink: 1000},
+			{Name: "tor", Fanout: 4, Uplink: 4000},
+		},
+	})
+}
+
+// diffGraph builds a small random two- or three-tier TAG.
+func diffGraph(rng *rand.Rand, id int) *tag.Graph {
+	g := tag.New(fmt.Sprintf("t%d", id))
+	tiers := 2 + rng.Intn(2)
+	prev := -1
+	for ti := 0; ti < tiers; ti++ {
+		size := 1 + rng.Intn(3)
+		cur := g.AddTier(fmt.Sprintf("tier%d", ti), size)
+		if prev >= 0 {
+			bw := float64(10 * (1 + rng.Intn(10)))
+			g.AddEdge(prev, cur, bw, bw)
+		}
+		if rng.Intn(2) == 0 {
+			g.AddSelfLoop(cur, float64(10*(1+rng.Intn(5))))
+		}
+		prev = cur
+	}
+	return g
+}
+
+// diffPlace places the graph's VMs on consecutive slots starting at a
+// random server offset, wrapping around — adjacent tenants share
+// servers and ToRs, distant ones do not, exercising component merges
+// and splits as tenants come and go.
+func diffPlace(rng *rand.Rand, tree *topology.Tree, g *tag.Graph) place.Placement {
+	servers := tree.Servers()
+	pl := make(place.Placement)
+	si := rng.Intn(len(servers))
+	slots := 0
+	for t := 0; t < g.Tiers(); t++ {
+		for k := 0; k < g.TierSize(t); k++ {
+			pl.Add(servers[si], g.Tiers(), t, 1)
+			slots++
+			if slots%2 == 0 { // two VMs per server before moving on
+				si = (si + 1) % len(servers)
+			}
+		}
+	}
+	return pl
+}
+
+// diffDemands draws a random demand set over the tenant's TAG-permitted
+// pairs: a subset of pairs, each backlogged or finite.
+func diffDemands(rng *rand.Rand, drv *Driver, key int64) []Demand {
+	t := drv.tenants[key]
+	full := defaultDemands(t.bind.Deployment())
+	var ds []Demand
+	for _, dm := range full {
+		if rng.Intn(3) == 0 {
+			continue // drop ~1/3 of the pairs
+		}
+		if rng.Intn(2) == 0 {
+			dm.Mbps = float64(rng.Intn(400)) + 1
+		}
+		ds = append(ds, dm)
+	}
+	return ds
+}
+
+// requireStatsIdentical compares two step reports bit-for-bit.
+func requireStatsIdentical(t *testing.T, step int, inc, full *StepStats) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Fatalf("step %d diverged: %s", step, fmt.Sprintf(format, args...))
+	}
+	feq := func(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+	if len(inc.Tenants) != len(full.Tenants) {
+		fail("tenant count %d != %d", len(inc.Tenants), len(full.Tenants))
+	}
+	if inc.Pairs != full.Pairs || inc.Colocated != full.Colocated {
+		fail("pair counts (%d,%d) != (%d,%d)", inc.Pairs, inc.Colocated, full.Pairs, full.Colocated)
+	}
+	if !feq(inc.GuaranteedMbps, full.GuaranteedMbps) || !feq(inc.BaseMbps, full.BaseMbps) ||
+		!feq(inc.AchievedMbps, full.AchievedMbps) || !feq(inc.SpareMbps, full.SpareMbps) ||
+		!feq(inc.MinRatio, full.MinRatio) {
+		fail("aggregates %+v != %+v", inc, full)
+	}
+	for i := range inc.Tenants {
+		a, b := &inc.Tenants[i], &full.Tenants[i]
+		if a.Key != b.Key || a.ID != b.ID || len(a.Pairs) != len(b.Pairs) {
+			fail("tenant %d identity/pairs mismatch", i)
+		}
+		if !feq(a.GuaranteedMbps, b.GuaranteedMbps) || !feq(a.BaseMbps, b.BaseMbps) ||
+			!feq(a.AchievedMbps, b.AchievedMbps) || !feq(a.SpareMbps, b.SpareMbps) ||
+			!feq(a.MinRatio, b.MinRatio) {
+			fail("tenant %d (key %d) aggregates differ: %+v != %+v", i, a.Key, a, b)
+		}
+		for j := range a.Pairs {
+			pa, pb := a.Pairs[j], b.Pairs[j]
+			if pa.Src != pb.Src || pa.Dst != pb.Dst || pa.Colocated != pb.Colocated ||
+				!feq(pa.Guarantee, pb.Guarantee) || !feq(pa.Demand, pb.Demand) || !feq(pa.Rate, pb.Rate) {
+				fail("tenant %d pair %d: %+v != %+v", i, j, pa, pb)
+			}
+		}
+	}
+}
+
+// runDifferential drives an incremental and a full-recompute driver
+// through one identical random trace, comparing every step transcript.
+// It returns how many component solves each driver performed.
+func runDifferential(t *testing.T, seed int64, steps int, alpha float64) (incSolves, fullSolves int) {
+	t.Helper()
+	tree := diffTopo()
+	inc, err := New(tree, Config{Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(tree, Config{Alpha: alpha, FullRecompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var live []int64
+	nextKey := int64(1)
+	apply := func(ev place.Event) {
+		inc.Publish(ev)
+		full.Publish(ev)
+	}
+
+	for step := 0; step < steps; step++ {
+		// Random churn between control periods.
+		for _, op := range []int{rng.Intn(4), rng.Intn(4)} {
+			switch {
+			case op == 0 || len(live) == 0: // admit
+				g := diffGraph(rng, int(nextKey))
+				pl := diffPlace(rng, tree, g)
+				apply(admitEvent(nextKey, g, pl))
+				live = append(live, nextKey)
+				nextKey++
+			case op == 1 && len(live) > 1: // release
+				i := rng.Intn(len(live))
+				apply(place.Event{Kind: place.EventReleased, Key: live[i]})
+				live = append(live[:i], live[i+1:]...)
+			case op == 2: // resize: rebind the same tenant elsewhere
+				i := rng.Intn(len(live))
+				g := diffGraph(rng, int(live[i]))
+				pl := diffPlace(rng, tree, g)
+				apply(place.Event{Kind: place.EventResized, Key: live[i], ID: live[i], Graph: g, Placement: pl})
+			default: // declare demands for a random live tenant
+				i := rng.Intn(len(live))
+				ds := diffDemands(rng, inc, live[i])
+				if err := inc.SetDemand(live[i], ds); err != nil {
+					t.Fatalf("step %d: inc SetDemand: %v", step, err)
+				}
+				if err := full.SetDemand(live[i], ds); err != nil {
+					t.Fatalf("step %d: full SetDemand: %v", step, err)
+				}
+			}
+		}
+
+		// A few quiet periods after each churn burst let limiters
+		// converge, driving components settled so the incremental path
+		// actually exercises its skip-and-splice branch.
+		quiet := 1 + rng.Intn(4)
+		for q := 0; q < quiet; q++ {
+			stInc, err := inc.Step()
+			if err != nil {
+				t.Fatalf("step %d: incremental: %v", step, err)
+			}
+			stFull, err := full.Step()
+			if err != nil {
+				t.Fatalf("step %d: full: %v", step, err)
+			}
+			requireStatsIdentical(t, step, stInc, stFull)
+			s, _ := inc.SolveStats()
+			incSolves += s
+			s, c := full.SolveStats()
+			fullSolves += s
+			if s != c {
+				t.Fatalf("step %d: full recompute solved %d of %d components", step, s, c)
+			}
+		}
+	}
+	return incSolves, fullSolves
+}
+
+// TestDifferentialIncrementalMatchesFull is the harness at alpha 1
+// (limiters jump to target, components settle in two periods): the
+// incremental driver must produce byte-identical transcripts while
+// solving strictly fewer components than the full recompute.
+func TestDifferentialIncrementalMatchesFull(t *testing.T) {
+	steps := 40
+	if testing.Short() {
+		steps = 12
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		incSolves, fullSolves := runDifferential(t, seed, steps, 1)
+		if incSolves >= fullSolves {
+			t.Errorf("seed %d: incremental solved %d components, full %d — nothing was skipped",
+				seed, incSolves, fullSolves)
+		}
+	}
+}
+
+// TestDifferentialSmoothedLimiters re-runs the harness at alpha 0.3,
+// where limiters approach targets geometrically and settledness must
+// wait for the floating-point fixed point.
+func TestDifferentialSmoothedLimiters(t *testing.T) {
+	steps := 25
+	if testing.Short() {
+		steps = 8
+	}
+	runDifferential(t, 99, steps, 0.3)
+}
+
+// TestDifferentialConverge checks the other stepping entry point:
+// Converge transcripts must agree between modes too.
+func TestDifferentialConverge(t *testing.T) {
+	tree := diffTopo()
+	inc, err := New(tree, Config{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(tree, Config{Alpha: 0.5, FullRecompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for k := int64(1); k <= 6; k++ {
+		g := diffGraph(rng, int(k))
+		pl := diffPlace(rng, tree, g)
+		ev := admitEvent(k, g, pl)
+		inc.Publish(ev)
+		full.Publish(ev)
+	}
+	stInc, itInc, err := inc.Converge(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stFull, itFull, err := full.Converge(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if itInc != itFull {
+		t.Fatalf("converged in %d (incremental) vs %d (full) iterations", itInc, itFull)
+	}
+	requireStatsIdentical(t, 0, stInc, stFull)
+}

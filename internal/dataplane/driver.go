@@ -8,13 +8,15 @@ import (
 
 	"cloudmirror/internal/enforce"
 	"cloudmirror/internal/netem"
+	"cloudmirror/internal/parallel"
 	"cloudmirror/internal/place"
 	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
 )
 
 // Config tunes a Driver. The zero value is valid: alpha 1 (rate
-// limiters jump straight to their targets) under TAG partitioning.
+// limiters jump straight to their targets) under TAG partitioning,
+// with incremental (component-dirty) stepping.
 type Config struct {
 	// Alpha is the per-period convergence step of each rate limiter
 	// toward its RA target, in (0,1]; 0 means 1.
@@ -23,6 +25,13 @@ type Config struct {
 	// default, the paper's §5.2 patch), "hose" (single-hose baseline,
 	// the Fig. 4 failure mode), or "gatekeeper" (§2.2 baseline).
 	Partitioner string
+	// FullRecompute disables incremental stepping: every control period
+	// re-solves every connected component, whether or not anything
+	// changed since the last period. The escape hatch exists for
+	// debugging and for the differential harness that proves the
+	// incremental path equivalent; both modes produce byte-identical
+	// step transcripts.
+	FullRecompute bool
 }
 
 // alpha resolves the configured convergence step.
@@ -89,21 +98,48 @@ type Counters struct {
 	FabricBuilds int64
 }
 
-// tenant is one enforced tenant's dataplane state.
+// tenant is one enforced tenant's dataplane state: the deployment
+// itself, plus the flow-level solve caches the incremental stepper
+// splices for components that did not change.
 type tenant struct {
 	key, id int64
 	graph   *tag.Graph
 	bind    *Binding
-	// base offsets the tenant's local VM IDs into the driver-global ID
-	// space the shared Controller tracks limits in. A resize allocates
-	// a fresh base (the VM set changed), which resets the tenant's
-	// limits to its new guarantees without touching other tenants.
-	base int
-	gp   enforce.Partitioner
+	gp      enforce.Partitioner
 	// demands are the tenant's active flows, sorted by (Src, Dst); nil
 	// means "not set" and defaults, lazily, to every TAG-permitted pair
 	// backlogged.
 	demands []Demand
+
+	// Derived flow state, rebuilt by refreshFlows when flowsDirty:
+	// pairIdx maps each demand to its index in the enforced-pair lists
+	// (-1 for colocated pairs, which never cross the fabric), and links
+	// is the deduplicated set of fabric links the tenant's paths touch —
+	// the adjacency the component rebuild unions over.
+	flowsDirty bool
+	pairIdx    []int32
+	pairs      []enforce.Pair // tenant-local VM IDs
+	paths      [][]netem.LinkID
+	links      []netem.LinkID
+
+	// Solve caches, one entry per enforced pair: the last solve's
+	// guarantees, the current limiter values (NaN marks a pair the
+	// limiter has not seen, which starts at its guarantee), and the last
+	// achieved rates. settled marks a solve that reproduced its limits
+	// and rates bit-for-bit — the fixed point at which re-solving is
+	// provably a no-op. fresh marks flow state rebuilt since the last
+	// solve (caches not comparable).
+	dirty      bool
+	fresh      bool
+	settled    bool
+	guarantees []float64
+	limits     []float64
+	rates      []float64
+
+	// comp is the component id assigned by the last structure rebuild;
+	// -1 before the first. The rebuild uses it to detect components
+	// whose membership is unchanged, which may keep their settled state.
+	comp int
 }
 
 // PairStats reports one flow's enforcement outcome in a step.
@@ -159,18 +195,45 @@ type StepStats struct {
 // Driver is one shard's enforcement plane: it consumes Grant lifecycle
 // events (implementing place.EventSink) to maintain per-tenant
 // deployments, bindings, and flow paths incrementally, and runs the
-// GP/RA control loop (enforce.Controller.Step) over the shared fabric.
-// All methods are safe for concurrent use.
+// GP/RA control loop over the shared fabric.
+//
+// Steps are component-incremental: weighted max-min decomposes exactly
+// over connected components of the flow–link graph, so the driver
+// tracks which tenants share fabric links (union-find, rebuilt lazily
+// after lifecycle events), re-solves only components dirtied by events,
+// demand changes, or unconverged limiters, and splices cached rates for
+// the rest. Dirty components solve in parallel; results fold in
+// deterministic component order. Config.FullRecompute restores
+// solve-everything stepping; both modes produce byte-identical
+// transcripts. All methods are safe for concurrent use.
 type Driver struct {
-	mu  sync.Mutex
-	fab *Fabric
-	gp  *fanoutGP
-	ctl *enforce.Controller
-	cfg Config
+	mu      sync.Mutex
+	fab     *Fabric
+	fabCaps []float64
+	cfg     Config
 
-	tenants  map[int64]*tenant
-	order    []int64
-	nextBase int
+	tenants map[int64]*tenant
+	order   []int64
+
+	// Component structure (see components.go). structureDirty forces a
+	// union-find rebuild at the next step.
+	structureDirty bool
+	comps          []component
+	compSizes      []int
+	ufParent       []int32
+	linkOwner      []int32
+	linkStamp      []uint64
+	linkGen        uint64
+
+	// Step scratch and the pooled per-goroutine solve contexts.
+	solveSet []int
+	allRates []float64
+	pool     sync.Pool
+
+	// lastSolved / lastComps report the previous step's incremental
+	// effort (SolveStats).
+	lastSolved, lastComps int
+
 	counters Counters
 	// err latches control-plane invariant violations (a placement that
 	// does not match its graph); Step surfaces it rather than enforcing
@@ -188,21 +251,26 @@ func New(tree *topology.Tree, cfg Config) (*Driver, error) {
 	if err != nil {
 		return nil, err
 	}
-	gp := &fanoutGP{}
-	return &Driver{
+	caps := make([]float64, fab.Network().Links())
+	for l := range caps {
+		caps[l] = fab.Network().Capacity(netem.LinkID(l))
+	}
+	d := &Driver{
 		fab:      fab,
-		gp:       gp,
-		ctl:      enforce.NewController(fab.Network(), gp, cfg.alpha()),
+		fabCaps:  caps,
 		cfg:      cfg,
 		tenants:  make(map[int64]*tenant),
 		counters: Counters{FabricBuilds: 1},
-	}, nil
+	}
+	d.pool.New = func() any { return &solveCtx{} }
+	return d, nil
 }
 
 // Publish implements place.EventSink: each lifecycle event patches the
 // driver's state incrementally — admit installs the tenant's
 // deployment and flows, resize rebinds it, release removes it. Other
-// tenants' state (and the fabric) are untouched.
+// tenants' state (and the fabric) are untouched; the component
+// structure is rebuilt lazily at the next step.
 func (d *Driver) Publish(ev place.Event) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -234,6 +302,9 @@ func (d *Driver) Publish(ev place.Event) {
 				break
 			}
 		}
+		// The departed tenant's capacity is freed; its former
+		// co-members re-solve (the rebuild sees their component shrink).
+		d.structureDirty = true
 		d.counters.Released++
 	}
 }
@@ -249,13 +320,18 @@ func (d *Driver) install(ev place.Event) bool {
 	}
 	t, ok := d.tenants[ev.Key]
 	if !ok {
-		t = &tenant{key: ev.Key, id: ev.ID}
+		t = &tenant{key: ev.Key, id: ev.ID, comp: -1}
 		d.tenants[ev.Key] = t
 		d.order = append(d.order, ev.Key)
 	}
 	t.graph, t.bind, t.gp = ev.Graph, bind, d.cfg.newPartitioner(bind.Deployment())
-	t.base, d.nextBase = d.nextBase, d.nextBase+bind.VMs()
 	t.demands = nil // VM IDs changed; offered loads must be re-declared
+	// The VM set changed: flow state and limiter values are meaningless
+	// under the new binding. Pairs restart at their guarantees.
+	t.flowsDirty, t.dirty = true, true
+	t.pairs = t.pairs[:0]
+	t.limits = t.limits[:0]
+	d.structureDirty = true
 	return true
 }
 
@@ -264,6 +340,10 @@ func (d *Driver) install(ev place.Event) bool {
 // VM pairs; a resize resets them to the backlogged default, so callers
 // re-declare after resizing. Unknown keys and malformed entries fail
 // with a typed InvalidRequest rejection.
+//
+// Re-declaring a tenant's current demands verbatim is a no-op and does
+// not dirty its component; changing only offered loads re-solves the
+// component without rebuilding flow state.
 func (d *Driver) SetDemand(key int64, demands []Demand) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -295,7 +375,42 @@ func (d *Driver) SetDemand(key int64, demands []Demand) error {
 		}
 		return ds[i].Dst < ds[j].Dst
 	})
+
+	// Classify the change: identical declarations are no-ops, same-pair
+	// declarations only update offered loads (paths, links, and the
+	// component structure are untouched), new pair sets rebuild flow
+	// state and the structure.
+	if t.demands != nil && !t.flowsDirty {
+		samePairs := len(ds) == len(t.demands)
+		sameLoads := samePairs
+		if samePairs {
+			for i := range ds {
+				if ds[i].Src != t.demands[i].Src || ds[i].Dst != t.demands[i].Dst {
+					samePairs, sameLoads = false, false
+					break
+				}
+				if math.Float64bits(ds[i].Mbps) != math.Float64bits(t.demands[i].Mbps) {
+					sameLoads = false
+				}
+			}
+		}
+		if sameLoads {
+			return nil
+		}
+		if samePairs {
+			t.demands = ds
+			for di, dm := range ds {
+				if pi := t.pairIdx[di]; pi >= 0 {
+					t.pairs[pi].Demand = dm.Mbps
+				}
+			}
+			t.dirty = true
+			return nil
+		}
+	}
 	t.demands = ds
+	t.flowsDirty, t.dirty = true, true
+	d.structureDirty = true
 	return nil
 }
 
@@ -342,10 +457,20 @@ func (d *Driver) RestoreCounters(c Counters) {
 	d.counters = c
 }
 
-// Step runs one control period: GP re-partitions every tenant's
+// SolveStats reports the previous step's incremental effort: how many
+// connected components were re-solved out of how many the shard holds.
+// Under FullRecompute solved always equals components.
+func (d *Driver) SolveStats() (solved, components int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastSolved, d.lastComps
+}
+
+// Step runs one control period: GP re-partitions every dirty tenant's
 // guarantees over its active flows, RA computes work-conserving
 // targets, limiters move alpha of the way toward them, and the
-// achieved rates are reported per tenant.
+// achieved rates are reported per tenant — with clean components
+// spliced from cache instead of re-solved.
 func (d *Driver) Step() (*StepStats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -367,12 +492,13 @@ func (d *Driver) Converge(maxIters int, eps float64) (*StepStats, int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var prev []float64
+	havePrev := false
 	for it := 1; ; it++ {
 		st, rates, err := d.stepLocked()
 		if err != nil {
 			return nil, it, err
 		}
-		if prev != nil && len(prev) == len(rates) {
+		if havePrev && len(prev) == len(rates) {
 			worst := 0.0
 			for i := range rates {
 				if delta := math.Abs(rates[i] - prev[i]); delta > worst {
@@ -386,95 +512,101 @@ func (d *Driver) Converge(maxIters int, eps float64) (*StepStats, int, error) {
 		if it == maxIters {
 			return st, it, nil
 		}
-		prev = rates
+		prev = append(prev[:0], rates...)
+		havePrev = true
 	}
 }
 
-// stepEntry tracks one declared flow through a step's scatter/gather.
-type stepEntry struct {
-	tenantIdx int
-	demand    Demand
-	colocated bool
-	pairIdx   int // index into the enforced pair list; -1 when colocated
-}
-
 // stepLocked is the control period body; the caller holds d.mu. It
-// returns the stats and the enforced-pair achieved rates (for
-// convergence detection).
+// returns the stats and the enforced-pair achieved rates in global
+// (admission, demand) order — driver-owned scratch for convergence
+// detection, valid until the next step.
 func (d *Driver) stepLocked() (*StepStats, []float64, error) {
 	if d.err != nil {
 		return nil, nil, d.err
 	}
-	var (
-		entries []stepEntry
-		pairs   []enforce.Pair
-		paths   [][]netem.LinkID
-		segs    []gpSeg
-	)
-	for ti, key := range d.order {
-		t := d.tenants[key]
-		if t.demands == nil {
-			t.demands = defaultDemands(t.bind.Deployment())
-		}
-		n := 0
-		for _, dm := range t.demands {
-			path := d.fab.Path(t.bind.Server(dm.Src), t.bind.Server(dm.Dst))
-			e := stepEntry{tenantIdx: ti, demand: dm, pairIdx: -1}
-			if len(path) == 0 {
-				e.colocated = true
-			} else {
-				e.pairIdx = len(pairs)
-				pairs = append(pairs, enforce.Pair{
-					Src:    t.base + dm.Src,
-					Dst:    t.base + dm.Dst,
-					Demand: dm.Mbps,
-				})
-				paths = append(paths, path)
-				n++
-			}
-			entries = append(entries, e)
-		}
-		if n > 0 {
-			segs = append(segs, gpSeg{gp: t.gp, base: t.base, n: n})
+
+	// 1. Materialize flow state for tenants whose demands or binding
+	// changed, then rebuild the component structure if membership could
+	// have moved.
+	for _, key := range d.order {
+		if t := d.tenants[key]; t.flowsDirty {
+			d.refreshFlows(t)
 		}
 	}
-	d.gp.segs = segs
-	rates, err := d.ctl.Step(pairs, paths)
+	if d.structureDirty {
+		d.rebuildComponents()
+		d.structureDirty = false
+	}
+
+	// 2. Decide which components to solve: any member dirtied by an
+	// event or demand change, any member whose limiters have not
+	// reached their fixed point — or everything under FullRecompute.
+	d.solveSet = d.solveSet[:0]
+	for ci := range d.comps {
+		c := &d.comps[ci]
+		need := d.cfg.FullRecompute
+		for _, key := range c.members {
+			t := d.tenants[key]
+			if t.dirty || !t.settled {
+				need = true
+				break
+			}
+		}
+		if need {
+			d.solveSet = append(d.solveSet, ci)
+		}
+	}
+	d.lastSolved, d.lastComps = len(d.solveSet), len(d.comps)
+
+	// 3. Solve dirty components in parallel. Components are disjoint
+	// tenant sets over disjoint links, every goroutine works on pooled
+	// scratch, and shared state (fabric, order) is read-only, so results
+	// are independent of scheduling; the fold below runs in component
+	// order.
+	err := parallel.ForEach(parallel.Workers(0), len(d.solveSet), func(i int) error {
+		ctx := d.pool.Get().(*solveCtx)
+		defer d.pool.Put(ctx)
+		return d.solveComponent(ctx, &d.comps[d.solveSet[i]])
+	})
 	if err != nil {
 		if errors.Is(err, netem.ErrBadInput) {
 			return nil, nil, place.Reject("enforce", place.ReasonInvalidRequest, err)
 		}
 		return nil, nil, err
 	}
-	guarantees := d.gp.last
 
+	// 4. Gather: splice per-tenant caches (freshly solved or carried)
+	// into the step report, in admission order.
 	st := &StepStats{Tenants: make([]TenantStats, len(d.order)), MinRatio: 1}
+	d.allRates = d.allRates[:0]
 	for i, key := range d.order {
 		t := d.tenants[key]
-		st.Tenants[i] = TenantStats{Key: t.key, ID: t.id, MinRatio: 1}
-	}
-	for _, e := range entries {
-		ts := &st.Tenants[e.tenantIdx]
-		ps := PairStats{Src: e.demand.Src, Dst: e.demand.Dst, Demand: e.demand.Mbps}
-		if e.colocated {
-			ps.Colocated = true
-			ps.Rate = e.demand.Mbps // intra-server: full demand, unenforced
-			st.Colocated++
-		} else {
-			ps.Guarantee = guarantees[e.pairIdx]
-			ps.Rate = rates[e.pairIdx]
-			ts.GuaranteedMbps += ps.Guarantee
-			ts.AchievedMbps += ps.Rate
-			base := math.Min(ps.Demand, ps.Guarantee)
-			ts.BaseMbps += base
-			if base > 0 {
-				if ratio := ps.Rate / base; ratio < ts.MinRatio {
-					ts.MinRatio = ratio
+		ts := &st.Tenants[i]
+		*ts = TenantStats{Key: t.key, ID: t.id, MinRatio: 1}
+		for di, dm := range t.demands {
+			ps := PairStats{Src: dm.Src, Dst: dm.Dst, Demand: dm.Mbps}
+			if pi := t.pairIdx[di]; pi < 0 {
+				ps.Colocated = true
+				ps.Rate = dm.Mbps // intra-server: full demand, unenforced
+				st.Colocated++
+			} else {
+				ps.Guarantee = t.guarantees[pi]
+				ps.Rate = t.rates[pi]
+				ts.GuaranteedMbps += ps.Guarantee
+				ts.AchievedMbps += ps.Rate
+				base := math.Min(ps.Demand, ps.Guarantee)
+				ts.BaseMbps += base
+				if base > 0 {
+					if ratio := ps.Rate / base; ratio < ts.MinRatio {
+						ts.MinRatio = ratio
+					}
 				}
+				st.Pairs++
+				d.allRates = append(d.allRates, ps.Rate)
 			}
-			st.Pairs++
+			ts.Pairs = append(ts.Pairs, ps)
 		}
-		ts.Pairs = append(ts.Pairs, ps)
 	}
 	for i := range st.Tenants {
 		ts := &st.Tenants[i]
@@ -487,37 +619,5 @@ func (d *Driver) stepLocked() (*StepStats, []float64, error) {
 			st.MinRatio = ts.MinRatio
 		}
 	}
-	return st, rates, nil
-}
-
-// fanoutGP implements enforce.Partitioner over the driver-global pair
-// list by delegating each tenant's contiguous segment to that tenant's
-// own partitioner with tenant-local VM IDs. It also keeps the last
-// computed guarantees so Step can report them without re-partitioning.
-type fanoutGP struct {
-	segs []gpSeg
-	last []float64
-}
-
-// gpSeg is one tenant's contiguous run of pairs in the global list.
-type gpSeg struct {
-	gp      enforce.Partitioner
-	base, n int
-}
-
-// PairGuarantees implements enforce.Partitioner.
-func (f *fanoutGP) PairGuarantees(pairs []enforce.Pair) []float64 {
-	out := make([]float64, len(pairs))
-	off := 0
-	for _, seg := range f.segs {
-		local := make([]enforce.Pair, seg.n)
-		for i := 0; i < seg.n; i++ {
-			p := pairs[off+i]
-			local[i] = enforce.Pair{Src: p.Src - seg.base, Dst: p.Dst - seg.base, Demand: p.Demand}
-		}
-		copy(out[off:off+seg.n], seg.gp.PairGuarantees(local))
-		off += seg.n
-	}
-	f.last = out
-	return out
+	return st, d.allRates, nil
 }

@@ -1,0 +1,72 @@
+package enforce
+
+import (
+	"testing"
+
+	"cloudmirror/internal/netem"
+)
+
+// TestControllerStepZeroAllocs pins the steady-state contract of the
+// control loop: once the pair population stabilizes, Step reuses its
+// limiter store, RA scratch, and solver buffers and allocates nothing.
+// Skipped under the race detector, whose instrumentation allocates.
+func TestControllerStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	d, n, pairs, paths := fig13Setup(4)
+	c := NewController(n, NewTAGPartitioner(d), 0.5)
+	// Warm up: grow every scratch buffer to its steady-state size.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Step(pairs, paths); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.Step(pairs, paths); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestControllerCompaction exercises the limiter store's dead-slot
+// compaction: a large pair population departs and a small one remains;
+// the store must keep answering correctly across the rebuild.
+func TestControllerCompaction(t *testing.T) {
+	d, n, pairs, paths := fig13Setup(5)
+	c := NewController(n, NewTAGPartitioner(d), 1)
+	if _, err := c.Step(pairs, paths); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Limit(0, 1)
+	if before == 0 {
+		t.Fatal("active pair has no limit")
+	}
+	// Shrink to one pair and step enough times that dead slots from the
+	// churned synthetic population below force compactions.
+	for round := 0; round < 10; round++ {
+		// A synthetic population of distinct pairs that immediately
+		// departs again, leaving dead slots behind.
+		var churn []Pair
+		var churnPaths [][]netem.LinkID
+		for i := 0; i < 40; i++ {
+			churn = append(churn, Pair{Src: 2 + (round*40+i)%4, Dst: 1, Demand: 10})
+			churnPaths = append(churnPaths, paths[0])
+		}
+		if _, err := c.Step(churn, churnPaths); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Step(pairs[:1], paths[:1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Limit(0, 1); got == 0 {
+		t.Fatal("surviving pair lost its limit across compaction")
+	}
+	if got := c.Limit(2, 1); got != 0 {
+		t.Fatalf("departed pair still limited at %g", got)
+	}
+}

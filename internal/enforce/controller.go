@@ -19,12 +19,22 @@ import (
 // flows actually achieve each period, so tests and experiments can
 // examine transients (e.g., a burst of new intra-tier senders must not
 // break an established trunk guarantee even before limits converge).
+//
+// All per-period state — the limiter table, the RA scratch, the
+// achieved-rates solver — is reused across Steps, so a steady pair
+// population is enforced with zero allocations per period.
 type Controller struct {
 	net   *netem.Network
 	gp    Partitioner
 	alpha float64
 
-	limits map[[2]int]float64
+	limits     limiterStore
+	ra         RA
+	solver     netem.Solver
+	guarantees []float64
+	newLimits  []float64
+	flows      []netem.Flow
+	rates      []float64
 }
 
 // NewController returns a controller over the network using the given
@@ -35,20 +45,19 @@ func NewController(net *netem.Network, gp Partitioner, alpha float64) *Controlle
 	if alpha <= 0 || alpha > 1 {
 		panic("enforce: alpha must be in (0,1]")
 	}
-	return &Controller{
-		net:    net,
-		gp:     gp,
-		alpha:  alpha,
-		limits: make(map[[2]int]float64),
-	}
+	return &Controller{net: net, gp: gp, alpha: alpha}
 }
 
 // Limit returns the current rate limit installed for a pair (0 if the
 // pair has not been seen).
-func (c *Controller) Limit(src, dst int) float64 { return c.limits[[2]int{src, dst}] }
+func (c *Controller) Limit(src, dst int) float64 {
+	v, _ := c.limits.get([2]int{src, dst})
+	return v
+}
 
 // Step runs one control period for the given active pairs and returns
-// the rates the flows achieve during the period.
+// the rates the flows achieve during the period. The returned slice is
+// controller-owned scratch, valid until the next Step.
 //
 // The sequence per period mirrors ElasticSwitch: (1) GP recomputes
 // per-pair guarantees from the active communication pattern; (2) RA
@@ -61,35 +70,42 @@ func (c *Controller) Step(pairs []Pair, paths [][]netem.LinkID) ([]float64, erro
 	if len(paths) != len(pairs) {
 		return nil, fmt.Errorf("%w: %d paths for %d pairs", netem.ErrBadInput, len(paths), len(pairs))
 	}
-	alloc, err := WorkConservingRates(c.net, pairs, paths, c.gp)
+	c.guarantees = AppendGuarantees(c.guarantees[:0], c.gp, pairs)
+	targets, err := c.ra.Alloc(c.net, pairs, paths, c.guarantees)
 	if err != nil {
 		return nil, err
 	}
 
-	// Update limiters toward targets.
-	next := make(map[[2]int]float64, len(pairs))
+	// Update limiters toward targets: read every previous limit first,
+	// then advance the generation and write, so a pair listed twice sees
+	// the pre-period value both times (map-semantics compatibility).
+	c.newLimits = c.newLimits[:0]
 	for i, pr := range pairs {
-		key := [2]int{pr.Src, pr.Dst}
-		cur, seen := c.limits[key]
+		cur, seen := c.limits.get([2]int{pr.Src, pr.Dst})
 		if !seen {
 			// A new pair starts at its guarantee: ElasticSwitch grants
 			// the guarantee immediately and probes for more.
-			cur = alloc.Guarantees[i]
+			cur = c.guarantees[i]
 		}
-		next[key] = cur + c.alpha*(alloc.Rates[i]-cur)
+		c.newLimits = append(c.newLimits, cur+c.alpha*(targets[i]-cur))
 	}
-	c.limits = next
+	c.limits.advance()
+	for i, pr := range pairs {
+		c.limits.set([2]int{pr.Src, pr.Dst}, c.newLimits[i])
+	}
 
 	// Achieved rates this period: guarantee-weighted max-min under the
 	// installed limits.
-	flows := make([]netem.Flow, len(pairs))
+	c.flows = c.flows[:0]
 	for i, pr := range pairs {
-		flows[i] = netem.Flow{
+		lim, _ := c.limits.get([2]int{pr.Src, pr.Dst})
+		c.flows = append(c.flows, netem.Flow{
 			Path:   paths[i],
 			Demand: pr.Demand,
-			Limit:  c.limits[[2]int{pr.Src, pr.Dst}],
-			Weight: alloc.Guarantees[i] + 1,
-		}
+			Limit:  lim,
+			Weight: c.guarantees[i] + 1,
+		})
 	}
-	return c.net.MaxMin(flows)
+	c.rates, err = c.solver.MaxMin(c.net, c.flows, c.rates[:0])
+	return c.rates, err
 }

@@ -16,9 +16,6 @@
 package enforce
 
 import (
-	"fmt"
-
-	"cloudmirror/internal/netem"
 	"cloudmirror/internal/tag"
 )
 
@@ -98,6 +95,10 @@ type Partitioner interface {
 // lacks.
 type TAGPartitioner struct {
 	dep *Deployment
+	// Counting scratch, reused across calls (AppendPartitioner).
+	dsts map[hoseVM]int // (hose, src) -> #active dsts
+	srcs map[hoseVM]int // (hose, dst) -> #active srcs
+	keys []hoseKey
 }
 
 // NewTAGPartitioner returns a GP for the deployment's TAG.
@@ -109,37 +110,49 @@ func NewTAGPartitioner(dep *Deployment) *TAGPartitioner {
 // toTier) pair. Self-loops use from == to.
 type hoseKey struct{ from, to int }
 
+// hoseVM keys a VM's activity count within one hose.
+type hoseVM struct {
+	hose hoseKey
+	vm   int
+}
+
 // PairGuarantees implements Partitioner. For pair (s,d) on hose h:
 //
 //	g(s,d) = min( S_h / activeDsts(s,h), R_h / activeSrcs(d,h) )
 //
 // the basic ElasticSwitch partitioning applied per hose.
 func (p *TAGPartitioner) PairGuarantees(pairs []Pair) []float64 {
-	dsts := make(map[hoseKey]map[int]int) // hose -> src -> #dsts
-	srcs := make(map[hoseKey]map[int]int) // hose -> dst -> #srcs
-	keys := make([]hoseKey, len(pairs))
-	for i, pr := range pairs {
-		k := hoseKey{p.dep.tierOf[pr.Src], p.dep.tierOf[pr.Dst]}
-		keys[i] = k
-		if dsts[k] == nil {
-			dsts[k] = make(map[int]int)
-			srcs[k] = make(map[int]int)
-		}
-		dsts[k][pr.Src]++
-		srcs[k][pr.Dst]++
+	return p.AppendPairGuarantees(make([]float64, 0, len(pairs)), pairs)
+}
+
+// AppendPairGuarantees implements AppendPartitioner, reusing the
+// partitioner's counting maps across calls.
+func (p *TAGPartitioner) AppendPairGuarantees(dst []float64, pairs []Pair) []float64 {
+	if p.dsts == nil {
+		p.dsts = make(map[hoseVM]int)
+		p.srcs = make(map[hoseVM]int)
 	}
-	out := make([]float64, len(pairs))
+	clear(p.dsts)
+	clear(p.srcs)
+	p.keys = p.keys[:0]
+	for _, pr := range pairs {
+		k := hoseKey{p.dep.tierOf[pr.Src], p.dep.tierOf[pr.Dst]}
+		p.keys = append(p.keys, k)
+		p.dsts[hoseVM{k, pr.Src}]++
+		p.srcs[hoseVM{k, pr.Dst}]++
+	}
 	for i, pr := range pairs {
 		snd, rcv, ok := p.dep.PairGuarantee(pr.Src, pr.Dst)
 		if !ok {
+			dst = append(dst, 0)
 			continue
 		}
-		k := keys[i]
-		gs := snd / float64(dsts[k][pr.Src])
-		gr := rcv / float64(srcs[k][pr.Dst])
-		out[i] = min(gs, gr)
+		k := p.keys[i]
+		gs := snd / float64(p.dsts[hoseVM{k, pr.Src}])
+		gr := rcv / float64(p.srcs[hoseVM{k, pr.Dst}])
+		dst = append(dst, min(gs, gr))
 	}
-	return out
+	return dst
 }
 
 // HosePartitioner is the baseline: guarantees derived from the
@@ -150,6 +163,9 @@ type HosePartitioner struct {
 	dep *Deployment
 	out []float64 // per-tier per-VM hose send guarantee
 	in  []float64
+	// Counting scratch, reused across calls (AppendPartitioner).
+	dsts map[int]int
+	srcs map[int]int
 }
 
 // NewHosePartitioner derives the per-VM hose guarantees from the TAG
@@ -171,19 +187,28 @@ func NewHosePartitioner(dep *Deployment) *HosePartitioner {
 //
 //	g(s,d) = min( Bsnd(s) / activeDsts(s), Brcv(d) / activeSrcs(d) )
 func (p *HosePartitioner) PairGuarantees(pairs []Pair) []float64 {
-	dsts := make(map[int]int)
-	srcs := make(map[int]int)
+	return p.AppendPairGuarantees(make([]float64, 0, len(pairs)), pairs)
+}
+
+// AppendPairGuarantees implements AppendPartitioner, reusing the
+// partitioner's counting maps across calls.
+func (p *HosePartitioner) AppendPairGuarantees(dst []float64, pairs []Pair) []float64 {
+	if p.dsts == nil {
+		p.dsts = make(map[int]int)
+		p.srcs = make(map[int]int)
+	}
+	clear(p.dsts)
+	clear(p.srcs)
 	for _, pr := range pairs {
-		dsts[pr.Src]++
-		srcs[pr.Dst]++
+		p.dsts[pr.Src]++
+		p.srcs[pr.Dst]++
 	}
-	out := make([]float64, len(pairs))
-	for i, pr := range pairs {
-		gs := p.out[p.dep.tierOf[pr.Src]] / float64(dsts[pr.Src])
-		gr := p.in[p.dep.tierOf[pr.Dst]] / float64(srcs[pr.Dst])
-		out[i] = min(gs, gr)
+	for _, pr := range pairs {
+		gs := p.out[p.dep.tierOf[pr.Src]] / float64(p.dsts[pr.Src])
+		gr := p.in[p.dep.tierOf[pr.Dst]] / float64(p.srcs[pr.Dst])
+		dst = append(dst, min(gs, gr))
 	}
-	return out
+	return dst
 }
 
 // Allocation is the result of a work-conserving rate allocation.
@@ -192,68 +217,4 @@ type Allocation struct {
 	Rates []float64
 	// Guarantees is the per-pair guarantee GP produced.
 	Guarantees []float64
-}
-
-// WorkConservingRates computes the steady-state rates of the pairs on a
-// fluid network: each pair first receives min(demand, guarantee), then
-// the remaining demands compete for leftover capacity in a weighted
-// max-min (weight = pair guarantee, with a small floor so zero-guarantee
-// flows still scavenge), the ElasticSwitch RA steady state.
-//
-// paths[i] is the link path of pairs[i].
-func WorkConservingRates(n *netem.Network, pairs []Pair, paths [][]netem.LinkID, gp Partitioner) (*Allocation, error) {
-	if len(paths) != len(pairs) {
-		return nil, fmt.Errorf("%w: %d paths for %d pairs", netem.ErrBadInput, len(paths), len(pairs))
-	}
-	guarantees := gp.PairGuarantees(pairs)
-
-	// Phase 1: hand out guarantees (bounded by demand).
-	base := make([]float64, len(pairs))
-	residualCap := make([]float64, n.Links())
-	for l := 0; l < n.Links(); l++ {
-		residualCap[l] = n.Capacity(netem.LinkID(l))
-	}
-	// overflowEps tolerates the float slack admission control itself
-	// allows (topology reservations may overshoot a link by up to 1e-6
-	// Mbps); only a meaningful overflow indicates a violated invariant.
-	const overflowEps = 1e-6
-	for i, pr := range pairs {
-		base[i] = min(pr.Demand, guarantees[i])
-		for _, l := range paths[i] {
-			residualCap[l] -= base[i]
-			if residualCap[l] < -overflowEps {
-				return nil, fmt.Errorf("enforce: guarantees overflow link %s — admission control violated", n.Name(l))
-			}
-			if residualCap[l] < 0 {
-				residualCap[l] = 0
-			}
-		}
-	}
-
-	// Phase 2: weighted max-min over the residual capacity.
-	resNet := netem.New()
-	for l := 0; l < n.Links(); l++ {
-		if _, err := resNet.AddLink(n.Name(netem.LinkID(l)), residualCap[l]); err != nil {
-			return nil, err
-		}
-	}
-	const weightFloor = 1.0 // Mbps-equivalent scavenger weight
-	resFlows := make([]netem.Flow, len(pairs))
-	for i, pr := range pairs {
-		resFlows[i] = netem.Flow{
-			Path:   paths[i],
-			Demand: pr.Demand - base[i],
-			Weight: guarantees[i] + weightFloor,
-		}
-	}
-	extra, err := resNet.MaxMin(resFlows)
-	if err != nil {
-		return nil, err
-	}
-
-	rates := make([]float64, len(pairs))
-	for i := range rates {
-		rates[i] = base[i] + extra[i]
-	}
-	return &Allocation{Rates: rates, Guarantees: guarantees}, nil
 }

@@ -17,6 +17,10 @@ type GatekeeperPartitioner struct {
 	// partner[t] is the tier whose hose absorbs t's intra-tier pairs,
 	// or -1 when t has a dedicated (self-loop-only) hose.
 	partner []int
+	// Counting scratch, reused across calls (AppendPartitioner).
+	dsts map[hoseVM]int
+	srcs map[hoseVM]int
+	keys []hoseKey
 }
 
 // NewGatekeeperPartitioner returns the Gatekeeper-style GP for the
@@ -49,37 +53,42 @@ func NewGatekeeperPartitioner(dep *Deployment) *GatekeeperPartitioner {
 // charged against the tier's partner hose, diluting the partner's
 // guarantee.
 func (p *GatekeeperPartitioner) PairGuarantees(pairs []Pair) []float64 {
+	return p.AppendPairGuarantees(make([]float64, 0, len(pairs)), pairs)
+}
+
+// AppendPairGuarantees implements AppendPartitioner, reusing the
+// partitioner's counting maps across calls.
+func (p *GatekeeperPartitioner) AppendPairGuarantees(dst []float64, pairs []Pair) []float64 {
 	// effective hose of a pair: the (srcTier→dstTier) trunk for
 	// inter-tier pairs; for intra-tier pairs, the (partner→tier) trunk.
-	hose := func(pr Pair) (hoseKey, bool) {
+	hose := func(pr Pair) hoseKey {
 		ts, td := p.dep.tierOf[pr.Src], p.dep.tierOf[pr.Dst]
 		if ts != td {
-			return hoseKey{ts, td}, true
+			return hoseKey{ts, td}
 		}
 		if partner := p.partner[td]; partner >= 0 {
-			return hoseKey{partner, td}, true
+			return hoseKey{partner, td}
 		}
-		return hoseKey{ts, td}, true // self-loop-only tier: own hose
+		return hoseKey{ts, td} // self-loop-only tier: own hose
 	}
 
-	dsts := make(map[hoseKey]map[int]int)
-	srcs := make(map[hoseKey]map[int]int)
-	keys := make([]hoseKey, len(pairs))
-	for i, pr := range pairs {
-		k, _ := hose(pr)
-		keys[i] = k
-		if dsts[k] == nil {
-			dsts[k] = make(map[int]int)
-			srcs[k] = make(map[int]int)
-		}
-		dsts[k][pr.Src]++
-		srcs[k][pr.Dst]++
+	if p.dsts == nil {
+		p.dsts = make(map[hoseVM]int)
+		p.srcs = make(map[hoseVM]int)
+	}
+	clear(p.dsts)
+	clear(p.srcs)
+	p.keys = p.keys[:0]
+	for _, pr := range pairs {
+		k := hose(pr)
+		p.keys = append(p.keys, k)
+		p.dsts[hoseVM{k, pr.Src}]++
+		p.srcs[hoseVM{k, pr.Dst}]++
 	}
 
 	g := p.dep.Graph()
-	out := make([]float64, len(pairs))
 	for i, pr := range pairs {
-		k := keys[i]
+		k := p.keys[i]
 		// The hose guarantees of the key tier pair.
 		var snd, rcv float64
 		found := false
@@ -91,18 +100,19 @@ func (p *GatekeeperPartitioner) PairGuarantees(pairs []Pair) []float64 {
 			}
 		}
 		if !found {
+			dst = append(dst, 0)
 			continue
 		}
 		// A sender that is not a member of the hose's source tier (an
 		// intra-tier interloper) has no send-side cap of its own; it
 		// competes only on the receive side — that is precisely how it
 		// hogs the intended guarantee.
-		gs := snd / float64(dsts[k][pr.Src])
+		gs := snd / float64(p.dsts[hoseVM{k, pr.Src}])
 		if p.dep.tierOf[pr.Src] != k.from {
-			gs = rcv / float64(dsts[k][pr.Src])
+			gs = rcv / float64(p.dsts[hoseVM{k, pr.Src}])
 		}
-		gr := rcv / float64(srcs[k][pr.Dst])
-		out[i] = min(gs, gr)
+		gr := rcv / float64(p.srcs[hoseVM{k, pr.Dst}])
+		dst = append(dst, min(gs, gr))
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,80 @@
+package enforce
+
+// limiterStore is a generation-stamped rate-limiter table keyed by
+// (src, dst) VM pairs. It replaces the per-step map reallocation the
+// Controller used to perform: instead of building a fresh map each
+// control period to forget departed pairs, the store advances a
+// generation counter — entries written under older generations read as
+// absent — and reuses its slot map and value slices, so the steady
+// state (a stable pair population) performs zero allocations.
+//
+// Slots for departed pairs linger until a compaction, which runs only
+// when dead slots outnumber live ones (amortized O(1) per write, never
+// in steady state).
+type limiterStore struct {
+	slot map[[2]int]int32
+	keys [][2]int
+	vals []float64
+	gens []uint64
+	gen  uint64
+	live int // entries written under the current generation
+}
+
+// advance begins a new generation: every existing entry becomes absent
+// until rewritten. Compaction of long-dead slots happens here, off the
+// per-pair fast path.
+func (s *limiterStore) advance() {
+	if s.slot == nil {
+		s.slot = make(map[[2]int]int32)
+	}
+	if len(s.keys) > 2*s.live+64 {
+		// More dead slots than live ones: rewrite the table keeping only
+		// the current generation's entries.
+		kept := 0
+		for i := range s.keys {
+			if s.gens[i] != s.gen {
+				delete(s.slot, s.keys[i])
+				continue
+			}
+			if kept != i {
+				s.keys[kept] = s.keys[i]
+				s.vals[kept] = s.vals[i]
+				s.gens[kept] = s.gens[i]
+				s.slot[s.keys[kept]] = int32(kept)
+			}
+			kept++
+		}
+		s.keys = s.keys[:kept]
+		s.vals = s.vals[:kept]
+		s.gens = s.gens[:kept]
+	}
+	s.gen++
+	s.live = 0
+}
+
+// get returns the value stored under the current generation, or (0,
+// false) for pairs absent from it.
+func (s *limiterStore) get(key [2]int) (float64, bool) {
+	i, ok := s.slot[key]
+	if !ok || s.gens[i] != s.gen {
+		return 0, false
+	}
+	return s.vals[i], true
+}
+
+// set installs a value under the current generation.
+func (s *limiterStore) set(key [2]int, v float64) {
+	if i, ok := s.slot[key]; ok {
+		if s.gens[i] != s.gen {
+			s.live++
+		}
+		s.vals[i] = v
+		s.gens[i] = s.gen
+		return
+	}
+	s.slot[key] = int32(len(s.keys))
+	s.keys = append(s.keys, key)
+	s.vals = append(s.vals, v)
+	s.gens = append(s.gens, s.gen)
+	s.live++
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package enforce
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under it.
+const raceEnabled = true

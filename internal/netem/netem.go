@@ -98,7 +98,22 @@ func (f Flow) weight() float64 {
 //
 // A flow referencing a link outside the network fails with an error
 // wrapping ErrBadInput before any allocation work is done.
+//
+// This is the event-driven fast path (see Solver); MaxMinReference is
+// the original progressive-filling implementation, kept as the oracle
+// the fast path is proven Float64bits-identical against. Hot paths that
+// solve repeatedly should hold a Solver to reuse its scratch buffers.
 func (n *Network) MaxMin(flows []Flow) ([]float64, error) {
+	var s Solver
+	return s.MaxMinCaps(n.caps, flows, nil)
+}
+
+// MaxMinReference is the original O(flows×links) progressive-filling
+// allocator: every water-level round rescans every flow×link to rebuild
+// per-link residual capacity and unfrozen weight. It is retained,
+// unmodified, as the correctness oracle for Solver — the event-driven
+// fast path must return Float64bits-identical rates for every input.
+func (n *Network) MaxMinReference(flows []Flow) ([]float64, error) {
 	for i, f := range flows {
 		for _, l := range f.Path {
 			if int(l) < 0 || int(l) >= len(n.caps) {

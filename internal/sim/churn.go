@@ -72,6 +72,11 @@ type ChurnConfig struct {
 	// EnforceAlpha is the rate limiters' per-period convergence step in
 	// (0,1]; 0 means 1.
 	EnforceAlpha float64
+	// EnforceFullRecompute disables the dataplane's incremental
+	// (component-dirty) stepping, re-solving every component each
+	// control period. Results are byte-identical either way — the flag
+	// exists for the differential tests proving that.
+	EnforceFullRecompute bool
 	// HA is applied to every arriving tenant (zero value: none).
 	HA place.HASpec
 	// Seed drives all randomness: arrival spacing, pool sampling,
@@ -240,7 +245,10 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 		guarantee.WithWorkers(cfg.Workers),
 	}
 	if cfg.Enforce {
-		opts = append(opts, guarantee.WithEnforcement(guarantee.EnforcementConfig{Alpha: cfg.EnforceAlpha}))
+		opts = append(opts, guarantee.WithEnforcement(guarantee.EnforcementConfig{
+			Alpha:         cfg.EnforceAlpha,
+			FullRecompute: cfg.EnforceFullRecompute,
+		}))
 	}
 	svc, err := guarantee.New(cfg.Spec, opts...)
 	if err != nil {

@@ -143,12 +143,17 @@ func controlPeriod(r *rand.Rand, enf *guarantee.Enforcement, live []*churnTenant
 	return nil
 }
 
-// EnforceBenchCell is one tenant-count measurement of the enforcement
-// control loop's performance.
+// EnforceBenchCell is one (tenant count, dirty fraction) measurement
+// of the enforcement control loop's performance.
 type EnforceBenchCell struct {
 	// Tenants is the number of tenants under enforcement; Pairs the
 	// enforced flows per control period.
 	Tenants, Pairs int
+	// DirtyFraction is the fraction of tenants that redeclared their
+	// demands before each measured step — the knob the incremental
+	// stepper's win depends on (1.0 dirties the whole fleet every
+	// period).
+	DirtyFraction float64
 	// Steps is how many control periods the measurement ran;
 	// StepsPerSec the sustained rate; MsPerStep its inverse in
 	// milliseconds.
@@ -169,6 +174,10 @@ type EnforceBenchConfig struct {
 	Pool []*tag.Graph
 	// TenantCounts lists the fleet sizes to measure.
 	TenantCounts []int
+	// DirtyFractions lists the per-step redeclare fractions to sweep
+	// for each fleet size; empty means just 1.0 (every tenant
+	// redeclares every period).
+	DirtyFractions []float64
 	// Seed drives tenant sampling and demand draws.
 	Seed int64
 }
@@ -219,37 +228,63 @@ func EnforceBench(cfg EnforceBenchConfig) ([]EnforceBenchCell, error) {
 			return nil, err
 		}
 
-		// Warm up (installs limits), then measure steady-state steps.
+		// Warm up (installs limits and settles components).
 		rep, err := enf.Step()
 		if err != nil {
 			return nil, err
 		}
-		cell := EnforceBenchCell{Tenants: count, Pairs: rep.Pairs}
-		start := time.Now()
-		for cell.Steps < 10 || (time.Since(start) < 100*time.Millisecond && cell.Steps < 10_000) {
-			if _, err := enf.Step(); err != nil {
+
+		fracs := cfg.DirtyFractions
+		if len(fracs) == 0 {
+			fracs = []float64{1}
+		}
+		for _, frac := range fracs {
+			dirty := int(math.Ceil(frac * float64(count)))
+			if dirty < 1 {
+				dirty = 1
+			}
+			if dirty > count {
+				dirty = count
+			}
+
+			// Measure the sustained control loop: each period, a
+			// rotating window of `dirty` tenants redeclares fresh
+			// demands, then the fleet steps.
+			cell := EnforceBenchCell{Tenants: count, Pairs: rep.Pairs, DirtyFraction: frac}
+			rot := 0
+			start := time.Now()
+			for cell.Steps < 10 || (time.Since(start) < 100*time.Millisecond && cell.Steps < 10_000) {
+				for k := 0; k < dirty; k++ {
+					i := (rot + k) % count
+					if err := enf.SetDemand(grants[i], plans[i].draw(r)); err != nil {
+						return nil, err
+					}
+				}
+				rot = (rot + dirty) % count
+				if _, err := enf.Step(); err != nil {
+					return nil, err
+				}
+				cell.Steps++
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				cell.StepsPerSec = float64(cell.Steps) / elapsed
+				cell.MsPerStep = 1000 * elapsed / float64(cell.Steps)
+			}
+
+			// Cold convergence after a fleet-wide demand change.
+			if err := declare(); err != nil {
 				return nil, err
 			}
-			cell.Steps++
+			cstart := time.Now()
+			crep, err := enf.Converge(0, 0)
+			if err != nil {
+				return nil, err
+			}
+			cell.ConvergeIterations = crep.Iterations
+			cell.ConvergeMs = 1000 * time.Since(cstart).Seconds()
+			cells = append(cells, cell)
 		}
-		elapsed := time.Since(start).Seconds()
-		if elapsed > 0 {
-			cell.StepsPerSec = float64(cell.Steps) / elapsed
-			cell.MsPerStep = 1000 * elapsed / float64(cell.Steps)
-		}
-
-		// Cold convergence after a fleet-wide demand change.
-		if err := declare(); err != nil {
-			return nil, err
-		}
-		cstart := time.Now()
-		crep, err := enf.Converge(0, 0)
-		if err != nil {
-			return nil, err
-		}
-		cell.ConvergeIterations = crep.Iterations
-		cell.ConvergeMs = 1000 * time.Since(cstart).Seconds()
-		cells = append(cells, cell)
 
 		for _, grant := range grants {
 			grant.Release()
