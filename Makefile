@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint docs-check api-check test test-full test-fuzz determinism bench bench-json bench-diff ci
+.PHONY: all build lint analyze docs-check api-check test test-full test-fuzz determinism bench bench-json bench-diff ci
 
 all: build
 
@@ -16,6 +16,18 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
+# The cloudlint analyzer suite (internal/lint): map-iteration-order and
+# float-accumulation determinism checks, wall-clock/global-RNG/env bans
+# in deterministic packages, the apibound public-API boundary rules on
+# the real import graph, and the errwrap typed-error taxonomy. The tree
+# must be analyzer-clean: every intentional exception carries a
+# justified //cloudlint:<name> directive.
+analyze: bin/cloudlint
+	./bin/cloudlint ./...
+
+bin/cloudlint: $(shell find internal/lint cmd/cloudlint -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
+	$(GO) build -o bin/cloudlint ./cmd/cloudlint
+
 # Godoc coverage: every exported identifier (and every package) in
 # internal/... and the public guarantee package needs a doc comment.
 docs-check:
@@ -24,6 +36,7 @@ docs-check:
 
 # Public-API boundary: cmd/ and examples/ obtain admission only through
 # the guarantee package (no internal admitter/cluster/placer usage).
+# The script is a thin wrapper over `cloudlint -apibound`.
 api-check:
 	./scripts/api-check.sh
 
@@ -86,9 +99,13 @@ bench-json:
 # regressions). Pass BENCH_FAIL=0 for a report-only run.
 BENCH_FAIL ?= 0.5
 bench-diff:
-	$(GO) run ./cmd/admbench -servers 512 -out BENCH_admission.cand.json -enforce-out BENCH_enforce.cand.json
-	$(GO) run ./cmd/benchdiff -old BENCH_admission.json -new BENCH_admission.cand.json -fail $(BENCH_FAIL)
-	$(GO) run ./cmd/benchdiff -old BENCH_enforce.json -new BENCH_enforce.cand.json -fail $(BENCH_FAIL)
-	rm -f BENCH_admission.cand.json BENCH_enforce.cand.json
+	@status=0; \
+	$(GO) run ./cmd/admbench -servers 512 -out BENCH_admission.cand.json -enforce-out BENCH_enforce.cand.json || status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		$(GO) run ./cmd/benchdiff -old BENCH_admission.json -new BENCH_admission.cand.json -fail $(BENCH_FAIL) || status=$$?; \
+		$(GO) run ./cmd/benchdiff -old BENCH_enforce.json -new BENCH_enforce.cand.json -fail $(BENCH_FAIL) || status=$$?; \
+	fi; \
+	rm -f BENCH_admission.cand.json BENCH_enforce.cand.json; \
+	exit $$status
 
-ci: lint docs-check api-check build test test-fuzz determinism bench bench-diff
+ci: lint analyze docs-check api-check build test test-fuzz determinism bench bench-diff

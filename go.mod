@@ -1,3 +1,10 @@
+// cloudmirror deliberately has no external requirements. In particular
+// the cloudlint analyzer suite (internal/lint) does not pin
+// golang.org/x/tools: the build environment has no module proxy
+// access, so internal/lint/analysis is a small stdlib-only stand-in
+// that mirrors the x/tools go/analysis Analyzer/Pass/Diagnostic
+// shapes. If a proxy ever becomes available, migrating to the real
+// framework is a mechanical import rename.
 module cloudmirror
 
 go 1.24

@@ -400,6 +400,7 @@ func (d *Durability) encodeSnapshot() ([]byte, error) {
 			Grants:       []place.GrantRecord{},
 		}
 	}
+	//cloudlint:ordered grant records are appended per shard and each shard's slice is sorted by key just below
 	for gk, g := range d.grants {
 		rec, ok := g.ten.Record()
 		if !ok {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cloudmirror/internal/enforce"
+	"cloudmirror/internal/netem"
 	"cloudmirror/internal/place"
 	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
@@ -46,16 +47,16 @@ func Bind(g *tag.Graph, pl place.Placement) (*Binding, error) {
 			}
 			for k := 0; k < counts[t]; k++ {
 				if i >= len(ids) {
-					return nil, fmt.Errorf("dataplane: placement has more tier-%d VMs than graph %q declares (%d)",
-						t, g.Name, len(ids))
+					return nil, fmt.Errorf("%w: placement has more tier-%d VMs than graph %q declares (%d)",
+						netem.ErrBadInput, t, g.Name, len(ids))
 				}
 				b.server[ids[i]] = s
 				i++
 			}
 		}
 		if i != len(ids) {
-			return nil, fmt.Errorf("dataplane: placement covers %d of %d tier-%d VMs of graph %q",
-				i, len(ids), t, g.Name)
+			return nil, fmt.Errorf("%w: placement covers %d of %d tier-%d VMs of graph %q",
+				netem.ErrBadInput, i, len(ids), t, g.Name)
 		}
 	}
 	return b, nil

@@ -16,8 +16,18 @@
 package enforce
 
 import (
+	"errors"
+
 	"cloudmirror/internal/tag"
 )
+
+// ErrInvariant marks a violated control-plane invariant detected at
+// enforcement time: the inputs were individually well-formed, but
+// together contradict a guarantee an upstream layer (admission,
+// placement) was supposed to have established. Callers match it with
+// errors.Is to distinguish "our bookkeeping is corrupt" from bad input
+// (netem.ErrBadInput).
+var ErrInvariant = errors.New("enforce: control-plane invariant violated")
 
 // Deployment maps concrete VM IDs (0..N-1) onto the tiers of a TAG, so
 // the enforcer can answer "which hose does the pair (s,d) belong to?".

@@ -93,7 +93,7 @@ func (ra *RA) Alloc(n *netem.Network, pairs []Pair, paths [][]netem.LinkID, guar
 		for _, l := range paths[i] {
 			ra.resCaps[l] -= b
 			if ra.resCaps[l] < -overflowEps {
-				return nil, fmt.Errorf("enforce: guarantees overflow link %s — admission control violated", n.Name(l))
+				return nil, fmt.Errorf("%w: guarantees overflow link %s — admission control violated", ErrInvariant, n.Name(l))
 			}
 			if ra.resCaps[l] < 0 {
 				ra.resCaps[l] = 0

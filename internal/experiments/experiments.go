@@ -104,6 +104,7 @@ func Names() []string {
 func Run(name string, o Options) (*Table, error) {
 	fn, ok := registry[name]
 	if !ok {
+		//cloudlint:unwrapped CLI-facing usage error; callers print it, nothing matches on it
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			name, strings.Join(Names(), ", "))
 	}

@@ -107,6 +107,7 @@ func Inference(o Options) (*Table, error) {
 		}
 	}
 	if apps == 0 {
+		//cloudlint:unwrapped CLI-facing diagnostic; callers print it, nothing matches on it
 		return nil, fmt.Errorf("experiments: no applications qualified for inference")
 	}
 	rows := [][]string{

@@ -1,10 +1,18 @@
 package infer
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // This file implements adjusted mutual information (Vinh, Epps & Bailey,
 // JMLR 2010 — the paper's [37]): the chance-corrected agreement between
 // two clusterings, 0 for independent labelings and 1 for identical ones.
+//
+// Every fold over a contingency map iterates keys in sorted order:
+// float addition is not associative, so summing in randomized map order
+// would make AMI scores (and the inference tables built from them)
+// jitter between runs.
 
 // contingency builds the joint count table of two labelings.
 func contingency(a, b []int) (table map[[2]int]int, aCounts, bCounts map[int]int) {
@@ -19,6 +27,16 @@ func contingency(a, b []int) (table map[[2]int]int, aCounts, bCounts map[int]int
 	return table, aCounts, bCounts
 }
 
+// sortedLabels returns the keys of a label-count map in ascending order.
+func sortedLabels(counts map[int]int) []int {
+	labels := make([]int, 0, len(counts))
+	for l := range counts {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	return labels
+}
+
 // MutualInfo returns the mutual information (nats) between two labelings
 // of the same items, along with their entropies.
 func MutualInfo(a, b []int) (mi, ha, hb float64) {
@@ -27,18 +45,28 @@ func MutualInfo(a, b []int) (mi, ha, hb float64) {
 	}
 	n := float64(len(a))
 	table, ac, bc := contingency(a, b)
-	for key, nij := range table {
-		pij := float64(nij) / n
+	cells := make([][2]int, 0, len(table))
+	for key := range table {
+		cells = append(cells, key)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i][0] != cells[j][0] {
+			return cells[i][0] < cells[j][0]
+		}
+		return cells[i][1] < cells[j][1]
+	})
+	for _, key := range cells {
+		pij := float64(table[key]) / n
 		pa := float64(ac[key[0]]) / n
 		pb := float64(bc[key[1]]) / n
 		mi += pij * math.Log(pij/(pa*pb))
 	}
-	for _, c := range ac {
-		p := float64(c) / n
+	for _, l := range sortedLabels(ac) {
+		p := float64(ac[l]) / n
 		ha -= p * math.Log(p)
 	}
-	for _, c := range bc {
-		p := float64(c) / n
+	for _, l := range sortedLabels(bc) {
+		p := float64(bc[l]) / n
 		hb -= p * math.Log(p)
 	}
 	return mi, ha, hb
@@ -51,8 +79,10 @@ func expectedMI(a, b []int) float64 {
 	nf := float64(n)
 	lgN := lgamma(n + 1)
 	var emi float64
-	for _, ai := range ac {
-		for _, bj := range bc {
+	for _, la := range sortedLabels(ac) {
+		ai := ac[la]
+		for _, lb := range sortedLabels(bc) {
+			bj := bc[lb]
 			lo := ai + bj - n
 			if lo < 1 {
 				lo = 1

@@ -7,7 +7,10 @@
 // with statistical-multiplexing-aware guarantees.
 package infer
 
-import "math/rand"
+import (
+	"math/rand"
+	"sort"
+)
 
 // Graph is a weighted undirected graph for community detection. Nodes
 // are 0..N-1.
@@ -43,12 +46,25 @@ func (g *Graph) AddEdge(u, v int, w float64) {
 	g.total += 2 * w
 }
 
+// sortedKeys returns the keys of a weight map in ascending order, so
+// float folds over it are independent of map iteration order.
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 // degree returns the weighted degree of node i (self-loops count twice,
-// per the modularity convention).
+// per the modularity convention). Neighbors are summed in sorted order:
+// degrees feed modularity gains, and an order-dependent ULP wobble there
+// would break the seeded reproducibility Louvain promises.
 func (g *Graph) degree(i int) float64 {
 	d := 2 * g.self[i]
-	for _, w := range g.nbrs[i] {
-		d += w
+	for _, j := range sortedKeys(g.nbrs[i]) {
+		d += g.nbrs[i][j]
 	}
 	return d
 }
@@ -101,20 +117,25 @@ func localMoving(g *Graph, rng *rand.Rand) (comm []int, movedAny bool) {
 	for pass := 0; pass < 100; pass++ {
 		movedThisPass := false
 		for _, i := range order {
-			// Weight from i to each neighboring community.
+			// Weight from i to each neighboring community, accumulated
+			// in sorted neighbor order so the float sums are exact
+			// replays run to run.
 			wTo := make(map[int]float64)
-			for j, w := range g.nbrs[i] {
-				wTo[comm[j]] += w
+			for _, j := range sortedKeys(g.nbrs[i]) {
+				wTo[comm[j]] += g.nbrs[i][j]
 			}
 			old := comm[i]
 			tot[old] -= deg[i]
 
+			// Scan candidate communities in sorted order: the argmax
+			// breaks near-ties (within 1e-12) in favor of the first
+			// candidate seen, which must not be a map-order accident.
 			best, bestGain := old, wTo[old]-deg[i]*tot[old]/g.total
-			for c, w := range wTo {
+			for _, c := range sortedKeys(wTo) {
 				if c == old {
 					continue
 				}
-				gain := w - deg[i]*tot[c]/g.total
+				gain := wTo[c] - deg[i]*tot[c]/g.total
 				if gain > bestGain+1e-12 {
 					best, bestGain = c, gain
 				}
@@ -147,8 +168,12 @@ func aggregate(g *Graph, comm []int) *Graph {
 		ci := comm[i]
 		agg.self[ci] += g.self[i]
 		agg.total += 2 * g.self[i]
-		for j, w := range g.nbrs[i] {
+		// Sorted neighbor order: the aggregated weights are float
+		// sums, and the next Louvain level must see bit-identical
+		// inputs on every run.
+		for _, j := range sortedKeys(g.nbrs[i]) {
 			if i < j {
+				w := g.nbrs[i][j]
 				cj := comm[j]
 				if ci == cj {
 					agg.self[ci] += w
@@ -189,19 +214,18 @@ func Modularity(g *Graph, comm []int) float64 {
 		ci := comm[i]
 		intra[ci] += g.self[i]
 		tot[ci] += g.degree(i)
-		for j, w := range g.nbrs[i] {
+		for _, j := range sortedKeys(g.nbrs[i]) {
 			if i < j && comm[j] == ci {
-				intra[ci] += w
+				intra[ci] += g.nbrs[i][j]
 			}
 		}
 	}
 	var q float64
-	for c, in := range intra {
-		q += 2 * in / g.total
-		_ = c
+	for _, c := range sortedKeys(intra) {
+		q += 2 * intra[c] / g.total
 	}
-	for _, t := range tot {
-		q -= (t / g.total) * (t / g.total)
+	for _, c := range sortedKeys(tot) {
+		q -= (tot[c] / g.total) * (tot[c] / g.total)
 	}
 	return q
 }

@@ -1,0 +1,73 @@
+// Package analysis is a deliberately small, stdlib-only stand-in for
+// golang.org/x/tools/go/analysis: it defines the Analyzer/Pass/Diagnostic
+// vocabulary that the cloudlint analyzers are written against.
+//
+// The container this repo builds in has no module proxy access, so
+// x/tools cannot be pinned as a dependency; everything here is built on
+// go/ast, go/types and the go command. The API mirrors the upstream
+// shapes closely enough that migrating to the real go/analysis package
+// is a mechanical rename if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name (used as the CLI flag and
+// the suffix reported with each diagnostic), user-facing documentation,
+// and a Run function applied once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer; it must be a valid flag name.
+	Name string
+	// Doc is the analyzer's user-facing documentation; the first line
+	// is used as the one-line summary in -flags output and usage text.
+	Doc string
+	// Run applies the check to one package and reports findings
+	// through pass.Report. The returned value is unused by the
+	// cloudlint driver (it exists for x/tools API symmetry).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's syntax, type information and reporting
+// callback to an Analyzer's Run function.
+type Pass struct {
+	// Analyzer is the check being run (so shared helpers can name it).
+	Analyzer *Analyzer
+	// Fset maps token positions for all Files.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the package's type-checking results.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+
+	// ModuleImports returns the direct module-internal imports of the
+	// given module package, and whether the driver knows the answer.
+	// The standalone driver supplies the full module import graph so
+	// analyzers (apibound) can walk transitive imports; the unitchecker
+	// driver analyzes one compilation unit at a time and returns
+	// ok=false, in which case analyzers must degrade to direct-import
+	// checks only.
+	ModuleImports func(path string) (imports []string, ok bool)
+
+	directives []Directive
+}
+
+// Diagnostic is one finding: a position and a message.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message describes the finding.
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

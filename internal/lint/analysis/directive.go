@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //cloudlint:<name> <justification> suppression
+// comment. The justification is the analyzer's audit trail: every
+// directive must carry a non-empty one, and analyzers report an error
+// for empty justifications instead of honoring them.
+type Directive struct {
+	// Name is the directive keyword after "cloudlint:", e.g. "ordered".
+	Name string
+	// Arg is the justification text after the keyword (may be empty,
+	// which analyzers treat as an unjustified — and thus rejected —
+	// suppression).
+	Arg string
+	// Pos is the position of the comment.
+	Pos token.Pos
+	// File is the file name the comment appears in.
+	File string
+	// Line is the 1-based line of the comment.
+	Line int
+}
+
+const directivePrefix = "//cloudlint:"
+
+// directives lazily extracts and caches all cloudlint directives in the
+// pass's files.
+func (p *Pass) directiveList() []Directive {
+	if p.directives != nil {
+		return p.directives
+	}
+	ds := []Directive{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				name, arg, _ := strings.Cut(text, " ")
+				pos := p.Fset.Position(c.Pos())
+				ds = append(ds, Directive{
+					Name: name,
+					Arg:  strings.TrimSpace(arg),
+					Pos:  c.Pos(),
+					File: pos.Filename,
+					Line: pos.Line,
+				})
+			}
+		}
+	}
+	p.directives = ds
+	return ds
+}
+
+// DirectiveFor looks for a //cloudlint:<name> directive governing node:
+// either a trailing comment on the node's first line or a comment on
+// the line immediately above it. It returns the directive and true when
+// one applies.
+func (p *Pass) DirectiveFor(node ast.Node, name string) (Directive, bool) {
+	pos := p.Fset.Position(node.Pos())
+	for _, d := range p.directiveList() {
+		if d.Name != name || d.File != pos.Filename {
+			continue
+		}
+		if d.Line == pos.Line || d.Line == pos.Line-1 {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Suppressed reports whether node carries a //cloudlint:<name>
+// directive with a non-empty justification. When the directive is
+// present but the justification is empty, it reports the omission as a
+// diagnostic (an unjustified suppression is itself a finding) and
+// returns true so the underlying finding is not double-reported.
+func (p *Pass) Suppressed(node ast.Node, name string) bool {
+	d, ok := p.DirectiveFor(node, name)
+	if !ok {
+		return false
+	}
+	if d.Arg == "" {
+		p.Reportf(d.Pos, "//cloudlint:%s requires a non-empty justification", name)
+	}
+	return true
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import "go/ast"
+
+// WalkStack traverses every node of every file in the pass, calling fn
+// with the node and the stack of its ancestors (outermost first, not
+// including the node itself). Returning false from fn prunes the
+// subtree below the node.
+func (p *Pass) WalkStack(fn func(node ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if !descend {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

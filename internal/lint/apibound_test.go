@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cloudmirror/internal/lint"
+	"cloudmirror/internal/lint/linttest"
+)
+
+// TestAPIBound covers all five boundary rules: direct imports
+// (cmd/direct, cmd/placers, cmd/enforcei, internal/walclient),
+// type-resolved banned objects under the default and an aliased
+// package name (cmd/plain, cmd/aliased), a transitive breach through a
+// laundering helper (cmd/launder), and the sanctioned negatives — the
+// guarantee gateway (cmd/sanctioned) and the wal allow list (cmd/bwd).
+func TestAPIBound(t *testing.T) {
+	linttest.Run(t, lint.APIBoundAnalyzer,
+		"cloudmirror/cmd/direct",
+		"cloudmirror/cmd/plain",
+		"cloudmirror/cmd/aliased",
+		"cloudmirror/cmd/launder",
+		"cloudmirror/cmd/placers",
+		"cloudmirror/cmd/enforcei",
+		"cloudmirror/cmd/sanctioned",
+		"cloudmirror/cmd/bwd",
+		"cloudmirror/internal/walclient",
+	)
+}

@@ -1,0 +1,148 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package ready for analysis.
+type Package struct {
+	// ImportPath is the package's import path.
+	ImportPath string
+	// Fset is the file set shared by all packages of one load.
+	Fset *token.FileSet
+	// Files is the parsed syntax, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checking results.
+	Info *types.Info
+	// Imports lists the package's direct imports (all, not just
+	// module-internal ones).
+	Imports []string
+}
+
+// Load lists patterns in dir and returns every matched module package,
+// parsed and type-checked, in deterministic import-path order. Imports
+// — including module-internal ones — resolve through compiler export
+// data, so each package type-checks independently of source order.
+func Load(dir string, patterns ...string) ([]*Package, *Index, error) {
+	ix, err := ListIndex(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		p, ok := ix.Pkgs[path]
+		if !ok || p.Export == "" {
+			return "", false
+		}
+		return p.Export, true
+	})
+	conf := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	roots := append([]string(nil), ix.Roots...)
+	sort.Strings(roots)
+	var pkgs []*Package
+	for _, path := range roots {
+		lp := ix.Pkgs[path]
+		if lp == nil || lp.Standard || lp.Module == nil || lp.Module.Path != ix.ModulePath {
+			continue
+		}
+		pkg, err := typecheck(fset, conf, lp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, ix, nil
+}
+
+// typecheck parses lp's sources and type-checks them with conf.
+func typecheck(fset *token.FileSet, conf *types.Config, lp *ListPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Imports:    append([]string(nil), lp.Imports...),
+	}, nil
+}
+
+// NewInfo returns a types.Info with every result map allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// ExportImporter returns a types.Importer that resolves import paths
+// through compiler export-data files. resolve maps an import path to
+// the file holding its export data (as produced by `go list -export` or
+// recorded in a vet cfg's PackageFile map).
+func ExportImporter(fset *token.FileSet, resolve func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// ModuleImportsFunc builds the ModuleImports callback for analysis
+// passes from a load's index: the direct imports of each module
+// package, filtered to module-internal ones, in sorted order.
+func ModuleImportsFunc(ix *Index) func(path string) ([]string, bool) {
+	prefix := ix.ModulePath + "/"
+	graph := map[string][]string{}
+	for path, lp := range ix.Pkgs {
+		if lp.Standard || lp.Module == nil || lp.Module.Path != ix.ModulePath {
+			continue
+		}
+		var deps []string
+		for _, imp := range lp.Imports {
+			if imp == ix.ModulePath || strings.HasPrefix(imp, prefix) {
+				deps = append(deps, imp)
+			}
+		}
+		sort.Strings(deps)
+		graph[path] = deps
+	}
+	return func(path string) ([]string, bool) {
+		deps, ok := graph[path]
+		return deps, ok
+	}
+}

@@ -1,0 +1,71 @@
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"cloudmirror/internal/lint/analysis"
+)
+
+// Finding is one diagnostic resolved to a printable position.
+type Finding struct {
+	// Position is the file:line:col of the diagnostic.
+	Position token.Position
+	// Message is the diagnostic text.
+	Message string
+	// Analyzer names the analyzer that reported it.
+	Analyzer string
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by file, line, column, then analyzer name — a deterministic
+// order regardless of package load order.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer, moduleImports func(string) ([]string, bool)) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:      a,
+				Fset:          pkg.Fset,
+				Files:         pkg.Files,
+				Pkg:           pkg.Types,
+				TypesInfo:     pkg.Info,
+				ModuleImports: moduleImports,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+					Analyzer: a.Name,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Print writes findings one per line in the conventional
+// file:line:col: message (analyzer) form.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s (%s)\n", f.Position, f.Message, f.Analyzer)
+	}
+}

@@ -1,0 +1,202 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"cloudmirror/internal/lint/analysis"
+)
+
+// VetConfig mirrors the JSON configuration file the go command passes
+// to a `go vet -vettool` binary (one file per compilation unit). Field
+// names and meanings follow x/tools/go/analysis/unitchecker.Config,
+// which documents the protocol.
+type VetConfig struct {
+	// ID is the build ID of the unit.
+	ID string
+	// Compiler is the compiler producing export data ("gc").
+	Compiler string
+	// Dir is the unit's working directory.
+	Dir string
+	// ImportPath is the unit's import path; test variants carry a
+	// " [pkg.test]" suffix.
+	ImportPath string
+	// GoVersion is the language version for type checking.
+	GoVersion string
+	// GoFiles lists the unit's Go sources (absolute paths).
+	GoFiles []string
+	// NonGoFiles lists non-Go sources (unused here).
+	NonGoFiles []string
+	// IgnoredFiles lists build-constrained-away sources (unused here).
+	IgnoredFiles []string
+	// ImportMap maps import paths as written to canonical paths.
+	ImportMap map[string]string
+	// PackageFile maps canonical import paths to export-data files.
+	PackageFile map[string]string
+	// Standard marks standard-library import paths.
+	Standard map[string]bool
+	// PackageVetx maps import paths to fact files of dependencies
+	// (unused: cloudlint analyzers need no cross-unit facts).
+	PackageVetx map[string]string
+	// VetxOnly requests facts without diagnostics.
+	VetxOnly bool
+	// VetxOutput is the fact file this unit must write.
+	VetxOutput string
+	// SucceedOnTypecheckFailure requests exit 0 on type errors (the
+	// compiler proper will report them).
+	SucceedOnTypecheckFailure bool
+}
+
+// Vet runs analyzers over the single compilation unit described by the
+// cfg file at cfgPath, following the `go vet -vettool` protocol:
+// diagnostics go to stderr, the (empty) facts file is written to
+// cfg.VetxOutput, and the returned exit code is 2 when there are
+// findings. Test variants of a package are skipped so vet reports
+// exactly what `make analyze` enforces on the main tree.
+func Vet(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cloudlint: reading %s: %v\n", cfgPath, err)
+		return 1
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cloudlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command treats the vetx file as the unit's output and
+	// caches it; it must exist even though cloudlint keeps no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "cloudlint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || isTestVariant(cfg.ImportPath) {
+		return 0
+	}
+	findings, err := runUnit(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "cloudlint: %v\n", err)
+		return 1
+	}
+	Print(os.Stderr, findings)
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// isTestVariant reports whether path names a test package or a
+// test-augmented variant of a package.
+func isTestVariant(path string) bool {
+	return strings.Contains(path, " [") || strings.HasSuffix(path, "_test") ||
+		strings.HasSuffix(path, ".test")
+}
+
+// runUnit parses and type-checks the unit and applies the analyzers.
+// The go command merges a package's in-package test files into the same
+// unit (under the plain import path), so _test.go sources are filtered
+// out here: the standalone driver analyzes GoFiles only, and vet must
+// report exactly the same findings.
+func runUnit(cfg *VetConfig, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		return file, ok
+	})
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	// One unit at a time: the module import graph is unavailable, so
+	// analyzers degrade to direct-import checks (ModuleImports reports
+	// not-ok). `make analyze` runs the standalone driver, which has
+	// the full graph.
+	return Run([]*Package{pkg}, analyzers, nil)
+}
+
+// VersionAndFlags handles the go command's tool-discovery invocations:
+// `cloudlint -V=full` (version for the build cache key) and `cloudlint
+// -flags` (supported analyzer flags as JSON). It returns true when the
+// invocation was one of those and has been fully handled.
+func VersionAndFlags(args []string, analyzers []*analysis.Analyzer) bool {
+	if len(args) != 1 {
+		return false
+	}
+	switch args[0] {
+	case "-V=full", "--V=full":
+		fmt.Printf("cloudlint version v1.0.0-stdlib\n")
+		return true
+	case "-flags", "--flags":
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var flags []jsonFlag
+		sorted := append([]*analysis.Analyzer(nil), analyzers...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, a := range sorted {
+			flags = append(flags, jsonFlag{
+				Name:  a.Name,
+				Bool:  true,
+				Usage: firstLine(a.Doc),
+			})
+		}
+		data, err := json.Marshal(flags)
+		if err != nil {
+			return true
+		}
+		fmt.Println(string(data))
+		return true
+	}
+	return false
+}
+
+// firstLine returns the first line of s.
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}

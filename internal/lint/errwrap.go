@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"cloudmirror/internal/lint/analysis"
+)
+
+// ErrWrapAnalyzer guards the typed-error taxonomy around
+// internal/netem. In netem itself and in every package that imports it
+// (the enforcement/dataplane callers), a returned error constructed on
+// the spot — fmt.Errorf without %w, or errors.New — wraps nothing, so
+// errors.Is(err, netem.ErrBadInput) stops working one frame up and the
+// taxonomy silently decays into strings. Such returns must wrap a
+// typed sentinel with %w, or carry a //cloudlint:unwrapped <why>
+// justification (for genuinely new error roots, e.g. a sentinel-free
+// invariant breach that no caller is meant to match on).
+//
+// Package-level sentinel declarations (var ErrX = errors.New(...)) are
+// not returns and are never flagged — they are the taxonomy.
+var ErrWrapAnalyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "require returned errors around internal/netem to wrap a typed sentinel",
+	Run:  runErrWrap,
+}
+
+// netemPath is the package whose error taxonomy errwrap protects.
+const netemPath = "cloudmirror/internal/netem"
+
+func runErrWrap(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() != netemPath && !importsPkg(pass, netemPath) {
+		return nil, nil
+	}
+	pass.WalkStack(func(n ast.Node, _ []ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			bad, what := unwrappedConstructor(pass, call)
+			if !bad {
+				continue
+			}
+			if pass.Suppressed(ret, "unwrapped") {
+				continue
+			}
+			pass.Reportf(call.Pos(),
+				"returned %s does not wrap a typed sentinel: use %%w with the netem.ErrBadInput taxonomy (or a typed error), or annotate //cloudlint:unwrapped <why>",
+				what)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// importsPkg reports whether any file of the pass imports path.
+func importsPkg(pass *analysis.Pass, path string) bool {
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			if p, err := strconv.Unquote(spec.Path.Value); err == nil && p == path {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unwrappedConstructor reports whether call constructs a fresh,
+// wrapping-free error: errors.New(...), or fmt.Errorf whose format
+// string provably lacks a %w verb. The second result names the shape
+// for the diagnostic.
+func unwrappedConstructor(pass *analysis.Pass, call *ast.CallExpr) (bool, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false, ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false, ""
+	}
+	switch {
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		return true, "errors.New error"
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		if len(call.Args) == 0 {
+			return false, ""
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok {
+			// Dynamic format string: cannot prove a %w, so flag it —
+			// the annotation escape hatch covers intentional cases.
+			return true, "fmt.Errorf error with non-constant format"
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil || strings.Contains(format, "%w") {
+			return false, ""
+		}
+		return true, "fmt.Errorf error without %w"
+	}
+	return false, ""
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cloudmirror/internal/lint"
+	"cloudmirror/internal/lint/linttest"
+)
+
+func TestErrWrap(t *testing.T) {
+	linttest.Run(t, lint.ErrWrapAnalyzer, "cloudmirror/internal/flows")
+}
+
+// TestErrWrapIgnoresNonNetemCallers checks the gate: a package that
+// does not import internal/netem may return bare errors.
+func TestErrWrapIgnoresNonNetemCallers(t *testing.T) {
+	linttest.Run(t, lint.ErrWrapAnalyzer, "cloudmirror/internal/other")
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cloudmirror/internal/lint/analysis"
+)
+
+// FloatOrderAnalyzer flags floating-point accumulation whose iteration
+// source is a map range, in any package. Float addition is not
+// associative, so `sum += v` over randomized map order produces
+// run-to-run ULP jitter — the exact bug class fixed in PR 2, where
+// Reservation.TotalReserved summed a map and broke byte-identical
+// churn traces. Unlike mapiter this applies to every package: emitted
+// tables and benchmark artifacts are diffed byte-for-byte too.
+//
+// The fix is to iterate sorted keys; a deliberate exception needs a
+// //cloudlint:ordered <why> justification on the accumulating
+// statement itself (justifying the enclosing range is not enough — a
+// loop whose order was argued irrelevant is precisely where a float
+// fold is still order-sensitive).
+var FloatOrderAnalyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc:  "flag float accumulation driven by map iteration order",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(pass *analysis.Pass) (any, error) {
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass, rs) {
+			return true
+		}
+		ast.Inspect(rs.Body, func(inner ast.Node) bool {
+			as, ok := inner.(*ast.AssignStmt)
+			if !ok || !isFloatAccumulation(pass, as) {
+				return true
+			}
+			if declaredWithin(pass, as.Lhs[0], rs.Body) {
+				// The accumulator is an iteration-local: it resets
+				// every iteration, so the fold cannot leak map order
+				// across iterations.
+				return true
+			}
+			if pass.Suppressed(as, "ordered") {
+				return true
+			}
+			pass.Reportf(as.Pos(),
+				"float accumulation into %s depends on the iteration order of map %s; iterate sorted keys or annotate //cloudlint:ordered <why>",
+				types.ExprString(as.Lhs[0]), types.ExprString(rs.X))
+			return true
+		})
+		return true
+	})
+	return nil, nil
+}
+
+// isFloatAccumulation reports whether as folds a float value into its
+// left-hand side: x += v (-=, *=, /=) or x = x + v and friends.
+func isFloatAccumulation(pass *analysis.Pass, as *ast.AssignStmt) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	if !isFloatExpr(pass, as.Lhs[0]) {
+		return false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN:
+		bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return false
+		}
+		lhs := types.ExprString(as.Lhs[0])
+		return types.ExprString(bin.X) == lhs || types.ExprString(bin.Y) == lhs
+	}
+	return false
+}
+
+// declaredWithin reports whether the root identifier of lhs (peeling
+// index, selector and deref wrappers) is declared inside body.
+func declaredWithin(pass *analysis.Pass, lhs ast.Expr, body *ast.BlockStmt) bool {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[e]
+			}
+			return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+		default:
+			return false
+		}
+	}
+}
+
+// isFloatExpr reports whether e's type is a floating-point type.
+func isFloatExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cloudmirror/internal/lint"
+	"cloudmirror/internal/lint/linttest"
+)
+
+// TestFloatOrder runs the analyzer over a fixture outside the
+// deterministic package set: float folds over map order are flagged in
+// every package.
+func TestFloatOrder(t *testing.T) {
+	linttest.Run(t, lint.FloatOrderAnalyzer, "cloudmirror/internal/report")
+}

@@ -1,0 +1,304 @@
+// Package linttest runs cloudlint analyzers over fixture packages and
+// matches the reported findings against `// want "regex"` comments — a
+// stdlib-only analogue of golang.org/x/tools/go/analysis/analysistest,
+// which the offline build cannot depend on.
+//
+// Fixture packages live in a GOPATH-style layout under the calling
+// test's testdata directory: testdata/src/<import path>/*.go. Fixture
+// import paths deliberately reuse the real module prefix
+// ("cloudmirror/...") so package-gated analyzers (mapiter, nodrift,
+// apibound) see realistic paths; during type checking, fixture packages
+// shadow the real module's packages of the same path, and every other
+// import resolves through the compiler export data of the enclosing
+// module's build.
+//
+// A `// want` comment asserts that the analyzer reports a finding on
+// that source line whose message matches the given regular expression
+// (a Go string literal, quoted or backquoted; several per comment are
+// allowed). Every finding must be claimed by a want and every want must
+// claim a finding, one-to-one.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"cloudmirror/internal/lint/analysis"
+	"cloudmirror/internal/lint/driver"
+)
+
+// Run loads the fixture packages at the given import paths (under
+// testdata/src relative to the test's working directory), applies the
+// analyzer to each, and diffs the findings against the fixtures'
+// `// want` comments.
+func Run(t *testing.T, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	findings, pkgs := load(t, a, paths...)
+	wants := expectations(t, pkgs)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == f.Position.Filename && w.line == f.Position.Line &&
+				w.rx.MatchString(f.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s (%s)", f.Position, f.Message, f.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no %s finding matched %q", w.file, w.line, a.Name, w.rx)
+		}
+	}
+}
+
+// Findings loads the fixture packages and returns the analyzer's raw
+// findings, for tests asserting on counts or exact positions rather
+// than `// want` comments.
+func Findings(t *testing.T, a *analysis.Analyzer, paths ...string) []driver.Finding {
+	t.Helper()
+	findings, _ := load(t, a, paths...)
+	return findings
+}
+
+// load type-checks the named fixture packages (plus their fixture
+// dependencies) and runs the analyzer over the named ones.
+func load(t *testing.T, a *analysis.Analyzer, paths ...string) ([]driver.Finding, []*driver.Package) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("resolving testdata/src: %v", err)
+	}
+	l := &loader{
+		src:     src,
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*driver.Package{},
+		loading: map[string]bool{},
+	}
+	l.std = driver.ExportImporter(l.fset, func(path string) (string, bool) {
+		exp, ok := stdExports(t)[path]
+		return exp, ok
+	})
+	var roots []*driver.Package
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		if pkg == nil {
+			t.Fatalf("no fixture package %s under %s", path, src)
+		}
+		roots = append(roots, pkg)
+	}
+	findings, err := driver.Run(roots, []*analysis.Analyzer{a}, l.moduleImports)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return findings, roots
+}
+
+// loader type-checks fixture packages on demand, recursing through
+// their fixture imports and falling back to export data for the rest.
+type loader struct {
+	src     string
+	fset    *token.FileSet
+	pkgs    map[string]*driver.Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+// load parses and type-checks the fixture package at the given import
+// path, or returns (nil, nil) when no fixture directory exists.
+func (l *loader) load(path string) (*driver.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil // not a fixture package
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("fixture import cycle at %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := driver.NewInfo()
+	conf := &types.Config{Importer: l, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	var imports []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			if p, err := strconv.Unquote(spec.Path.Value); err == nil {
+				imports = append(imports, p)
+			}
+		}
+	}
+	sort.Strings(imports)
+	pkg := &driver.Package{
+		ImportPath: path,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Imports:    imports,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: fixture packages shadow same-path
+// module packages; everything else resolves through export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg != nil {
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// moduleImports is the analysis.Pass ModuleImports callback over the
+// fixture import graph: module-internal direct imports of each loaded
+// fixture package.
+func (l *loader) moduleImports(path string) ([]string, bool) {
+	pkg, ok := l.pkgs[path]
+	if !ok {
+		return nil, false
+	}
+	var deps []string
+	for _, imp := range pkg.Imports {
+		if imp == "cloudmirror" || strings.HasPrefix(imp, "cloudmirror/") {
+			deps = append(deps, imp)
+		}
+	}
+	return deps, true
+}
+
+var (
+	stdOnce sync.Once
+	stdMap  map[string]string
+	stdErr  error
+)
+
+// stdExports maps import paths to compiler export-data files, built
+// once per test binary by listing the enclosing module's dependency
+// closure (plus the handful of extra standard packages fixtures use).
+func stdExports(t *testing.T) map[string]string {
+	t.Helper()
+	stdOnce.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			stdErr = fmt.Errorf("go env GOMOD: %v", err)
+			return
+		}
+		root := filepath.Dir(strings.TrimSpace(string(out)))
+		ix, err := driver.ListIndex(root, "./...",
+			"errors", "fmt", "math/rand", "os", "sort", "strings", "time")
+		if err != nil {
+			stdErr = err
+			return
+		}
+		stdMap = map[string]string{}
+		for path, lp := range ix.Pkgs {
+			if lp.Export != "" {
+				stdMap[path] = lp.Export
+			}
+		}
+	})
+	if stdErr != nil {
+		t.Fatalf("loading export data: %v", stdErr)
+	}
+	return stdMap
+}
+
+// wantToken matches one Go string literal (quoted or backquoted) in the
+// tail of a // want comment.
+var wantToken = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one parsed // want pattern, anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	used bool
+}
+
+// expectations parses the `// want` comments of every file in pkgs.
+func expectations(t *testing.T, pkgs []*driver.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue
+					}
+					rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					toks := wantToken.FindAllString(rest, -1)
+					if len(toks) == 0 {
+						t.Fatalf("%s: // want comment with no string literal", pos)
+					}
+					for _, tok := range toks {
+						pat, err := strconv.Unquote(tok)
+						if err != nil {
+							t.Fatalf("%s: bad want literal %s: %v", pos, tok, err)
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

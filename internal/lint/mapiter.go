@@ -1,0 +1,372 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cloudmirror/internal/lint/analysis"
+)
+
+// MapIterAnalyzer flags `for range` over a map in a deterministic
+// package. Go randomizes map iteration order, so any map range whose
+// body has order-sensitive effects is a latent determinism bug: the
+// byte-identical admission traces, ledgers and enforcement transcripts
+// this repo guarantees all flow through these packages.
+//
+// Recognized order-insensitive forms are not flagged:
+//
+//   - collect-then-sort: every statement appends to a slice, and each
+//     appended slice is sorted by a following statement in the same
+//     block (sort.* or slices.Sort*);
+//   - exact commutative integer accumulation (n++, n--, n += v, |=,
+//     &=, ^=, -=) whose right-hand side does not read the accumulator;
+//   - keyed map writes dst[k] = v and delete(dst, k) where k is the
+//     iteration key and the value does not read dst.
+//
+// Everything else needs the keys sorted first, or a
+// //cloudlint:ordered <why> justification on (or directly above) the
+// range statement. An empty justification is itself reported.
+var MapIterAnalyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag iteration-order-sensitive map ranges in deterministic packages",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *analysis.Pass) (any, error) {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass, rs) {
+			return true
+		}
+		if pass.Suppressed(rs, "ordered") {
+			return true
+		}
+		if safeMapRange(pass, rs, stack) {
+			return true
+		}
+		pass.Reportf(rs.Pos(),
+			"range over map %s is iteration-order sensitive in deterministic package %s; sort the keys first or annotate //cloudlint:ordered <why>",
+			types.ExprString(rs.X), pass.Pkg.Path())
+		return true
+	})
+	return nil, nil
+}
+
+// isMapRange reports whether rs ranges over a value of map type.
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// safeMapRange reports whether every statement in the loop body is one
+// of the recognized order-insensitive forms, and every appended slice
+// is sorted by a later sibling statement of the range itself.
+func safeMapRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	keyObj := identObject(pass, rs.Key)
+	var appended []types.Object
+	if !safeStmts(pass, rs.Body.List, keyObj, &appended) {
+		return false
+	}
+	for _, obj := range appended {
+		if !sortedAfter(pass, rs, stack, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// safeStmts classifies a statement list inside a map-range body,
+// recursing through nested blocks, deterministic-order nested loops and
+// pure-condition ifs. keyObj is the outer map's iteration key (keyed
+// map writes and deletes stay distinct per iteration only for it).
+// Appended slices accumulate into *appended for the caller's
+// sorted-after check.
+func safeStmts(pass *analysis.Pass, stmts []ast.Stmt, keyObj types.Object, appended *[]types.Object) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(pass, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			obj, ok := safeAssign(pass, s, keyObj)
+			if !ok {
+				return false
+			}
+			if obj != nil {
+				*appended = append(*appended, obj)
+			}
+		case *ast.ExprStmt:
+			if !isKeyedDelete(pass, s, keyObj) {
+				return false
+			}
+		case *ast.RangeStmt:
+			// A nested range is treated as a block: if it ranges over
+			// another map it is visited (and judged) on its own, and
+			// its body must still be order-insensitive with respect to
+			// the outer key.
+			if !safeStmts(pass, s.Body.List, keyObj, appended) {
+				return false
+			}
+		case *ast.BlockStmt:
+			if !safeStmts(pass, s.List, keyObj, appended) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || !pureExpr(s.Cond) {
+				return false
+			}
+			if !safeStmts(pass, s.Body.List, keyObj, appended) {
+				return false
+			}
+			if s.Else != nil {
+				if !safeStmts(pass, []ast.Stmt{s.Else}, keyObj, appended) {
+					return false
+				}
+			}
+		case *ast.BranchStmt:
+			if s.Label != nil || s.Tok == token.GOTO {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// pureExpr reports whether e is free of calls other than the
+// allocation- and query-only builtins — a cheap side-effect-freedom
+// check for if conditions and iteration-local initializers.
+func pureExpr(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return pure
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && pureBuiltins[id.Name] {
+			return pure
+		}
+		pure = false
+		return false
+	})
+	return pure
+}
+
+// pureBuiltins are the builtins pureExpr tolerates.
+var pureBuiltins = map[string]bool{
+	"len": true, "cap": true, "make": true, "new": true, "min": true, "max": true,
+}
+
+// safeAssign classifies one assignment in a map-range body. It returns
+// (slice, true) for `s = append(s, ...)` (the caller must then find a
+// following sort of s), (nil, true) for the other safe forms, and
+// (nil, false) when the assignment is order-sensitive.
+func safeAssign(pass *analysis.Pass, s *ast.AssignStmt, keyObj types.Object) (types.Object, bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil, false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	switch s.Tok {
+	case token.DEFINE:
+		// Declaring an iteration-local with a pure initializer has no
+		// cross-iteration effect.
+		if pureExpr(rhs) {
+			return nil, true
+		}
+		return nil, false
+	case token.ASSIGN:
+		// s = append(s, ...): order-insensitive once sorted.
+		if obj := appendTarget(pass, lhs, rhs); obj != nil {
+			return obj, true
+		}
+		// dst[k] = v with the iteration key: each iteration writes a
+		// distinct key, so the final map is order-independent as long
+		// as v does not read dst.
+		if ix, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+			dst := identObject(pass, ix.X)
+			if dst != nil && isMapExpr(pass, ix.X) &&
+				identObject(pass, ix.Index) == keyObj &&
+				!usesObject(pass, rhs, dst) {
+				return nil, true
+			}
+		}
+		return nil, false
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Integer accumulation is exact and commutative, hence
+		// order-independent — unless the RHS reads the accumulator.
+		acc := identObject(pass, lhs)
+		if isIntegerExpr(pass, lhs) && (acc == nil || !usesObject(pass, rhs, acc)) {
+			return nil, true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// appendTarget returns the object of s when rhs is `append(s, ...)`
+// and lhs resolves to the same s, else nil.
+func appendTarget(pass *analysis.Pass, lhs, rhs ast.Expr) types.Object {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	target := identObject(pass, lhs)
+	if target == nil || identObject(pass, call.Args[0]) != target {
+		return nil
+	}
+	return target
+}
+
+// isKeyedDelete reports whether s is `delete(dst, k)` with the
+// iteration key k: the set of deleted keys is order-independent.
+func isKeyedDelete(pass *analysis.Pass, s *ast.ExprStmt, keyObj types.Object) bool {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || keyObj == nil {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "delete" {
+		return false
+	}
+	return identObject(pass, call.Args[1]) == keyObj
+}
+
+// sortedAfter reports whether a statement after rs in its enclosing
+// block sorts the slice bound to obj.
+func sortedAfter(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	siblings := blockStmts(stack[len(stack)-1])
+	idx := -1
+	for i, s := range siblings {
+		if s == ast.Stmt(rs) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, s := range siblings[idx+1:] {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok && isSortOf(pass, call, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockStmts returns the statement list of a block-like node.
+func blockStmts(n ast.Node) []ast.Stmt {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List
+	case *ast.CaseClause:
+		return b.Body
+	case *ast.CommClause:
+		return b.Body
+	}
+	return nil
+}
+
+// isSortOf reports whether call is a sort.* or slices.Sort* call whose
+// first argument (unwrapping one conversion, for sort.Sort(ByX(s)))
+// resolves to obj.
+func isSortOf(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+	default:
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	arg := call.Args[0]
+	if identObject(pass, arg) == obj {
+		return true
+	}
+	// sort.Sort(byName(s)), sort.Sort(sort.StringSlice(s)): unwrap one
+	// conversion or constructor call around the slice.
+	if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+		return identObject(pass, inner.Args[0]) == obj
+	}
+	return false
+}
+
+// identObject resolves e to the object of a plain identifier (possibly
+// parenthesized), or nil.
+func identObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[v]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[v]
+	}
+	return nil
+}
+
+// usesObject reports whether obj is referenced anywhere inside e.
+func usesObject(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isIntegerExpr reports whether e's type is an integer type.
+func isIntegerExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isMapExpr reports whether e's type is a map type.
+func isMapExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

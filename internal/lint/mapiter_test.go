@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"cloudmirror/internal/lint"
+	"cloudmirror/internal/lint/linttest"
+)
+
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, lint.MapIterAnalyzer, "cloudmirror/internal/sim/mapiterfix")
+}
+
+func TestMapIterIgnoresNonDeterministicPackages(t *testing.T) {
+	linttest.Run(t, lint.MapIterAnalyzer, "cloudmirror/internal/other")
+}
+
+func TestUnjustifiedSuppressionIsAFinding(t *testing.T) {
+	findings := linttest.Findings(t, lint.MapIterAnalyzer, "cloudmirror/internal/sim/unjustified")
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the empty justification, not the range): %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "requires a non-empty justification") {
+		t.Fatalf("finding %q does not report the empty justification", findings[0].Message)
+	}
+}

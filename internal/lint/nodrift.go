@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/types"
+
+	"cloudmirror/internal/lint/analysis"
+)
+
+// NoDriftAnalyzer bans ambient nondeterminism in deterministic
+// packages: wall clocks (time.Now, time.Since), the process-global
+// math/rand RNG, and environment reads (os.Getenv, os.LookupEnv).
+// Deterministic packages take injected clocks and seeded *rand.Rand
+// values so that replay, the differential harnesses and -cpu sweeps
+// reproduce byte-identical traces; one stray time.Now or global
+// rand.Intn silently unpins them.
+//
+// Constructors (rand.New, rand.NewSource) are fine — they are how the
+// seeded RNGs are built. Measurement-only wall-clock reads (benchmark
+// timings reported but never branching a deterministic trace) carry a
+// //cloudlint:wallclock <why> justification on the use.
+var NoDriftAnalyzer = &analysis.Analyzer{
+	Name: "nodrift",
+	Doc:  "ban wall clocks, global RNG and env reads in deterministic packages",
+	Run:  runNoDrift,
+}
+
+// driftyFuncs maps package path -> function name -> the complaint.
+var driftyFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the ambient environment",
+		"LookupEnv": "reads the ambient environment",
+	},
+	"math/rand":    globalRandFuncs,
+	"math/rand/v2": globalRandFuncs,
+}
+
+// globalRandFuncs lists the math/rand (and v2) package-level functions
+// that draw from the process-global generator.
+var globalRandFuncs = map[string]string{
+	"Seed": "mutates the process-global RNG", "Int": "uses the process-global RNG",
+	"Intn": "uses the process-global RNG", "Int31": "uses the process-global RNG",
+	"Int31n": "uses the process-global RNG", "Int63": "uses the process-global RNG",
+	"Int63n": "uses the process-global RNG", "Uint32": "uses the process-global RNG",
+	"Uint64": "uses the process-global RNG", "Float32": "uses the process-global RNG",
+	"Float64": "uses the process-global RNG", "ExpFloat64": "uses the process-global RNG",
+	"NormFloat64": "uses the process-global RNG", "Perm": "uses the process-global RNG",
+	"Shuffle": "uses the process-global RNG", "Read": "uses the process-global RNG",
+	"N": "uses the process-global RNG", "IntN": "uses the process-global RNG",
+	"Int32N": "uses the process-global RNG", "Int64N": "uses the process-global RNG",
+	"UintN": "uses the process-global RNG", "Uint32N": "uses the process-global RNG",
+	"Uint64N": "uses the process-global RNG",
+}
+
+func runNoDrift(pass *analysis.Pass) (any, error) {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			continue // methods like (*rand.Rand).Intn are the fix, not the bug
+		}
+		names := driftyFuncs[fn.Pkg().Path()]
+		if names == nil {
+			continue
+		}
+		why, bad := names[fn.Name()]
+		if !bad {
+			continue
+		}
+		if pass.Suppressed(id, "wallclock") {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"%s.%s %s: deterministic package %s must use injected clocks/seeded RNG/explicit options (//cloudlint:wallclock <why> for measurement-only use)",
+			fn.Pkg().Path(), fn.Name(), why, pass.Pkg.Path())
+	}
+	return nil, nil
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cloudmirror/internal/lint"
+	"cloudmirror/internal/lint/linttest"
+)
+
+func TestNoDrift(t *testing.T) {
+	linttest.Run(t, lint.NoDriftAnalyzer, "cloudmirror/internal/sim/driftfix")
+}
+
+func TestNoDriftIgnoresNonDeterministicPackages(t *testing.T) {
+	linttest.Run(t, lint.NoDriftAnalyzer, "cloudmirror/internal/other")
+}

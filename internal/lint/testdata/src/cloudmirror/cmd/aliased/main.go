@@ -1,0 +1,12 @@
+// Command aliased reaches the banned admitter through an import alias:
+// invisible to the textual `place\.NewAdmitter` grep, resolved by the
+// type checker regardless of spelling.
+package main
+
+import pl "cloudmirror/internal/place"
+
+func main() {
+	adm := pl.NewAdmitter() // want `reference to cloudmirror/internal/place\.NewAdmitter breaches the place-admission boundary`
+	_ = adm
+	_ = pl.Score() // data helpers stay usable
+}

@@ -1,0 +1,7 @@
+// Command bwd is on the wal rule's allow list (it surfaces the
+// -wal-dir flag in the real tree): its direct WAL import is sanctioned.
+package main
+
+import "cloudmirror/internal/wal"
+
+func main() { _ = wal.Open() }

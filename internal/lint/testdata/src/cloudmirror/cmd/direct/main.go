@@ -1,0 +1,7 @@
+// Command direct imports the shard cluster straight across the
+// boundary: the shape grep rule 1 also catches.
+package main
+
+import "cloudmirror/internal/cluster" // want `import of cloudmirror/internal/cluster breaches the cluster boundary`
+
+func main() { _ = cluster.New() }

@@ -1,0 +1,7 @@
+// Command enforcei imports the emulator directly: the shape grep
+// rule 4 also catches.
+package main
+
+import "cloudmirror/internal/netem" // want `import of cloudmirror/internal/netem breaches the enforcement boundary`
+
+func main() { _ = netem.ErrBadInput }

@@ -1,0 +1,7 @@
+// Command launder reaches the cluster through an intermediary helper:
+// no grep rule ever fires, the import-graph walk does.
+package main
+
+import "cloudmirror/internal/helper" // want `reaches cloudmirror/internal/cluster \(via cloudmirror/internal/helper -> cloudmirror/internal/cluster\) breaching the cluster boundary`
+
+func main() { _ = helper.Boot() }

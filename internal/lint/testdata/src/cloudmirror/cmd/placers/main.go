@@ -1,0 +1,7 @@
+// Command placers imports a placer package directly: the shape grep
+// rule 3 also catches.
+package main
+
+import "cloudmirror/internal/place/oktopus" // want `import of cloudmirror/internal/place/oktopus breaches the placer boundary`
+
+func main() { _ = oktopus.New() }

@@ -1,0 +1,10 @@
+// Command plain names the admitter with the default package name: the
+// shape grep rule 2 also catches.
+package main
+
+import "cloudmirror/internal/place"
+
+func main() {
+	adm := place.NewAdmitter() // want `reference to cloudmirror/internal/place\.NewAdmitter breaches the place-admission boundary`
+	_ = adm
+}

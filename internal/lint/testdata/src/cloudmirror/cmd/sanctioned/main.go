@@ -1,0 +1,11 @@
+// Command sanctioned goes through the guarantee front door, which is a
+// declared gateway: reaching cluster and place through it is the
+// sanctioned route and must report nothing.
+package main
+
+import "cloudmirror/guarantee"
+
+func main() {
+	_ = guarantee.New()
+	_ = guarantee.Service()
+}

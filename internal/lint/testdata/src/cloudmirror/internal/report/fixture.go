@@ -1,0 +1,60 @@
+// Package report exercises the floatorder analyzer outside the
+// deterministic package set: float folds over map order are flagged in
+// every package, because emitted tables are diffed byte-for-byte too.
+package report
+
+import "sort"
+
+// Total folds floats in map order: ULP jitter between runs.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum depends on the iteration order of map m`
+	}
+	return sum
+}
+
+// Rebalance is the same fold spelled x = x + v.
+func Rebalance(m map[string]float64, base float64) float64 {
+	for _, v := range m {
+		base = base + v // want `float accumulation into base depends on the iteration order of map m`
+	}
+	return base
+}
+
+// TotalSorted folds over sorted keys: the fix.
+func TotalSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// PerKey resets its accumulator every iteration: an iteration-local
+// fold cannot leak map order across iterations.
+func PerKey(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Tolerated justifies the fold on the accumulating statement itself.
+func Tolerated(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //cloudlint:ordered downstream comparison uses a 1e-9 tolerance, ULP drift acceptable
+	}
+	return sum
+}

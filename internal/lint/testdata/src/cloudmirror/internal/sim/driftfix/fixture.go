@@ -1,0 +1,29 @@
+// Package driftfix exercises the nodrift analyzer inside a
+// deterministic package path.
+package driftfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Bad reads ambient state a deterministic replay cannot reproduce.
+func Bad() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	_ = os.Getenv("SEED")    // want `os\.Getenv reads the ambient environment`
+	_ = rand.Intn(4)         // want `math/rand\.Intn uses the process-global RNG`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Seeded builds and draws from an injected RNG: constructors and
+// methods are the fix, not the bug.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4)
+}
+
+// Measured justifies a measurement-only wall-clock read.
+func Measured() time.Time {
+	return time.Now() //cloudlint:wallclock benchmark timing reported, never branches simulated state
+}

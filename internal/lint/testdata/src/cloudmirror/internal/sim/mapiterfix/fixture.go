@@ -1,0 +1,68 @@
+// Package mapiterfix exercises the mapiter analyzer inside a
+// deterministic package path (a subpackage of internal/sim).
+package mapiterfix
+
+import "sort"
+
+// CollectUnsorted leaks map order into the returned slice.
+func CollectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m is iteration-order sensitive`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Emit is order-sensitive: each iteration has an external effect.
+func Emit(m map[string]int, log func(string)) {
+	for k := range m { // want `range over map m is iteration-order sensitive`
+		log(k)
+	}
+}
+
+// CollectSorted is the sanctioned collect-then-sort shape.
+func CollectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count accumulates integers: exact and commutative, so order-free.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert writes each iteration to a distinct key of the destination.
+func Invert(m map[string]int) map[string]bool {
+	dst := make(map[string]bool)
+	for k := range m {
+		dst[k] = true
+	}
+	return dst
+}
+
+// TierTotals accumulates integers through a nested (non-map) range.
+func TierTotals(m map[string][]int) []int {
+	totals := make([]int, 8)
+	for _, counts := range m {
+		for t, k := range counts {
+			totals[t] += k
+		}
+	}
+	return totals
+}
+
+// Justified carries an order argument the analyzer honors.
+func Justified(m map[string]int, log func(string)) {
+	//cloudlint:ordered the log sink deduplicates and is order-free by contract
+	for k := range m {
+		log(k)
+	}
+}

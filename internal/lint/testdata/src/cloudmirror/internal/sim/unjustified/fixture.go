@@ -1,0 +1,13 @@
+// Package unjustified suppresses mapiter without saying why: the empty
+// justification must itself be the (only) finding.
+package unjustified
+
+// Collect hides an order-sensitive range behind a bare directive.
+func Collect(m map[string]int) []string {
+	var out []string
+	//cloudlint:ordered
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+// Package walclient imports the write-ahead log from outside the
+// sanctioned surface: the wal rule checks every module package, not
+// just cmd and examples.
+package walclient
+
+import "cloudmirror/internal/wal" // want `import of cloudmirror/internal/wal breaches the wal boundary`
+
+// Replay touches the WAL directly.
+func Replay() int { return wal.Open() }

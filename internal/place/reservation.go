@@ -57,6 +57,7 @@ func (r *Reservation) TotalReserved() float64 {
 func (r *Reservation) Delta() topology.Delta {
 	var d topology.Delta
 	if r.ownsSlots {
+		//cloudlint:ordered entries are appended per distinct server and the returned delta is sorted by Normalize()
 		for server, counts := range r.placement {
 			total := 0
 			for _, k := range counts {
@@ -78,6 +79,7 @@ func (r *Reservation) Delta() topology.Delta {
 			d.Resources = append(d.Resources, topology.ResourceDelta{Server: server, Demand: demand})
 		}
 	}
+	//cloudlint:ordered entries are appended per distinct node and the returned delta is sorted by Normalize()
 	for n, v := range r.reserved {
 		if v[0] == 0 && v[1] == 0 {
 			continue
@@ -94,13 +96,23 @@ func (r *Reservation) Release() {
 		return
 	}
 	r.released = true
+	//cloudlint:ordered each distinct node is released exactly once onto its own ledger entry, so releases commute
 	for n, v := range r.reserved {
 		r.tree.Release(n, v[0], v[1])
 	}
 	if !r.ownsSlots {
 		return
 	}
-	for server, counts := range r.placement {
+	// Sorted server order: ReleaseResources folds float credits onto
+	// shared ancestor accumulators, so release order must not depend on
+	// map iteration for the ledger to stay byte-identical across runs.
+	servers := make([]topology.NodeID, 0, len(r.placement))
+	for server := range r.placement {
+		servers = append(servers, server)
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	for _, server := range servers {
+		counts := r.placement[server]
 		total := 0
 		for t, k := range counts {
 			total += k
@@ -207,6 +219,7 @@ func Account(tree *topology.Tree, model Model, pl Placement) (*Reservation, erro
 // counts for every server and ancestor that holds at least one VM.
 func AggregateCounts(tree *topology.Tree, tiers int, pl Placement) map[topology.NodeID][]int {
 	counts := make(map[topology.NodeID][]int)
+	//cloudlint:ordered per-node counts accumulate by exact integer addition, which commutes
 	for server, c := range pl {
 		tree.PathToRoot(server, func(n topology.NodeID) {
 			agg := counts[n]

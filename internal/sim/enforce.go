@@ -252,7 +252,8 @@ func EnforceBench(cfg EnforceBenchConfig) ([]EnforceBenchCell, error) {
 			// demands, then the fleet steps.
 			cell := EnforceBenchCell{Tenants: count, Pairs: rep.Pairs, DirtyFraction: frac}
 			rot := 0
-			start := time.Now()
+			start := time.Now() //cloudlint:wallclock benchmark timing measurement only; never feeds simulated state
+			//cloudlint:wallclock wall-time budget bounds benchmark duration, not simulation behavior
 			for cell.Steps < 10 || (time.Since(start) < 100*time.Millisecond && cell.Steps < 10_000) {
 				for k := 0; k < dirty; k++ {
 					i := (rot + k) % count
@@ -266,7 +267,7 @@ func EnforceBench(cfg EnforceBenchConfig) ([]EnforceBenchCell, error) {
 				}
 				cell.Steps++
 			}
-			elapsed := time.Since(start).Seconds()
+			elapsed := time.Since(start).Seconds() //cloudlint:wallclock benchmark timing measurement only; never feeds simulated state
 			if elapsed > 0 {
 				cell.StepsPerSec = float64(cell.Steps) / elapsed
 				cell.MsPerStep = 1000 * elapsed / float64(cell.Steps)
@@ -276,13 +277,13 @@ func EnforceBench(cfg EnforceBenchConfig) ([]EnforceBenchCell, error) {
 			if err := declare(); err != nil {
 				return nil, err
 			}
-			cstart := time.Now()
+			cstart := time.Now() //cloudlint:wallclock benchmark timing measurement only; never feeds simulated state
 			crep, err := enf.Converge(0, 0)
 			if err != nil {
 				return nil, err
 			}
 			cell.ConvergeIterations = crep.Iterations
-			cell.ConvergeMs = 1000 * time.Since(cstart).Seconds()
+			cell.ConvergeMs = 1000 * time.Since(cstart).Seconds() //cloudlint:wallclock benchmark timing measurement only; never feeds simulated state
 			cells = append(cells, cell)
 		}
 

@@ -139,16 +139,19 @@ func Merge(ds ...Delta) Delta {
 		}
 	}
 	var m Delta
+	//cloudlint:ordered entries are appended per distinct node and the merged delta is sorted by Normalize() on return
 	for n, k := range slots {
 		if k != 0 {
 			m.Slots = append(m.Slots, SlotDelta{Server: n, N: k})
 		}
 	}
+	//cloudlint:ordered entries are appended per distinct node and the merged delta is sorted by Normalize() on return
 	for n, v := range links {
 		if v[0] != 0 || v[1] != 0 {
 			m.Links = append(m.Links, LinkDelta{Node: n, Out: v[0], In: v[1]})
 		}
 	}
+	//cloudlint:ordered entries are appended per distinct node and the merged delta is sorted by Normalize() on return
 	for n, dem := range resources {
 		zero := true
 		for _, v := range dem {

@@ -2,59 +2,17 @@
 # api-check enforces the public-API boundary: binaries and examples
 # obtain admission only through the public guarantee package — never by
 # constructing internal admitters, reaching into the shard cluster, or
-# instantiating placer packages directly. The guarantee.Service front
-# door is the single admission entry point outside internal/, so the
-# typed rejection taxonomy, central request validation, and functional
-# options cannot be bypassed by a new cmd or example. Purely textual
-# (grep over the source), so it stays fast and dependency-free.
+# instantiating placer packages directly.
+#
+# Formerly five grep rules over cmd/ and examples/; now a thin wrapper
+# over `cloudlint -apibound`, which checks the same five boundaries
+# (declared as data in internal/lint/config.go) on the real import
+# graph and the type checker's resolved references — so aliased
+# imports, dot imports and transitive laundering helpers that a grep
+# cannot see are caught too. internal/lint/parity_test.go proves each
+# old grep rule is still covered.
 set -eu
 cd "$(dirname "$0")/.."
 
-fail=0
-
-# 1. The shard cluster is an implementation detail of guarantee: no
-#    cmd or example may import it.
-if out=$(grep -rn '"cloudmirror/internal/cluster"' cmd examples); then
-    echo "api-check: direct internal/cluster import (use guarantee.New):"
-    echo "$out"
-    fail=1
-fi
-
-# 2. The admission paths of internal/place are wrapped by guarantee:
-#    no cmd or example may name the admitters or the Admission/Grant
-#    machinery. (Data helpers like place.Placement stay usable.)
-if out=$(grep -rnE 'place\.(NewAdmitter|NewOptimisticAdmitter|Admitter|OptimisticAdmitter|Admission|Grant)\b' cmd examples); then
-    echo "api-check: direct internal/place admission usage (use guarantee.Service):"
-    echo "$out"
-    fail=1
-fi
-
-# 3. Placement algorithms are selected through the guarantee algorithm
-#    registry: no cmd or example may import a placer package.
-if out=$(grep -rnE '"cloudmirror/internal/place/(cloudmirror|oktopus|secondnet)"' cmd examples); then
-    echo "api-check: direct placer package import (use guarantee.WithAlgorithm):"
-    echo "$out"
-    fail=1
-fi
-
-# 4. Enforcement is reached only through guarantee.WithEnforcement and
-#    Service.Enforcement(): no cmd or example may import the GP/RA
-#    machinery, the fluid-network emulator, or the dataplane directly.
-#    (Only internal packages and the packages' own tests may.)
-if out=$(grep -rnE '"cloudmirror/internal/(enforce|netem|dataplane)"' cmd examples); then
-    echo "api-check: direct enforcement import (use guarantee.WithEnforcement):"
-    echo "$out"
-    fail=1
-fi
-
-# 5. The write-ahead log is an implementation detail of the durable
-#    control plane: only the guarantee package (and cmd/bwd, which
-#    surfaces the -wal-dir flag) may import internal/wal. Everything
-#    else goes through WithDurability / Open / Service.Durability().
-if out=$(grep -rn '"cloudmirror/internal/wal"' cmd examples internal | grep -v '^internal/wal/\|^cmd/bwd/'); then
-    echo "api-check: direct internal/wal import (use guarantee.WithDurability):"
-    echo "$out"
-    fail=1
-fi
-
-exit $fail
+go build -o bin/cloudlint ./cmd/cloudlint
+exec ./bin/cloudlint -apibound ./...

@@ -12,7 +12,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 fail=0
-files=$(find internal guarantee -name '*.go' ! -name '*_test.go' | sort)
+# testdata trees hold analyzer fixtures, not API surface.
+files=$(find internal guarantee -path '*/testdata/*' -prune -o -name '*.go' ! -name '*_test.go' -print | sort)
 
 # Exported identifiers: a top-level `func|type|var|const Exported`, or
 # a method `func (recv ExportedType) ExportedName`, must be directly
@@ -45,7 +46,7 @@ fi
 
 # Package doc comments: at least one file per package must carry a
 # comment block directly above its package clause.
-for dir in $(find internal guarantee -type d | sort); do
+for dir in $(find internal guarantee -path '*/testdata' -prune -o -type d -print | sort); do
     ok=""
     found_go=""
     for f in "$dir"/*.go; do
@@ -68,7 +69,7 @@ done
 # the contract they pin (the Indexes section is the soundness contract
 # of the topology free-capacity index; the README batch note is the
 # public AdmitBatch semantics).
-for want in '^## Indexes' '^### Soundness invariant' '^### Delta-maintenance contract' '^### Snapshot/replay interaction' '^## Enforcement hot path' '^### Event-driven max-min' '^### Component-incremental stepping'; do
+for want in '^## Indexes' '^### Soundness invariant' '^### Delta-maintenance contract' '^### Snapshot/replay interaction' '^## Enforcement hot path' '^### Event-driven max-min' '^### Component-incremental stepping' '^## Static analysis' '^### The analyzers' '^### Suppression directives' '^### Boundary rules as data'; do
     if ! grep -q "$want" docs/ARCHITECTURE.md; then
         echo "docs/ARCHITECTURE.md: missing section matching '$want'"
         fail=1
@@ -76,6 +77,10 @@ for want in '^## Indexes' '^### Soundness invariant' '^### Delta-maintenance con
 done
 if ! grep -q 'AdmitBatch' README.md; then
     echo "README.md: missing the batch-admission (AdmitBatch) note"
+    fail=1
+fi
+if ! grep -q 'make analyze' README.md; then
+    echo "README.md: missing the analyzer-suite (make analyze) note"
     fail=1
 fi
 
