@@ -70,14 +70,17 @@ test-fuzz:
 # the churn and admission sweeps), the sharded churn simulator itself
 # (locked and optimistic admission paths, with and without the
 # enforcement dataplane), the optimistic-vs-locked output-identity
-# check, and the crash-recovery identity check (kill a durable service
+# check, the commit-pipeline identity and mixed-lifecycle stress
+# checks (flat-combining queue vs the locked Admitter, byte for byte),
+# and the crash-recovery identity check (kill a durable service
 # mid-churn, recover from WAL + snapshot, demand a byte-identical
 # admission trace and final ledger).
 determinism:
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run TestParallelDeterminism ./internal/experiments
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestChurnDeterminism|TestChurnResizeDeterminism|TestEnforceChurnDeterminism|TestEnforceChurnIncrementalMatchesFull|TestChurnOptimisticMatchesLocked|TestChurnResizeOptimisticMatchesLocked' ./internal/sim
+	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestCommitPipelineDeterminism|TestCommitPipelineMixedStress' ./internal/place
 	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestDifferential' ./internal/dataplane
-	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestCrashRecoveryDeterminism|TestDurableMatchesInMemory' ./guarantee
+	$(GO) test -short -race -count=1 -cpu=1,4,8 -run 'TestCrashRecoveryDeterminism|TestDurableMatchesInMemory|TestGroupCommit' ./guarantee
 
 # One iteration of every per-artifact benchmark: regenerates the quick
 # experiment suite and the admission-throughput numbers.

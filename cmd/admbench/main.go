@@ -6,7 +6,7 @@
 // Usage:
 //
 //	admbench [-out BENCH_admission.json] [-arrivals N] [-servers 128|512|2048]
-//	         [-goroutines 1,4,8] [-seed N]
+//	         [-goroutines 1,4,8] [-shards 1,2,4] [-durable=false] [-seed N]
 //	         [-enforce-out BENCH_enforce.json] [-enforce-tenants 8,32,128,512]
 //	         [-enforce-dirty 0.01,0.1,1]
 //	         [-cpuprofile cpu.out] [-memprofile mem.out]
@@ -22,11 +22,18 @@
 // -cpuprofile and -memprofile write runtime/pprof profiles of the run
 // (CPU for the whole run, heap at exit) for feeding `go tool pprof`.
 //
-// For each goroutine count G the tool runs the same workload twice on a
-// single shard: once through the locked admission path and once through
-// the optimistic two-phase pipeline with G planners (both behind the
-// public guarantee.Service). The admissions-per-second ratio between
-// the two is the intra-shard speedup the optimistic pipeline buys.
+// For each shard count in -shards and each goroutine count G the tool
+// runs the same workload twice: once through the locked admission path
+// and once through the optimistic two-phase pipeline with G planners
+// (both behind the public guarantee.Service). The admissions-per-second
+// ratio between the two is the intra-shard speedup the optimistic
+// pipeline buys. With -durable (on by default) each single-shard level
+// additionally runs the locked path against a write-ahead log in a
+// temp directory, exercising the WAL group commit; the cell reports
+// how many fsyncs the run paid. Every cell also records the heap cost
+// per admission decision, and the report closes with a per-mode
+// scaling-efficiency summary (throughput at the top concurrency level
+// over throughput single-threaded).
 package main
 
 import (
@@ -45,9 +52,11 @@ import (
 	"cloudmirror/internal/workload"
 )
 
-// result is one (mode, goroutines) measurement cell of the report.
+// result is one (mode, shards, goroutines) measurement cell of the
+// report.
 type result struct {
 	Mode             string  `json:"mode"`
+	Shards           int     `json:"shards"`
 	Goroutines       int     `json:"goroutines"`
 	Planners         int     `json:"planners"`
 	Attempts         int     `json:"attempts"`
@@ -56,6 +65,15 @@ type result struct {
 	ElapsedSeconds   float64 `json:"elapsed_seconds"`
 	AttemptsPerSec   float64 `json:"attempts_per_sec"`
 	AdmissionsPerSec float64 `json:"admissions_per_sec"`
+	// AllocsPerAdmit and BytesPerAdmit track the heap cost of one
+	// admission decision; benchdiff gates them upward (allocation
+	// regressions fail like throughput regressions do).
+	AllocsPerAdmit float64 `json:"allocs_per_admit"`
+	BytesPerAdmit  float64 `json:"bytes_per_admit"`
+	// Fsyncs is the WAL fsync count of a durable cell (0 elsewhere):
+	// group commit keeps it below the admission count once concurrent
+	// clients coalesce their flushes.
+	Fsyncs uint64 `json:"fsyncs,omitempty"`
 }
 
 // report is the BENCH_admission.json schema.
@@ -66,6 +84,11 @@ type report struct {
 	Arrivals  int      `json:"arrivals"`
 	Seed      int64    `json:"seed"`
 	Results   []result `json:"results"`
+	// ScalingEfficiency maps each single-shard mode to the ratio of its
+	// admissions/sec at the highest measured goroutine count over the
+	// count at 1 goroutine — 1.0 means admission throughput holds up
+	// under concurrency, below 1 means contention eats it.
+	ScalingEfficiency map[string]float64 `json:"scaling_efficiency"`
 }
 
 // enforceResult is one (fleet size, dirty fraction) cell of the
@@ -96,6 +119,8 @@ func main() {
 	arrivals := flag.Int("arrivals", 4000, "admission attempts per measurement cell")
 	servers := flag.Int("servers", 128, "datacenter size: 128, 512, or 2048 servers")
 	gor := flag.String("goroutines", "1,4,8", "comma-separated concurrency levels")
+	shardsList := flag.String("shards", "1,4", "comma-separated shard-fleet sizes to sweep")
+	durable := flag.Bool("durable", true, "add durable-mode cells (WAL group commit in a temp dir) at each concurrency level")
 	seed := flag.Int64("seed", 1, "workload seed")
 	enfOut := flag.String("enforce-out", "", "also benchmark the enforcement control loop into this file (\"-\" for stdout)")
 	enfTenants := flag.String("enforce-tenants", "8,32,128,512", "comma-separated tenant counts for the enforcement benchmark")
@@ -133,13 +158,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var levels []int
-	for _, f := range strings.Split(*gor, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 {
-			fatal(fmt.Errorf("invalid -goroutines entry %q: need positive integers", f))
-		}
-		levels = append(levels, n)
+	levels, err := intList(*gor, "-goroutines")
+	if err != nil {
+		fatal(err)
+	}
+	shardCounts, err := intList(*shardsList, "-shards")
+	if err != nil {
+		fatal(err)
 	}
 
 	pool := workload.BingLike(*seed)
@@ -149,11 +174,12 @@ func main() {
 		fatal(err)
 	}
 	cfg := sim.Config{
-		Spec:      spec,
-		NewPlacer: algorithm.NewPlacer,
-		Pool:      pool,
-		Arrivals:  *arrivals,
-		Seed:      *seed,
+		Spec:          spec,
+		NewPlacer:     algorithm.NewPlacer,
+		AlgorithmName: "cm",
+		Pool:          pool,
+		Arrivals:      *arrivals,
+		Seed:          *seed,
 	}
 
 	rep := report{
@@ -163,21 +189,44 @@ func main() {
 		Arrivals:  *arrivals,
 		Seed:      *seed,
 	}
-	for _, g := range levels {
-		locked, err := sim.ShardedThroughput(cfg, 1, "", g)
-		if err != nil {
-			fatal(err)
+	for _, shards := range shardCounts {
+		for _, g := range levels {
+			locked, err := sim.ShardedThroughput(cfg, shards, "", g)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Results = append(rep.Results, cell("locked", g, 0, locked))
+			opt, err := sim.OptimisticThroughput(cfg, shards, "", g, g)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Results = append(rep.Results, cell("optimistic", g, g, opt))
+			lps := rep.Results[len(rep.Results)-2].AdmissionsPerSec
+			ops := rep.Results[len(rep.Results)-1].AdmissionsPerSec
+			fmt.Fprintf(os.Stderr, "admbench: shards=%d goroutines=%d locked %.0f adm/s, optimistic %.0f adm/s (×%.2f)\n",
+				shards, g, lps, ops, ops/lps)
+			if !*durable || shards != 1 {
+				continue
+			}
+			dir, err := os.MkdirTemp("", "admbench-wal-")
+			if err != nil {
+				fatal(err)
+			}
+			dur, err := sim.DurableThroughput(cfg, 1, "", g, dir)
+			os.RemoveAll(dir)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Results = append(rep.Results, cell("durable", g, 0, dur))
+			fmt.Fprintf(os.Stderr, "admbench: goroutines=%d durable %.0f adm/s (%d fsyncs / %d attempts)\n",
+				g, rep.Results[len(rep.Results)-1].AdmissionsPerSec, dur.Fsyncs, dur.Attempts)
 		}
-		rep.Results = append(rep.Results, cell("locked", g, 0, locked))
-		opt, err := sim.OptimisticThroughput(cfg, 1, "", g, g)
-		if err != nil {
-			fatal(err)
+	}
+	rep.ScalingEfficiency = scalingEfficiency(rep.Results)
+	for _, mode := range []string{"locked", "optimistic", "durable"} {
+		if eff, ok := rep.ScalingEfficiency[mode]; ok {
+			fmt.Fprintf(os.Stderr, "admbench: scaling efficiency %s %.2f\n", mode, eff)
 		}
-		rep.Results = append(rep.Results, cell("optimistic", g, g, opt))
-		lps := rep.Results[len(rep.Results)-2].AdmissionsPerSec
-		ops := rep.Results[len(rep.Results)-1].AdmissionsPerSec
-		fmt.Fprintf(os.Stderr, "admbench: goroutines=%d locked %.0f adm/s, optimistic %.0f adm/s (×%.2f)\n",
-			g, lps, ops, ops/lps)
 	}
 
 	writeJSON(*out, rep)
@@ -252,6 +301,7 @@ func writeJSON(out string, v any) {
 func cell(mode string, goroutines, planners int, r *sim.ThroughputResult) result {
 	c := result{
 		Mode:           mode,
+		Shards:         r.Shards,
 		Goroutines:     goroutines,
 		Planners:       planners,
 		Attempts:       r.Attempts,
@@ -259,11 +309,55 @@ func cell(mode string, goroutines, planners int, r *sim.ThroughputResult) result
 		Rejected:       r.Rejected,
 		ElapsedSeconds: r.Elapsed.Seconds(),
 		AttemptsPerSec: r.AttemptsPerSec,
+		AllocsPerAdmit: r.AllocsPerAdmit,
+		BytesPerAdmit:  r.BytesPerAdmit,
+		Fsyncs:         r.Fsyncs,
 	}
 	if s := r.Elapsed.Seconds(); s > 0 {
 		c.AdmissionsPerSec = float64(r.Admitted) / s
 	}
 	return c
+}
+
+// scalingEfficiency derives, per single-shard mode, the ratio of
+// admissions/sec at the highest measured goroutine count to the rate
+// at 1 goroutine. Modes missing either endpoint are omitted.
+func scalingEfficiency(results []result) map[string]float64 {
+	base := map[string]float64{}
+	top := map[string]float64{}
+	topG := map[string]int{}
+	for _, r := range results {
+		if r.Shards != 1 {
+			continue
+		}
+		if r.Goroutines == 1 {
+			base[r.Mode] = r.AdmissionsPerSec
+		}
+		if r.Goroutines >= topG[r.Mode] {
+			topG[r.Mode] = r.Goroutines
+			top[r.Mode] = r.AdmissionsPerSec
+		}
+	}
+	eff := map[string]float64{}
+	for mode, b := range base {
+		if t, ok := top[mode]; ok && topG[mode] > 1 && b > 0 {
+			eff[mode] = t / b
+		}
+	}
+	return eff
+}
+
+// intList parses a comma-separated list of positive integers.
+func intList(s, flagName string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid %s entry %q: need positive integers", flagName, f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // specFor maps a server count to its named topology spec.

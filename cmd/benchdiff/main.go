@@ -11,10 +11,12 @@
 // dotted path (arrays by index — benchmark shapes are deterministic,
 // so index alignment is stable), and each path present in both files
 // is reported as old -> new with the relative change. With -fail F,
-// any throughput-like metric (its path ends in per_sec) that drops by
-// more than the fraction F fails the run — the regression gate for
-// `make bench-diff`. Timing noise on shared CI machines is real, so
-// the default is report-only.
+// any gated metric that regresses by more than the fraction F fails
+// the run — the regression gate for `make bench-diff`. Gated metrics
+// and their good directions: *per_sec and scaling_efficiency.* are
+// higher-better (a drop regresses); *per_admit allocation costs are
+// lower-better (a rise regresses). Timing noise on shared CI machines
+// is real, so the default is report-only.
 package main
 
 import (
@@ -64,17 +66,32 @@ func main() {
 			change = (n - o) / o
 		}
 		fmt.Printf("  %-60s %14.4g -> %14.4g  %+7.2f%%\n", p, o, n, change*100)
-		// Only throughput-like metrics gate: for them, down is bad.
-		if strings.HasSuffix(p, "per_sec") && -change > worst {
-			worst, worstPath = -change, p
+		// Only gated metrics count toward the regression verdict;
+		// regression() orients each kind so positive means worse.
+		if r := regression(p, change); r > worst {
+			worst, worstPath = r, p
 		}
 	}
 	if worstPath != "" {
-		fmt.Printf("worst throughput regression: %s (%.2f%%)\n", worstPath, worst*100)
+		fmt.Printf("worst regression: %s (%.2f%%)\n", worstPath, worst*100)
 	}
 	if *failOver > 0 && worst > *failOver {
 		fatal(fmt.Errorf("%s regressed %.2f%%, over the %.0f%% gate", worstPath, worst*100, *failOver*100))
 	}
+}
+
+// regression maps a metric's relative change to its regression
+// magnitude (positive = worse), or 0 for ungated metrics. Throughput
+// rates and scaling efficiency regress downward; per-admission
+// allocation costs regress upward.
+func regression(path string, change float64) float64 {
+	switch {
+	case strings.HasSuffix(path, "per_sec"), strings.Contains(path, "scaling_efficiency."):
+		return -change
+	case strings.HasSuffix(path, "per_admit"):
+		return change
+	}
+	return 0
 }
 
 // load parses a JSON report and flattens its numeric leaves.

@@ -27,10 +27,16 @@ import (
 // the same commit paths live operations use.
 //
 // Exactness caveat: the log records operations in append order, which
-// equals commit order because a durable service serializes lifecycle
-// operations on the Durability lock. The price is admission
-// concurrency; the reward is byte-identical recovery (including float
-// residue in every ledger accumulator — see internal/place replay).
+// equals commit order because a durable service serializes the
+// commit-and-write step of every lifecycle operation on the Durability
+// lock. The fsync is NOT under that lock: each operation writes its
+// record, releases the lock, and joins a committer-side flush barrier
+// where the first waiter through fsyncs on behalf of everyone queued —
+// N concurrent durable admits pay one fsync, not N (group commit). An
+// operation acknowledges only after the barrier covers its record, so
+// a crash still loses nothing that was acknowledged, and the reward is
+// unchanged: byte-identical recovery (including float residue in every
+// ledger accumulator — see internal/place replay).
 
 // snapshotVersion tags the snapshot JSON format.
 const snapshotVersion = 1
@@ -101,6 +107,11 @@ type Durability struct {
 	mu    sync.Mutex
 	log   *wal.Log
 	every int
+	// flushMu is the group-commit barrier: the holder fsyncs the log on
+	// behalf of every record written before it got here (see syncTo).
+	// Never nested with mu — operations write under mu, release it,
+	// then queue here.
+	flushMu sync.Mutex
 	// closed latches after Close, abandon, or a log failure; err holds
 	// the failure that wedged the service, nil for a clean Close.
 	closed bool
@@ -548,39 +559,61 @@ func (d *Durability) abandon() {
 	d.log.Close() //nolint:errcheck // simulated crash
 }
 
-// admit runs one admission under the durability lock: dispatch with
-// route tracing, append the outcome to the log, and only then return.
-// An admission whose append fails is rolled back before the service
-// wedges — an acknowledged grant must never be missing from the log.
+// admit runs one admission: dispatch with route tracing and the log
+// write happen under the durability lock (so log order is commit
+// order), then the lock is released and the admission waits at the
+// flush barrier until its record is durable — concurrent admits
+// coalesce into one fsync. An admission whose record never becomes
+// durable is rolled back before the error returns — an acknowledged
+// grant must never be missing from the log.
 func (d *Durability) admit(preq *place.Request) (Grant, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		defer d.mu.Unlock()
 		return nil, d.rejectClosedLocked("admit")
 	}
-	return d.admitLocked(preq)
+	g, lsn, err := d.admitLocked(preq)
+	d.mu.Unlock()
+	if lsn != 0 {
+		if ferr := d.syncTo(lsn); ferr != nil {
+			d.rollbackGrant(g)
+			return nil, ferr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // admitBatch coalesces a batch of admissions into one durability
-// critical section: the lock is taken once, and each element runs the
-// same dispatch-append-acknowledge sequence admit performs, so the log
-// records the batch in order exactly as sequential admissions would.
-// Grants are parallel to preqs (nil where an element failed); the error
-// joins the per-element failures, each carrying its batch index.
+// critical section and ONE flush: the lock is taken once, each element
+// runs the same dispatch-and-write sequence admit performs (so the log
+// records the batch in order exactly as sequential admissions would),
+// and a single barrier wait after the lock drops makes every record
+// durable — N framed writes, one fsync. Grants are parallel to preqs
+// (nil where an element failed); the error joins the per-element
+// failures, each carrying its batch index.
 func (d *Durability) admitBatch(preqs []*place.Request) ([]Grant, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	grants := make([]Grant, len(preqs))
-	var errs []error
+	lsns := make([]uint64, len(preqs))
+	var (
+		errs   []error
+		maxLSN uint64
+	)
 	for i, preq := range preqs {
 		var (
-			g   Grant
+			g   *grant
 			err error
 		)
 		if d.closed { // a mid-batch wedge fails the remaining elements
 			err = d.rejectClosedLocked("admit")
 		} else {
-			g, err = d.admitLocked(preq)
+			g, lsns[i], err = d.admitLocked(preq)
+			if lsns[i] > maxLSN {
+				maxLSN = lsns[i]
+			}
 		}
 		if err != nil {
 			errs = append(errs, fmt.Errorf("request %d: %w", i, place.WithBatchIndex(err, i)))
@@ -588,12 +621,33 @@ func (d *Durability) admitBatch(preqs []*place.Request) ([]Grant, error) {
 		}
 		grants[i] = g
 	}
+	d.mu.Unlock()
+	if maxLSN != 0 {
+		if ferr := d.syncTo(maxLSN); ferr != nil {
+			// Elements whose records were already durable (an earlier
+			// flush or rotation covered them) stand; the rest roll back
+			// and fail — acknowledged iff logged, even mid-wedge.
+			durable := d.log.Synced()
+			for i := range grants {
+				g, ok := grants[i].(*grant)
+				if !ok || lsns[i] <= durable {
+					continue
+				}
+				d.rollbackGrant(g)
+				grants[i] = nil
+				errs = append(errs, fmt.Errorf("request %d: %w", i, place.WithBatchIndex(ferr, i)))
+			}
+		}
+	}
 	return grants, errors.Join(errs...)
 }
 
-// admitLocked is the body of one admission; the caller holds d.mu and
-// has checked d.closed.
-func (d *Durability) admitLocked(preq *place.Request) (Grant, error) {
+// admitLocked is the dispatch-and-write body of one admission; the
+// caller holds d.mu and has checked d.closed. The returned LSN (0 when
+// nothing was written) names the outcome's log record; the caller must
+// not acknowledge the outcome — grant or error — before a flush
+// barrier covers it.
+func (d *Durability) admitLocked(preq *place.Request) (g *grant, lsn uint64, err error) {
 	ten, first, last, err := d.svc.disp.PlaceTraced(preq)
 	demand := math.NaN()
 	if preq.Graph != nil {
@@ -612,11 +666,12 @@ func (d *Durability) admitLocked(preq *place.Request) (Grant, error) {
 			Demand: demand,
 			Reason: place.ReasonOf(err),
 		}
-		if aerr := d.appendLocked(ev); aerr != nil {
-			return nil, aerr
+		lsn, aerr := d.writeLocked(ev)
+		if aerr != nil {
+			return nil, 0, aerr
 		}
 		d.maybeSnapshotLocked()
-		return nil, err
+		return nil, lsn, err
 	}
 	rec, _ := ten.Record()
 	ev := place.Event{
@@ -632,14 +687,30 @@ func (d *Durability) admitLocked(preq *place.Request) (Grant, error) {
 		Delta:     rec.Delta,
 		Demand:    demand,
 	}
-	if aerr := d.appendLocked(ev); aerr != nil {
+	lsn, aerr := d.writeLocked(ev)
+	if aerr != nil {
 		ten.Release()
-		return nil, aerr
+		return nil, 0, aerr
 	}
-	g := &grant{ten: ten, svc: d.svc}
+	g = &grant{ten: ten, svc: d.svc}
 	d.grants[grantKey{last, ten.Key()}] = g
 	d.maybeSnapshotLocked()
-	return g, nil
+	return g, lsn, nil
+}
+
+// rollbackGrant undoes an admission whose log record never became
+// durable: the tenant releases and the grant unregisters, keeping
+// acknowledged-iff-logged even as the service wedges. The release is
+// not logged — the service is closed, and the recovered state simply
+// never contains the admission.
+func (d *Durability) rollbackGrant(g *grant) {
+	if g == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	g.ten.Release()
+	delete(d.grants, grantKey{g.ten.Shard().ID(), g.ten.Key()})
 }
 
 // resize runs one resize under the durability lock. Outcomes that
@@ -649,8 +720,8 @@ func (d *Durability) admitLocked(preq *place.Request) (Grant, error) {
 // rejections touch nothing and are not.
 func (d *Durability) resize(g *grant, newGraph *tag.Graph) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		defer d.mu.Unlock()
 		return d.rejectClosedLocked("resize")
 	}
 	shard := g.ten.Shard().ID()
@@ -659,6 +730,7 @@ func (d *Durability) resize(g *grant, newGraph *tag.Graph) error {
 	if err != nil {
 		reason := place.ReasonOf(err)
 		if reason == Unsupported || reason == Released {
+			d.mu.Unlock()
 			return err // no counters moved; nothing to replay
 		}
 		kind := place.EventFailed
@@ -674,10 +746,16 @@ func (d *Durability) resize(g *grant, newGraph *tag.Graph) error {
 			Demand: math.NaN(),
 			Reason: reason,
 		}
-		if aerr := d.appendLocked(ev); aerr != nil {
+		lsn, aerr := d.writeLocked(ev)
+		if aerr != nil {
+			d.mu.Unlock()
 			return aerr
 		}
 		d.maybeSnapshotLocked()
+		d.mu.Unlock()
+		if ferr := d.syncTo(lsn); ferr != nil {
+			return ferr
+		}
 		return err
 	}
 	rec, _ := g.ten.Record()
@@ -699,15 +777,20 @@ func (d *Durability) resize(g *grant, newGraph *tag.Graph) error {
 		ev.First = -2
 		ev.Graph = newGraph
 	}
-	if aerr := d.appendLocked(ev); aerr != nil {
+	lsn, aerr := d.writeLocked(ev)
+	if aerr != nil {
 		// The resize committed but its record did not: the ledger would
 		// diverge from the log on recovery, so the service wedges
-		// (appendLocked already latched) and the caller must treat the
+		// (writeLocked already latched) and the caller must treat the
 		// resize outcome as unknown.
+		d.mu.Unlock()
 		return aerr
 	}
 	d.maybeSnapshotLocked()
-	return nil
+	d.mu.Unlock()
+	// A flush failure wedges and the outcome is unknown — the resize
+	// committed in memory but may be missing from the recovered log.
+	return d.syncTo(lsn)
 }
 
 // release runs one release under the durability lock. Releases on a
@@ -716,13 +799,14 @@ func (d *Durability) resize(g *grant, newGraph *tag.Graph) error {
 // last durable state.
 func (d *Durability) release(g *grant) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if !g.ten.Release() {
+		d.mu.Unlock()
 		return // second release: no-op, nothing to log
 	}
 	gk := grantKey{g.ten.Shard().ID(), g.ten.Key()}
 	delete(d.grants, gk)
 	if d.closed {
+		d.mu.Unlock()
 		return
 	}
 	ev := place.Event{
@@ -733,23 +817,60 @@ func (d *Durability) release(g *grant) {
 		First:  -1,
 		Demand: math.NaN(),
 	}
-	if aerr := d.appendLocked(ev); aerr != nil {
+	lsn, aerr := d.writeLocked(ev)
+	if aerr != nil {
+		d.mu.Unlock()
 		return // wedged; the release stands in memory, Grant has no error path
 	}
 	d.maybeSnapshotLocked()
+	d.mu.Unlock()
+	d.syncTo(lsn) //nolint:errcheck // wedged; the release stands in memory, Grant has no error path
 }
 
-// appendLocked encodes and appends one event, fsyncing before return.
-// On failure the service wedges and a typed shutting_down rejection is
-// returned for the caller to surface.
-func (d *Durability) appendLocked(ev place.Event) error {
+// writeLocked encodes one event and writes its record to the log
+// without flushing, returning the record's LSN. The caller holds d.mu
+// and must not acknowledge the event's outcome before syncTo covers
+// the LSN. On failure the service wedges and a typed shutting_down
+// rejection is returned for the caller to surface.
+func (d *Durability) writeLocked(ev place.Event) (uint64, error) {
 	b, err := place.EncodeEvent(ev)
+	var lsn uint64
 	if err == nil {
-		err = d.log.Append(b)
+		lsn, err = d.log.Write(b)
 	}
 	if err != nil {
 		d.wedgeLocked(err)
-		return place.Rejectf("append", ShuttingDown, "write-ahead log failed: %v", err)
+		return 0, place.Rejectf("append", ShuttingDown, "write-ahead log failed: %v", err)
 	}
-	return nil
+	return lsn, nil
+}
+
+// syncTo blocks until the log record at lsn is durable, implementing
+// the committer-side flush barrier of the group commit: the first
+// waiter through takes flushMu and fsyncs on behalf of every record
+// written so far; waiters that queued behind it find their record
+// covered when they acquire the barrier and return without touching
+// the disk. A snapshot rotation also covers every prior record, so
+// waiters racing one skip the fsync entirely. A flush failure wedges
+// the service.
+func (d *Durability) syncTo(lsn uint64) error {
+	if d.log.Synced() >= lsn {
+		return nil
+	}
+	d.flushMu.Lock()
+	if d.log.Synced() >= lsn {
+		d.flushMu.Unlock()
+		return nil
+	}
+	err := d.log.Sync()
+	d.flushMu.Unlock()
+	if err == nil {
+		return nil
+	}
+	d.mu.Lock()
+	if !d.closed {
+		d.wedgeLocked(err)
+	}
+	d.mu.Unlock()
+	return place.Rejectf("append", ShuttingDown, "write-ahead log failed: %v", err)
 }

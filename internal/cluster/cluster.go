@@ -71,13 +71,24 @@ type Shard struct {
 	tree       *topology.Tree
 	slotsTotal int
 
+	// The load gauges are updated on every admission, resize, and
+	// release, concurrently from all workers. Each sits on its own
+	// cache line (see telemetry.go) so writers of different gauges
+	// never false-share; reserved stays a single (padded) atomic rather
+	// than a striped sum because recovery restores it bit-for-bit and a
+	// float fold would re-order the additions.
+	_        cacheLinePad
 	reserved atomicFloat64
+	_        cacheLinePad
 	slots    atomic.Int64
+	_        cacheLinePad
 	tenants  atomic.Int64
+	_        cacheLinePad
 
 	// seq hands out the shard-unique grant keys carried by lifecycle
 	// events; sink, when set, receives those events.
 	seq  atomic.Int64
+	_    cacheLinePad
 	sink place.EventSink
 }
 

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"errors"
-	"sync/atomic"
 
 	"cloudmirror/internal/place"
 )
@@ -23,9 +22,13 @@ type Dispatcher struct {
 	c      *Cluster
 	policy Policy
 
-	admitted  atomic.Int64
-	rejected  atomic.Int64
-	failovers atomic.Int64
+	// The pick counters are striped per goroutine and folded on read
+	// (see telemetry.go): every Place from every worker bumps one of
+	// them, and a single shared line would serialize otherwise
+	// independent shard dispatches.
+	admitted  stripedInt64
+	rejected  stripedInt64
+	failovers stripedInt64
 }
 
 // DispatchStats are a Dispatcher's monotonic counters.

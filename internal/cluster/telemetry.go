@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Contention-free telemetry. The dispatcher's pick counters and the
+// per-shard load gauges are written on every admission from every
+// worker goroutine; naive adjacent atomics put all of them on one or
+// two cache lines, so concurrent writers — even ones touching
+// *different* counters — serialize on cache-coherence traffic. Two
+// remedies, matched to the two access patterns:
+//
+//   - Gauges that must read exactly (the shard's reserved-bandwidth
+//     float, restored bit-for-bit by recovery) stay single atomics but
+//     are padded to a cache line apiece, so writers of different gauges
+//     never false-share.
+//   - Monotonic integer counters (dispatcher admitted/rejected/
+//     failovers) are striped over per-goroutine cells and folded on
+//     read: sums of per-cell totals are exact, so striping costs
+//     nothing but the fold.
+
+// cacheLinePad spaces hot atomics a cache line apart. 64 bytes covers
+// x86-64 and most arm64 cores (Apple silicon's 128-byte lines degrade
+// to sharing pairs, still far better than sharing all gauges).
+type cacheLinePad struct{ _ [64]byte }
+
+// counterCell is one stripe of a stripedInt64, padded so neighboring
+// stripes (allocated back to back during a burst) never share a line.
+type counterCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// stripedInt64 is a monotonic counter sharded over cache-line-padded
+// cells. Add borrows a cell through a sync.Pool — whose per-P caches
+// hand the calling goroutine the cell its processor last used, making
+// the common case an uncontended add — and Load folds every cell ever
+// created. Cells are registered once under the mutex and never removed,
+// so a cell the pool drops during GC keeps its count and the fold stays
+// exact.
+type stripedInt64 struct {
+	mu    sync.Mutex
+	cells []*counterCell
+	pool  sync.Pool
+}
+
+// Add increments the counter by n.
+func (s *stripedInt64) Add(n int64) {
+	c, _ := s.pool.Get().(*counterCell)
+	if c == nil {
+		c = &counterCell{}
+		s.mu.Lock()
+		s.cells = append(s.cells, c)
+		s.mu.Unlock()
+	}
+	c.v.Add(n)
+	s.pool.Put(c)
+}
+
+// Load folds the stripes into the counter's exact total.
+func (s *stripedInt64) Load() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, c := range s.cells {
+		t += c.v.Load()
+	}
+	return t
+}
+
+// Store resets the counter to n. Callers (single-threaded recovery)
+// must not race it with Add.
+func (s *stripedInt64) Store(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.cells {
+		c.v.Store(0)
+	}
+	if n == 0 {
+		return
+	}
+	if len(s.cells) == 0 {
+		s.cells = append(s.cells, &counterCell{})
+	}
+	s.cells[0].v.Store(n)
+}

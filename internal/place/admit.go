@@ -73,6 +73,10 @@ type Admitter struct {
 	tree   *topology.Tree
 	placer Placer
 	ck     *topology.Snapshot
+	// comb is the flat-combining queue in front of mu: concurrent
+	// critical sections are drained and executed in arrival batches by
+	// one caller, amortizing lock handoffs across concurrent admits.
+	comb *combiner
 
 	admitted atomic.Int64
 	rejected atomic.Int64
@@ -101,7 +105,7 @@ type AdmitStats struct {
 // admission. The tree must be the one the placer mutates; it must not
 // be mutated behind the admitter's back afterwards.
 func NewAdmitter(tree *topology.Tree, p Placer) *Admitter {
-	return &Admitter{tree: tree, placer: p, ck: tree.NewSnapshot()}
+	return &Admitter{tree: tree, placer: p, ck: tree.NewSnapshot(), comb: newCombiner()}
 }
 
 // Compile-time check that both admission paths satisfy the interface.
@@ -128,14 +132,29 @@ func (a *Admitter) Place(req *Request) (*Admitted, error) {
 	// microseconds against a placement search that costs hundreds, and
 	// byte-exactness is what keeps this path bit-compatible with the
 	// optimistic one.
-	a.mu.Lock()
-	a.tree.Save(a.ck)
-	res, err := a.placer.Place(req)
-	if err != nil {
-		// The placer already rolled back arithmetically; the snapshot
-		// restore additionally wipes any float residue of the attempt.
+	//
+	// The bracket runs through the commit combiner: concurrent Place
+	// calls are drained in arrival batches under one lock acquisition,
+	// so lock handoffs no longer serialize a scheduler wakeup per admit.
+	var (
+		res *Reservation
+		err error
+		d   topology.Delta
+	)
+	a.comb.do(&a.mu, func() {
+		a.tree.Save(a.ck)
+		res, err = a.placer.Place(req)
+		if err != nil {
+			// The placer already rolled back arithmetically; the snapshot
+			// restore additionally wipes any float residue of the attempt.
+			a.tree.RestoreSnapshot(a.ck)
+			return
+		}
+		d = res.Delta()
 		a.tree.RestoreSnapshot(a.ck)
-		a.mu.Unlock()
+		a.tree.Apply(d)
+	})
+	if err != nil {
 		if errors.Is(err, ErrRejected) {
 			a.rejected.Add(1)
 		} else {
@@ -143,10 +162,6 @@ func (a *Admitter) Place(req *Request) (*Admitted, error) {
 		}
 		return nil, err
 	}
-	d := res.Delta()
-	a.tree.RestoreSnapshot(a.ck)
-	a.tree.Apply(d)
-	a.mu.Unlock()
 	a.admitted.Add(1)
 	res.released = true // inspection-only: departures commit the delta
 	return &Admitted{a: a, res: res, delta: d, graph: resizableGraph(req), ha: req.HA}, nil
@@ -240,12 +255,22 @@ func (ad *Admitted) Resize(newGraph *tag.Graph) error {
 		return nil // no size changed
 	}
 
-	a.mu.Lock()
-	a.tree.Save(a.ck)
-	newRes, err := runResize(a.tree, rz, ad.res.data(), ad.graph, steps, ad.ha)
-	if err != nil {
+	var (
+		newRes   *Reservation
+		newDelta topology.Delta
+	)
+	a.comb.do(&a.mu, func() {
+		a.tree.Save(a.ck)
+		newRes, err = runResize(a.tree, rz, ad.res.data(), ad.graph, steps, ad.ha)
+		if err != nil {
+			a.tree.RestoreSnapshot(a.ck)
+			return
+		}
+		newDelta = newRes.Delta()
 		a.tree.RestoreSnapshot(a.ck)
-		a.mu.Unlock()
+		a.tree.Apply(topology.Merge(ad.delta.Negate(), newDelta))
+	})
+	if err != nil {
 		if errors.Is(err, ErrRejected) {
 			a.rejected.Add(1)
 		} else {
@@ -253,10 +278,6 @@ func (ad *Admitted) Resize(newGraph *tag.Graph) error {
 		}
 		return err
 	}
-	newDelta := newRes.Delta()
-	a.tree.RestoreSnapshot(a.ck)
-	a.tree.Apply(topology.Merge(ad.delta.Negate(), newDelta))
-	a.mu.Unlock()
 	a.resized.Add(1)
 	newRes.released = true // inspection-only, like the admit path
 	ad.res, ad.delta, ad.graph = newRes, newDelta, newGraph
@@ -271,8 +292,7 @@ func (ad *Admitted) Release() {
 	if !ad.released.CompareAndSwap(false, true) {
 		return
 	}
-	ad.a.mu.Lock()
-	ad.a.tree.Apply(ad.delta.Negate())
-	ad.a.mu.Unlock()
+	neg := ad.delta.Negate()
+	ad.a.comb.do(&ad.a.mu, func() { ad.a.tree.Apply(neg) })
 	ad.a.released.Add(1)
 }

@@ -43,39 +43,40 @@ func (a *Admitter) SetIndexed(on bool) {
 	a.mu.Unlock()
 }
 
-// AdmitBatch implements BatchAdmission: one lock acquisition, then the
-// same per-element validate/save/place/restore/apply bracket Place
-// runs, so the ledger and decisions match sequential admission exactly.
+// AdmitBatch implements BatchAdmission: one combiner submission (and
+// so one lock acquisition), then the same per-element
+// validate/save/place/restore/apply bracket Place runs, so the ledger
+// and decisions match sequential admission exactly.
 func (a *Admitter) AdmitBatch(reqs []*Request) ([]Grant, []error) {
 	grants := make([]Grant, len(reqs))
 	errs := make([]error, len(reqs))
-	a.mu.Lock()
-	for i, req := range reqs {
-		if err := ValidateRequest(a.tree, req); err != nil {
-			a.failed.Add(1)
-			errs[i] = WithBatchIndex(err, i)
-			continue
-		}
-		a.tree.Save(a.ck)
-		res, err := a.placer.Place(req)
-		if err != nil {
-			a.tree.RestoreSnapshot(a.ck)
-			if errors.Is(err, ErrRejected) {
-				a.rejected.Add(1)
-			} else {
+	a.comb.do(&a.mu, func() {
+		for i, req := range reqs {
+			if err := ValidateRequest(a.tree, req); err != nil {
 				a.failed.Add(1)
+				errs[i] = WithBatchIndex(err, i)
+				continue
 			}
-			errs[i] = WithBatchIndex(err, i)
-			continue
+			a.tree.Save(a.ck)
+			res, err := a.placer.Place(req)
+			if err != nil {
+				a.tree.RestoreSnapshot(a.ck)
+				if errors.Is(err, ErrRejected) {
+					a.rejected.Add(1)
+				} else {
+					a.failed.Add(1)
+				}
+				errs[i] = WithBatchIndex(err, i)
+				continue
+			}
+			d := res.Delta()
+			a.tree.RestoreSnapshot(a.ck)
+			a.tree.Apply(d)
+			a.admitted.Add(1)
+			res.released = true // inspection-only: departures commit the delta
+			grants[i] = &Admitted{a: a, res: res, delta: d, graph: resizableGraph(req), ha: req.HA}
 		}
-		d := res.Delta()
-		a.tree.RestoreSnapshot(a.ck)
-		a.tree.Apply(d)
-		a.admitted.Add(1)
-		res.released = true // inspection-only: departures commit the delta
-		grants[i] = &Admitted{a: a, res: res, delta: d, graph: resizableGraph(req), ha: req.HA}
-	}
-	a.mu.Unlock()
+	})
 	return grants, errs
 }
 
@@ -86,7 +87,7 @@ func (a *Admitter) AdmitBatch(reqs []*Request) ([]Grant, []error) {
 func (a *OptimisticAdmitter) SetIndexed(on bool) {
 	slots := make([]*plannerSlot, len(a.seqs))
 	for i := range slots {
-		slots[i] = <-a.pool
+		slots[i] = a.pool.get()
 	}
 	a.mu.Lock()
 	a.auth.SetIndexed(on)
@@ -95,7 +96,7 @@ func (a *OptimisticAdmitter) SetIndexed(on bool) {
 		s.pl.rep.Tree().SetIndexed(on)
 	}
 	for _, s := range slots {
-		a.pool <- s
+		a.pool.put(s)
 	}
 }
 
@@ -109,34 +110,35 @@ func (a *OptimisticAdmitter) SetIndexed(on bool) {
 func (a *OptimisticAdmitter) AdmitBatch(reqs []*Request) ([]Grant, []error) {
 	grants := make([]Grant, len(reqs))
 	errs := make([]error, len(reqs))
-	slot := <-a.pool
-	defer func() { a.pool <- slot }()
+	slot := a.pool.get()
+	defer a.pool.put(slot)
 
-	a.mu.Lock()
-	for i, req := range reqs {
-		if err := ValidateRequest(a.auth, req); err != nil {
-			a.failed.Add(1)
-			errs[i] = WithBatchIndex(err, i)
-			continue
-		}
-		plan, err := slot.pl.Plan(req)
-		a.seqs[slot.id].Store(slot.pl.Seq())
-		if err != nil {
-			if errors.Is(err, ErrRejected) {
-				a.rejected.Add(1)
-			} else {
+	a.comb.do(&a.mu, func() {
+		slot.pl.Sync(a.auth)
+		for i, req := range reqs {
+			if err := ValidateRequest(a.auth, req); err != nil {
 				a.failed.Add(1)
+				errs[i] = WithBatchIndex(err, i)
+				continue
 			}
-			errs[i] = WithBatchIndex(err, i)
-			continue
+			plan, err := slot.pl.Plan(req)
+			a.seqs[slot.id].Store(slot.pl.Seq())
+			if err != nil {
+				if errors.Is(err, ErrRejected) {
+					a.rejected.Add(1)
+				} else {
+					a.failed.Add(1)
+				}
+				errs[i] = WithBatchIndex(err, i)
+				continue
+			}
+			a.auth.Apply(plan.Delta())
+			a.log.Append(plan.Delta())
+			a.admitted.Add(1)
+			g := &optimisticGrant{a: a, res: plan.reservation(a.auth), delta: plan.Footprint()}
+			grants[i] = a.grant(g, req)
 		}
-		a.auth.Apply(plan.Delta())
-		a.log.Append(plan.Delta())
-		a.admitted.Add(1)
-		g := &optimisticGrant{a: a, res: plan.reservation(a.auth), delta: plan.Footprint()}
-		grants[i] = a.grant(g, req)
-	}
-	a.mu.Unlock()
+	})
 	a.trim()
 	return grants, errs
 }

@@ -19,13 +19,14 @@ import (
 // more.
 func (r *run) runBalance(st topology.NodeID, quota []int) []action {
 	var made []action
-	failed := make(map[topology.NodeID]bool)
+	var failed failSet
 	for remainingVMs(quota) > 0 {
 		adds, child := r.mdSubsetSum(st, quota, failed)
 		if adds == nil {
 			return made
 		}
-		orig := append([]int(nil), adds...)
+		orig := r.getInts()
+		copy(orig, adds)
 		sub := r.alloc(child, adds)
 		progressed := false
 		for t := range adds {
@@ -34,9 +35,11 @@ func (r *run) runBalance(st topology.NodeID, quota []int) []action {
 				progressed = true
 			}
 		}
+		r.putInts(orig)
+		r.putInts(adds)
 		made = append(made, sub...)
 		if !progressed {
-			failed[child] = true
+			failed = append(failed, child)
 		}
 	}
 	return made
@@ -52,7 +55,7 @@ func (r *run) runBalance(st topology.NodeID, quota []int) []action {
 // saving is undesirable at st, it instead returns a single VM for the
 // child with the most headroom, spreading the tenant across children
 // (§4.5, third modification).
-func (r *run) mdSubsetSum(st topology.NodeID, quota []int, failed map[topology.NodeID]bool) ([]int, topology.NodeID) {
+func (r *run) mdSubsetSum(st topology.NodeID, quota []int, failed failSet) ([]int, topology.NodeID) {
 	if r.oppHA && !r.desirable(st) {
 		return r.spreadOne(st, quota, failed)
 	}
@@ -64,14 +67,17 @@ func (r *run) mdSubsetSum(st topology.NodeID, quota []int, failed map[topology.N
 		bestAdds  []int
 	)
 	for _, c := range tree.Children(st) {
-		if failed[c] {
+		if failed.has(c) {
 			continue
 		}
 		adds, score := r.packChild(c, quota)
 		if adds != nil && score > bestScore {
 			bestScore, bestChild = score, c
 			// adds aliases packChild's scratch; keep a private copy.
-			bestAdds = append(bestAdds[:0], adds...)
+			if bestAdds == nil {
+				bestAdds = r.getInts()
+			}
+			copy(bestAdds, adds)
 		}
 	}
 	return bestAdds, bestChild
@@ -207,17 +213,18 @@ func (r *run) bandwidthFit(c topology.NodeID, base, adds []int, t, maxK int, out
 		}
 	}
 	baseT := counts[t]
-	// Under the TAG model only edges touching tier t change with k, so
-	// split the cut once and re-price just those edges per probe.
+	// Under the TAG model only edges touching tier t change with k, and
+	// the contribution of every other edge cancels out of the marginal
+	// comparison — so collect the touching edges without pricing the
+	// rest, and re-price just those per probe.
 	if tg, ok := r.model.(*tag.Graph); ok {
-		fixOut, fixIn, touch := tg.SplitCut(counts, t, r.edgeScratch[:0])
+		touch := tg.TouchingEdges(t, r.edgeScratch[:0])
 		r.edgeScratch = touch[:0]
-		eo, ei := tg.EdgesCut(touch, counts)
-		out0, in0 := fixOut+eo, fixIn+ei
+		out0, in0 := tg.EdgesCut(touch, counts)
 		for k := maxK; k > 0; k-- {
 			counts[t] = baseT + k
-			eo, ei = tg.EdgesCut(touch, counts)
-			if fixOut+eo-out0 <= outLeft && fixIn+ei-in0 <= inLeft {
+			eo, ei := tg.EdgesCut(touch, counts)
+			if eo-out0 <= outLeft && ei-in0 <= inLeft {
 				return k
 			}
 		}
@@ -247,7 +254,7 @@ func childBudget(tree *topology.Tree, c topology.NodeID) (float64, float64) {
 // the child with the most headroom for it, encouraging distributed
 // allocations across all children while keeping slot and bandwidth use
 // balanced (§4.5).
-func (r *run) spreadOne(st topology.NodeID, quota []int, failed map[topology.NodeID]bool) ([]int, topology.NodeID) {
+func (r *run) spreadOne(st topology.NodeID, quota []int, failed failSet) ([]int, topology.NodeID) {
 	tree := r.p.tree
 	order := r.tiersByDemand(quota)
 	if len(order) == 0 {
@@ -260,7 +267,7 @@ func (r *run) spreadOne(st topology.NodeID, quota []int, failed map[topology.Nod
 		bestScore float64         = -1
 	)
 	for _, c := range tree.Children(st) {
-		if failed[c] || tree.SlotsFree(c) == 0 || r.haBound(c, t) < 1 {
+		if failed.has(c) || tree.SlotsFree(c) == 0 || r.haBound(c, t) < 1 {
 			continue
 		}
 		// Headroom score: free slot fraction plus free bandwidth
@@ -279,7 +286,7 @@ func (r *run) spreadOne(st topology.NodeID, quota []int, failed map[topology.Nod
 	if best == topology.NoNode {
 		return nil, topology.NoNode
 	}
-	adds := make([]int, len(quota))
+	adds := r.getInts()
 	adds[t] = 1
 	return adds, best
 }

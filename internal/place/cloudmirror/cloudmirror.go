@@ -46,6 +46,13 @@ type Placer struct {
 	// tenants (exponential moving average), the "expected contribution
 	// of future tenant VMs" used by the desirability test.
 	emaDemand float64
+
+	// tx and scratch are the cached placement transaction and
+	// per-request run state, reused across Place calls. The Placer is
+	// single-threaded by contract, so one of each suffices; reuse
+	// removes the dominant per-admission allocations on the plan path.
+	tx      *place.Txn
+	scratch run
 }
 
 // Option configures a Placer.
@@ -119,15 +126,8 @@ func (p *Placer) Place(req *place.Request) (*place.Reservation, error) {
 		model = req.Graph
 	}
 
-	r := &run{
-		p:         p,
-		g:         req.Graph,
-		model:     model,
-		ha:        req.HA,
-		oppHA:     p.forceOppHA && !req.HA.Guaranteed() || req.HA.Opportunistic,
-		resources: req.Resources,
-	}
-	r.init()
+	r := &p.scratch
+	r.reset(p, req.Graph, model, req.HA, req.Resources)
 
 	// Track arriving demand for the desirability estimator regardless of
 	// outcome, mirroring "predicted based on previous arrivals".
@@ -143,11 +143,17 @@ func (p *Placer) Place(req *place.Request) (*place.Reservation, error) {
 		// at the server fault level.
 		minLevel = min(r.lowestDesirableLevel(), r.laa()+1)
 	}
+	if p.tx == nil {
+		p.tx = place.NewTxn(p.tree, model)
+	} else {
+		p.tx.Reset(p.tree, model)
+	}
+	r.tx = p.tx
+	r.tx.SetResources(req.Resources)
 	st := r.findLowestSubtree(minLevel)
 	for st != topology.NoNode {
-		r.tx = place.NewTxn(p.tree, model)
-		r.tx.SetResources(req.Resources)
-		quota := append([]int(nil), r.sizes...)
+		quota := append(r.quotaScratch[:0], r.sizes...)
+		r.quotaScratch = quota
 		r.alloc(st, quota)
 		if r.tx.Placed() == r.totalVMs {
 			if err := r.tx.SyncPath(st); err == nil {
@@ -190,13 +196,42 @@ type run struct {
 	// Per-run scratch reused across the inner packing loops. None of
 	// these survive the call that fills them, and none are live across
 	// the alloc() recursion (audited per use).
-	ordScratch  []int
-	addsScratch []int
-	cntScratch  []int
-	headScratch []float64
-	edgeScratch []tag.Edge
-	exclScratch []bool
-	lowScratch  []bool
+	ordScratch   []int
+	addsScratch  []int
+	cntScratch   []int
+	headScratch  []float64
+	edgeScratch  []tag.Edge
+	exclScratch  []bool
+	lowScratch   []bool
+	quotaScratch []int
+	// Colocate-search scratch: the live-edge filter and the per-child
+	// per-tier bound cache (fillColocBounds) plus the per-subtree
+	// achievable-inside table (fillMaxInside). Filled and consumed
+	// within one findTiersToColoc call; the alloc() recursion only
+	// re-enters findTiersToColoc after the previous fill is dead.
+	liveEdgeScratch []tag.Edge
+	colocCnt        []int
+	colocHA         []int
+	colocRC         []int
+	maxInScratch    []int
+	// intFree is a free list of per-tier []int buffers for the
+	// colocate/balance loops, whose allocations thread through the
+	// alloc() recursion and so can be live at several depths at once.
+	intFree [][]int
+	// needResScratch backs needRes so slot-only requests (needRes nil)
+	// don't drop the buffer between resourceful requests.
+	needResScratch []float64
+}
+
+// reset re-arms the Placer's cached run state for a new request,
+// reusing every scratch slice that still fits. Equivalent to building a
+// fresh run followed by init, minus the allocations.
+func (r *run) reset(p *Placer, g *tag.Graph, model place.Model, ha place.HASpec, resources [][]float64) {
+	r.p, r.g, r.model, r.ha = p, g, model, ha
+	r.oppHA = p.forceOppHA && !ha.Guaranteed() || ha.Opportunistic
+	r.resources = resources
+	r.tx = nil
+	r.init()
 }
 
 // resourceCap bounds how many more tier-t VMs node n's subtree can host
@@ -211,16 +246,17 @@ func (r *run) resourceCap(n topology.NodeID, t int) int {
 func (r *run) init() {
 	tiers := r.g.Tiers()
 	r.sizes = r.g.Sizes()
-	r.haCap = make([]int, tiers)
-	r.perVMOut = make([]float64, tiers)
-	r.perVMIn = make([]float64, tiers)
+	r.totalVMs = 0
+	r.haCap = growInts(r.haCap, tiers)
+	r.perVMOut = growFloats(r.perVMOut, tiers)
+	r.perVMIn = growFloats(r.perVMIn, tiers)
 	for t := 0; t < tiers; t++ {
 		r.totalVMs += r.sizes[t]
 		r.haCap[t] = r.ha.MaxPerDomain(r.sizes[t])
 		r.perVMOut[t], r.perVMIn[t] = r.g.VMProfile(t)
 	}
 	r.extOut, r.extIn = r.model.Cut(r.sizes)
-	r.tierOrder = make([]int, tiers)
+	r.tierOrder = growInts(r.tierOrder, tiers)
 	for t := range r.tierOrder {
 		r.tierOrder[t] = t
 	}
@@ -233,22 +269,78 @@ func (r *run) init() {
 		}
 		return a < b
 	})
-	r.ordScratch = make([]int, 0, tiers)
-	r.addsScratch = make([]int, tiers)
-	r.cntScratch = make([]int, tiers)
-	r.exclScratch = make([]bool, tiers)
-	r.lowScratch = make([]bool, tiers)
+	r.ordScratch = growInts(r.ordScratch, tiers)[:0]
+	r.addsScratch = growInts(r.addsScratch, tiers)
+	r.cntScratch = growInts(r.cntScratch, tiers)
+	r.exclScratch = growBools(r.exclScratch, tiers)
+	r.lowScratch = growBools(r.lowScratch, tiers)
+	r.colocCnt = growInts(r.colocCnt, tiers)
+	r.colocHA = growInts(r.colocHA, tiers)
+	r.colocRC = growInts(r.colocRC, tiers)
+	r.maxInScratch = growInts(r.maxInScratch, tiers)
+	// needRes stays nil for slot-only tenants (callers test nil-ness);
+	// its backing array lives in needResScratch so the capacity survives.
+	r.needRes = nil
 	if r.resources != nil {
-		r.headScratch = make([]float64, len(r.p.tree.Resources()))
-	}
-	if r.resources != nil {
-		r.needRes = make([]float64, len(r.p.tree.Resources()))
+		dims := len(r.p.tree.Resources())
+		r.headScratch = growFloats(r.headScratch, dims)
+		r.needResScratch = growFloats(r.needResScratch, dims)
+		r.needRes = r.needResScratch
 		for rr := range r.needRes {
+			r.needRes[rr] = 0
 			for t, sz := range r.sizes {
 				r.needRes[rr] += float64(sz) * r.resources[t][rr]
 			}
 		}
 	}
+}
+
+// getInts returns a zeroed per-tier buffer from the run's free list.
+// Unlike the named scratch slices these nest: the colocate/balance
+// loops hold one across the alloc() recursion, whose deeper levels
+// acquire their own. Callers return buffers with putInts when the
+// iteration that acquired them ends.
+func (r *run) getInts() []int {
+	tiers := len(r.sizes)
+	for n := len(r.intFree); n > 0; n = len(r.intFree) {
+		s := r.intFree[n-1]
+		r.intFree = r.intFree[:n-1]
+		if cap(s) < tiers {
+			continue // sized for a smaller tenant; drop it
+		}
+		s = s[:tiers]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]int, tiers)
+}
+
+// putInts returns a getInts buffer to the free list.
+func (r *run) putInts(s []int) { r.intFree = append(r.intFree, s) }
+
+// growInts resizes scratch to length n, reusing capacity when it fits.
+// Contents are unspecified; every user initializes before reading.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // laa returns the anti-affinity level (server by default).

@@ -1,6 +1,8 @@
 package cloudmirror
 
 import (
+	"math"
+
 	"cloudmirror/internal/tag"
 	"cloudmirror/internal/topology"
 )
@@ -14,13 +16,14 @@ import (
 // until no positive saving remains (the Colocate loop of Algorithm 1).
 func (r *run) runColocate(st topology.NodeID, quota []int) []action {
 	var made []action
-	failed := make(map[topology.NodeID]bool)
+	var failed failSet
 	for {
 		adds, child := r.findTiersToColoc(st, quota, failed)
 		if adds == nil {
 			return made
 		}
-		orig := append([]int(nil), adds...)
+		orig := r.getInts()
+		copy(orig, adds)
 		sub := r.alloc(child, adds)
 		progressed := false
 		for t := range adds {
@@ -29,11 +32,13 @@ func (r *run) runColocate(st topology.NodeID, quota []int) []action {
 				progressed = true
 			}
 		}
+		r.putInts(orig)
+		r.putInts(adds)
 		made = append(made, sub...)
 		if !progressed {
 			// Bandwidth below child refused the allocation; do not
 			// offer this child again for colocation.
-			failed[child] = true
+			failed = append(failed, child)
 		}
 	}
 }
@@ -47,9 +52,25 @@ func (r *run) runColocate(st topology.NodeID, quota []int) []action {
 // some high-bandwidth tier cannot itself achieve colocation savings
 // (size or HA constraints): those low-bandwidth VMs are kept back for
 // Balance to pair with the high-bandwidth VMs (Fig. 6(d)).
-func (r *run) findTiersToColoc(st topology.NodeID, quota []int, failed map[topology.NodeID]bool) ([]int, topology.NodeID) {
+func (r *run) findTiersToColoc(st topology.NodeID, quota []int, failed failSet) ([]int, topology.NodeID) {
 	tree := r.p.tree
 	children := tree.Children(st)
+
+	// An edge is live while at least one endpoint tier has quota left: a
+	// pack only ever adds VMs from quota, so a dead edge cannot produce
+	// a positive saving for any child. Late Colocate iterations — the
+	// bulk of this function's calls — have drained most tiers, so the
+	// filter shrinks the (child, edge) scan exactly when it matters.
+	live := r.liveEdgeScratch[:0]
+	for _, e := range r.g.Edges() {
+		if quota[e.From] > 0 || (!e.SelfLoop() && quota[e.To] > 0) {
+			live = append(live, e)
+		}
+	}
+	r.liveEdgeScratch = live
+	if len(live) == 0 {
+		return nil, topology.NoNode
+	}
 
 	excluded := r.lowBandwidthExclusions(st, quota)
 
@@ -62,11 +83,12 @@ func (r *run) findTiersToColoc(st topology.NodeID, quota []int, failed map[topol
 		bestAT2    int
 	)
 	for _, c := range children {
-		if failed[c] || tree.SlotsFree(c) == 0 {
+		if failed.has(c) || tree.SlotsFree(c) == 0 {
 			continue
 		}
 		free := tree.SlotsFree(c)
-		for _, e := range r.g.Edges() {
+		r.fillColocBounds(c)
+		for _, e := range live {
 			aT, aT2, saving := r.bestEdgePack(c, e, quota, free, excluded)
 			if saving > bestSaving {
 				bestSaving, bestChild = saving, c
@@ -77,28 +99,55 @@ func (r *run) findTiersToColoc(st topology.NodeID, quota []int, failed map[topol
 	if bestChild == topology.NoNode {
 		return nil, topology.NoNode
 	}
-	adds := make([]int, len(quota))
+	adds := r.getInts()
 	adds[bestT] += bestAT
 	adds[bestT2] += bestAT2
 	return adds, bestChild
+}
+
+// fillColocBounds caches, per tier, the child-local quantities every
+// bestEdgePack probe needs — the tenant's current VM count, the Eq. 7
+// HA headroom, and the declared-resource cap — so that edges sharing a
+// tier price them once per child instead of once per (child, edge)
+// probe. Values match haBound/resourceCap/CountOf exactly (quota plays
+// no part), so swapping the cache for the calls cannot change any
+// packing decision.
+func (r *run) fillColocBounds(c topology.NodeID) {
+	tree := r.p.tree
+	cnt, hab, rc := r.colocCnt, r.colocHA, r.colocRC
+	bounded := r.ha.Guaranteed() && tree.Level(c) <= r.laa()
+	var dom topology.NodeID
+	if bounded {
+		dom = tree.Ancestor(c, r.laa())
+	}
+	for t := range cnt {
+		cnt[t] = r.tx.CountOf(c, t)
+		if bounded {
+			hab[t] = r.haCap[t] - r.tx.CountOf(dom, t)
+		} else {
+			hab[t] = int(math.MaxInt32)
+		}
+		rc[t] = r.resourceCap(c, t)
+	}
 }
 
 // bestEdgePack computes how many VMs of edge e's endpoint tiers (aT of
 // e.From, aT2 of e.To) to pack into child c and the marginal bandwidth
 // saving of doing so. For trunks it tries both fill orders and keeps the
 // better; for self-loops aT2 is 0 (the whole add is aT on the loop
-// tier). A zero saving means no verified pack exists.
+// tier). A zero saving means no verified pack exists. The caller must
+// have primed the per-tier bound cache with fillColocBounds(c, quota).
 func (r *run) bestEdgePack(c topology.NodeID, e tag.Edge, quota []int, free int, excluded []bool) (aT, aT2 int, saving float64) {
 	t := e.From
 	if e.SelfLoop() {
 		if excluded[t] {
 			return 0, 0, 0
 		}
-		add := min(quota[t], free, r.haBound(c, t), r.resourceCap(c, t))
+		add := min(quota[t], free, r.colocHA[t], r.colocRC[t])
 		if add <= 0 {
 			return 0, 0, 0
 		}
-		cur := r.tx.CountOf(c, t)
+		cur := r.colocCnt[t]
 		// Cheap necessary condition (Eq. 2) before pricing the saving.
 		if !tag.HoseSavingFeasible(r.sizes[t], cur+add) {
 			return 0, 0, 0
@@ -111,9 +160,9 @@ func (r *run) bestEdgePack(c topology.NodeID, e tag.Edge, quota []int, free int,
 	}
 
 	t2 := e.To
-	curT, curT2 := r.tx.CountOf(c, t), r.tx.CountOf(c, t2)
-	maxT := boundedAdd(min(quota[t], r.resourceCap(c, t)), free, r.haBound(c, t), excluded[t])
-	maxT2 := boundedAdd(min(quota[t2], r.resourceCap(c, t2)), free, r.haBound(c, t2), excluded[t2])
+	curT, curT2 := r.colocCnt[t], r.colocCnt[t2]
+	maxT := boundedAdd(min(quota[t], r.colocRC[t]), free, r.colocHA[t], excluded[t])
+	maxT2 := boundedAdd(min(quota[t2], r.colocRC[t2]), free, r.colocHA[t2], excluded[t2])
 	if maxT+maxT2 == 0 {
 		return 0, 0, 0
 	}
@@ -121,7 +170,13 @@ func (r *run) bestEdgePack(c topology.NodeID, e tag.Edge, quota []int, free int,
 	if !tag.TrunkSavingFeasible(r.sizes[t], r.sizes[t2], curT+maxT, curT2+maxT2) {
 		return 0, 0, 0
 	}
-	base := r.g.EdgeSaving(e, curT, curT2)
+	// A child with no VMs of either tier has nothing to improve on:
+	// EdgeSaving(e, 0, 0) is identically zero (worst and actual
+	// coincide in both directions), so skip pricing it.
+	var base float64
+	if curT != 0 || curT2 != 0 {
+		base = r.g.EdgeSaving(e, curT, curT2)
+	}
 
 	try := func(firstT bool) (int, int, float64) {
 		aT, aT2 := maxT, maxT2
@@ -152,6 +207,11 @@ func (r *run) bestEdgePack(c topology.NodeID, e tag.Edge, quota []int, free int,
 	}
 
 	a1, a1b, s1 := try(true)
+	if maxT+maxT2 <= free {
+		// Neither order has to shed VMs, so both price the identical
+		// (maxT, maxT2) pack — one probe suffices.
+		return a1, a1b, s1
+	}
 	a2, a2b, s2 := try(false)
 	if s2 > s1 {
 		return a2, a2b, s2
@@ -187,7 +247,7 @@ func (r *run) lowBandwidthExclusions(st topology.NodeID, quota []int) []bool {
 	for i := range low {
 		low[i] = false
 	}
-	anyStrandedHigh := false
+	anyHigh := false
 	for t, q := range quota {
 		if q == 0 {
 			continue
@@ -195,8 +255,26 @@ func (r *run) lowBandwidthExclusions(st topology.NodeID, quota []int) []bool {
 		d := (r.perVMOut[t] + r.perVMIn[t]) / 2
 		if d <= perSlot {
 			low[t] = true
-		} else if !r.tierCanSave(st, t, quota) {
+		} else {
+			anyHigh = true
+		}
+	}
+	if !anyHigh {
+		return excluded
+	}
+
+	// One children pass prices every tier's best achievable inside count
+	// up front; the per-tier saving checks below then read the table
+	// instead of re-scanning children per (tier, edge) pair.
+	maxIn := r.fillMaxInside(st, quota)
+	anyStrandedHigh := false
+	for t, q := range quota {
+		if q == 0 || low[t] {
+			continue
+		}
+		if !r.tierCanSave(t, maxIn) {
 			anyStrandedHigh = true
+			break
 		}
 	}
 	if !anyStrandedHigh {
@@ -206,21 +284,46 @@ func (r *run) lowBandwidthExclusions(st topology.NodeID, quota []int) []bool {
 	return excluded
 }
 
-// tierCanSave reports whether tier t could pass the §4.2 size/HA saving
-// conditions in some child of st, via any of its incident edges.
-func (r *run) tierCanSave(st topology.NodeID, t int, quota []int) bool {
+// fillMaxInside computes, for every tier, the largest inside count any
+// single child of st could reach — current VMs plus the quota capped by
+// free slots and the Eq. 7 HA bound — in one pass over the children.
+// Entries match the per-tier scans tierCanSave used to run, value for
+// value.
+func (r *run) fillMaxInside(st topology.NodeID, quota []int) []int {
 	tree := r.p.tree
-	maxInside := 0
+	maxIn := r.maxInScratch
+	for i := range maxIn {
+		maxIn[i] = 0
+	}
 	for _, c := range tree.Children(st) {
-		in := r.tx.CountOf(c, t) + min(quota[t], tree.SlotsFree(c), r.haBound(c, t))
-		if in > maxInside {
-			maxInside = in
+		freeC := tree.SlotsFree(c)
+		bounded := r.ha.Guaranteed() && tree.Level(c) <= r.laa()
+		var dom topology.NodeID
+		if bounded {
+			dom = tree.Ancestor(c, r.laa())
+		}
+		for t := range maxIn {
+			hb := int(math.MaxInt32)
+			if bounded {
+				hb = r.haCap[t] - r.tx.CountOf(dom, t)
+			}
+			in := r.tx.CountOf(c, t) + min(quota[t], freeC, hb)
+			if in > maxIn[t] {
+				maxIn[t] = in
+			}
 		}
 	}
+	return maxIn
+}
+
+// tierCanSave reports whether tier t could pass the §4.2 size/HA saving
+// conditions in some child of the subtree whose per-tier achievable
+// inside counts are tabulated in maxIn, via any of t's incident edges.
+func (r *run) tierCanSave(t int, maxIn []int) bool {
 	for _, e := range r.g.Edges() {
 		switch {
 		case e.SelfLoop() && e.From == t:
-			if tag.HoseSavingFeasible(r.sizes[t], maxInside) {
+			if tag.HoseSavingFeasible(r.sizes[t], maxIn[t]) {
 				return true
 			}
 		case e.From == t || e.To == t:
@@ -228,17 +331,10 @@ func (r *run) tierCanSave(st topology.NodeID, t int, quota []int) bool {
 			if other == t {
 				other = e.To
 			}
-			maxOther := 0
-			for _, c := range tree.Children(st) {
-				in := r.tx.CountOf(c, other) + min(quota[other], tree.SlotsFree(c), r.haBound(c, other))
-				if in > maxOther {
-					maxOther = in
-				}
-			}
-			if e.From == t && tag.TrunkSavingFeasible(r.sizes[t], r.sizes[other], maxInside, maxOther) {
+			if e.From == t && tag.TrunkSavingFeasible(r.sizes[t], r.sizes[other], maxIn[t], maxIn[other]) {
 				return true
 			}
-			if e.To == t && tag.TrunkSavingFeasible(r.sizes[other], r.sizes[t], maxOther, maxInside) {
+			if e.To == t && tag.TrunkSavingFeasible(r.sizes[other], r.sizes[t], maxIn[other], maxIn[t]) {
 				return true
 			}
 		}
@@ -267,4 +363,19 @@ func (r *run) availPerSlot(st topology.NodeID) float64 {
 		return 0
 	}
 	return bw / float64(slots)
+}
+
+// failSet tracks the (typically zero or few) children a packing loop has
+// given up on. The loops test every candidate child against it, so a
+// linear scan over a handful of IDs beats hashing each lookup — and the
+// zero value allocates nothing on the common all-children-succeed path.
+type failSet []topology.NodeID
+
+func (f failSet) has(n topology.NodeID) bool {
+	for _, x := range f {
+		if x == n {
+			return true
+		}
+	}
+	return false
 }

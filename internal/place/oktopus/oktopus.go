@@ -43,6 +43,8 @@ type Placer struct {
 	// vocAware switches the per-server feasibility test from the VC
 	// lens to the true VOC cut — a stronger baseline than the paper's.
 	vocAware bool
+	// tx is the cached placement transaction, Reset per admission.
+	tx *place.Txn
 }
 
 // Option configures the Oktopus placer.
@@ -90,10 +92,17 @@ func (p *Placer) Place(req *place.Request) (*place.Reservation, error) {
 	r := &run{p: p, model: model, ha: req.HA, resources: req.Resources}
 	r.init()
 
+	// One cached transaction per Placer, Reset per admission and rolled
+	// back between candidate subtrees (the Placer is single-threaded).
+	if p.tx == nil {
+		p.tx = place.NewTxn(p.tree, model)
+	} else {
+		p.tx.Reset(p.tree, model)
+	}
+	r.tx = p.tx
+	r.tx.SetResources(req.Resources)
 	st := r.findLowestSubtree(0)
 	for st != topology.NoNode {
-		r.tx = place.NewTxn(p.tree, model)
-		r.tx.SetResources(req.Resources)
 		if r.allocAll(st) {
 			if err := r.tx.SyncPath(st); err == nil {
 				return r.tx.Commit(), nil

@@ -2,6 +2,7 @@ package place
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -44,8 +45,14 @@ type OptimisticAdmitter struct {
 	log  *topology.DeltaLog
 
 	// mu guards the authoritative tree, log appends, and seqs.
-	mu   sync.Mutex
-	pool chan *plannerSlot
+	mu sync.Mutex
+	// comb is the flat-combining queue in front of mu: validated plans
+	// from concurrent planners are drained in arrival batches and
+	// validate-and-commit runs for the whole batch under one lock
+	// acquisition. Conflict losers replan on their still-held planner
+	// slot and resubmit — they never re-enter the planner pool's tail.
+	comb *combiner
+	pool *plannerPool
 	name string
 	// canResize records whether the placer implements Resizer (all
 	// planners run the same algorithm), so Resize can reject
@@ -68,8 +75,32 @@ type OptimisticAdmitter struct {
 	released atomic.Int64
 	resized  atomic.Int64
 
+	// inflight counts Admit/Resize calls between entry and return. It is
+	// the adaptive-routing signal: speculative planning pays only when
+	// another admission is planning at the same moment (the plans can
+	// overlap on separate cores); an uncontended caller plans inside the
+	// combiner's critical section instead, where the replica is exactly
+	// caught up, so the plan sees every committed departure and no
+	// conflict is possible.
+	inflight atomic.Int64
+
 	conflicts atomic.Int64
 	fallbacks atomic.Int64
+	combined  atomic.Int64
+}
+
+// planInParallel reports whether a speculative plan could actually
+// overlap another in-flight plan's CPU time. Two conditions must hold:
+// another Admit/Resize is between entry and return, and more than one
+// scheduler P exists to run it on. With one P, plans only time-slice —
+// speculation buys no overlap and costs staleness (the plan misses
+// every commit and departure that lands mid-search, and places on a
+// worse tree) — so uncontended and single-P callers plan inside the
+// combiner instead. The same reasoning gates mutex spinning in the
+// runtime: spinning, like speculating, only pays when another core can
+// make progress in the meantime.
+func (a *OptimisticAdmitter) planInParallel() bool {
+	return a.inflight.Load() > 1 && runtime.GOMAXPROCS(0) > 1
 }
 
 // plannerSlot pairs a planner with its trim-tracking index.
@@ -90,6 +121,10 @@ type OptimisticStats struct {
 	// attempts: admissions fall back to a locked plan, resizes fail
 	// with ReasonConflictRetriesExhausted.
 	Fallbacks int64
+	// Combined counts operations the adaptive router planned inside the
+	// combiner's critical section because no other admission was in
+	// flight — speculation would have bought no overlap, only staleness.
+	Combined int64
 }
 
 // NewOptimisticAdmitter wraps the authoritative tree for optimistic
@@ -105,9 +140,10 @@ func NewOptimisticAdmitter(auth *topology.Tree, newPlacer func(*topology.Tree) P
 	a := &OptimisticAdmitter{
 		auth: auth,
 		log:  topology.NewDeltaLog(),
-		pool: make(chan *plannerSlot, planners),
+		comb: newCombiner(),
 		seqs: make([]atomic.Uint64, planners),
 	}
+	slots := make([]*plannerSlot, 0, planners)
 	for i := 0; i < planners; i++ {
 		pl := NewPlanner(topology.NewReplica(auth, a.log), newPlacer)
 		if i == 0 {
@@ -115,8 +151,9 @@ func NewOptimisticAdmitter(auth *topology.Tree, newPlacer func(*topology.Tree) P
 			_, a.canResize = pl.placer.(Resizer)
 		}
 		a.placers = append(a.placers, pl.placer)
-		a.pool <- &plannerSlot{id: i, pl: pl}
+		slots = append(slots, &plannerSlot{id: i, pl: pl})
 	}
+	a.pool = newPlannerPool(slots)
 	return a
 }
 
@@ -126,61 +163,89 @@ func (a *OptimisticAdmitter) Name() string { return a.name }
 // Planners returns the size of the planner pool.
 func (a *OptimisticAdmitter) Planners() int { return len(a.seqs) }
 
-// Admit implements Admission: plan speculatively, then validate and
-// commit the delta. It is safe to call from any goroutine; up to
-// Planners() requests plan concurrently while commits serialize on a
-// short critical section.
+// Admit implements Admission: plan speculatively when other admissions
+// are in flight (so plans can overlap on separate cores), then validate
+// and commit the delta. An uncontended admission — no other Admit or
+// Resize between entry and return — plans inside the combiner's
+// critical section instead: speculation would overlap with nothing, and
+// a plan computed there sees every committed departure, so it makes the
+// same decision the serial path would, with no staleness and no
+// conflict. It is safe to call from any goroutine; up to Planners()
+// requests plan concurrently while commits serialize on a short
+// critical section.
 func (a *OptimisticAdmitter) Admit(req *Request) (Grant, error) {
 	if err := ValidateRequest(a.auth, req); err != nil {
 		a.failed.Add(1)
 		return nil, err
 	}
-	slot := <-a.pool
-	defer func() { a.pool <- slot }()
+	a.inflight.Add(1)
+	defer a.inflight.Add(-1)
+	slot := a.pool.get()
+	defer a.pool.put(slot)
 
-	for attempt := 1; attempt <= maxPlanAttempts; attempt++ {
-		plan, err := slot.pl.Plan(req)
-		a.seqs[slot.id].Store(slot.pl.Seq())
-		if err != nil {
-			if !errors.Is(err, ErrRejected) {
-				a.failed.Add(1)
-				return nil, err
+	if a.planInParallel() {
+		for attempt := 1; attempt <= maxPlanAttempts; attempt++ {
+			plan, err := slot.pl.Plan(req)
+			a.seqs[slot.id].Store(slot.pl.Seq())
+			if err != nil {
+				if !errors.Is(err, ErrRejected) {
+					a.failed.Add(1)
+					return nil, err
+				}
+				// A capacity rejection is authoritative only if the ledger
+				// has not moved since the plan started: a concurrent
+				// departure may have opened room the replica did not see.
+				// Seq is a lock-free epoch load, so the check needs no lock.
+				if a.log.Seq() == slot.pl.Seq() {
+					a.rejected.Add(1)
+					return nil, err
+				}
+				a.conflicts.Add(1)
+				continue
 			}
-			// A capacity rejection is authoritative only if the ledger
-			// has not moved since the plan started: a concurrent
-			// departure may have opened room the replica did not see.
-			a.mu.Lock()
-			moved := a.log.Seq() != slot.pl.Seq()
-			a.mu.Unlock()
-			if !moved {
-				a.rejected.Add(1)
-				return nil, err
+
+			// Phase two: submit the validated plan to the commit combiner.
+			// Losers replan on the planner slot they already hold and
+			// resubmit; they never re-enter the planner pool's tail.
+			if a.commitPlan(plan) {
+				a.admitted.Add(1)
+				a.trim()
+				g := &optimisticGrant{a: a, res: plan.reservation(a.auth), delta: plan.Footprint()}
+				return a.grant(g, req), nil
 			}
 			a.conflicts.Add(1)
-			continue
 		}
-
-		a.mu.Lock()
-		if plan.Seq() == a.log.Seq() {
-			// Nothing committed since the plan: the speculative run is
-			// the validation.
-			return a.grant(a.commit(slot, plan), req), nil
-		}
-		if err := a.auth.Validate(plan.Delta()); err == nil {
-			return a.grant(a.commit(slot, plan), req), nil
-		}
-		a.mu.Unlock()
-		a.conflicts.Add(1)
+		// Retry budget exhausted: plan inside the combiner's critical
+		// section, where no conflict is possible and the decision equals
+		// the serial path's.
+		a.fallbacks.Add(1)
+	} else {
+		a.combined.Add(1)
 	}
+	return a.admitCombined(slot, req)
+}
 
-	// Retry budget exhausted: plan under the commit lock, where no
-	// conflict is possible and the decision equals the serial path's.
-	a.fallbacks.Add(1)
-	a.mu.Lock()
-	plan, err := slot.pl.Plan(req)
-	a.seqs[slot.id].Store(slot.pl.Seq())
+// admitCombined plans and commits inside the combiner's critical
+// section — the path shared by uncontended admissions (speculation
+// would buy no overlap) and retry-exhausted ones (no conflict is
+// possible under the lock). The replica catches up under the lock, so
+// the decision is exactly what the serial Admitter would produce.
+func (a *OptimisticAdmitter) admitCombined(slot *plannerSlot, req *Request) (Grant, error) {
+	var (
+		plan *Plan
+		err  error
+	)
+	a.comb.do(&a.mu, func() {
+		slot.pl.Sync(a.auth)
+		plan, err = slot.pl.Plan(req)
+		a.seqs[slot.id].Store(slot.pl.Seq())
+		if err != nil {
+			return
+		}
+		a.auth.Apply(plan.Delta())
+		a.log.Append(plan.Delta())
+	})
 	if err != nil {
-		a.mu.Unlock()
 		if errors.Is(err, ErrRejected) {
 			a.rejected.Add(1)
 		} else {
@@ -188,7 +253,28 @@ func (a *OptimisticAdmitter) Admit(req *Request) (Grant, error) {
 		}
 		return nil, err
 	}
-	return a.grant(a.commit(slot, plan), req), nil
+	a.admitted.Add(1)
+	a.trim()
+	g := &optimisticGrant{a: a, res: plan.reservation(a.auth), delta: plan.Footprint()}
+	return a.grant(g, req), nil
+}
+
+// commitPlan submits a validated plan to the commit combiner. Inside
+// the combined critical section the plan is committed directly when
+// nothing has been appended since it was computed (the speculative run
+// itself was the validation), revalidated against current headroom
+// otherwise. Reports whether the plan was committed; false means a
+// conflicting commit invalidated it and the caller must replan.
+func (a *OptimisticAdmitter) commitPlan(plan *Plan) bool {
+	ok := false
+	a.comb.do(&a.mu, func() {
+		if plan.Seq() == a.log.Seq() || a.auth.Validate(plan.Delta()) == nil {
+			a.auth.Apply(plan.Delta())
+			a.log.Append(plan.Delta())
+			ok = true
+		}
+	})
+	return ok
 }
 
 // grant finishes a committed admission: it records the request's TAG
@@ -197,19 +283,6 @@ func (a *OptimisticAdmitter) grant(g *optimisticGrant, req *Request) Grant {
 	g.graph = resizableGraph(req)
 	g.ha = req.HA
 	return g
-}
-
-// commit applies the plan's delta to the authoritative ledger, appends
-// it to the log, and releases the commit lock (which the caller must
-// hold). The planner's replica already carries the plan's own delta
-// context, so only its sequence mirror needs refreshing.
-func (a *OptimisticAdmitter) commit(slot *plannerSlot, plan *Plan) *optimisticGrant {
-	a.auth.Apply(plan.Delta())
-	a.log.Append(plan.Delta())
-	a.mu.Unlock()
-	a.admitted.Add(1)
-	a.trim()
-	return &optimisticGrant{a: a, res: plan.reservation(a.auth), delta: plan.Footprint()}
 }
 
 // trim drops log entries every replica has already replayed, bounding
@@ -243,6 +316,7 @@ func (a *OptimisticAdmitter) OptStats() OptimisticStats {
 		AdmitStats: a.Stats(),
 		Conflicts:  a.conflicts.Load(),
 		Fallbacks:  a.fallbacks.Load(),
+		Combined:   a.combined.Load(),
 	}
 }
 
@@ -304,48 +378,74 @@ func (g *optimisticGrant) Resize(newGraph *tag.Graph) error {
 		return nil // no size changed
 	}
 
-	slot := <-a.pool
-	defer func() { a.pool <- slot }()
+	a.inflight.Add(1)
+	defer a.inflight.Add(-1)
+	slot := a.pool.get()
+	defer a.pool.put(slot)
 
-	for attempt := 1; attempt <= maxPlanAttempts; attempt++ {
-		plan, err := slot.pl.PlanResize(g.res.data(), g.delta, g.graph, steps, g.ha)
-		a.seqs[slot.id].Store(slot.pl.Seq())
-		if err != nil {
-			if !errors.Is(err, ErrRejected) {
-				a.failed.Add(1)
-				return err
+	if a.planInParallel() {
+		for attempt := 1; attempt <= maxPlanAttempts; attempt++ {
+			plan, err := slot.pl.PlanResize(g.res.data(), g.delta, g.graph, steps, g.ha)
+			a.seqs[slot.id].Store(slot.pl.Seq())
+			if err != nil {
+				if !errors.Is(err, ErrRejected) {
+					a.failed.Add(1)
+					return err
+				}
+				// Like an admission, a capacity rejection is authoritative
+				// only if the ledger has not moved since the plan started.
+				if a.log.Seq() == slot.pl.Seq() {
+					a.rejected.Add(1)
+					return err
+				}
+				a.conflicts.Add(1)
+				continue
 			}
-			// Like an admission, a capacity rejection is authoritative
-			// only if the ledger has not moved since the plan started.
-			a.mu.Lock()
-			moved := a.log.Seq() != slot.pl.Seq()
-			a.mu.Unlock()
-			if !moved {
-				a.rejected.Add(1)
-				return err
+
+			if a.commitPlan(plan) {
+				a.resized.Add(1)
+				a.trim()
+				g.res = plan.reservation(a.auth)
+				g.delta = plan.Footprint()
+				g.graph = newGraph
+				return nil
 			}
 			a.conflicts.Add(1)
-			continue
 		}
-
-		a.mu.Lock()
-		if plan.Seq() == a.log.Seq() || a.auth.Validate(plan.Delta()) == nil {
-			a.auth.Apply(plan.Delta())
-			a.log.Append(plan.Delta())
-			a.mu.Unlock()
-			a.resized.Add(1)
-			a.trim()
-			g.res = plan.reservation(a.auth)
-			g.delta = plan.Footprint()
-			g.graph = newGraph
-			return nil
-		}
-		a.mu.Unlock()
-		a.conflicts.Add(1)
+		a.fallbacks.Add(1)
+		return Rejectf("resize", ReasonConflictRetriesExhausted,
+			"%d plans invalidated by concurrent commits; retry", maxPlanAttempts)
 	}
-	a.fallbacks.Add(1)
-	return Rejectf("resize", ReasonConflictRetriesExhausted,
-		"%d plans invalidated by concurrent commits; retry", maxPlanAttempts)
+
+	// Uncontended: plan the resize inside the combiner's critical
+	// section, where the replica is exactly caught up and no conflict is
+	// possible — the decision equals the locked Admitter's.
+	a.combined.Add(1)
+	var plan *Plan
+	a.comb.do(&a.mu, func() {
+		slot.pl.Sync(a.auth)
+		plan, err = slot.pl.PlanResize(g.res.data(), g.delta, g.graph, steps, g.ha)
+		a.seqs[slot.id].Store(slot.pl.Seq())
+		if err != nil {
+			return
+		}
+		a.auth.Apply(plan.Delta())
+		a.log.Append(plan.Delta())
+	})
+	if err != nil {
+		if errors.Is(err, ErrRejected) {
+			a.rejected.Add(1)
+		} else {
+			a.failed.Add(1)
+		}
+		return err
+	}
+	a.resized.Add(1)
+	a.trim()
+	g.res = plan.reservation(a.auth)
+	g.delta = plan.Footprint()
+	g.graph = newGraph
+	return nil
 }
 
 // Release returns the tenant's slots and bandwidth to the ledger.
@@ -357,10 +457,10 @@ func (g *optimisticGrant) Release() {
 		return
 	}
 	neg := g.delta.Negate()
-	g.a.mu.Lock()
-	g.a.auth.Apply(neg)
-	g.a.log.Append(neg)
-	g.a.mu.Unlock()
+	g.a.comb.do(&g.a.mu, func() {
+		g.a.auth.Apply(neg)
+		g.a.log.Append(neg)
+	})
 	g.a.released.Add(1)
 	// Trim here too: a departure-only stretch must not grow the log
 	// until the next admission happens to commit.

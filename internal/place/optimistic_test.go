@@ -233,12 +233,12 @@ func TestOptimisticReplicaNoDrift(t *testing.T) {
 	}
 	want := ledgerBits(tr)
 	for i := 0; i < adm.Planners(); i++ {
-		slot := <-adm.pool
+		slot := adm.pool.get()
 		slot.pl.rep.CatchUp()
 		if !reflect.DeepEqual(ledgerBits(slot.pl.rep.Tree()), want) {
 			t.Errorf("planner %d replica drifted from the authoritative ledger", slot.id)
 		}
-		adm.pool <- slot
+		adm.pool.put(slot)
 	}
 	for _, g := range live {
 		g.Release()

@@ -1,0 +1,181 @@
+package place
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cloudmirror/internal/topology"
+)
+
+// pipelineRun is one seeded drive's observable output: the
+// admit/reject transcript and the ledger's float bit patterns taken
+// mid-run, while tenants still hold slots and bandwidth.
+type pipelineRun struct {
+	trace string
+	bits  []uint64
+}
+
+// drivePipeline runs a fixed seeded admit/churn sequence against adm
+// and captures the transcript plus the ledger bits before draining.
+func drivePipeline(t *testing.T, adm Admission, tr *topology.Tree) pipelineRun {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	const ops = 400
+	trace := make([]byte, 0, ops)
+	var live []Grant
+	for i := 0; i < ops; i++ {
+		g := stressTenant(r.Intn(50))
+		grant, err := adm.Admit(&Request{ID: int64(i), Graph: g, Model: g})
+		if err != nil {
+			if !errors.Is(err, ErrRejected) {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			trace = append(trace, 'R')
+		} else {
+			trace = append(trace, 'A')
+			live = append(live, grant)
+		}
+		if len(live) > 0 && (len(live) > 6 || r.Intn(3) == 0) {
+			j := r.Intn(len(live))
+			live[j].Release()
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+	out := pipelineRun{trace: string(trace), bits: ledgerBits(tr)}
+	for _, g := range live {
+		g.Release()
+	}
+	return out
+}
+
+// TestCommitPipelineDeterminism is the correctness gate of the
+// flat-combining commit pipeline, wired into `make determinism` at
+// -cpu=1,4,8: on a seeded sequence, the pipeline with one planner must
+// be byte-identical to the locked Admitter — the same admit/reject
+// transcript and Float64bits-identical ledger accumulators while
+// tenants are still live — and repeated pipeline runs must reproduce
+// themselves exactly regardless of GOMAXPROCS (which flips the
+// pipeline between combiner-side planning and speculative planning).
+func TestCommitPipelineDeterminism(t *testing.T) {
+	lockedTree := testTree()
+	want := drivePipeline(t, NewAdmitter(lockedTree, newFF(lockedTree)), lockedTree)
+	if len(want.trace) == 0 || !containsBoth(want.trace) {
+		t.Fatalf("degenerate workload: trace %q", want.trace)
+	}
+	for run := 0; run < 3; run++ {
+		tr := testTree()
+		got := drivePipeline(t, NewOptimisticAdmitter(tr, newFF, 1), tr)
+		if got.trace != want.trace {
+			t.Fatalf("run %d: pipeline transcript diverges from locked:\nlocked   %s\npipeline %s",
+				run, want.trace, got.trace)
+		}
+		if !reflect.DeepEqual(got.bits, want.bits) {
+			t.Fatalf("run %d: pipeline ledger bits diverge from locked mid-run", run)
+		}
+	}
+}
+
+// containsBoth reports whether a transcript exercises both outcomes.
+func containsBoth(trace string) bool {
+	var a, r bool
+	for i := 0; i < len(trace); i++ {
+		a = a || trace[i] == 'A'
+		r = r || trace[i] == 'R'
+	}
+	return a && r
+}
+
+// TestCommitPipelineMixedStress hammers one combiner with every
+// lifecycle verb at once — single admits, batched admits, resizes, and
+// releases from concurrent goroutines — and then checks conservation:
+// no non-rejection failures, every admission released, and the tree
+// drained back to pristine. Run under -race in CI, it is the memory-
+// safety gate for the flat-combining queue, the per-planner replicas,
+// and the scratch pools behind them.
+func TestCommitPipelineMixedStress(t *testing.T) {
+	tr := testTree()
+	newRZ := func(t *topology.Tree) Placer { return &fitResizer{firstFit{tree: t}} }
+	adm := NewOptimisticAdmitter(tr, newRZ, 4)
+
+	const goroutines = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w) + 100))
+			var live []Grant
+			release := func(j int) {
+				live[j].Release()
+				live = append(live[:j], live[j+1:]...)
+			}
+			for i := 0; i < iters; i++ {
+				id := int64(w*iters + i)
+				switch r.Intn(4) {
+				case 0: // batched admits through the combiner's batch path
+					n := 2 + r.Intn(3)
+					reqs := make([]*Request, n)
+					for k := range reqs {
+						g := stressTenant(r.Intn(50))
+						reqs[k] = &Request{ID: id<<8 | int64(k), Graph: g, Model: g}
+					}
+					grants, errs := adm.AdmitBatch(reqs)
+					for k, g := range grants {
+						if g != nil {
+							live = append(live, g)
+						} else if !errors.Is(errs[k], ErrRejected) {
+							t.Errorf("worker %d: batch error: %v", w, errs[k])
+							return
+						}
+					}
+				case 1: // resize a live grant up or down
+					if len(live) == 0 {
+						continue
+					}
+					ng := stressTenant(r.Intn(50))
+					if err := live[r.Intn(len(live))].Resize(ng); err != nil && !errors.Is(err, ErrRejected) {
+						t.Errorf("worker %d: resize error: %v", w, err)
+						return
+					}
+				default: // single admit
+					g := stressTenant(r.Intn(50))
+					grant, err := adm.Admit(&Request{ID: id, Graph: g, Model: g})
+					if err != nil {
+						if !errors.Is(err, ErrRejected) {
+							t.Errorf("worker %d: admit error: %v", w, err)
+							return
+						}
+						if len(live) > 0 {
+							release(0)
+						}
+						continue
+					}
+					live = append(live, grant)
+				}
+				for len(live) > 5 {
+					release(r.Intn(len(live)))
+				}
+			}
+			for _, g := range live {
+				g.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	pristine(t, tr)
+	st := adm.OptStats()
+	if st.Failed != 0 {
+		t.Errorf("%d non-rejection failures", st.Failed)
+	}
+	if st.Admitted != st.Released {
+		t.Errorf("admitted %d but released %d", st.Admitted, st.Released)
+	}
+	if st.Admitted == 0 {
+		t.Error("stress admitted nothing")
+	}
+}

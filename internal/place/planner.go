@@ -32,6 +32,13 @@ func NewPlanner(rep *topology.Replica, newPlacer func(*topology.Tree) Placer) *P
 // Name identifies the underlying algorithm.
 func (p *Planner) Name() string { return p.placer.Name() }
 
+// Sync catches the planner's replica up under the commit lock. With
+// the authoritative tree quiescent, a replica whose pending suffix
+// outweighs an O(nodes) copy re-bases wholesale instead of replaying —
+// how a cold planner slot rejoins after the pool's hot-slot policy let
+// it lag. The caller must hold the commit lock.
+func (p *Planner) Sync(auth *topology.Tree) { p.rep.CatchUpFrom(auth) }
+
 // Seq returns the log sequence the planner's replica reflects.
 func (p *Planner) Seq() uint64 { return p.rep.Seq() }
 

@@ -1,0 +1,68 @@
+package place
+
+import "sync"
+
+// plannerPool hands out planner slots most-recently-released first.
+// The LIFO policy keeps the hottest replica — the one with the
+// shortest catch-up suffix — serving back-to-back admissions, so the
+// aggregate replay work across the pool stays near one
+// delta-application per commit instead of one per replica. Left alone
+// that policy would let an idle replica lag arbitrarily far behind
+// (pinning the delta log, which only trims below the laziest replica),
+// so every rotateEvery-th acquisition hands out the coldest slot
+// instead: its next Sync re-bases it in O(nodes), bounding every
+// replica's lag — and with it the log's length — to about
+// rotateEvery x planners commits.
+type plannerPool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// free is a stack: the top (end) is the most recently released
+	// slot, the bottom the coldest.
+	free []*plannerSlot
+	// n is the pool's total slot count, free or held.
+	n    int
+	gets uint64
+}
+
+// rotateEvery is how often the pool hands out its coldest slot instead
+// of its hottest: once per this many acquisitions.
+const rotateEvery = 32
+
+func newPlannerPool(slots []*plannerSlot) *plannerPool {
+	p := &plannerPool{free: slots, n: len(slots)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// size returns the pool's total slot count, free or held.
+func (p *plannerPool) size() int { return p.n }
+
+// get blocks until a slot is free and returns the hottest one — or,
+// every rotateEvery-th call, the coldest, so no replica's lag grows
+// without bound.
+func (p *plannerPool) get() *plannerSlot {
+	p.mu.Lock()
+	for len(p.free) == 0 {
+		p.cond.Wait()
+	}
+	p.gets++
+	var s *plannerSlot
+	if last := len(p.free) - 1; p.gets%rotateEvery == 0 {
+		s = p.free[0]
+		copy(p.free, p.free[1:])
+		p.free = p.free[:last]
+	} else {
+		s = p.free[last]
+		p.free = p.free[:last]
+	}
+	p.mu.Unlock()
+	return s
+}
+
+// put returns a slot to the top of the stack and wakes one waiter.
+func (p *plannerPool) put(s *plannerSlot) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+	p.cond.Signal()
+}

@@ -347,13 +347,13 @@ func (a *OptimisticAdmitter) ExportLedger() topology.Ledger {
 // planner-owned state (placers, replicas) without racing a speculative
 // plan. It blocks until in-flight plans finish.
 func (a *OptimisticAdmitter) quiesced(fn func(slots []*plannerSlot)) {
-	slots := make([]*plannerSlot, 0, cap(a.pool))
-	for len(slots) < cap(a.pool) {
-		slots = append(slots, <-a.pool)
+	slots := make([]*plannerSlot, 0, a.pool.size())
+	for len(slots) < a.pool.size() {
+		slots = append(slots, a.pool.get())
 	}
 	fn(slots)
 	for _, slot := range slots {
-		a.pool <- slot
+		a.pool.put(slot)
 	}
 }
 

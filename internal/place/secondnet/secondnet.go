@@ -24,6 +24,8 @@ import (
 // Placer is the SecondNet-style pipe-model scheduler.
 type Placer struct {
 	tree *topology.Tree
+	// tx is the cached placement transaction, Reset per admission.
+	tx *place.Txn
 }
 
 // New returns a SecondNet placer for the tree.
@@ -45,10 +47,17 @@ func (p *Placer) Place(req *place.Request) (*place.Reservation, error) {
 	r := &run{p: p, model: model, resources: req.Resources}
 	r.init()
 
+	// One cached transaction per Placer, Reset per admission and rolled
+	// back between candidate subtrees (the Placer is single-threaded).
+	if p.tx == nil {
+		p.tx = place.NewTxn(p.tree, model)
+	} else {
+		p.tx.Reset(p.tree, model)
+	}
+	r.tx = p.tx
+	r.tx.SetResources(req.Resources)
 	st := r.findLowestSubtree(0)
 	for st != topology.NoNode {
-		r.tx = place.NewTxn(p.tree, model)
-		r.tx.SetResources(req.Resources)
 		if r.allocVMs(st) {
 			if err := r.tx.SyncPath(st); err == nil {
 				return r.tx.Commit(), nil

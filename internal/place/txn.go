@@ -67,6 +67,62 @@ func NewTxn(tree *topology.Tree, model Model) *Txn {
 	}
 }
 
+// Reset re-arms a clean transaction (freshly constructed, fully
+// released, or committed) for a new tenant on the given tree and model,
+// reusing the dense scratch arrays. Placers cache one Txn per instance
+// and Reset it each admission, which removes the dominant allocation on
+// the plan path. Resetting a transaction that still holds placements or
+// reservations is a bug and panics.
+//
+// Safety of the reuse: between transactions every element of every
+// backing array is zero (ReleaseAll and Commit both restore that
+// invariant), so reinterpreting counts under a different tier stride —
+// or a different node count — cannot leak state across tenants.
+func (tx *Txn) Reset(tree *topology.Tree, model Model) {
+	if tx.placed != 0 || len(tx.touched) != 0 || len(tx.resTouched) != 0 {
+		panic("place: Reset of a live transaction (Commit or ReleaseAll first)")
+	}
+	n := tree.NumNodes()
+	tiers := model.Tiers()
+	tx.tree, tx.model, tx.tiers = tree, model, tiers
+	tx.counts = growInts(tx.counts, n*tiers)
+	tx.hasCount = growBools(tx.hasCount, n)
+	tx.resOut = growFloats(tx.resOut, n)
+	tx.resIn = growFloats(tx.resIn, n)
+	tx.hasRes = growBools(tx.hasRes, n)
+	if cap(tx.mark) < n {
+		tx.mark = make([]uint32, n)
+		tx.epoch = 0
+	} else {
+		tx.mark = tx.mark[:n]
+	}
+	tx.resources = nil
+}
+
+// growInts returns s resized to length n. Elements stay all-zero: the
+// slice only ever grows within a backing array whose tail was zeroed by
+// the same invariant that lets Reset reuse it.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // SetModel swaps the bandwidth model mid-transaction. Reservations are
 // reconciled against the new model on the next Sync. Auto-scaling uses
 // this: a tier-size change alters every cut, so the resized tenant's
@@ -304,7 +360,9 @@ func (tx *Txn) ReleaseAll() {
 }
 
 // Commit finalizes the transaction, returning a Reservation that owns the
-// slots and bandwidth. The transaction must not be used afterwards.
+// slots and bandwidth. The transaction itself is left clean — every
+// scratch array back to all-zero — so a cached Txn can be Reset for the
+// next tenant without reallocating.
 func (tx *Txn) Commit() *Reservation {
 	pl := make(Placement)
 	for _, n := range tx.touched {
@@ -323,11 +381,23 @@ func (tx *Txn) Commit() *Reservation {
 		resources: tx.resources,
 		ownsSlots: true,
 	}
-	tx.counts = nil
-	tx.hasCount = nil
-	tx.touched = nil
-	tx.resOut, tx.resIn = nil, nil
-	tx.hasRes = nil
-	tx.resTouched = nil
+	// Ownership of slots, reservations, and the resources reference moved
+	// to the Reservation; restore the all-zero scratch invariant without
+	// touching the tree.
+	for _, n := range tx.touched {
+		c := tx.row(n)
+		for t := range c {
+			c[t] = 0
+		}
+		tx.hasCount[n] = false
+	}
+	tx.touched = tx.touched[:0]
+	for _, n := range tx.resTouched {
+		tx.resOut[n], tx.resIn[n] = 0, 0
+		tx.hasRes[n] = false
+	}
+	tx.resTouched = tx.resTouched[:0]
+	tx.placed = 0
+	tx.resources = nil
 	return res
 }

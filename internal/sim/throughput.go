@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,16 @@ type ThroughputResult struct {
 	Elapsed time.Duration
 	// AttemptsPerSec is the sustained admission-decision rate.
 	AttemptsPerSec float64
+	// AllocsPerAdmit and BytesPerAdmit are the heap-allocation costs of
+	// one admission decision: runtime.MemStats deltas over the
+	// measurement phase (workload generation included) divided by
+	// attempts.
+	AllocsPerAdmit float64
+	BytesPerAdmit  float64
+	// Fsyncs counts write-ahead-log fsyncs issued during the run
+	// (durable mode only). Group commit keeps it below the operation
+	// count under concurrency.
+	Fsyncs uint64
 }
 
 // holdWindow is how many live tenants each worker keeps before churning
@@ -69,7 +80,7 @@ func Throughput(cfg Config, workers int) (*ThroughputResult, error) {
 // (each shard's admission path serializes its ledger mutations), and
 // the fleet is fully drained before returning.
 func ShardedThroughput(cfg Config, shards int, policy string, workers int) (*ThroughputResult, error) {
-	return shardedThroughput(cfg, shards, policy, 0, workers)
+	return shardedThroughput(cfg, shards, policy, 0, workers, "")
 }
 
 // OptimisticThroughput is the optimistic-admission variant of
@@ -82,13 +93,22 @@ func OptimisticThroughput(cfg Config, shards int, policy string, planners, worke
 	if planners < 1 {
 		planners = 1
 	}
-	return shardedThroughput(cfg, shards, policy, planners, workers)
+	return shardedThroughput(cfg, shards, policy, planners, workers, "")
 }
 
-// shardedThroughput is the shared measurement loop behind both
+// DurableThroughput is the durable-mode variant of ShardedThroughput:
+// the service writes a write-ahead log under dir (which must be empty),
+// so every admission decision is fsynced before it is acknowledged.
+// Concurrent clients exercise the WAL group commit — the result's
+// Fsyncs field reports how many fsyncs the run actually paid.
+func DurableThroughput(cfg Config, shards int, policy string, workers int, dir string) (*ThroughputResult, error) {
+	return shardedThroughput(cfg, shards, policy, 0, workers, dir)
+}
+
+// shardedThroughput is the shared measurement loop behind the
 // throughput entry points; planners == 0 selects the locked admission
-// path.
-func shardedThroughput(cfg Config, shards int, policy string, planners, workers int) (*ThroughputResult, error) {
+// path, and a non-empty walDir makes the service durable.
+func shardedThroughput(cfg Config, shards int, policy string, planners, workers int, walDir string) (*ThroughputResult, error) {
 	if len(cfg.Pool) == 0 {
 		return nil, errors.New("sim: empty tenant pool")
 	}
@@ -99,15 +119,22 @@ func shardedThroughput(cfg Config, shards int, policy string, planners, workers 
 	if workers > cfg.Arrivals {
 		workers = cfg.Arrivals
 	}
-	svc, err := guarantee.New(cfg.Spec,
-		guarantee.WithPlacer(cfg.NewPlacer),
+	opts := []guarantee.Option{
 		guarantee.WithModelFor(cfg.ModelFor),
 		guarantee.WithShards(shards),
 		guarantee.WithPlanners(planners),
 		guarantee.WithPolicy(policy),
 		guarantee.WithSeed(policySeed(cfg.Seed)),
 		guarantee.WithWorkers(workers),
-	)
+	}
+	if walDir != "" {
+		// Durable ledgers persist their placer by registered name, not
+		// constructor; resolve cfg.NewPlacer's registered equivalent.
+		opts = append(opts, guarantee.WithAlgorithm(cfg.AlgorithmName), guarantee.WithDurability(walDir))
+	} else {
+		opts = append(opts, guarantee.WithPlacer(cfg.NewPlacer))
+	}
+	svc, err := guarantee.New(cfg.Spec, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +151,8 @@ func shardedThroughput(cfg Config, shards int, policy string, planners, workers 
 		stop.Store(true)
 	}
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now() //cloudlint:wallclock throughput benchmark measures real elapsed time; results are rates, not simulated state
 	for w := 0; w < workers; w++ {
 		ops := cfg.Arrivals / workers
@@ -171,6 +200,8 @@ func shardedThroughput(cfg Config, shards int, policy string, planners, workers 
 	}
 	wg.Wait()
 	elapsed := time.Since(start) //cloudlint:wallclock throughput benchmark measures real elapsed time; results are rates, not simulated state
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	if ep := firstErr.Load(); ep != nil {
 		return nil, *ep
@@ -190,6 +221,16 @@ func shardedThroughput(cfg Config, shards int, policy string, planners, workers 
 	}
 	if elapsed > 0 {
 		res.AttemptsPerSec = float64(res.Attempts) / elapsed.Seconds()
+	}
+	if res.Attempts > 0 {
+		res.AllocsPerAdmit = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.Attempts)
+		res.BytesPerAdmit = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(res.Attempts)
+	}
+	if dur := svc.Durability(); dur != nil {
+		res.Fsyncs = dur.Stats().Fsyncs
+		if err := svc.Close(ctx); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

@@ -38,19 +38,43 @@ func (g *Graph) EdgeSaving(e Edge, nFromX, nToX int) float64 {
 	if e.SelfLoop() {
 		return g.SelfLoopSaving(e, nFromX)
 	}
-	from, to := g.tiers[e.From], g.tiers[e.To]
+	from, to := &g.tiers[e.From], &g.tiers[e.To]
+
+	// Like edgeCut, this is placement's innermost loop (every colocation
+	// probe prices an edge), so the unbounded-external cases branch
+	// directly instead of routing +Inf through cappedMin: an unbounded
+	// opposite tier pins worst and actual to the inside guarantee, so
+	// that direction never saves.
+	var saving float64
 
 	// Outgoing direction.
-	snd := float64(nFromX) * e.S
-	worstOut := cappedMin(snd, outsideCap(to, 0, e.R))
-	actualOut := cappedMin(snd, outsideCap(to, nToX, e.R))
+	if !(to.External && to.N == 0) {
+		snd := float64(nFromX) * e.S
+		worstOut := float64(to.N) * e.R
+		if snd < worstOut {
+			worstOut = snd
+		}
+		actualOut := float64(to.N-nToX) * e.R
+		if snd < actualOut {
+			actualOut = snd
+		}
+		saving = worstOut - actualOut
+	}
 
 	// Incoming direction.
-	rcv := float64(nToX) * e.R
-	worstIn := cappedMin(outsideCap(from, 0, e.S), rcv)
-	actualIn := cappedMin(outsideCap(from, nFromX, e.S), rcv)
-
-	return (worstOut - actualOut) + (worstIn - actualIn)
+	if !(from.External && from.N == 0) {
+		rcv := float64(nToX) * e.R
+		worstIn := float64(from.N) * e.S
+		if rcv < worstIn {
+			worstIn = rcv
+		}
+		actualIn := float64(from.N-nFromX) * e.S
+		if rcv < actualIn {
+			actualIn = rcv
+		}
+		saving += worstIn - actualIn
+	}
+	return saving
 }
 
 // SelfLoopSaving returns the per-direction hose bandwidth saved by a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // The delta layer turns the tree's reservation ledger into a
@@ -242,8 +243,17 @@ type Undo struct {
 // accumulators clamp at zero when a negative delta over-releases, and
 // slot over-release panics as ReleaseSlots would. Callers commit a
 // positive delta only after Validate on the same locked tree.
+//
+// The returned Undo aliases a per-tree scratch buffer: it is only valid
+// until the next mutation of the tree (the documented Undo contract),
+// and reusing the buffer keeps the commit hot path allocation-free.
 func (t *Tree) Apply(d Delta) *Undo {
-	u := &Undo{entries: make([]undoEntry, 0, 4*len(d.Slots)+len(d.Links))}
+	u := &t.undoScratch
+	if u.entries == nil {
+		u.entries = make([]undoEntry, 0, 4*len(d.Slots)+len(d.Links))
+	} else {
+		u.entries = u.entries[:0]
+	}
 	for _, s := range d.Slots {
 		if !t.IsServer(s.Server) {
 			panic(fmt.Sprintf("topology: slot delta on non-server node %d", s.Server))
@@ -337,25 +347,28 @@ type DeltaLog struct {
 	mu   sync.RWMutex
 	base uint64
 	log  []Delta
+	// seq mirrors base+len(log) behind an atomic: Seq is the log's
+	// epoch counter, and keeping it lock-free lets replicas poll it on
+	// every plan and skip the read-locked Replay when already current.
+	seq atomic.Uint64
 }
 
 // NewDeltaLog returns an empty log at sequence zero.
 func NewDeltaLog() *DeltaLog { return &DeltaLog{} }
 
 // Seq returns the number of deltas appended so far; the next Append
-// receives this sequence number.
-func (l *DeltaLog) Seq() uint64 {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.base + uint64(len(l.log))
-}
+// receives this sequence number. It is a single atomic load — an epoch
+// check, safe to spin on.
+func (l *DeltaLog) Seq() uint64 { return l.seq.Load() }
 
 // Append adds a committed delta and returns the new sequence count.
 func (l *DeltaLog) Append(d Delta) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.log = append(l.log, d)
-	return l.base + uint64(len(l.log))
+	s := l.base + uint64(len(l.log))
+	l.seq.Store(s)
+	return s
 }
 
 // Replay calls fn, in commit order, for every delta from sequence
@@ -388,6 +401,12 @@ func (l *DeltaLog) TrimTo(seq uint64) {
 		seq = end
 	}
 	n := seq - l.base
-	l.log = append(l.log[:0:0], l.log[n:]...)
+	rem := copy(l.log, l.log[n:])
+	// Zero the tail so the trimmed deltas' entry slices can be
+	// collected, then keep the capacity: the log's steady-state length
+	// is bounded by the laziest replica, so reusing the array makes
+	// Append allocation-free once the high-water mark is reached.
+	clear(l.log[rem:])
+	l.log = l.log[:rem]
 	l.base = seq
 }

@@ -72,6 +72,9 @@ func (t *Tree) RestoreSnapshot(s *Snapshot) {
 // the clone evolves independently in O(nodes) memory.
 func (t *Tree) Clone() *Tree {
 	c := *t
+	// The struct copy would share the Apply undo scratch; trees mutate
+	// independently, so the clone starts with its own empty buffer.
+	c.undoScratch = Undo{}
 	c.upResOut = append([]float64(nil), t.upResOut...)
 	c.upResIn = append([]float64(nil), t.upResIn...)
 	c.slotsFree = append([]int32(nil), t.slotsFree...)
@@ -127,12 +130,40 @@ func (r *Replica) Seq() uint64 { return r.seq }
 // CatchUp replays every committed delta the replica has not yet applied
 // and returns the sequence reached. It must not be called between
 // Checkpoint and Restore.
+//
+// The common steady-state case — the replica already reflects the whole
+// log — is detected with one atomic epoch load and touches no lock, so
+// planners can call CatchUp per plan without contending on the log.
 func (r *Replica) CatchUp() uint64 {
 	if r.saved {
 		panic("topology: CatchUp during speculation")
 	}
+	if r.log.Seq() == r.seq {
+		return r.seq
+	}
 	r.seq = r.log.Replay(r.seq, func(d Delta) { r.tree.Apply(d) })
 	return r.seq
+}
+
+// CatchUpFrom catches the replica up like CatchUp, but with the
+// authoritative tree available for a wholesale re-base: when the
+// pending suffix outweighs an O(nodes) ledger copy, replaying it
+// delta-by-delta costs more than copying the authoritative state, so
+// the replica resyncs instead. Either way the result is byte-identical
+// — both paths reproduce the ledger the log prefix defines. The caller
+// must hold the commit lock, so auth and the log cannot advance
+// mid-copy. It must not be called between Checkpoint and Restore.
+func (r *Replica) CatchUpFrom(auth *Tree) uint64 {
+	if r.saved {
+		panic("topology: CatchUpFrom during speculation")
+	}
+	seq := r.log.Seq()
+	if pending := seq - r.seq; pending > uint64(max(64, r.tree.NumNodes()/8)) {
+		r.tree.CopyLedgerFrom(auth)
+		r.seq = seq
+		return seq
+	}
+	return r.CatchUp()
 }
 
 // Checkpoint saves the tree's mutable state so a speculative placement

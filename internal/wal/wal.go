@@ -29,6 +29,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,8 +72,11 @@ type Stats struct {
 	SnapshotUnix int64 `json:"snapshot_unix"`
 }
 
-// Log is an open ledger directory. Methods are not safe for concurrent
-// use; the owning layer serializes appends behind its own lock.
+// Log is an open ledger directory. Write, Rotate, and the accessors
+// are not safe for concurrent use — the owning layer serializes them
+// behind its own lock — but Sync and Synced may run concurrently with
+// Write under a *different* lock: that split is what lets a committer
+// group many writers' records under one fsync (see Write and Sync).
 type Log struct {
 	dir    string
 	gen    uint64
@@ -79,9 +84,25 @@ type Log struct {
 	offset int64
 
 	records  uint64
-	fsyncs   uint64
+	fsyncs   atomic.Uint64
 	snapSize int64
 	snapTime time.Time
+
+	// Group-commit watermarks. written is the LSN of the last record
+	// handed to the OS; synced is the highest LSN known durable — a
+	// successful Sync covers every record written before it began, and
+	// a Rotate covers everything (the new snapshot subsumes the log).
+	// LSNs are monotone across rotations.
+	written atomic.Uint64
+	synced  atomic.Uint64
+	// syncMu serializes Sync bodies against each other and against the
+	// file swap in Rotate and Close, so a flush never touches a segment
+	// mid-replacement. failed latches after an fsync error: a later
+	// fsync on the same descriptor can report success after the kernel
+	// dropped the dirty pages, so no claim of durability is trusted
+	// once one flush has failed.
+	syncMu sync.Mutex
+	failed bool
 }
 
 func snapName(gen uint64) string { return fmt.Sprintf("snap-%016d.snap", gen) }
@@ -211,30 +232,70 @@ func scan(f *os.File) (records [][]byte, valid int64, err error) {
 // caller is expected to wedge itself — a control plane must not
 // acknowledge admissions it cannot persist).
 func (l *Log) Append(payload []byte) error {
+	if _, err := l.Write(payload); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// Write frames and writes one record to the OS without making it
+// durable, returning its LSN. The record is on disk only after a Sync
+// (or Rotate) whose return happens after this Write returns — callers
+// must not acknowledge it before then. Serialized by the owner's lock.
+func (l *Log) Write(payload []byte) (uint64, error) {
 	var hdr [frameHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
 	if _, err := l.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if _, err := l.f.Write(payload); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
-	}
-	l.fsyncs++
 	l.offset += frameHeaderSize + int64(len(payload))
 	l.records++
+	return l.written.Add(1), nil
+}
+
+// Sync makes every record whose Write returned before this call began
+// durable with one fsync, then advances the synced watermark. It may
+// run concurrently with Write: the watermark only advances to the
+// writes known to precede the flush, so a record racing in during the
+// fsync is never claimed durable early. Returns immediately when a
+// concurrent Sync or Rotate already covered everything written.
+func (l *Log) Sync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	target := l.written.Load()
+	if l.synced.Load() >= target {
+		return nil
+	}
+	if l.f == nil || l.failed {
+		return errors.New("wal: log closed")
+	}
+	if err := l.f.Sync(); err != nil {
+		l.failed = true
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.fsyncs.Add(1)
+	l.synced.Store(target)
 	return nil
 }
+
+// Synced returns the highest LSN known durable.
+func (l *Log) Synced() uint64 { return l.synced.Load() }
 
 // Rotate makes snapshot the new generation and truncates the log: the
 // snapshot is written to a temp file, fsynced, and renamed into place
 // (atomic), a fresh empty segment is started, and the previous
 // generation's files are deleted. A crash at any point leaves one fully
-// intact generation on disk.
+// intact generation on disk. Rotation supersedes Sync: the durable
+// snapshot subsumes every record written so far, so the synced
+// watermark jumps to the current write position and pending group
+// commits complete without an fsync of their own.
 func (l *Log) Rotate(snapshot []byte) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	old := l.gen
 	var oldF *os.File
 	l.f, oldF = nil, l.f
@@ -242,6 +303,7 @@ func (l *Log) Rotate(snapshot []byte) error {
 		l.f = oldF // rotation failed; the old segment is still good
 		return err
 	}
+	l.synced.Store(l.written.Load())
 	if oldF != nil {
 		oldF.Close()
 	}
@@ -274,7 +336,7 @@ func (l *Log) installGen(gen uint64, snapshot []byte) error {
 		return err
 	}
 	l.gen, l.f, l.offset, l.records = gen, f, 0, 0
-	l.fsyncs += 3 // snapshot + two directory syncs
+	l.fsyncs.Add(3) // snapshot + two directory syncs
 	return l.statSnapshot()
 }
 
@@ -330,19 +392,26 @@ func (l *Log) Stats() Stats {
 		Gen:           l.gen,
 		Records:       l.records,
 		Offset:        l.offset,
-		Fsyncs:        l.fsyncs,
+		Fsyncs:        l.fsyncs.Load(),
 		SnapshotBytes: l.snapSize,
 		SnapshotUnix:  l.snapTime.Unix(),
 	}
 }
 
 // Close syncs and closes the live segment. The log must not be used
-// afterwards.
+// afterwards. The final sync advances the watermark, so group commits
+// in flight at close observe their records durable.
 func (l *Log) Close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	if l.f == nil {
 		return nil
 	}
+	target := l.written.Load()
 	err := l.f.Sync()
+	if err == nil && !l.failed {
+		l.synced.Store(target)
+	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
